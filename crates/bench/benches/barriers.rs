@@ -1,0 +1,56 @@
+//! Ablation A2: barrier algorithms on real threads.
+//!
+//! Omni/SCASH implements barriers over its intra-node communication layer
+//! (paper §3.3); the native engine offers a centralized sense-reversing
+//! barrier and a combining tree. This bench measures episodes/second at
+//! 1–8 threads for both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpomp_runtime::{NativeBarrier, SenseBarrier, TreeBarrier};
+
+const EPISODES: usize = 1000;
+
+fn run_episodes(b: &dyn NativeBarrier) {
+    let n = b.participants();
+    std::thread::scope(|s| {
+        for tid in 0..n {
+            s.spawn(move || {
+                for _ in 0..EPISODES {
+                    b.wait(tid);
+                }
+            });
+        }
+    });
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    // Run 1-4 threads even on small hosts (oversubscription is fine
+    // for these synchronization benches); 8 only on big machines.
+    let max = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .max(4);
+    let mut g = c.benchmark_group("barrier_1000_episodes");
+    for threads in [1, 2, 4, 8] {
+        if threads > max {
+            continue;
+        }
+        g.bench_with_input(
+            BenchmarkId::new("sense_reversing", threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| run_episodes(&SenseBarrier::new(t)));
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("tree", threads), &threads, |bench, &t| {
+            bench.iter(|| run_episodes(&TreeBarrier::new(t)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_barriers
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation A4: loop schedules on the native engine under an irregular
+//! workload (per-iteration cost varies 1–64x), the case dynamic and
+//! guided scheduling exist for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpomp_runtime::{Schedule, Team};
+
+const N: usize = 1 << 14;
+
+/// Deliberately imbalanced work: iteration i costs ~(i % 64) + 1 units.
+fn work(i: usize) -> f64 {
+    let reps = (i % 64) + 1;
+    let mut acc = i as f64;
+    for _ in 0..reps * 20 {
+        acc = (acc * 1.000001).sqrt() + 1.0;
+    }
+    acc
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    // Run 1-4 threads even on small hosts (oversubscription is fine
+    // for these synchronization benches); 8 only on big machines.
+    let max = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .max(4);
+    let threads = 4.min(max);
+    let mut g = c.benchmark_group(format!("irregular_loop_{threads}threads"));
+    let cases = [
+        ("static", Schedule::Static),
+        ("static_chunk64", Schedule::StaticChunk(64)),
+        ("dynamic64", Schedule::Dynamic(64)),
+        ("guided16", Schedule::Guided(16)),
+    ];
+    for (name, sched) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sched, |bench, &s| {
+            bench.iter(|| {
+                let mut team = Team::native(threads);
+                team.parallel_for_reduce(0..N, s, lpomp_runtime::Reduction::Sum, &|_, r| {
+                    r.map(work).sum()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_schedules
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation **A1**: startup preallocation vs demand faulting of the
+//! large-page shared heap — the §3.3 design decision.
+//!
+//! The paper argues that because an OpenMP job owns its node, the runtime
+//! should prefault the entire shared region at startup: the faults move
+//! out of the timed region and the allocator stays trivial. This ablation
+//! quantifies it: with `OnDemand`, every first touch during the run pays
+//! a page-fault (and the walk behind it); with `Prefault` the run itself
+//! takes zero faults.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin ablation_prealloc [S|W|A]`
+
+use lpomp_bench::class_from_args;
+use lpomp_core::{run_sim, PagePolicy, PopulatePolicy, RunOpts};
+use lpomp_machine::opteron_2x2;
+use lpomp_npb::AppKind;
+use lpomp_prof::table::fnum;
+use lpomp_prof::{Event, TextTable};
+
+fn main() {
+    let class = class_from_args();
+    println!("Ablation A1: preallocation vs demand faulting (class {class}, CG + MG, 4 threads, Opteron)\n");
+    let mut t = TextTable::new(vec![
+        "app",
+        "pages",
+        "populate",
+        "run time (s)",
+        "faults in run",
+        "fault cycles",
+        "slowdown",
+    ]);
+    for app in [AppKind::Cg, AppKind::Mg] {
+        for policy in [PagePolicy::Small4K, PagePolicy::Large2M] {
+            let pre = run_sim(
+                app,
+                class,
+                opteron_2x2(),
+                policy,
+                4,
+                RunOpts {
+                    verify: false,
+                    populate: PopulatePolicy::Prefault,
+                },
+            );
+            let lazy = run_sim(
+                app,
+                class,
+                opteron_2x2(),
+                policy,
+                4,
+                RunOpts {
+                    verify: false,
+                    populate: PopulatePolicy::OnDemand,
+                },
+            );
+            for (label, r) in [("prefault", &pre), ("on-demand", &lazy)] {
+                t.row(vec![
+                    app.to_string(),
+                    policy.to_string(),
+                    label.to_owned(),
+                    fnum(r.seconds, 4),
+                    r.counters.get(Event::PageFaults).to_string(),
+                    r.counters
+                        .get(Event::PageFaults)
+                        .saturating_mul(2500)
+                        .to_string(),
+                    format!("{}%", fnum((r.seconds / pre.seconds - 1.0) * 100.0, 2)),
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "(The paper's choice: preallocate at startup — the faults leave the\n\
+         timed region entirely, and a batch HPC node has the memory to spare.\n\
+         Note how 2MB pages need 512x fewer faults even on demand: large\n\
+         pages also amortize fault overhead, a secondary benefit.)"
+    );
+}

@@ -1,0 +1,67 @@
+//! Diagnostic: per-app cycle/miss breakdown under both page policies.
+//! Not a paper figure — a calibration and debugging aid.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin diag [class] [APP]`
+
+use lpomp_bench::run_pair;
+use lpomp_machine::opteron_2x2;
+use lpomp_npb::{AppKind, Class};
+use lpomp_prof::table::fnum;
+use lpomp_prof::{Event, TextTable};
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("S") => Class::S,
+        Some("A") => Class::A,
+        _ => Class::W,
+    };
+    let filter = std::env::args().nth(2);
+    let mut t = TextTable::new(vec![
+        "app",
+        "pages",
+        "seconds",
+        "Gcycles",
+        "loads",
+        "stores",
+        "dtlb_miss",
+        "miss%",
+        "walk_cyc%",
+        "l2_miss",
+        "itlb_miss",
+        "faults",
+    ]);
+    for app in AppKind::ALL {
+        if let Some(f) = &filter {
+            if !app.name().eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        let (small, large) = run_pair(app, class, opteron_2x2(), 4);
+        for r in [&small, &large] {
+            let c = &r.counters;
+            let accesses = c.get(Event::Loads) + c.get(Event::Stores);
+            let cycles = c.get(Event::Cycles);
+            t.row(vec![
+                r.app.to_string(),
+                r.policy.to_string(),
+                fnum(r.seconds, 4),
+                fnum(cycles as f64 / 1e9, 3),
+                format!("{:.1}M", c.get(Event::Loads) as f64 / 1e6),
+                format!("{:.1}M", c.get(Event::Stores) as f64 / 1e6),
+                format!("{}", c.get(Event::DtlbMisses)),
+                fnum(
+                    100.0 * c.get(Event::DtlbMisses) as f64 / accesses.max(1) as f64,
+                    2,
+                ),
+                fnum(
+                    100.0 * c.get(Event::WalkCycles) as f64 / cycles.max(1) as f64,
+                    2,
+                ),
+                format!("{}", c.get(Event::L2Misses)),
+                format!("{}", c.get(Event::ItlbMisses)),
+                format!("{}", c.get(Event::PageFaults)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}

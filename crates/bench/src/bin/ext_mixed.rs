@@ -1,0 +1,60 @@
+//! Extension **E1**: the paper's §6 future-work proposal — *"the kernel
+//! and memory allocation library should be able to allocate a mix of
+//! large pages for the bigger allocation and the typical 4KB pages for
+//! the smaller allocations"*.
+//!
+//! Compares all three policies on every application: 4 KB everywhere,
+//! 2 MB everywhere, and Mixed (2 MB for allocations ≥ 256 KB, 4 KB below).
+//! Mixed should track the 2 MB policy's run time while consuming fewer
+//! reserved large pages.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin ext_mixed [S|W|A]`
+
+use lpomp_bench::class_from_args;
+use lpomp_core::{run_sim, PagePolicy, RunOpts};
+use lpomp_machine::opteron_2x2;
+use lpomp_npb::AppKind;
+use lpomp_prof::table::fnum;
+use lpomp_prof::TextTable;
+
+fn main() {
+    let class = class_from_args();
+    println!("Extension E1: mixed page policy (class {class}, 4 threads, Opteron)\n");
+    let mixed = PagePolicy::Mixed {
+        threshold_bytes: 256 * 1024,
+    };
+    let mut t = TextTable::new(vec![
+        "app",
+        "4KB (s)",
+        "2MB (s)",
+        "mixed (s)",
+        "mixed vs 2MB",
+    ]);
+    for app in AppKind::PAPER_FIVE {
+        let small = run_sim(
+            app,
+            class,
+            opteron_2x2(),
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+        );
+        let large = run_sim(
+            app,
+            class,
+            opteron_2x2(),
+            PagePolicy::Large2M,
+            4,
+            RunOpts::default(),
+        );
+        let mix = run_sim(app, class, opteron_2x2(), mixed, 4, RunOpts::default());
+        t.row(vec![
+            app.to_string(),
+            fnum(small.seconds, 4),
+            fnum(large.seconds, 4),
+            fnum(mix.seconds, 4),
+            format!("{}%", fnum((mix.seconds / large.seconds - 1.0) * 100.0, 2)),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,73 @@
+//! Extension **E3**: page size × NUMA placement on the (two-socket)
+//! Opteron platform.
+//!
+//! The paper's Opteron testbed is NUMA, but the paper treats memory as
+//! uniform. This experiment adds the HyperTransport hop and asks how the
+//! placement policy interacts with page size:
+//!
+//! * `master-node` — all pages on node 0 (what naive first-touch startup
+//!   initialization gives): threads on chip 1 pay remote latency;
+//! * `interleave-4KB` — fine round-robin striping: balanced for 4 KB
+//!   pages, but **physically impossible** for 2 MB pages, which clamp the
+//!   stripe to 2 MB chunks;
+//! * `interleave-2MB` — coarse striping, achievable at either page size.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin ext_numa [S|W|A]`
+
+use lpomp_bench::class_from_args;
+use lpomp_core::{run_sim, PagePolicy, RunOpts};
+use lpomp_machine::{opteron_2x2, NumaConfig, NumaPlacement};
+use lpomp_npb::AppKind;
+use lpomp_prof::table::fnum;
+use lpomp_prof::TextTable;
+
+fn main() {
+    let class = class_from_args();
+    let app = AppKind::Mg;
+    println!(
+        "Extension E3: page size x NUMA placement ({app}, class {class}, 4 threads, Opteron)\n"
+    );
+    let mut t = TextTable::new(vec!["placement", "4KB (s)", "2MB (s)", "2MB gain"]);
+    let placements = [
+        None,
+        Some(NumaPlacement::MasterNode),
+        Some(NumaPlacement::Interleave4K),
+        Some(NumaPlacement::Interleave2M),
+    ];
+    for p in placements {
+        let mut machine = opteron_2x2();
+        machine.numa = p.map(NumaConfig::opteron);
+        let small = run_sim(
+            app,
+            class,
+            machine.clone(),
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+        );
+        let large = run_sim(
+            app,
+            class,
+            machine,
+            PagePolicy::Large2M,
+            4,
+            RunOpts::default(),
+        );
+        t.row(vec![
+            p.map_or("uniform (paper)".to_owned(), |p| p.label().to_owned()),
+            fnum(small.seconds, 4),
+            fnum(large.seconds, 4),
+            format!(
+                "{}%",
+                fnum((1.0 - large.seconds / small.seconds) * 100.0, 1)
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(master-node placement slows both page sizes — the classic OpenMP\n\
+         first-touch pitfall; interleaving recovers it. 4KB interleave and\n\
+         2MB interleave behave alike here because the working arrays are\n\
+         large and sequentially swept, so coarse striping balances too.)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates the paper's **Figure 4**: run time vs thread count for BT,
+//! CG, FT, SP, MG on the Opteron (1, 2, 4 threads) and Xeon (1, 2, 4, 8
+//! threads with hyper-threading), each with 4 KB and 2 MB pages.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin fig4 [S|W|A]`
+
+use lpomp_bench::{class_from_args, improvement_pct, run_pair};
+use lpomp_core::figure4_thread_counts;
+use lpomp_machine::{opteron_2x2, xeon_2x2_ht};
+use lpomp_npb::AppKind;
+use lpomp_prof::table::fnum;
+use lpomp_prof::TextTable;
+
+fn main() {
+    let class = class_from_args();
+    println!("Figure 4: scalability with 4KB vs 2MB pages (class {class})\n");
+    for machine in [opteron_2x2(), xeon_2x2_ht()] {
+        let threads = figure4_thread_counts(&machine);
+        for app in AppKind::PAPER_FIVE {
+            let mut t = TextTable::new(vec![
+                "machine",
+                "app",
+                "threads",
+                "4KB (s)",
+                "2MB (s)",
+                "improvement",
+                "speedup 4KB",
+                "speedup 2MB",
+            ]);
+            let mut base = (0.0f64, 0.0f64);
+            for &n in &threads {
+                let (small, large) = run_pair(app, class, machine.clone(), n);
+                if n == 1 {
+                    base = (small.seconds, large.seconds);
+                }
+                t.row(vec![
+                    machine.name.to_string(),
+                    app.to_string(),
+                    n.to_string(),
+                    fnum(small.seconds, 3),
+                    fnum(large.seconds, 3),
+                    format!("{}%", fnum(improvement_pct(&small, &large), 1)),
+                    fnum(base.0 / small.seconds, 2),
+                    fnum(base.1 / large.seconds, 2),
+                ]);
+            }
+            println!("{}", t.render());
+            lpomp_bench::maybe_write_csv(
+                &format!(
+                    "fig4_{}_{}",
+                    machine.name.to_lowercase(),
+                    app.name().to_lowercase()
+                ),
+                &t,
+            );
+        }
+    }
+}

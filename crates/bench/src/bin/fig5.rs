@@ -1,0 +1,43 @@
+//! Regenerates the paper's **Figure 5**: data-TLB misses at 4 threads on
+//! the Opteron, with 4 KB and 2 MB pages, normalized to the 4 KB run of
+//! each application.
+//!
+//! Paper shape: CG, SP and MG are reduced by a factor of 10 or more
+//! (normalized 2 MB bars near zero); BT and FT see much smaller
+//! reductions.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin fig5 [S|W|A]`
+
+use lpomp_bench::{class_from_args, run_pair};
+use lpomp_machine::opteron_2x2;
+use lpomp_npb::AppKind;
+use lpomp_prof::report::normalized;
+use lpomp_prof::table::fnum;
+use lpomp_prof::TextTable;
+
+fn main() {
+    let class = class_from_args();
+    println!("Figure 5: Normalized DTLB misses at 4 threads, Opteron (class {class})\n");
+    let mut t = TextTable::new(vec![
+        "app",
+        "4KB misses",
+        "2MB misses",
+        "normalized 4KB",
+        "normalized 2MB",
+        "reduction",
+    ]);
+    for app in AppKind::PAPER_FIVE {
+        let (small, large) = run_pair(app, class, opteron_2x2(), 4);
+        let n = normalized(small.dtlb_misses(), large.dtlb_misses());
+        t.row(vec![
+            app.to_string(),
+            small.dtlb_misses().to_string(),
+            large.dtlb_misses().to_string(),
+            "1.00".to_owned(),
+            fnum(n.normalized_variant(), 3),
+            format!("{}x", fnum(n.reduction_factor(), 1)),
+        ]);
+    }
+    println!("{}", t.render());
+    lpomp_bench::maybe_write_csv("fig5", &t);
+}

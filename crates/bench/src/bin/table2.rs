@@ -1,0 +1,62 @@
+//! Regenerates the paper's **Table 2**: "Application Memory Footprint" —
+//! instruction and data bytes per application.
+//!
+//! By default prints class B (the paper's class) next to the simulated
+//! evaluation class W. The paper's measured numbers (its Table 2) are
+//! shown for comparison; they were taken on Omni/SCASH, whose startup
+//! preallocation and work arrays inflate the raw array bytes.
+//!
+//! Usage: `cargo run -p lpomp-bench --bin table2`
+
+use lpomp_npb::{AppKind, Class};
+use lpomp_prof::TextTable;
+
+fn human(bytes: u64) -> String {
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.1}GB", b / GB)
+    } else {
+        format!("{:.0}MB", b / MB)
+    }
+}
+
+/// The paper's Table 2 data column (class B), for side-by-side context.
+fn paper_data_mb(app: AppKind) -> &'static str {
+    match app {
+        AppKind::Bt => "371MB",
+        AppKind::Cg => "725MB",
+        AppKind::Ft => "2.4GB",
+        AppKind::Sp => "387MB",
+        AppKind::Mg => "884MB",
+        AppKind::Ep | AppKind::Is | AppKind::Lu => "-",
+    }
+}
+
+fn main() {
+    println!("Table 2: Application Memory Footprint\n");
+    let mut t = TextTable::new(vec![
+        "app",
+        "instruction",
+        "data (B, ours)",
+        "data (B, paper)",
+        "data (W, simulated)",
+    ]);
+    for app in AppKind::PAPER_FIVE {
+        let b = app.footprint(Class::B);
+        let w = app.footprint(Class::W);
+        t.row(vec![
+            format!("{app} (B)"),
+            format!("{:.1}MB", b.instruction_bytes as f64 / (1024.0 * 1024.0)),
+            human(b.data_bytes),
+            paper_data_mb(app).to_owned(),
+            human(w.data_bytes),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(Paper values measured on Omni/SCASH include the runtime's shared-\n\
+         region preallocation and work arrays; ours count the raw NPB arrays.)"
+    );
+}

@@ -1,0 +1,96 @@
+//! # `lpomp-bench` — experiment regeneration harness
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — TLB sizes and coverage |
+//! | `table2` | Table 2 — application memory footprints |
+//! | `fig3`   | Fig. 3 — aggregate ITLB miss rates |
+//! | `fig4`   | Fig. 4 — scalability, 4 KB vs 2 MB, both platforms |
+//! | `fig5`   | Fig. 5 — normalized DTLB misses at 4 threads |
+//! | `ablation_prealloc` | A1 — preallocation vs demand faulting |
+//! | `ext_mixed` | E1 — the §6 mixed page policy |
+//!
+//! Criterion benches (`cargo bench`) cover the runtime primitives:
+//! barriers, the mailbox, loop schedules, and shared-array access.
+//!
+//! The library half holds the sweep helpers the binaries share. Binaries
+//! accept an optional class argument (`S`, `W`, `A`) — default `W`, the
+//! simulated-evaluation class.
+
+use lpomp_core::{run_sim, PagePolicy, RunOpts, RunRecord};
+use lpomp_machine::MachineConfig;
+use lpomp_npb::{AppKind, Class};
+
+/// Parse the class argument (first CLI arg), defaulting to `W`.
+pub fn class_from_args() -> Class {
+    match std::env::args().nth(1).as_deref() {
+        Some("S") | Some("s") => Class::S,
+        Some("A") | Some("a") => Class::A,
+        Some("B") | Some("b") => Class::B,
+        Some("W") | Some("w") | None => Class::W,
+        Some(other) => {
+            eprintln!("unknown class {other:?}; expected S, W, A or B — using W");
+            Class::W
+        }
+    }
+}
+
+/// Run one app under both page policies at a thread count.
+pub fn run_pair(
+    app: AppKind,
+    class: Class,
+    machine: MachineConfig,
+    threads: usize,
+) -> (RunRecord, RunRecord) {
+    let small = run_sim(
+        app,
+        class,
+        machine.clone(),
+        PagePolicy::Small4K,
+        threads,
+        RunOpts::default(),
+    );
+    let large = run_sim(
+        app,
+        class,
+        machine,
+        PagePolicy::Large2M,
+        threads,
+        RunOpts::default(),
+    );
+    (small, large)
+}
+
+/// Percentage improvement of `large` over `small` run time.
+pub fn improvement_pct(small: &RunRecord, large: &RunRecord) -> f64 {
+    lpomp_prof::report::percent_improvement(small.seconds, large.seconds)
+}
+
+/// If `LPOMP_CSV=<dir>` is set, write the table as `<dir>/<name>.csv`
+/// (for plotting); errors are reported but never fatal.
+pub fn maybe_write_csv(name: &str, table: &lpomp_prof::TextTable) {
+    if let Ok(dir) = std::env::var("LPOMP_CSV") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpomp_machine::opteron_2x2;
+
+    #[test]
+    fn run_pair_is_consistent() {
+        let (s, l) = run_pair(AppKind::Ep, Class::S, opteron_2x2(), 2);
+        assert_eq!(s.policy, PagePolicy::Small4K);
+        assert_eq!(l.policy, PagePolicy::Large2M);
+        assert_eq!(s.checksum, l.checksum);
+    }
+}

@@ -1,0 +1,212 @@
+//! The experiment runner behind every figure and table.
+//!
+//! One [`run_sim`] call = one bar/point of the paper's evaluation: an
+//! application at a class, on a platform, under a page policy, at a
+//! thread count. The returned [`RunRecord`] carries the simulated run
+//! time, the full aggregate counter sheet (the OProfile measurements of
+//! Figs. 3 and 5), and the checksum/verification status.
+
+use crate::policy::{PagePolicy, PopulatePolicy};
+use crate::system::{System, SystemConfig};
+use lpomp_machine::MachineConfig;
+use lpomp_npb::{AppKind, Class};
+use lpomp_prof::{Counters, Event};
+
+/// The result of one simulated benchmark run.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Application.
+    pub app: AppKind,
+    /// Problem class.
+    pub class: Class,
+    /// Platform name ("Opteron" / "Xeon").
+    pub machine: &'static str,
+    /// Page policy label ("4KB" / "2MB" / "mixed").
+    pub policy: PagePolicy,
+    /// Thread count.
+    pub threads: usize,
+    /// Simulated run time in seconds (critical path / clock rate).
+    pub seconds: f64,
+    /// Critical-path cycles.
+    pub cycles: u64,
+    /// Aggregate hardware counters across threads.
+    pub counters: Counters,
+    /// Benchmark checksum.
+    pub checksum: f64,
+    /// Whether the checksum matched the serial reference (only evaluated
+    /// when verification was requested).
+    pub verified: Option<bool>,
+}
+
+impl RunRecord {
+    /// Aggregate DTLB misses (Fig. 5's quantity).
+    pub fn dtlb_misses(&self) -> u64 {
+        self.counters.get(Event::DtlbMisses)
+    }
+
+    /// Aggregate ITLB misses.
+    pub fn itlb_misses(&self) -> u64 {
+        self.counters.get(Event::ItlbMisses)
+    }
+
+    /// ITLB misses per second of run time (Fig. 3's quantity).
+    pub fn itlb_miss_rate(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.itlb_misses() as f64 / self.seconds
+        }
+    }
+}
+
+/// Options for [`run_sim`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Verify the checksum against the serial reference (costs one
+    /// native serial execution of the kernel).
+    pub verify: bool,
+    /// Populate policy (the paper's default is prefault).
+    pub populate: PopulatePolicy,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            verify: false,
+            populate: PopulatePolicy::Prefault,
+        }
+    }
+}
+
+/// Run one simulated benchmark configuration.
+pub fn run_sim(
+    app: AppKind,
+    class: Class,
+    machine: MachineConfig,
+    policy: PagePolicy,
+    threads: usize,
+    opts: RunOpts,
+) -> RunRecord {
+    let machine_name = machine.name;
+    let mut kernel = app.build(class);
+    let cfg = SystemConfig {
+        machine,
+        policy,
+        populate: opts.populate,
+        threads,
+        quantum: lpomp_runtime::DEFAULT_QUANTUM,
+        private_heap: false,
+    };
+    let mut sys = System::build(&cfg, kernel.as_mut())
+        .unwrap_or_else(|e| panic!("{app} {class} system build failed: {e}"));
+    let checksum = kernel.run(&mut sys.team);
+    let verified = opts.verify.then(|| kernel.verify(checksum));
+    let cycles = sys.team.elapsed_cycles();
+    RunRecord {
+        app,
+        class,
+        machine: machine_name,
+        policy,
+        threads,
+        seconds: sys.team.engine().unwrap().machine.cost().seconds(cycles),
+        cycles,
+        counters: sys.team.aggregate_counters(),
+        checksum,
+        verified,
+    }
+}
+
+/// The thread counts of the paper's Fig. 4 for a platform: 1, 2, 4 on the
+/// Opteron; 1, 2, 4, 8 (hyper-threading) on the Xeon.
+pub fn figure4_thread_counts(machine: &MachineConfig) -> Vec<usize> {
+    let mut t = vec![1, 2, 4];
+    if machine.contexts() >= 8 {
+        t.push(8);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpomp_machine::{opteron_2x2, xeon_2x2_ht};
+
+    #[test]
+    fn run_sim_produces_sane_record() {
+        let r = run_sim(
+            AppKind::Cg,
+            Class::S,
+            opteron_2x2(),
+            PagePolicy::Small4K,
+            2,
+            RunOpts {
+                verify: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.machine, "Opteron");
+        assert_eq!(r.verified, Some(true));
+        assert!(r.seconds > 0.0);
+        assert!(r.cycles > 0);
+        assert!(r.dtlb_misses() > 0);
+    }
+
+    #[test]
+    fn thread_counts_per_platform() {
+        assert_eq!(figure4_thread_counts(&opteron_2x2()), vec![1, 2, 4]);
+        assert_eq!(figure4_thread_counts(&xeon_2x2_ht()), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn large_pages_reduce_cg_dtlb_misses_and_time() {
+        // The paper's core claim at test scale: CG with 2 MB pages takes
+        // fewer DTLB misses and no more time than with 4 KB pages.
+        let small = run_sim(
+            AppKind::Cg,
+            Class::S,
+            opteron_2x2(),
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+        );
+        let large = run_sim(
+            AppKind::Cg,
+            Class::S,
+            opteron_2x2(),
+            PagePolicy::Large2M,
+            4,
+            RunOpts::default(),
+        );
+        assert!(
+            large.dtlb_misses() * 2 < small.dtlb_misses(),
+            "misses: 2MB {} vs 4KB {}",
+            large.dtlb_misses(),
+            small.dtlb_misses()
+        );
+        assert!(large.seconds <= small.seconds * 1.01);
+        assert_eq!(large.checksum, small.checksum);
+    }
+
+    #[test]
+    fn ep_is_page_size_insensitive() {
+        // The control: EP touches almost no memory, so policies tie.
+        let small = run_sim(
+            AppKind::Ep,
+            Class::S,
+            opteron_2x2(),
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+        );
+        let large = run_sim(
+            AppKind::Ep,
+            Class::S,
+            opteron_2x2(),
+            PagePolicy::Large2M,
+            4,
+            RunOpts::default(),
+        );
+        let delta = (small.seconds - large.seconds).abs() / small.seconds;
+        assert!(delta < 0.01, "EP moved {delta:.3} with page size");
+    }
+}

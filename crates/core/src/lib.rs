@@ -1,0 +1,40 @@
+//! # `lpomp-core` — large-page support for an OpenMP-style runtime
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//! a fork-join runtime whose **entire shared data region is preallocated
+//! from a boot-reserved pool of 2 MB pages** (the modified Omni/SCASH of
+//! Noronha & Panda, IPDPS 2007, §3.3), together with the experiment
+//! harness that reproduces the paper's evaluation.
+//!
+//! * [`policy`] — [`PagePolicy`] (4 KB / 2 MB / mixed) and the
+//!   preallocation-vs-demand choice;
+//! * [`system`] — [`System::build`]: code segment, hugetlbfs pool, shared
+//!   map file, mailbox file, region allocator, simulated team;
+//! * [`experiment`] — [`run_sim`]: one call per figure bar, returning run
+//!   time plus the full counter sheet.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lpomp_core::{run_sim, PagePolicy, RunOpts};
+//! use lpomp_npb::{AppKind, Class};
+//! use lpomp_machine::opteron_2x2;
+//!
+//! let small = run_sim(AppKind::Cg, Class::S, opteron_2x2(),
+//!                     PagePolicy::Small4K, 4, RunOpts::default());
+//! let large = run_sim(AppKind::Cg, Class::S, opteron_2x2(),
+//!                     PagePolicy::Large2M, 4, RunOpts::default());
+//! assert!(large.dtlb_misses() < small.dtlb_misses());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod policy;
+pub mod sweep;
+pub mod system;
+
+pub use experiment::{figure4_thread_counts, run_sim, RunOpts, RunRecord};
+pub use policy::{PagePolicy, PopulatePolicy};
+pub use sweep::{SweepResults, SweepSpec};
+pub use system::{SetupStats, System, SystemConfig, CODE_BASE};

@@ -1,0 +1,119 @@
+//! The large-page allocation policy — the design decision of §3.3.
+//!
+//! The paper's argument: general-purpose OSes allocate large pages
+//! on demand with reservation heuristics (Navarro et al.), but an OpenMP
+//! job usually owns its node for the whole run, so the runtime can simply
+//! **preallocate** all shared data from a boot-reserved hugetlbfs pool at
+//! startup — simpler, lower latency, and immune to fragmentation.
+//! [`PagePolicy`] selects what backs the shared heap; [`PopulatePolicy`]
+//! selects when pages are installed (eager startup population is the
+//! paper's choice; demand faulting is kept for the ablation A1).
+
+use lpomp_vm::{PageSize, Populate};
+
+/// What page size backs the shared data region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PagePolicy {
+    /// Traditional 4 KB pages everywhere (the baseline).
+    Small4K,
+    /// 2 MB pages for the whole shared heap (the paper's system).
+    Large2M,
+    /// §6 future work: 2 MB pages for allocations of at least
+    /// `threshold_bytes`, 4 KB pages for smaller ones.
+    Mixed {
+        /// Allocations at or above this size go to large pages.
+        threshold_bytes: u64,
+    },
+}
+
+impl PagePolicy {
+    /// Page size of the *primary* heap region under this policy.
+    pub fn heap_page_size(self) -> PageSize {
+        match self {
+            PagePolicy::Small4K => PageSize::Small4K,
+            PagePolicy::Large2M | PagePolicy::Mixed { .. } => PageSize::Large2M,
+        }
+    }
+
+    /// Whether a hugetlbfs pool must be reserved.
+    pub fn needs_huge_pool(self) -> bool {
+        !matches!(self, PagePolicy::Small4K)
+    }
+
+    /// Short label used in figure output ("4KB" / "2MB" / "mixed").
+    pub fn label(self) -> &'static str {
+        match self {
+            PagePolicy::Small4K => "4KB",
+            PagePolicy::Large2M => "2MB",
+            PagePolicy::Mixed { .. } => "mixed",
+        }
+    }
+}
+
+impl std::fmt::Display for PagePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// When shared-heap pages are installed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopulatePolicy {
+    /// Install every page at startup (the paper's preallocation).
+    Prefault,
+    /// Demand-fault on first touch (ablation A1 baseline).
+    OnDemand,
+}
+
+impl PopulatePolicy {
+    /// Convert to the VM layer's populate mode.
+    pub fn as_vm(self) -> Populate {
+        match self {
+            PopulatePolicy::Prefault => Populate::Eager,
+            PopulatePolicy::OnDemand => Populate::OnDemand,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_page_sizes() {
+        assert_eq!(PagePolicy::Small4K.heap_page_size(), PageSize::Small4K);
+        assert_eq!(PagePolicy::Large2M.heap_page_size(), PageSize::Large2M);
+        assert_eq!(
+            PagePolicy::Mixed {
+                threshold_bytes: 1 << 20
+            }
+            .heap_page_size(),
+            PageSize::Large2M
+        );
+    }
+
+    #[test]
+    fn pool_requirement() {
+        assert!(!PagePolicy::Small4K.needs_huge_pool());
+        assert!(PagePolicy::Large2M.needs_huge_pool());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PagePolicy::Small4K.label(), "4KB");
+        assert_eq!(PagePolicy::Large2M.to_string(), "2MB");
+        assert_eq!(
+            PagePolicy::Mixed {
+                threshold_bytes: 1024
+            }
+            .label(),
+            "mixed"
+        );
+    }
+
+    #[test]
+    fn populate_mapping() {
+        assert_eq!(PopulatePolicy::Prefault.as_vm(), Populate::Eager);
+        assert_eq!(PopulatePolicy::OnDemand.as_vm(), Populate::OnDemand);
+    }
+}

@@ -1,0 +1,217 @@
+//! Experiment grids: run a cartesian sweep of (application × machine ×
+//! policy × thread count) and query the results.
+//!
+//! The figure binaries are thin wrappers over [`run_sim`]; downstream
+//! users studying their own questions ("what does a 512-entry L2 TLB do
+//! to SP?") want the sweep as a *library*: build a [`SweepSpec`], run it,
+//! and slice the [`SweepResults`] by any axis.
+
+use crate::experiment::{run_sim, RunOpts, RunRecord};
+use crate::policy::PagePolicy;
+use lpomp_machine::MachineConfig;
+use lpomp_npb::{AppKind, Class};
+
+/// The grid of configurations to run.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Applications to run.
+    pub apps: Vec<AppKind>,
+    /// Problem class (one per sweep; classes change the problem, so
+    /// cross-class comparisons are rarely meaningful).
+    pub class: Class,
+    /// Machines to run on.
+    pub machines: Vec<MachineConfig>,
+    /// Page policies to compare.
+    pub policies: Vec<PagePolicy>,
+    /// Thread counts. Counts exceeding a machine's contexts are skipped
+    /// for that machine.
+    pub threads: Vec<usize>,
+    /// Per-run options.
+    pub opts: RunOpts,
+}
+
+impl SweepSpec {
+    /// The paper's Figure 4 grid for the given class.
+    pub fn figure4(class: Class) -> Self {
+        SweepSpec {
+            apps: AppKind::PAPER_FIVE.to_vec(),
+            class,
+            machines: vec![lpomp_machine::opteron_2x2(), lpomp_machine::xeon_2x2_ht()],
+            policies: vec![PagePolicy::Small4K, PagePolicy::Large2M],
+            threads: vec![1, 2, 4, 8],
+            opts: RunOpts::default(),
+        }
+    }
+
+    /// Number of runs the sweep will execute.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        for m in &self.machines {
+            let t = self.threads.iter().filter(|&&t| t <= m.contexts()).count();
+            n += self.apps.len() * self.policies.len() * t;
+        }
+        n
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Execute the sweep. `progress` is called before each run with
+    /// (index, total, record-to-be) description.
+    pub fn run(&self) -> SweepResults {
+        self.run_with_progress(|_, _| {})
+    }
+
+    /// Execute with a progress callback `(completed, total)`.
+    pub fn run_with_progress(&self, mut progress: impl FnMut(usize, usize)) -> SweepResults {
+        let total = self.len();
+        let mut records = Vec::with_capacity(total);
+        let mut done = 0;
+        for machine in &self.machines {
+            for &app in &self.apps {
+                for &policy in &self.policies {
+                    for &threads in &self.threads {
+                        if threads > machine.contexts() {
+                            continue;
+                        }
+                        progress(done, total);
+                        records.push(run_sim(
+                            app,
+                            self.class,
+                            machine.clone(),
+                            policy,
+                            threads,
+                            self.opts,
+                        ));
+                        done += 1;
+                    }
+                }
+            }
+        }
+        SweepResults { records }
+    }
+}
+
+/// The outcome of a sweep: every [`RunRecord`], queryable by axis.
+#[derive(Clone, Debug)]
+pub struct SweepResults {
+    records: Vec<RunRecord>,
+}
+
+impl SweepResults {
+    /// All records.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// The record for an exact configuration, if present.
+    pub fn get(
+        &self,
+        app: AppKind,
+        machine: &str,
+        policy: PagePolicy,
+        threads: usize,
+    ) -> Option<&RunRecord> {
+        self.records.iter().find(|r| {
+            r.app == app && r.machine == machine && r.policy == policy && r.threads == threads
+        })
+    }
+
+    /// Improvement (%) of `PagePolicy::Large2M` over `PagePolicy::Small4K`
+    /// for a configuration, if both runs exist.
+    pub fn improvement(&self, app: AppKind, machine: &str, threads: usize) -> Option<f64> {
+        let small = self.get(app, machine, PagePolicy::Small4K, threads)?;
+        let large = self.get(app, machine, PagePolicy::Large2M, threads)?;
+        Some((1.0 - large.seconds / small.seconds) * 100.0)
+    }
+
+    /// DTLB-miss reduction factor (4 KB ÷ 2 MB) for a configuration.
+    pub fn miss_reduction(&self, app: AppKind, machine: &str, threads: usize) -> Option<f64> {
+        let small = self.get(app, machine, PagePolicy::Small4K, threads)?;
+        let large = self.get(app, machine, PagePolicy::Large2M, threads)?;
+        Some(small.dtlb_misses() as f64 / large.dtlb_misses().max(1) as f64)
+    }
+
+    /// Parallel speedup of a configuration relative to its 1-thread run.
+    pub fn speedup(
+        &self,
+        app: AppKind,
+        machine: &str,
+        policy: PagePolicy,
+        threads: usize,
+    ) -> Option<f64> {
+        let one = self.get(app, machine, policy, 1)?;
+        let n = self.get(app, machine, policy, threads)?;
+        Some(one.seconds / n.seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpomp_machine::opteron_2x2;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            apps: vec![AppKind::Cg, AppKind::Ep],
+            class: Class::S,
+            machines: vec![opteron_2x2()],
+            policies: vec![PagePolicy::Small4K, PagePolicy::Large2M],
+            threads: vec![1, 4],
+            opts: RunOpts::default(),
+        }
+    }
+
+    #[test]
+    fn len_counts_the_grid() {
+        let s = small_spec();
+        assert_eq!(s.len(), 2 * 2 * 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn oversized_thread_counts_are_skipped() {
+        let mut s = small_spec();
+        s.threads = vec![1, 8]; // Opteron has 4 contexts
+        assert_eq!(s.len(), 2 * 2);
+        let r = s.run();
+        assert_eq!(r.records().len(), 4);
+        assert!(r
+            .get(AppKind::Cg, "Opteron", PagePolicy::Small4K, 8)
+            .is_none());
+    }
+
+    #[test]
+    fn sweep_queries_work() {
+        let r = small_spec().run();
+        assert_eq!(r.records().len(), 8);
+        let imp = r.improvement(AppKind::Cg, "Opteron", 4).unwrap();
+        assert!(imp > -5.0 && imp < 60.0);
+        let red = r.miss_reduction(AppKind::Cg, "Opteron", 4).unwrap();
+        assert!(red > 1.0, "CG reduction {red}");
+        let sp = r
+            .speedup(AppKind::Cg, "Opteron", PagePolicy::Small4K, 4)
+            .unwrap();
+        assert!(sp > 2.0, "speedup {sp}");
+        assert!(r.improvement(AppKind::Mg, "Opteron", 4).is_none());
+    }
+
+    #[test]
+    fn progress_callback_fires_per_run() {
+        let mut calls = 0;
+        small_spec().run_with_progress(|_, total| {
+            calls += 1;
+            assert_eq!(total, 8);
+        });
+        assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn figure4_spec_shape() {
+        let s = SweepSpec::figure4(Class::S);
+        // 5 apps x 2 policies x (3 opteron + 4 xeon thread counts).
+        assert_eq!(s.len(), 5 * 2 * 7);
+    }
+}

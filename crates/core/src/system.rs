@@ -1,0 +1,374 @@
+//! System assembly: machine + OS objects + runtime = a ready-to-run team.
+//!
+//! This is the modified Omni/SCASH of the paper's §3.3, end to end:
+//!
+//! 1. build the platform model (`lpomp-machine`);
+//! 2. map the application **code segment** (Table 2 binary size, 4 KB
+//!    pages — §4.3 shows ITLB misses are negligible so code stays small-
+//!    paged);
+//! 3. reserve the **hugetlbfs pool** at "boot" and create the shared map
+//!    file the node's processes share (for the 2 MB policy), or an
+//!    ordinary small-page shared file (4 KB baseline);
+//! 4. map the shared heap, **prefaulting** it per the paper's
+//!    preallocation argument (or demand-faulting for the ablation);
+//! 5. map the 4 KB-paged **mailbox file** for the intra-node message
+//!    layer;
+//! 6. hand the kernel a region allocator (the Omni global-array
+//!    transformation target) and build the simulated fork-join team.
+
+use crate::policy::{PagePolicy, PopulatePolicy};
+use lpomp_machine::{CodeWalker, Machine, MachineConfig};
+use lpomp_npb::{CodeProfile, Kernel};
+use lpomp_runtime::{BumpAllocator, SimEngine, Team, DEFAULT_QUANTUM};
+use lpomp_vm::{
+    promote_region, AddressSpace, Backing, HugePool, PageSize, PromotionReport, PteFlags, ShmFs,
+    VirtAddr, VmResult,
+};
+
+/// Fixed base of the code segment (conventional ELF text base).
+pub const CODE_BASE: VirtAddr = VirtAddr(0x40_0000);
+/// Shared-region slack beyond the kernel's declared footprint.
+const HEAP_SLACK_NUM: u64 = 11;
+const HEAP_SLACK_DEN: u64 = 10;
+/// Size of the 4 KB region backing small allocations under `Mixed`.
+const MIXED_SMALL_REGION: u64 = 16 * 1024 * 1024;
+/// Mailbox file size (paper: 32 slots × 1 KB per channel, 8 processes).
+const MAILBOX_BYTES: u64 = 8 * 8 * 32 * 1024;
+
+/// Configuration of one simulated system instance.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Platform preset.
+    pub machine: MachineConfig,
+    /// Page size policy for the shared heap.
+    pub policy: PagePolicy,
+    /// Startup preallocation vs demand faulting.
+    pub populate: PopulatePolicy,
+    /// Logical threads.
+    pub threads: usize,
+    /// Simulated-engine interleaving quantum (iterations).
+    pub quantum: usize,
+    /// Back the heap with *private anonymous* memory instead of a shared
+    /// map file. Required for [`System::promote_heap`] (the THP extension
+    /// E2): the kernel never collapses file-backed pages.
+    pub private_heap: bool,
+}
+
+impl SystemConfig {
+    /// The paper's configuration: given machine/policy/threads, with
+    /// startup preallocation.
+    pub fn paper(machine: MachineConfig, policy: PagePolicy, threads: usize) -> Self {
+        SystemConfig {
+            machine,
+            policy,
+            populate: PopulatePolicy::Prefault,
+            threads,
+            quantum: DEFAULT_QUANTUM,
+            private_heap: false,
+        }
+    }
+
+    /// A THP-experiment configuration: 4 KB pages over a private
+    /// anonymous heap that [`System::promote_heap`] can collapse later.
+    pub fn thp(machine: MachineConfig, threads: usize) -> Self {
+        SystemConfig {
+            machine,
+            policy: PagePolicy::Small4K,
+            populate: PopulatePolicy::Prefault,
+            threads,
+            quantum: DEFAULT_QUANTUM,
+            private_heap: true,
+        }
+    }
+}
+
+/// Statistics of system bring-up (the quantities ablation A1 compares).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SetupStats {
+    /// 2 MB pages reserved in the pool.
+    pub huge_pages_reserved: u64,
+    /// Pages prefaulted at startup (any size).
+    pub pages_prepopulated: u64,
+    /// Shared-heap bytes mapped.
+    pub heap_bytes: u64,
+}
+
+/// A fully assembled system: the simulated team plus bring-up metadata.
+pub struct System {
+    /// The ready-to-run simulated team.
+    pub team: Team,
+    /// Bring-up statistics.
+    pub setup: SetupStats,
+    heap_base: VirtAddr,
+}
+
+impl System {
+    /// Assemble a system and run the kernel's `setup` inside its shared
+    /// region. After this, `run` on the kernel with `self.team` executes
+    /// the measured benchmark.
+    pub fn build(cfg: &SystemConfig, kernel: &mut dyn Kernel) -> VmResult<System> {
+        let mut machine = Machine::new(cfg.machine.clone());
+        let mut aspace = AddressSpace::new(&mut machine.frames)?;
+        let mut setup = SetupStats::default();
+
+        // (2) Code segment: 4 KB pages, always prefaulted (the loader maps
+        // the binary up front).
+        let code_prof: CodeProfile = kernel.code_profile();
+        aspace.mmap_fixed(
+            &mut machine.frames,
+            CODE_BASE,
+            code_prof.code_bytes,
+            PageSize::Small4K,
+            PteFlags::rx(),
+            Backing::Anonymous,
+            lpomp_vm::Populate::Eager,
+            "code",
+        )?;
+
+        // (3)+(4) Shared heap.
+        let heap_bytes = kernel.footprint().data_bytes * HEAP_SLACK_NUM / HEAP_SLACK_DEN;
+        // Round to whole 2 MB chunks regardless of policy, so a 4 KB heap
+        // can later be collapsed in full by the THP extension.
+        let heap_len = PageSize::Large2M.round_up(heap_bytes.max(PageSize::Large2M.bytes()));
+        setup.heap_bytes = heap_len;
+        let populate = cfg.populate.as_vm();
+        let (heap_base, small_base) = if cfg.policy.needs_huge_pool() {
+            let pages = PageSize::Large2M.pages_for(heap_len);
+            let mut pool = HugePool::reserve(&mut machine.frames, pages)?;
+            setup.huge_pages_reserved = pages;
+            let seg = pool.create_file("omni-shared-heap", heap_len)?;
+            let heap_base = aspace.mmap(
+                &mut machine.frames,
+                heap_len,
+                PageSize::Large2M,
+                PteFlags::rw(),
+                Backing::Shared(seg),
+                populate,
+                "shared-heap",
+            )?;
+            // Under Mixed, add a 4 KB-paged region for small allocations.
+            let small_base = if matches!(cfg.policy, PagePolicy::Mixed { .. }) {
+                let mut shm = ShmFs::new();
+                let sseg =
+                    shm.create_file(&mut machine.frames, "omni-small-heap", MIXED_SMALL_REGION)?;
+                Some(aspace.mmap(
+                    &mut machine.frames,
+                    MIXED_SMALL_REGION,
+                    PageSize::Small4K,
+                    PteFlags::rw(),
+                    Backing::Shared(sseg),
+                    populate,
+                    "small-heap",
+                )?)
+            } else {
+                None
+            };
+            (heap_base, small_base)
+        } else if cfg.private_heap {
+            // THP scenario: private anonymous 4 KB heap, collapsible later.
+            let heap_base = aspace.mmap(
+                &mut machine.frames,
+                heap_len,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                populate,
+                "private-heap",
+            )?;
+            debug_assert!(heap_base.is_aligned(PageSize::Large2M));
+            (heap_base, None)
+        } else {
+            let mut shm = ShmFs::new();
+            let seg = shm.create_file(&mut machine.frames, "omni-shared-heap", heap_len)?;
+            let heap_base = aspace.mmap(
+                &mut machine.frames,
+                heap_len,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Shared(seg),
+                populate,
+                "shared-heap",
+            )?;
+            (heap_base, None)
+        };
+
+        // (5) Mailbox file: always 4 KB pages (paper §3.3).
+        let mut shm_mb = ShmFs::new();
+        let mb_seg = shm_mb.create_file(&mut machine.frames, "mailbox", MAILBOX_BYTES)?;
+        aspace.mmap(
+            &mut machine.frames,
+            MAILBOX_BYTES,
+            PageSize::Small4K,
+            PteFlags::rw(),
+            Backing::Shared(mb_seg),
+            lpomp_vm::Populate::Eager,
+            "mailbox",
+        )?;
+
+        setup.pages_prepopulated = aspace.fault_stats().prepopulated;
+
+        // (6) Region allocator + kernel setup.
+        let mut alloc = match (cfg.policy, small_base) {
+            (PagePolicy::Mixed { threshold_bytes }, Some(sb)) => BumpAllocator::with_split(
+                heap_base,
+                heap_len,
+                sb,
+                MIXED_SMALL_REGION,
+                threshold_bytes,
+            ),
+            _ => BumpAllocator::new(heap_base, heap_len),
+        };
+        kernel.setup(&mut alloc);
+
+        let walker = CodeWalker::new(
+            CODE_BASE,
+            code_prof.code_bytes,
+            code_prof.hot_bytes,
+            code_prof.cold_period,
+        );
+        let engine = SimEngine::new(machine, aspace, cfg.threads, walker, cfg.quantum);
+        Ok(System {
+            team: Team::simulated(engine),
+            setup,
+            heap_base,
+        })
+    }
+
+    /// Base virtual address of the shared heap.
+    pub fn heap_base(&self) -> VirtAddr {
+        self.heap_base
+    }
+
+    /// Run a khugepaged-style collapse over the heap (requires a system
+    /// built with [`SystemConfig::thp`] — a private anonymous 4 KB heap).
+    ///
+    /// Charges every thread the stop-the-world migration cost (copying
+    /// each collapsed 2 MB chunk) and performs the TLB shootdown.
+    pub fn promote_heap(&mut self) -> VmResult<PromotionReport> {
+        let engine = self
+            .team
+            .engine_mut()
+            .expect("simulated systems always have an engine");
+        let report = promote_region(
+            &mut engine.aspace,
+            &mut engine.machine.frames,
+            self.heap_base,
+        )?;
+        // Copy cost: read + write one line at a time over each chunk.
+        let lines_per_chunk = PageSize::Large2M.bytes() / 64;
+        let per_line = 2 * engine.machine.cost().dram_stream;
+        let cycles = report.promoted * lines_per_chunk * per_line;
+        engine.charge_all(cycles);
+        // IPI shootdown: stale small-page translations must go everywhere.
+        engine.flush_tlbs();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpomp_machine::opteron_2x2;
+    use lpomp_npb::{AppKind, Class};
+
+    fn build(policy: PagePolicy, populate: PopulatePolicy) -> (System, Box<dyn Kernel>) {
+        let mut kernel = AppKind::Cg.build(Class::S);
+        let cfg = SystemConfig {
+            machine: opteron_2x2(),
+            policy,
+            populate,
+            threads: 4,
+            quantum: DEFAULT_QUANTUM,
+            private_heap: false,
+        };
+        let sys = System::build(&cfg, kernel.as_mut()).unwrap();
+        (sys, kernel)
+    }
+
+    #[test]
+    fn small_page_system_runs_and_verifies() {
+        let (mut sys, mut kernel) = build(PagePolicy::Small4K, PopulatePolicy::Prefault);
+        let cs = kernel.run(&mut sys.team);
+        assert!(kernel.verify(cs), "checksum {cs}");
+        assert!(sys.team.elapsed_cycles() > 0);
+        assert_eq!(sys.setup.huge_pages_reserved, 0);
+    }
+
+    #[test]
+    fn large_page_system_runs_and_verifies() {
+        let (mut sys, mut kernel) = build(PagePolicy::Large2M, PopulatePolicy::Prefault);
+        let cs = kernel.run(&mut sys.team);
+        assert!(kernel.verify(cs), "checksum {cs}");
+        assert!(sys.setup.huge_pages_reserved > 0);
+    }
+
+    #[test]
+    fn identical_results_across_page_policies() {
+        let (mut s4, mut k4) = build(PagePolicy::Small4K, PopulatePolicy::Prefault);
+        let (mut s2, mut k2) = build(PagePolicy::Large2M, PopulatePolicy::Prefault);
+        let c4 = k4.run(&mut s4.team);
+        let c2 = k2.run(&mut s2.team);
+        assert_eq!(c4, c2, "page size must not change the computation");
+    }
+
+    #[test]
+    fn prefault_takes_no_runtime_faults() {
+        let (mut sys, mut kernel) = build(PagePolicy::Large2M, PopulatePolicy::Prefault);
+        kernel.run(&mut sys.team);
+        let agg = sys.team.aggregate_counters();
+        assert_eq!(agg.get(lpomp_prof::Event::PageFaults), 0);
+        assert!(sys.setup.pages_prepopulated > 0);
+    }
+
+    #[test]
+    fn demand_populate_faults_at_runtime() {
+        let (mut sys, mut kernel) = build(PagePolicy::Large2M, PopulatePolicy::OnDemand);
+        kernel.run(&mut sys.team);
+        let agg = sys.team.aggregate_counters();
+        assert!(agg.get(lpomp_prof::Event::PageFaults) > 0);
+    }
+
+    #[test]
+    fn thp_promotion_collapses_the_heap_and_speeds_reruns() {
+        let mut kernel = AppKind::Cg.build(Class::S);
+        let cfg = SystemConfig::thp(opteron_2x2(), 4);
+        let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+        let cs_before = kernel.run(&mut sys.team);
+        let misses_before = sys
+            .team
+            .aggregate_counters()
+            .get(lpomp_prof::Event::DtlbMisses);
+        let report = sys.promote_heap().unwrap();
+        assert!(report.promoted > 0, "nothing promoted: {report:?}");
+        assert_eq!(report.skipped_no_memory, 0);
+        sys.team.engine_mut().unwrap().reset_timing();
+        let cs_after = kernel.run(&mut sys.team);
+        let misses_after = sys
+            .team
+            .aggregate_counters()
+            .get(lpomp_prof::Event::DtlbMisses);
+        assert_eq!(cs_before, cs_after, "promotion changed results");
+        assert!(
+            misses_after * 2 < misses_before,
+            "misses {misses_before} -> {misses_after}"
+        );
+    }
+
+    #[test]
+    fn promote_heap_rejects_shared_heaps() {
+        let (mut sys, _kernel) = build(PagePolicy::Small4K, PopulatePolicy::Prefault);
+        assert!(sys.promote_heap().is_err());
+    }
+
+    #[test]
+    fn mixed_policy_builds_and_runs() {
+        let (mut sys, mut kernel) = build(
+            PagePolicy::Mixed {
+                threshold_bytes: 256 * 1024,
+            },
+            PopulatePolicy::Prefault,
+        );
+        let cs = kernel.run(&mut sys.team);
+        assert!(kernel.verify(cs));
+    }
+}

@@ -1,0 +1,479 @@
+//! The per-thread memory interface kernels are written against.
+//!
+//! Workload kernels (`lpomp-npb`) perform their real floating-point work
+//! on ordinary Rust buffers while narrating their *memory behaviour*
+//! through a [`MemoryCtx`]: every instrumented load/store names the
+//! virtual address the access would touch in the simulated address space.
+//! Two implementations exist:
+//!
+//! * [`SimCtx`] charges each access through the machine model — TLBs,
+//!   caches, walks, faults, the SMT stall rule — and advances the thread's
+//!   cycle clock. An embedded [`CodeWalker`] synthesizes the instruction
+//!   fetch stream so ITLB behaviour (the paper's Fig. 3) is measured too.
+//! * [`NullCtx`] is a no-op used by the native (real-thread) engine, where
+//!   the kernels execute for correctness and wall-clock benchmarking.
+//!
+//! Kernels take `&mut dyn MemoryCtx`, so a single kernel source serves
+//! both engines.
+
+use crate::machine::{AccessMode, DataKind, Machine};
+use lpomp_prof::{Counters, Event};
+use lpomp_vm::{AddressSpace, VirtAddr};
+
+/// Cache-line granularity used by the streaming helpers.
+const LINE: u64 = crate::cache::LINE_BYTES;
+
+/// The instrumentation interface kernels call.
+///
+/// Granularity convention: dense sweeps should use [`stream_read`] /
+/// [`stream_write`], which touch one address per cache line (exact for TLB
+/// and cache behaviour, ~8× cheaper to simulate than per-element calls);
+/// irregular accesses (gathers, stride jumps) use [`read`] / [`write`] per
+/// element.
+///
+/// [`stream_read`]: MemoryCtx::stream_read
+/// [`stream_write`]: MemoryCtx::stream_write
+/// [`read`]: MemoryCtx::read
+/// [`write`]: MemoryCtx::write
+pub trait MemoryCtx {
+    /// Logical thread id of this context.
+    fn thread_id(&self) -> usize;
+
+    /// One data load at `va`.
+    fn read(&mut self, va: VirtAddr);
+
+    /// One data store at `va`.
+    fn write(&mut self, va: VirtAddr);
+
+    /// One load that is part of a sequential stream (prefetcher-covered;
+    /// see [`AccessMode::Stream`]). Defaults to a demand read.
+    ///
+    /// [`AccessMode::Stream`]: crate::machine::AccessMode::Stream
+    fn read_streamed(&mut self, va: VirtAddr) {
+        self.read(va);
+    }
+
+    /// One load whose address is independent of other in-flight loads
+    /// (strided pencil walks): miss latency overlaps. Defaults to a
+    /// demand read.
+    fn read_pipelined(&mut self, va: VirtAddr) {
+        self.read(va);
+    }
+
+    /// One independent store (see [`read_pipelined`]).
+    ///
+    /// [`read_pipelined`]: MemoryCtx::read_pipelined
+    fn write_pipelined(&mut self, va: VirtAddr) {
+        self.write(va);
+    }
+
+    /// One store that is part of a sequential stream.
+    fn write_streamed(&mut self, va: VirtAddr) {
+        self.write(va);
+    }
+
+    /// Charge `instructions` of pure compute (and the matching instruction
+    /// fetch behaviour).
+    fn compute(&mut self, instructions: u64);
+
+    /// The thread's current cycle clock (0 for non-simulating contexts).
+    fn now_cycles(&self) -> u64 {
+        0
+    }
+
+    /// Dense sequential read of `len` bytes starting at `va`, one access
+    /// per cache line.
+    fn stream_read(&mut self, va: VirtAddr, len: u64) {
+        let mut off = 0;
+        while off < len {
+            self.read_streamed(va.add(off));
+            off += LINE;
+        }
+    }
+
+    /// Dense sequential write of `len` bytes starting at `va`.
+    fn stream_write(&mut self, va: VirtAddr, len: u64) {
+        let mut off = 0;
+        while off < len {
+            self.write_streamed(va.add(off));
+            off += LINE;
+        }
+    }
+
+    /// `count` reads starting at `va`, `stride` bytes apart.
+    fn strided_read(&mut self, va: VirtAddr, stride: u64, count: u64) {
+        for i in 0..count {
+            self.read(va.add(i * stride));
+        }
+    }
+
+    /// `count` writes starting at `va`, `stride` bytes apart.
+    fn strided_write(&mut self, va: VirtAddr, stride: u64, count: u64) {
+        for i in 0..count {
+            self.write(va.add(i * stride));
+        }
+    }
+}
+
+/// Synthesizes a thread's instruction-fetch stream.
+///
+/// Loop-dominated OpenMP codes spend almost all fetches inside a hot loop
+/// body a few pages long, with occasional excursions into the rest of the
+/// binary (runtime calls, next phase). The walker advances a program
+/// counter through the hot region, wrapping, and every `cold_period`
+/// compute calls jumps to a rotating cold page — producing the tiny but
+/// nonzero ITLB miss rates of the paper's Fig. 3.
+#[derive(Clone, Debug)]
+pub struct CodeWalker {
+    /// Base of the code mapping.
+    pub base: VirtAddr,
+    /// Total binary size (the paper's Table 2 "Instruction" column).
+    pub code_bytes: u64,
+    /// Bytes of the hot loop region.
+    pub hot_bytes: u64,
+    /// One cold fetch every this many compute calls.
+    pub cold_period: u64,
+    pc: u64,
+    cold_pos: u64,
+    calls: u64,
+}
+
+impl CodeWalker {
+    /// New walker over a code mapping.
+    pub fn new(base: VirtAddr, code_bytes: u64, hot_bytes: u64, cold_period: u64) -> Self {
+        assert!(hot_bytes > 0 && hot_bytes <= code_bytes);
+        assert!(cold_period > 0);
+        CodeWalker {
+            base,
+            code_bytes,
+            hot_bytes,
+            cold_period,
+            pc: 0,
+            cold_pos: 0,
+            calls: 0,
+        }
+    }
+
+    /// Addresses to fetch for a quantum of `instructions` (~4 bytes each):
+    /// one fetch per 4 KB page crossed in the hot region, plus the
+    /// occasional cold page.
+    fn fetch_addrs(&mut self, instructions: u64, out: &mut Vec<VirtAddr>) {
+        out.clear();
+        self.calls += 1;
+        let advance = instructions.saturating_mul(4);
+        let pages = (advance / 4096).clamp(1, self.hot_bytes / 4096 + 1);
+        for _ in 0..pages {
+            out.push(self.base.add(self.pc));
+            self.pc = (self.pc + 4096) % self.hot_bytes;
+        }
+        if self.calls.is_multiple_of(self.cold_period) {
+            // Rotate through the cold portion of the binary.
+            let cold_span = self.code_bytes.saturating_sub(self.hot_bytes);
+            if cold_span > 0 {
+                out.push(self.base.add(self.hot_bytes + self.cold_pos));
+                self.cold_pos = (self.cold_pos + 4096) % cold_span;
+            }
+        }
+    }
+}
+
+/// The simulating context: binds a logical thread to a core of the
+/// [`Machine`], the shared [`AddressSpace`], its counter sheet and its
+/// cycle clock for the duration of one execution quantum.
+pub struct SimCtx<'a> {
+    machine: &'a mut Machine,
+    aspace: &'a mut AddressSpace,
+    counters: &'a mut Counters,
+    clock: &'a mut u64,
+    code: &'a mut CodeWalker,
+    core: usize,
+    thread: usize,
+    fetch_buf: Vec<VirtAddr>,
+}
+
+impl<'a> SimCtx<'a> {
+    /// Bind a quantum's context.
+    pub fn new(
+        machine: &'a mut Machine,
+        aspace: &'a mut AddressSpace,
+        counters: &'a mut Counters,
+        clock: &'a mut u64,
+        code: &'a mut CodeWalker,
+        core: usize,
+        thread: usize,
+    ) -> Self {
+        SimCtx {
+            machine,
+            aspace,
+            counters,
+            clock,
+            code,
+            core,
+            thread,
+            fetch_buf: Vec::with_capacity(8),
+        }
+    }
+
+    #[inline]
+    fn charge(&mut self, cycles: u64) {
+        let cycles = self.machine.smt_charge_scale(self.core, cycles);
+        *self.clock += cycles;
+        self.counters.add(Event::Cycles, cycles);
+    }
+
+    #[inline]
+    fn data(&mut self, va: VirtAddr, kind: DataKind, mode: AccessMode) {
+        let cycles = self
+            .machine
+            .data_access(self.aspace, self.core, va, kind, mode, self.counters)
+            .unwrap_or_else(|e| panic!("thread {} at {va}: {e}", self.thread));
+        self.charge(cycles);
+    }
+}
+
+impl MemoryCtx for SimCtx<'_> {
+    fn thread_id(&self) -> usize {
+        self.thread
+    }
+
+    #[inline]
+    fn read(&mut self, va: VirtAddr) {
+        self.data(va, DataKind::Read, AccessMode::Latency);
+    }
+
+    #[inline]
+    fn write(&mut self, va: VirtAddr) {
+        self.data(va, DataKind::Write, AccessMode::Latency);
+    }
+
+    #[inline]
+    fn read_streamed(&mut self, va: VirtAddr) {
+        self.data(va, DataKind::Read, AccessMode::Stream);
+    }
+
+    #[inline]
+    fn write_streamed(&mut self, va: VirtAddr) {
+        self.data(va, DataKind::Write, AccessMode::Stream);
+    }
+
+    #[inline]
+    fn read_pipelined(&mut self, va: VirtAddr) {
+        self.data(va, DataKind::Read, AccessMode::Pipelined);
+    }
+
+    #[inline]
+    fn write_pipelined(&mut self, va: VirtAddr) {
+        self.data(va, DataKind::Write, AccessMode::Pipelined);
+    }
+
+    fn compute(&mut self, instructions: u64) {
+        self.counters.add(Event::Instructions, instructions);
+        self.charge(instructions); // CPI 1.0 for the compute component
+        let mut buf = std::mem::take(&mut self.fetch_buf);
+        self.code.fetch_addrs(instructions, &mut buf);
+        for &va in &buf {
+            let cycles = self
+                .machine
+                .ifetch(self.aspace, self.core, va, self.counters)
+                .unwrap_or_else(|e| panic!("thread {} ifetch at {va}: {e}", self.thread));
+            self.charge(cycles);
+        }
+        self.fetch_buf = buf;
+    }
+
+    fn now_cycles(&self) -> u64 {
+        *self.clock
+    }
+}
+
+/// No-op context for native (real-thread) execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullCtx {
+    /// Logical thread id reported to the kernel.
+    pub thread: usize,
+}
+
+impl NullCtx {
+    /// Context for logical thread `thread`.
+    pub fn new(thread: usize) -> Self {
+        NullCtx { thread }
+    }
+}
+
+impl MemoryCtx for NullCtx {
+    fn thread_id(&self) -> usize {
+        self.thread
+    }
+
+    #[inline]
+    fn read(&mut self, _va: VirtAddr) {}
+
+    #[inline]
+    fn write(&mut self, _va: VirtAddr) {}
+
+    #[inline]
+    fn compute(&mut self, _instructions: u64) {}
+
+    // Override the streaming helpers so native runs skip even the loop.
+    fn stream_read(&mut self, _va: VirtAddr, _len: u64) {}
+    fn stream_write(&mut self, _va: VirtAddr, _len: u64) {}
+    fn strided_read(&mut self, _va: VirtAddr, _stride: u64, _count: u64) {}
+    fn strided_write(&mut self, _va: VirtAddr, _stride: u64, _count: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::opteron_2x2;
+    use lpomp_vm::{Backing, PageSize, Populate, PteFlags};
+
+    struct Fixture {
+        machine: Machine,
+        aspace: AddressSpace,
+        base: VirtAddr,
+        code: CodeWalker,
+    }
+
+    fn fixture() -> Fixture {
+        let mut machine = Machine::new(opteron_2x2());
+        let mut aspace = AddressSpace::new(&mut machine.frames).unwrap();
+        let code_base = aspace
+            .mmap_fixed(
+                &mut machine.frames,
+                VirtAddr(0x40_0000),
+                1_600_000,
+                PageSize::Small4K,
+                PteFlags::rx(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "code",
+            )
+            .unwrap();
+        let base = aspace
+            .mmap(
+                &mut machine.frames,
+                8 * 1024 * 1024,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "data",
+            )
+            .unwrap();
+        let code = CodeWalker::new(code_base, 1_600_000, 64 * 1024, 1000);
+        Fixture {
+            machine,
+            aspace,
+            base,
+            code,
+        }
+    }
+
+    #[test]
+    fn sim_ctx_advances_clock_and_counters() {
+        let mut f = fixture();
+        let mut counters = Counters::new();
+        let mut clock = 0u64;
+        let mut ctx = SimCtx::new(
+            &mut f.machine,
+            &mut f.aspace,
+            &mut counters,
+            &mut clock,
+            &mut f.code,
+            0,
+            0,
+        );
+        ctx.read(f.base);
+        ctx.write(f.base.add(64));
+        ctx.compute(100);
+        assert!(ctx.now_cycles() > 100);
+        drop(ctx);
+        assert_eq!(counters.get(Event::Loads), 1);
+        assert_eq!(counters.get(Event::Stores), 1);
+        assert_eq!(counters.get(Event::Instructions), 100);
+        assert_eq!(clock, counters.get(Event::Cycles));
+    }
+
+    #[test]
+    fn stream_touches_once_per_line() {
+        let mut f = fixture();
+        let mut counters = Counters::new();
+        let mut clock = 0u64;
+        let mut ctx = SimCtx::new(
+            &mut f.machine,
+            &mut f.aspace,
+            &mut counters,
+            &mut clock,
+            &mut f.code,
+            0,
+            0,
+        );
+        ctx.stream_read(f.base, 4096);
+        drop(ctx);
+        assert_eq!(counters.get(Event::Loads), 4096 / 64);
+    }
+
+    #[test]
+    fn hot_loop_ifetches_rarely_miss_itlb() {
+        let mut f = fixture();
+        let mut counters = Counters::new();
+        let mut clock = 0u64;
+        let mut ctx = SimCtx::new(
+            &mut f.machine,
+            &mut f.aspace,
+            &mut counters,
+            &mut clock,
+            &mut f.code,
+            0,
+            0,
+        );
+        for _ in 0..5000 {
+            ctx.compute(1024);
+        }
+        drop(ctx);
+        let fetches = counters.get(Event::IFetches);
+        let misses = counters.get(Event::ItlbMisses);
+        assert!(fetches > 4000);
+        // Once the 16-page hot loop is resident, only cold jumps miss.
+        assert!(
+            (misses as f64) < 0.02 * fetches as f64,
+            "ITLB miss rate too high: {misses}/{fetches}"
+        );
+    }
+
+    #[test]
+    fn code_walker_wraps_hot_region() {
+        let mut w = CodeWalker::new(VirtAddr(0), 1 << 20, 8192, 10);
+        let mut buf = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            w.fetch_addrs(1024, &mut buf);
+            for a in &buf {
+                seen.insert(a.0 / 4096);
+            }
+        }
+        // Hot region is 2 pages; cold jumps add more over time.
+        assert!(seen.contains(&0) && seen.contains(&1));
+        assert!(seen.len() > 2, "cold fetches should appear");
+    }
+
+    #[test]
+    fn null_ctx_is_inert() {
+        let mut c = NullCtx::new(3);
+        c.read(VirtAddr(0x1000));
+        c.write(VirtAddr(0x1000));
+        c.compute(1_000_000);
+        c.stream_read(VirtAddr(0), u64::MAX); // must not loop
+        assert_eq!(c.thread_id(), 3);
+        assert_eq!(c.now_cycles(), 0);
+    }
+
+    #[test]
+    fn dyn_dispatch_works() {
+        let mut c = NullCtx::new(0);
+        let d: &mut dyn MemoryCtx = &mut c;
+        d.read(VirtAddr(8));
+        d.compute(5);
+        assert_eq!(d.thread_id(), 0);
+    }
+}

@@ -1,0 +1,646 @@
+//! The assembled hardware model: per-core TLBs and L1s, scoped L2s,
+//! physical memory, and the cycle-charged access paths.
+
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use crate::cost::CostModel;
+use lpomp_prof::{Counters, Event};
+use lpomp_tlb::{Tlb, TlbOutcome};
+use lpomp_vm::{AccessKind, AddressSpace, BuddyAllocator, VirtAddr, VmResult};
+
+/// Tag bit added to physical page-walk addresses before they enter the
+/// (virtually indexed) cache model, keeping the PA and VA keyspaces
+/// disjoint.
+const WALK_TAG: u64 = 1 << 62;
+
+/// Whether a data access is a load or a store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+impl DataKind {
+    fn as_vm(self) -> AccessKind {
+        match self {
+            DataKind::Read => AccessKind::Read,
+            DataKind::Write => AccessKind::Write,
+        }
+    }
+}
+
+/// How an access interacts with the memory pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Dependent demand access (pointer chase / data-dependent gather): a
+    /// miss pays full DRAM latency (and may trigger the Xeon SMT flush,
+    /// since the pipeline stalls).
+    Latency,
+    /// Independent demand access (strided walk with precomputable
+    /// addresses): out-of-order overlap amortizes the miss latency, but —
+    /// unlike a stream — the pattern is not prefetchable and the TLB cost
+    /// is paid in full.
+    Pipelined,
+    /// Part of a detected sequential stream: the prefetcher hides miss
+    /// latency (per-line bandwidth cost, no stall, no SMT flush) — but it
+    /// stops at page boundaries, so TLB misses are still paid in full.
+    Stream,
+}
+
+/// The simulated multi-core machine.
+///
+/// One data and one instruction TLB per core — *shared by that core's SMT
+/// contexts*, which is how the paper's §3.2 observation that
+/// hyper-threading halves effective TLB capacity emerges. L1 data caches
+/// are per core; L2 instances are per core (Opteron) or per chip (Xeon).
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    /// Physical memory of the node.
+    pub frames: BuddyAllocator,
+    dtlbs: Vec<Tlb>,
+    itlbs: Vec<Tlb>,
+    l1ds: Vec<Cache>,
+    l2s: Vec<Cache>,
+    /// Logical threads currently resident per core (set by the engine).
+    residency: Vec<usize>,
+}
+
+impl Machine {
+    /// Build the machine described by `cfg`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let cores = cfg.cores();
+        Machine {
+            frames: BuddyAllocator::new(cfg.ram_bytes),
+            dtlbs: (0..cores).map(|_| Tlb::new(cfg.dtlb.clone())).collect(),
+            itlbs: (0..cores).map(|_| Tlb::new(cfg.itlb.clone())).collect(),
+            l1ds: (0..cores).map(|_| Cache::new(cfg.l1d)).collect(),
+            l2s: (0..cfg.l2_instances())
+                .map(|_| Cache::new(cfg.l2))
+                .collect(),
+            residency: vec![0; cores],
+            cfg,
+        }
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The cycle cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+
+    /// Record how many logical threads are resident on each core (the
+    /// engine calls this after placement; it drives the SMT stall rule).
+    pub fn set_residency(&mut self, residency: Vec<usize>) {
+        assert_eq!(residency.len(), self.cfg.cores());
+        self.residency = residency;
+    }
+
+    /// Scale a cycle charge for SMT resource sharing: threads co-resident
+    /// on one core each run slower than a lone thread.
+    #[inline]
+    pub fn smt_charge_scale(&self, core: usize, cycles: u64) -> u64 {
+        if self.residency[core] > 1 {
+            self.cfg.cost.smt_scale(cycles)
+        } else {
+            cycles
+        }
+    }
+
+    /// A core's data TLB (for stats inspection).
+    pub fn dtlb(&self, core: usize) -> &Tlb {
+        &self.dtlbs[core]
+    }
+
+    /// A core's instruction TLB.
+    pub fn itlb(&self, core: usize) -> &Tlb {
+        &self.itlbs[core]
+    }
+
+    /// Flush every core's TLBs only (a global shootdown; caches keep
+    /// their data — migration copies through them).
+    pub fn flush_all_tlbs(&mut self) {
+        for t in &mut self.dtlbs {
+            t.flush();
+        }
+        for t in &mut self.itlbs {
+            t.flush();
+        }
+    }
+
+    /// Flush every TLB and cache (fresh-run state).
+    pub fn flush_all(&mut self) {
+        for t in &mut self.dtlbs {
+            t.flush();
+        }
+        for t in &mut self.itlbs {
+            t.flush();
+        }
+        for c in &mut self.l1ds {
+            c.flush();
+        }
+        for c in &mut self.l2s {
+            c.flush();
+        }
+    }
+
+    /// Charge one reference through the data-cache hierarchy of `core`.
+    /// Returns `(cycles, reached_dram, stalled)`.
+    #[inline]
+    fn cache_access(
+        &mut self,
+        core: usize,
+        key: u64,
+        mode: AccessMode,
+        counters: &mut Counters,
+    ) -> (u64, bool, bool) {
+        let cost = &self.cfg.cost;
+        if self.l1ds[core].access(key) {
+            return (cost.l1_hit, false, false);
+        }
+        counters.bump(Event::L1dMisses);
+        let l2 = self.cfg.l2_of_core(core);
+        if self.l2s[l2].access(key) {
+            (cost.l2_hit, false, false)
+        } else {
+            counters.bump(Event::L2Misses);
+            match mode {
+                AccessMode::Latency => (cost.dram, true, true),
+                AccessMode::Pipelined => (cost.dram_pipelined, true, true),
+                AccessMode::Stream => (cost.dram_stream, true, false),
+            }
+        }
+    }
+
+    /// Charge a page-walk reference. Hardware walkers fetch PTEs through
+    /// the L2, not the L1D.
+    #[inline]
+    fn walk_ref(&mut self, core: usize, pa: u64, counters: &mut Counters) -> u64 {
+        let cost = &self.cfg.cost;
+        let l2 = self.cfg.l2_of_core(core);
+        if self.l2s[l2].access(pa | WALK_TAG) {
+            cost.l2_hit
+        } else {
+            counters.bump(Event::L2Misses);
+            cost.dram
+        }
+    }
+
+    /// The SMT flush rule: a long-latency stall on a core running more
+    /// than one thread flushes the pipeline (Xeon only).
+    #[inline]
+    fn maybe_smt_flush(&self, core: usize, counters: &mut Counters) -> u64 {
+        if self.cfg.smt_flush_on_stall && self.residency[core] > 1 {
+            counters.bump(Event::SmtFlushes);
+            let c = self.cfg.cost.smt_flush;
+            counters.add(Event::SmtFlushCycles, c);
+            c
+        } else {
+            0
+        }
+    }
+
+    /// Perform a data access of `kind` at `va` from a thread on `core`,
+    /// returning the cycles it took. Drives: DTLB lookup → (page walk →
+    /// fault) → cache hierarchy → SMT stall rule.
+    pub fn data_access(
+        &mut self,
+        aspace: &mut AddressSpace,
+        core: usize,
+        va: VirtAddr,
+        kind: DataKind,
+        mode: AccessMode,
+        counters: &mut Counters,
+    ) -> VmResult<u64> {
+        counters.bump(match kind {
+            DataKind::Read => Event::Loads,
+            DataKind::Write => Event::Stores,
+        });
+        let mut cycles = 0u64;
+        let page_size;
+        match self.dtlbs[core].lookup(va) {
+            TlbOutcome::L1Hit(s) => {
+                page_size = s;
+                counters.bump(Event::DtlbHits);
+            }
+            TlbOutcome::L2Hit(s) => {
+                page_size = s;
+                counters.bump(Event::DtlbHits);
+                counters.bump(Event::DtlbL2Hits);
+                cycles += self.cfg.cost.tlb_l2_hit;
+            }
+            TlbOutcome::Miss => {
+                counters.bump(Event::DtlbMisses);
+                let outcome = aspace.access(&mut self.frames, va, kind.as_vm())?;
+                let mut walk_cycles = self.cfg.cost.walk_base;
+                // Page-walk caches keep the upper levels of the radix
+                // tree resident; only the leaf PTE reference goes through
+                // the cache hierarchy. Without a PWC every level pays.
+                if self.cfg.page_walk_cache {
+                    if let Some(leaf) = outcome.trace().steps().last() {
+                        walk_cycles += self.walk_ref(core, leaf.0, counters);
+                    }
+                } else {
+                    for step in outcome.trace().steps() {
+                        walk_cycles += self.walk_ref(core, step.0, counters);
+                    }
+                }
+                if outcome.faulted() {
+                    counters.bump(Event::PageFaults);
+                    walk_cycles += self.cfg.cost.page_fault;
+                }
+                counters.add(Event::WalkCycles, walk_cycles);
+                cycles += walk_cycles;
+                if mode == AccessMode::Stream
+                    && va.page_offset(outcome.translation().size) < 2 * crate::cache::LINE_BYTES
+                {
+                    // The stream just crossed into a new physical
+                    // contiguity unit (page): the prefetcher stopped at
+                    // the boundary and re-ramps with demand misses. A
+                    // TLB capacity miss in the *middle* of a page being
+                    // streamed does not restart the prefetcher.
+                    counters.bump(Event::PrefetchRestarts);
+                    counters.add(Event::PrefetchRestartCycles, self.cfg.cost.stream_restart);
+                    cycles += self.cfg.cost.stream_restart;
+                }
+                page_size = outcome.translation().size;
+                self.dtlbs[core].fill(va, page_size);
+            }
+        }
+        let (mem_cycles, dram, stalled) = self.cache_access(core, va.0, mode, counters);
+        cycles += mem_cycles;
+        if dram {
+            if let Some(numa) = &self.cfg.numa {
+                if numa.node_of(va, page_size) != self.cfg.node_of_core(core) {
+                    cycles += match mode {
+                        AccessMode::Stream => numa.remote_stream_extra,
+                        _ => numa.remote_extra,
+                    };
+                }
+            }
+        }
+        if stalled {
+            cycles += self.maybe_smt_flush(core, counters);
+        }
+        Ok(cycles)
+    }
+
+    /// Perform an instruction fetch at `va` from a thread on `core`. The
+    /// L1 instruction cache is assumed to hit (loop-dominated codes); the
+    /// ITLB and its walks are modelled.
+    pub fn ifetch(
+        &mut self,
+        aspace: &mut AddressSpace,
+        core: usize,
+        va: VirtAddr,
+        counters: &mut Counters,
+    ) -> VmResult<u64> {
+        counters.bump(Event::IFetches);
+        match self.itlbs[core].lookup(va) {
+            TlbOutcome::L1Hit(_) => Ok(0),
+            TlbOutcome::L2Hit(_) => Ok(self.cfg.cost.tlb_l2_hit),
+            TlbOutcome::Miss => {
+                counters.bump(Event::ItlbMisses);
+                let outcome = aspace.access(&mut self.frames, va, AccessKind::Fetch)?;
+                let mut walk_cycles = self.cfg.cost.walk_base;
+                if self.cfg.page_walk_cache {
+                    if let Some(leaf) = outcome.trace().steps().last() {
+                        walk_cycles += self.walk_ref(core, leaf.0, counters);
+                    }
+                } else {
+                    for step in outcome.trace().steps() {
+                        walk_cycles += self.walk_ref(core, step.0, counters);
+                    }
+                }
+                if outcome.faulted() {
+                    counters.bump(Event::PageFaults);
+                    walk_cycles += self.cfg.cost.page_fault;
+                }
+                counters.add(Event::WalkCycles, walk_cycles);
+                self.itlbs[core].fill(va, outcome.translation().size);
+                Ok(walk_cycles)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{opteron_2x2, xeon_2x2_ht};
+    use lpomp_vm::{Backing, PageSize, Populate, PteFlags};
+
+    fn setup(cfg: MachineConfig) -> (Machine, AddressSpace, VirtAddr) {
+        let mut m = Machine::new(cfg);
+        let mut asp = AddressSpace::new(&mut m.frames).unwrap();
+        let base = asp
+            .mmap(
+                &mut m.frames,
+                64 * PageSize::Small4K.bytes(),
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "data",
+            )
+            .unwrap();
+        (m, asp, base)
+    }
+
+    #[test]
+    fn first_access_misses_tlb_second_hits() {
+        let (mut m, mut asp, base) = setup(opteron_2x2());
+        let mut c = Counters::new();
+        let t1 = m
+            .data_access(
+                &mut asp,
+                0,
+                base,
+                DataKind::Read,
+                AccessMode::Latency,
+                &mut c,
+            )
+            .unwrap();
+        let t2 = m
+            .data_access(
+                &mut asp,
+                0,
+                base,
+                DataKind::Read,
+                AccessMode::Latency,
+                &mut c,
+            )
+            .unwrap();
+        assert_eq!(c.get(Event::DtlbMisses), 1);
+        assert_eq!(c.get(Event::DtlbHits), 1);
+        assert!(t1 > t2, "walk ({t1}) must cost more than a TLB hit ({t2})");
+    }
+
+    #[test]
+    fn tlb_miss_cost_includes_walk_refs() {
+        let (mut m, mut asp, base) = setup(opteron_2x2());
+        let mut c = Counters::new();
+        m.data_access(
+            &mut asp,
+            0,
+            base,
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        assert!(c.get(Event::WalkCycles) >= m.cost().walk_base);
+    }
+
+    #[test]
+    fn eager_population_means_no_faults() {
+        let (mut m, mut asp, base) = setup(opteron_2x2());
+        let mut c = Counters::new();
+        for i in 0..64u64 {
+            m.data_access(
+                &mut asp,
+                0,
+                base.add(i * 4096),
+                DataKind::Read,
+                AccessMode::Latency,
+                &mut c,
+            )
+            .unwrap();
+        }
+        assert_eq!(c.get(Event::PageFaults), 0);
+    }
+
+    #[test]
+    fn demand_mapping_pays_fault_once() {
+        let mut m = Machine::new(opteron_2x2());
+        let mut asp = AddressSpace::new(&mut m.frames).unwrap();
+        let base = asp
+            .mmap(
+                &mut m.frames,
+                2 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::OnDemand,
+                "lazy",
+            )
+            .unwrap();
+        let mut c = Counters::new();
+        let t_fault = m
+            .data_access(
+                &mut asp,
+                0,
+                base,
+                DataKind::Write,
+                AccessMode::Latency,
+                &mut c,
+            )
+            .unwrap();
+        assert_eq!(c.get(Event::PageFaults), 1);
+        assert!(t_fault > m.cost().page_fault);
+        // Second access to the same page: TLB hit, no fault.
+        m.data_access(
+            &mut asp,
+            0,
+            base.add(8),
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(c.get(Event::PageFaults), 1);
+    }
+
+    #[test]
+    fn cores_have_private_tlbs() {
+        let (mut m, mut asp, base) = setup(opteron_2x2());
+        let mut c = Counters::new();
+        m.data_access(
+            &mut asp,
+            0,
+            base,
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        m.data_access(
+            &mut asp,
+            1,
+            base,
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        // Both cores missed independently.
+        assert_eq!(c.get(Event::DtlbMisses), 2);
+    }
+
+    #[test]
+    fn smt_flush_only_when_core_is_shared_and_stall_reaches_dram() {
+        let (mut m, mut asp, base) = setup(xeon_2x2_ht());
+        m.set_residency(vec![2, 2, 2, 2]);
+        let mut c = Counters::new();
+        // First access goes all the way to DRAM: flush charged.
+        m.data_access(
+            &mut asp,
+            0,
+            base,
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(c.get(Event::SmtFlushes), 1);
+        // Cached access: no DRAM, no flush.
+        m.data_access(
+            &mut asp,
+            0,
+            base,
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(c.get(Event::SmtFlushes), 1);
+        // Single-resident core: no flush even on DRAM access.
+        m.set_residency(vec![1, 1, 1, 1]);
+        m.data_access(
+            &mut asp,
+            1,
+            base,
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(c.get(Event::SmtFlushes), 1);
+    }
+
+    #[test]
+    fn opteron_never_flushes() {
+        let (mut m, mut asp, base) = setup(opteron_2x2());
+        m.set_residency(vec![1, 1, 1, 1]);
+        let mut c = Counters::new();
+        m.data_access(
+            &mut asp,
+            0,
+            base,
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(c.get(Event::SmtFlushes), 0);
+    }
+
+    #[test]
+    fn ifetch_counts_itlb_misses() {
+        let mut m = Machine::new(opteron_2x2());
+        let mut asp = AddressSpace::new(&mut m.frames).unwrap();
+        let code = asp
+            .mmap_fixed(
+                &mut m.frames,
+                VirtAddr(0x40_0000),
+                8 * 4096,
+                PageSize::Small4K,
+                PteFlags::rx(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "code",
+            )
+            .unwrap();
+        let mut c = Counters::new();
+        m.ifetch(&mut asp, 0, code, &mut c).unwrap();
+        m.ifetch(&mut asp, 0, code.add(16), &mut c).unwrap();
+        assert_eq!(c.get(Event::ItlbMisses), 1);
+        assert_eq!(c.get(Event::IFetches), 2);
+    }
+
+    #[test]
+    fn disabling_the_walk_cache_makes_walks_cost_more() {
+        let run = |pwc: bool| {
+            let mut cfg = opteron_2x2();
+            cfg.page_walk_cache = pwc;
+            let (mut m, mut asp, base) = setup(cfg);
+            let mut c = Counters::new();
+            for i in 0..64u64 {
+                m.data_access(
+                    &mut asp,
+                    0,
+                    base.add(i * 4096),
+                    DataKind::Read,
+                    AccessMode::Latency,
+                    &mut c,
+                )
+                .unwrap();
+            }
+            c.get(Event::WalkCycles)
+        };
+        assert!(run(false) > run(true));
+    }
+
+    #[test]
+    fn large_pages_reduce_dtlb_misses_for_page_strided_scan() {
+        // The core mechanism of the whole paper, end to end: a scan that
+        // touches one cache line per 4 KB page misses the DTLB per page
+        // with small pages but per 2 MB region with large pages.
+        let run = |size: PageSize| -> u64 {
+            let mut m = Machine::new(opteron_2x2());
+            let mut asp = AddressSpace::new(&mut m.frames).unwrap();
+            let span = 64 * 1024 * 1024u64;
+            let base = match size {
+                PageSize::Small4K => asp
+                    .mmap(
+                        &mut m.frames,
+                        span,
+                        size,
+                        PteFlags::rw(),
+                        Backing::Anonymous,
+                        Populate::Eager,
+                        "d",
+                    )
+                    .unwrap(),
+                PageSize::Large2M => asp
+                    .mmap(
+                        &mut m.frames,
+                        span,
+                        size,
+                        PteFlags::rw(),
+                        Backing::Anonymous,
+                        Populate::Eager,
+                        "d",
+                    )
+                    .unwrap(),
+            };
+            let mut c = Counters::new();
+            let mut off = 0;
+            while off < span {
+                m.data_access(
+                    &mut asp,
+                    0,
+                    base.add(off),
+                    DataKind::Read,
+                    AccessMode::Latency,
+                    &mut c,
+                )
+                .unwrap();
+                off += 4096;
+            }
+            c.get(Event::DtlbMisses)
+        };
+        let small = run(PageSize::Small4K);
+        let large = run(PageSize::Large2M);
+        assert!(
+            small > 100 * large.max(1),
+            "expected ≥100x reduction, got {small} vs {large}"
+        );
+    }
+}

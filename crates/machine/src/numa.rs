@@ -1,0 +1,144 @@
+//! NUMA modelling for the Opteron platform (extension E3).
+//!
+//! The paper's Opteron testbed is two sockets connected by HyperTransport
+//! (§2.1), i.e. a NUMA machine: each chip has its own memory controller,
+//! and accesses to the other chip's memory pay the interconnect latency.
+//! The paper does not isolate NUMA effects; this extension does, because
+//! page size and NUMA *placement granularity* interact — a page is the
+//! smallest unit of physical placement, so 2 MB pages cannot be
+//! interleaved at 4 KB granularity. Large pages trade TLB reach against
+//! placement flexibility, a trade-off that became well known once
+//! hugepages met multi-socket machines.
+//!
+//! The model is analytic: the placement policy determines which node owns
+//! each *physical placement chunk* (max of the policy granularity and the
+//! mapping's page size — a single page always lives on one node), and
+//! DRAM-level accesses from the other chip pay `remote_extra` cycles
+//! (full for demand misses, a fraction for prefetched streams, which pay
+//! in bandwidth rather than latency).
+
+use lpomp_vm::{PageSize, VirtAddr};
+
+/// How pages are distributed across the nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumaPlacement {
+    /// Everything on node 0 — what first-touch gives a runtime that
+    /// initializes all shared data on the master thread (the classic
+    /// OpenMP NUMA pitfall, and what Omni's startup preallocation does).
+    MasterNode,
+    /// Round-robin 4 KB chunks across nodes. Only achievable when the
+    /// mapping's own pages are 4 KB; 2 MB pages clamp it to 2 MB chunks.
+    Interleave4K,
+    /// Round-robin 2 MB chunks across nodes.
+    Interleave2M,
+}
+
+impl NumaPlacement {
+    /// Placement granularity in bytes (before clamping by page size).
+    pub fn granularity(self) -> u64 {
+        match self {
+            NumaPlacement::MasterNode => u64::MAX,
+            NumaPlacement::Interleave4K => 4096,
+            NumaPlacement::Interleave2M => 2 * 1024 * 1024,
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NumaPlacement::MasterNode => "master-node",
+            NumaPlacement::Interleave4K => "interleave-4KB",
+            NumaPlacement::Interleave2M => "interleave-2MB",
+        }
+    }
+}
+
+/// NUMA configuration of a platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NumaConfig {
+    /// Number of memory nodes (= chips on the Opteron).
+    pub nodes: usize,
+    /// Extra cycles a demand DRAM access pays when the line's home node
+    /// differs from the requesting core's (one HyperTransport hop).
+    pub remote_extra: u64,
+    /// Extra cycles per *streamed* line from a remote node (bandwidth
+    /// cost of the interconnect, far below the latency cost).
+    pub remote_stream_extra: u64,
+    /// Page placement policy.
+    pub placement: NumaPlacement,
+}
+
+impl NumaConfig {
+    /// The Opteron 270 pair: two nodes, ~70 extra cycles per remote
+    /// demand access (one coherent HyperTransport hop at 2 GHz).
+    pub fn opteron(placement: NumaPlacement) -> Self {
+        NumaConfig {
+            nodes: 2,
+            remote_extra: 70,
+            remote_stream_extra: 9,
+            placement,
+        }
+    }
+
+    /// Home node of the placement chunk containing `va`, for a mapping of
+    /// page size `page`. A page is physically contiguous on one node, so
+    /// the effective chunk is at least the page.
+    pub fn node_of(&self, va: VirtAddr, page: PageSize) -> usize {
+        match self.placement {
+            NumaPlacement::MasterNode => 0,
+            _ => {
+                let chunk = self.placement.granularity().max(page.bytes());
+                ((va.0 / chunk) as usize) % self.nodes
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_node_pins_everything_to_zero() {
+        let n = NumaConfig::opteron(NumaPlacement::MasterNode);
+        for a in [0u64, 1 << 12, 1 << 21, 1 << 30] {
+            assert_eq!(n.node_of(VirtAddr(a), PageSize::Small4K), 0);
+            assert_eq!(n.node_of(VirtAddr(a), PageSize::Large2M), 0);
+        }
+    }
+
+    #[test]
+    fn interleave_4k_alternates_per_page() {
+        let n = NumaConfig::opteron(NumaPlacement::Interleave4K);
+        assert_eq!(n.node_of(VirtAddr(0), PageSize::Small4K), 0);
+        assert_eq!(n.node_of(VirtAddr(4096), PageSize::Small4K), 1);
+        assert_eq!(n.node_of(VirtAddr(8192), PageSize::Small4K), 0);
+    }
+
+    #[test]
+    fn large_pages_clamp_interleave_granularity() {
+        // A 2 MB page lives on one node even under 4 KB interleave.
+        let n = NumaConfig::opteron(NumaPlacement::Interleave4K);
+        let page = PageSize::Large2M;
+        let base = VirtAddr(0);
+        for off in (0..page.bytes()).step_by(64 * 1024) {
+            assert_eq!(n.node_of(base.add(off), page), 0, "offset {off}");
+        }
+        assert_eq!(n.node_of(VirtAddr(page.bytes()), page), 1);
+    }
+
+    #[test]
+    fn interleave_2m_alternates_per_large_chunk() {
+        let n = NumaConfig::opteron(NumaPlacement::Interleave2M);
+        assert_eq!(n.node_of(VirtAddr(0), PageSize::Small4K), 0);
+        assert_eq!(n.node_of(VirtAddr(2 << 20), PageSize::Small4K), 1);
+        assert_eq!(n.node_of(VirtAddr(1 << 20), PageSize::Small4K), 0);
+    }
+
+    #[test]
+    fn remote_costs_ordered() {
+        let n = NumaConfig::opteron(NumaPlacement::Interleave2M);
+        assert!(n.remote_stream_extra < n.remote_extra);
+        assert!(n.nodes == 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! NPB EP: embarrassingly parallel Gaussian-pair generation.
+//!
+//! Not part of the paper's five applications, but included as the
+//! **TLB-insensitive control**: EP touches almost no memory (a 10-bin
+//! histogram), so large pages must make no difference to it — a useful
+//! falsifier for the experiment harness. It also isolates the SMT
+//! scalability story: with no memory stalls, Xeon hyper-threading shows
+//! pure execution-resource sharing.
+//!
+//! Algorithm (per NPB): generate pairs `(x, y)` uniform in (-1, 1) from
+//! the NPB LCG, accept when `t = x² + y² ≤ 1`, transform to Gaussians via
+//! Box–Muller (`x·sqrt(-2 ln t / t)`), count acceptances by annulus.
+
+use crate::common::{Class, CodeProfile, Footprint, Kernel};
+use crate::rng::Nprng;
+use lpomp_runtime::{BumpAllocator, Reduction, Schedule, ShVec, Team};
+
+/// Pairs generated per batch (one loop iteration = one batch).
+const BATCH: usize = 1024;
+
+fn total_pairs(class: Class) -> u64 {
+    match class {
+        Class::S => 1 << 16,
+        Class::W => 1 << 21,
+        Class::A => 1 << 23,
+        Class::B => 1 << 30,
+    }
+}
+
+/// The EP benchmark.
+pub struct Ep {
+    class: Class,
+    pairs: u64,
+    /// The NPB `q` array: accepted pairs per annulus `l = max(|X|,|Y|)`.
+    counts: Option<ShVec<u64>>,
+}
+
+impl Ep {
+    /// New EP instance.
+    pub fn new(class: Class) -> Self {
+        Ep {
+            class,
+            pairs: total_pairs(class),
+            counts: None,
+        }
+    }
+
+    /// Gaussian-pair sums and annulus counts for one batch starting at
+    /// pair index `start`. `bins[l]` counts pairs with
+    /// `l <= max(|X|, |Y|) < l + 1` (NPB's `q` array).
+    fn batch_sum(start: u64, len: u64, bins: &mut [u64; 10]) -> f64 {
+        let mut rng = Nprng::new_default();
+        // Each pair consumes two LCG draws; jump to this batch's offset.
+        rng.skip(start * 2);
+        let mut sum = 0.0;
+        for _ in 0..len {
+            let x = 2.0 * rng.next_f64() - 1.0;
+            let y = 2.0 * rng.next_f64() - 1.0;
+            let t = x * x + y * y;
+            if t <= 1.0 && t > 0.0 {
+                let f = (-2.0 * t.ln() / t).sqrt();
+                let gx = (x * f).abs();
+                let gy = (y * f).abs();
+                sum += gx + gy;
+                let l = (gx.max(gy) as usize).min(9);
+                bins[l] += 1;
+            }
+        }
+        sum
+    }
+}
+
+impl Kernel for Ep {
+    fn name(&self) -> &'static str {
+        "EP"
+    }
+
+    fn class(&self) -> Class {
+        self.class
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            instruction_bytes: 1_200_000,
+            // A histogram and per-thread scratch: effectively nothing.
+            data_bytes: 4096,
+        }
+    }
+
+    fn code_profile(&self) -> CodeProfile {
+        CodeProfile {
+            code_bytes: 1_200_000,
+            hot_bytes: 16 * 1024,
+            cold_period: 4000,
+        }
+    }
+
+    fn setup(&mut self, alloc: &mut BumpAllocator) {
+        self.counts = Some(alloc.alloc_vec(10));
+    }
+
+    fn run(&mut self, team: &mut Team) -> f64 {
+        let counts = self.counts.as_ref().expect("setup() not called");
+        counts.fill_raw(0);
+        let batches = (self.pairs / BATCH as u64) as usize;
+        team.parallel_for_reduce(0..batches, Schedule::Static, Reduction::Sum, &|ctx, rr| {
+            let mut s = 0.0;
+            let mut bins = [0u64; 10];
+            for b in rr.clone() {
+                s += Self::batch_sum(b as u64 * BATCH as u64, BATCH as u64, &mut bins);
+            }
+            // Merge this chunk's annulus counts (atomic adds commute, so
+            // the result is thread-count independent).
+            for (l, &c) in bins.iter().enumerate() {
+                if c > 0 {
+                    counts.fetch_add_raw(l, c);
+                }
+            }
+            // ~60 instructions per pair (two LCG steps, squares, the
+            // occasional ln/sqrt), essentially no memory traffic.
+            ctx.compute(60 * BATCH as u64 * rr.len() as u64);
+            s
+        })
+    }
+
+    fn reference(&self) -> f64 {
+        let batches = self.pairs / BATCH as u64;
+        let mut s = 0.0;
+        let mut bins = [0u64; 10];
+        for b in 0..batches {
+            s += Self::batch_sum(b * BATCH as u64, BATCH as u64, &mut bins);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_native;
+    use crate::AppKind;
+
+    #[test]
+    fn ep_native_matches_reference() {
+        for threads in [1, 3, 4] {
+            let (cs, ok) = run_native(AppKind::Ep, Class::S, threads);
+            assert!(ok, "threads={threads} checksum={cs}");
+        }
+    }
+
+    #[test]
+    fn ep_skip_partitioning_makes_batches_independent() {
+        // Contiguous generation must equal batch-partitioned generation.
+        let serial = {
+            let mut rng = Nprng::new_default();
+            let mut sum = 0.0;
+            for _ in 0..2 * BATCH {
+                let x = 2.0 * rng.next_f64() - 1.0;
+                let y = 2.0 * rng.next_f64() - 1.0;
+                let t = x * x + y * y;
+                if t <= 1.0 && t > 0.0 {
+                    let f = (-2.0 * t.ln() / t).sqrt();
+                    sum += (x * f).abs() + (y * f).abs();
+                }
+            }
+            sum
+        };
+        let mut bins = [0u64; 10];
+        let batched = Ep::batch_sum(0, BATCH as u64, &mut bins)
+            + Ep::batch_sum(BATCH as u64, BATCH as u64, &mut bins);
+        assert!((serial - batched).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ep_annulus_counts_are_thread_independent() {
+        let collect = |threads: usize| -> Vec<u64> {
+            let mut k = Ep::new(Class::S);
+            let mut alloc = lpomp_runtime::BumpAllocator::unbounded();
+            k.setup(&mut alloc);
+            let mut team = lpomp_runtime::Team::native(threads);
+            k.run(&mut team);
+            k.counts.as_ref().unwrap().to_vec()
+        };
+        let one = collect(1);
+        let four = collect(4);
+        assert_eq!(one, four);
+        // Most Gaussian samples land in the first annulus; total accepted
+        // pairs is below the pair count.
+        assert!(one[0] > one[1]);
+        let total: u64 = one.iter().sum();
+        assert!(total <= total_pairs(Class::S));
+        assert!(total > total_pairs(Class::S) / 2);
+    }
+
+    #[test]
+    fn ep_footprint_is_tiny() {
+        let fp = Ep::new(Class::B).footprint();
+        assert!(fp.data_bytes < 1024 * 1024);
+    }
+}

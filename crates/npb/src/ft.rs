@@ -1,0 +1,498 @@
+//! NPB FT: 3-D fast Fourier transform PDE solver.
+//!
+//! *"FT divides the DFT of any composite size N = N1×N2 into many smaller
+//! DFTs of size N1 and N2. Several smaller DFTs might fit in a single 2MB
+//! page, which might reduce TLB misses"* (paper §4.2) — yet FT is one of
+//! the two applications that show **no significant improvement** (§4.4):
+//! its per-point FFT arithmetic dominates, and its cross-dimension pencil
+//! sweeps span more address space than even the 2 MB-page TLB can reach
+//! (the Opteron has only eight 2 MB DTLB entries), so both page sizes
+//! thrash in the transpose-like phases. Its DTLB miss reduction is only
+//! 2–3× (Fig. 5) and run time barely moves.
+//!
+//! The grid is complex, stored interleaved (re, im) in one shared array.
+//! Each 1-D FFT pass copies a pencil into thread-local scratch, runs an
+//! iterative radix-2 FFT, and writes back — exactly the NPB `cffts1/2/3`
+//! structure. The x-pass is contiguous (streamed); the y- and z-passes
+//! stride by a row and a plane respectively (demand accesses).
+
+use crate::common::{Class, CodeProfile, Footprint, Kernel};
+use crate::rng::Nprng;
+use lpomp_runtime::{BumpAllocator, Schedule, ShVec, Team};
+
+#[derive(Clone, Copy, Debug)]
+struct Params {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iters: usize,
+}
+
+fn params(class: Class) -> Params {
+    match class {
+        Class::S => Params {
+            nx: 32,
+            ny: 16,
+            nz: 16,
+            iters: 2,
+        },
+        // 256 x 128 x 64 complex (padded) = ~34 MB per grid array: the
+        // z-pencil sweep spans over twice the Opteron's eight-entry 2 MB
+        // DTLB reach, so the transpose-like phases thrash at *both* page
+        // sizes — the reason FT gains so little in the paper.
+        Class::W => Params {
+            nx: 256,
+            ny: 128,
+            nz: 64,
+            iters: 2,
+        },
+        Class::A => Params {
+            nx: 256,
+            ny: 256,
+            nz: 128,
+            iters: 3,
+        },
+        // NPB class B: 512 x 256 x 256, 20 iterations (paper Table 2 data
+        // footprint 2.4 GB).
+        Class::B => Params {
+            nx: 512,
+            ny: 256,
+            nz: 256,
+            iters: 20,
+        },
+    }
+}
+
+/// Row padding in elements. NPB FT pads its array dimensions so that the
+/// large power-of-two strides of the y/z pencil walks do not collapse
+/// onto a handful of set-associative TLB/cache sets — without it, the
+/// z-pass thrashes the Opteron's 4-way L2 TLB on every access. We follow
+/// NPB and pad each x-row by one complex element.
+const PAD: usize = 1;
+
+/// NPB's `fftblock`: pencils FFTed per tile in the strided passes.
+const FFT_BLOCK: usize = 16;
+
+/// In-place iterative radix-2 complex FFT over scratch buffers.
+/// `re.len()` must be a power of two. Returns the flop count.
+fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) -> u64 {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    let mut flops = 0u64;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cr = 1.0;
+            let mut ci = 0.0;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+                flops += 16;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for i in 0..n {
+            re[i] *= inv;
+            im[i] *= inv;
+        }
+        flops += 2 * n as u64;
+    }
+    flops
+}
+
+/// The FT benchmark.
+pub struct Ft {
+    class: Class,
+    prm: Params,
+    /// Interleaved complex grids (re at 2e, im at 2e+1).
+    u0: Option<ShVec<f64>>,
+    u1: Option<ShVec<f64>>,
+    /// Per-point evolution factors.
+    twiddle: Option<ShVec<f64>>,
+}
+
+impl Ft {
+    /// New FT instance.
+    pub fn new(class: Class) -> Self {
+        Ft {
+            class,
+            prm: params(class),
+            u0: None,
+            u1: None,
+            twiddle: None,
+        }
+    }
+
+    /// Elements per padded row.
+    #[inline]
+    fn nxp(p: &Params) -> usize {
+        p.nx + PAD
+    }
+
+    /// Element index of grid point (i, j, k) in the padded layout.
+    #[inline]
+    fn eidx(p: &Params, i: usize, j: usize, k: usize) -> usize {
+        (k * p.ny + j) * Self::nxp(p) + i
+    }
+
+    /// Total padded elements.
+    #[inline]
+    fn padded_pts(p: &Params) -> usize {
+        p.nz * p.ny * Self::nxp(p)
+    }
+
+    /// FFT pass along x: pencils are contiguous — streamed.
+    fn pass_x(team: &mut Team, p: Params, g: &ShVec<f64>, inverse: bool) {
+        let pencils = p.ny * p.nz;
+        team.parallel_for(0..pencils, Schedule::Static, &|ctx, rows| {
+            let mut re = vec![0.0; p.nx];
+            let mut im = vec![0.0; p.nx];
+            for jk in rows {
+                let base = jk * Self::nxp(&p);
+                ctx.stream_read(g.va(2 * base), (2 * p.nx * 8) as u64);
+                for i in 0..p.nx {
+                    re[i] = g.get_raw(2 * (base + i));
+                    im[i] = g.get_raw(2 * (base + i) + 1);
+                }
+                let flops = fft_inplace(&mut re, &mut im, inverse);
+                for i in 0..p.nx {
+                    g.set_raw(2 * (base + i), re[i]);
+                    g.set_raw(2 * (base + i) + 1, im[i]);
+                }
+                ctx.stream_write(g.va(2 * base), (2 * p.nx * 8) as u64);
+                ctx.compute(flops);
+            }
+        });
+    }
+
+    /// FFT pass along y (stride = row) or z (stride = plane): tiles of
+    /// [`FFT_BLOCK`] pencils are gathered into contiguous scratch, FFTed,
+    /// and scattered back — NPB's `fftblock` tiling, which amortizes each
+    /// page touch over a block of consecutive elements.
+    fn pass_strided(team: &mut Team, p: Params, g: &ShVec<f64>, dim_z: bool, inverse: bool) {
+        let (len, outer, inner) = if dim_z {
+            (p.nz, p.ny, p.nx)
+        } else {
+            (p.ny, p.nz, p.nx)
+        };
+        let tiles = inner / FFT_BLOCK;
+        team.parallel_for(0..outer * tiles, Schedule::Static, &|ctx, rows| {
+            let mut re = vec![0.0; len * FFT_BLOCK];
+            let mut im = vec![0.0; len * FFT_BLOCK];
+            for ot in rows {
+                let o = ot / tiles;
+                let i0 = (ot % tiles) * FFT_BLOCK;
+                // Gather the tile: per (t), FFT_BLOCK consecutive complex
+                // elements = FFT_BLOCK*16 contiguous bytes.
+                for t in 0..len {
+                    let e = if dim_z {
+                        Self::eidx(&p, i0, o, t)
+                    } else {
+                        Self::eidx(&p, i0, t, o)
+                    };
+                    let mut b = 0u64;
+                    while b < (FFT_BLOCK * 16) as u64 {
+                        ctx.read_pipelined(g.va(2 * e).add(b));
+                        b += 64;
+                    }
+                    for bi in 0..FFT_BLOCK {
+                        re[bi * len + t] = g.get_raw(2 * (e + bi));
+                        im[bi * len + t] = g.get_raw(2 * (e + bi) + 1);
+                    }
+                }
+                let mut flops = 0u64;
+                for bi in 0..FFT_BLOCK {
+                    flops += fft_inplace(
+                        &mut re[bi * len..(bi + 1) * len],
+                        &mut im[bi * len..(bi + 1) * len],
+                        inverse,
+                    );
+                }
+                // Scatter the tile back.
+                for t in 0..len {
+                    let e = if dim_z {
+                        Self::eidx(&p, i0, o, t)
+                    } else {
+                        Self::eidx(&p, i0, t, o)
+                    };
+                    let mut b = 0u64;
+                    while b < (FFT_BLOCK * 16) as u64 {
+                        ctx.write_pipelined(g.va(2 * e).add(b));
+                        b += 64;
+                    }
+                    for bi in 0..FFT_BLOCK {
+                        g.set_raw(2 * (e + bi), re[bi * len + t]);
+                        g.set_raw(2 * (e + bi) + 1, im[bi * len + t]);
+                    }
+                }
+                ctx.compute(flops);
+            }
+        });
+    }
+
+    /// Full 3-D FFT of `g` in place.
+    fn fft3d(team: &mut Team, p: Params, g: &ShVec<f64>, inverse: bool) {
+        Ft::pass_x(team, p, g, inverse);
+        Ft::pass_strided(team, p, g, false, inverse);
+        Ft::pass_strided(team, p, g, true, inverse);
+    }
+
+    /// Evolve: u1 = u0 * twiddle^t (elementwise, streamed).
+    fn evolve(team: &mut Team, u0: &ShVec<f64>, u1: &ShVec<f64>, tw: &ShVec<f64>, t: u32) {
+        let n = tw.len();
+        team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
+            let mut flops = 0u64;
+            for e in rr {
+                if e % 4 == 0 {
+                    ctx.read_streamed(u0.va(2 * e));
+                    ctx.read_streamed(tw.va(e));
+                    ctx.write_streamed(u1.va(2 * e));
+                }
+                let f = tw.get_raw(e).powi(t as i32);
+                u1.set_raw(2 * e, u0.get_raw(2 * e) * f);
+                u1.set_raw(2 * e + 1, u0.get_raw(2 * e + 1) * f);
+                flops += 4;
+            }
+            ctx.compute(flops);
+        });
+    }
+
+    /// NPB-style checksum: sum of 1024 pseudo-randomly chosen grid points.
+    fn checksum(&self, g: &ShVec<f64>) -> f64 {
+        let p = self.prm;
+        let mut rng = Nprng::new(271_828_183);
+        let mut s = 0.0;
+        for _ in 0..1024 {
+            let i = rng.next_index(p.nx);
+            let j = rng.next_index(p.ny);
+            let k = rng.next_index(p.nz);
+            let e = Self::eidx(&p, i, j, k);
+            s += g.get_raw(2 * e) + g.get_raw(2 * e + 1);
+        }
+        s
+    }
+
+    fn run_impl(&self, team: &mut Team) -> f64 {
+        let p = self.prm;
+        let u0 = self.u0.as_ref().unwrap();
+        let u1 = self.u1.as_ref().unwrap();
+        let tw = self.twiddle.as_ref().unwrap();
+        // Regenerate the initial condition so repeated runs are identical.
+        Self::init_grid(u0, Self::padded_pts(&p));
+        Ft::fft3d(team, p, u0, false);
+        let mut cs = 0.0;
+        for t in 1..=p.iters as u32 {
+            Ft::evolve(team, u0, u1, tw, t);
+            Ft::fft3d(team, p, u1, true);
+            cs += self.checksum(u1);
+        }
+        cs
+    }
+
+    fn init_grid(g: &ShVec<f64>, npts: usize) {
+        let mut rng = Nprng::new_default();
+        for e in 0..npts {
+            g.set_raw(2 * e, rng.next_f64());
+            g.set_raw(2 * e + 1, rng.next_f64());
+        }
+    }
+}
+
+impl Kernel for Ft {
+    fn name(&self) -> &'static str {
+        "FT"
+    }
+
+    fn class(&self) -> Class {
+        self.class
+    }
+
+    fn footprint(&self) -> Footprint {
+        let npts = Self::padded_pts(&self.prm) as u64;
+        Footprint {
+            instruction_bytes: 1_400_000, // Table 2: FT binary 1.4 MB
+            // Two interleaved complex grids + the twiddle array (padded
+            // rows, as in NPB).
+            data_bytes: 2 * npts * 16 + npts * 8,
+        }
+    }
+
+    fn code_profile(&self) -> CodeProfile {
+        CodeProfile {
+            code_bytes: 1_400_000,
+            hot_bytes: 64 * 1024,
+            cold_period: 1200,
+        }
+    }
+
+    fn setup(&mut self, alloc: &mut BumpAllocator) {
+        let p = self.prm;
+        let npts = Self::padded_pts(&p);
+        let u0: ShVec<f64> = alloc.alloc_vec(2 * npts);
+        let u1: ShVec<f64> = alloc.alloc_vec(2 * npts);
+        Self::init_grid(&u0, npts);
+        // Evolution factors exp(-4 pi^2 alpha |k|^2), precomputed per point.
+        let alpha = 1e-6;
+        let nxp = Self::nxp(&p);
+        let tw: ShVec<f64> = alloc.alloc_vec_from(npts, |e| {
+            let i = (e % nxp).min(p.nx - 1);
+            let j = (e / nxp) % p.ny;
+            let k = e / (nxp * p.ny);
+            // Signed frequencies.
+            let fx = if i <= p.nx / 2 {
+                i as f64
+            } else {
+                i as f64 - p.nx as f64
+            };
+            let fy = if j <= p.ny / 2 {
+                j as f64
+            } else {
+                j as f64 - p.ny as f64
+            };
+            let fz = if k <= p.nz / 2 {
+                k as f64
+            } else {
+                k as f64 - p.nz as f64
+            };
+            (-4.0 * alpha * std::f64::consts::PI.powi(2) * (fx * fx + fy * fy + fz * fz)).exp()
+        });
+        self.u0 = Some(u0);
+        self.u1 = Some(u1);
+        self.twiddle = Some(tw);
+    }
+
+    fn run(&mut self, team: &mut Team) -> f64 {
+        self.run_impl(team)
+    }
+
+    fn reference(&self) -> f64 {
+        let mut team = Team::native(1);
+        self.run_impl(&mut team)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_native;
+    use crate::AppKind;
+
+    #[test]
+    fn fft_roundtrip_recovers_input() {
+        let n = 64;
+        let mut rng = Nprng::new_default();
+        let re0: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let im0: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft_inplace(&mut re, &mut im, false);
+        fft_inplace(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - re0[i]).abs() < 1e-10, "re[{i}]");
+            assert!((im[i] - im0[i]).abs() < 1e-10, "im[{i}]");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let n = 16;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft_inplace(&mut re, &mut im, false);
+        for i in 0..n {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 32;
+        let mut rng = Nprng::new_default();
+        let re0: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let im0: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        // Naive O(n^2) DFT with the same sign convention (forward = -i).
+        let mut dft_re = vec![0.0; n];
+        let mut dft_im = vec![0.0; n];
+        for (k, (dr, di)) in dft_re.iter_mut().zip(dft_im.iter_mut()).enumerate() {
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (s, c) = ang.sin_cos();
+                *dr += re0[t] * c - im0[t] * s;
+                *di += re0[t] * s + im0[t] * c;
+            }
+        }
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft_inplace(&mut re, &mut im, false);
+        for k in 0..n {
+            assert!((re[k] - dft_re[k]).abs() < 1e-9, "re[{k}]");
+            assert!((im[k] - dft_im[k]).abs() < 1e-9, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn fft_parseval_energy_conserved() {
+        let n = 128;
+        let mut rng = Nprng::new_default();
+        let mut re: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let mut im = vec![0.0; n];
+        let e_time: f64 = re.iter().map(|v| v * v).sum();
+        fft_inplace(&mut re, &mut im, false);
+        let e_freq: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() / e_time < 1e-10);
+    }
+
+    #[test]
+    fn ft_native_matches_reference_across_threads() {
+        for threads in [1, 2, 4] {
+            let (cs, ok) = run_native(AppKind::Ft, Class::S, threads);
+            assert!(ok, "threads={threads} checksum={cs}");
+            assert!(cs.is_finite());
+        }
+    }
+
+    #[test]
+    fn ft_class_b_footprint_matches_paper_order() {
+        // Paper Table 2: FT (B) = 2.4 GB.
+        let fp = Ft::new(Class::B).footprint();
+        let gb = fp.data_bytes as f64 / (1024.0 * 1024.0 * 1024.0);
+        assert!((1.0..4.0).contains(&gb), "FT B = {gb:.2} GB");
+    }
+
+    #[test]
+    fn ft_w_z_span_exceeds_2mb_reach() {
+        // The design point that makes FT benefit little: the z-pencil
+        // sweep spans well past the Opteron's 16 MB of 2 MB-page reach
+        // (its L1 holds just eight 2 MB entries and the L2 holds none).
+        let p = params(Class::W);
+        let span = ((p.nx + PAD) * p.ny * p.nz * 16) as u64;
+        assert!(span > 2 * 16 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,358 @@
+//! NPB LU: SSOR solver with wavefront (hyperplane) parallelism
+//! (extension workload).
+//!
+//! The seventh NPB code, included because its parallel structure differs
+//! from everything else in the suite: the lower/upper triangular sweeps
+//! carry a data dependence on the (i−1, j−1, k−1) neighbours, so the
+//! parallel unit is a *hyperplane* (all points with i+j+k = d), executed
+//! plane by plane with a barrier between planes — the classic wavefront
+//! schedule NPB LU's `pipelined` OpenMP version approximates. Points on a
+//! hyperplane are scattered through memory (no two share a cache line
+//! neighbourhood), which gives LU a page-access profile between the
+//! sequential sweeps of MG and the gathers of CG.
+//!
+//! The arithmetic is an SSOR relaxation of a diffusion-like operator over
+//! a 5-component field; diagonally dominant by construction, verified
+//! against a serial reference.
+
+use crate::common::{init_field, Class, CodeProfile, Footprint, Kernel};
+use lpomp_runtime::{BumpAllocator, Reduction, Schedule, ShVec, Team};
+
+/// Components per grid cell.
+const NC: usize = 5;
+/// SSOR relaxation factor.
+const OMEGA: f64 = 1.2;
+
+#[derive(Clone, Copy, Debug)]
+struct Params {
+    n: usize,
+    iters: usize,
+}
+
+fn params(class: Class) -> Params {
+    match class {
+        Class::S => Params { n: 12, iters: 2 },
+        Class::W => Params { n: 48, iters: 3 },
+        Class::A => Params { n: 64, iters: 3 },
+        // NPB class B: 102^3, 250 iterations.
+        Class::B => Params { n: 102, iters: 250 },
+    }
+}
+
+struct Data {
+    u: ShVec<f64>,
+    rhs: ShVec<f64>,
+    v: ShVec<f64>,
+    forcing: ShVec<f64>,
+    /// Flattened hyperplanes: point ids grouped by diagonal d = i+j+k.
+    planes: Vec<u32>,
+    /// `planes[plane_off[d]..plane_off[d+1]]` are the points of plane d.
+    plane_off: Vec<usize>,
+}
+
+/// The LU benchmark.
+pub struct Lu {
+    class: Class,
+    prm: Params,
+    data: Option<Data>,
+}
+
+#[inline]
+fn cell(n: usize, i: usize, j: usize, k: usize) -> usize {
+    ((k * n + j) * n + i) * NC
+}
+
+impl Lu {
+    /// New LU instance.
+    pub fn new(class: Class) -> Self {
+        Lu {
+            class,
+            prm: params(class),
+            data: None,
+        }
+    }
+
+    fn data(&self) -> &Data {
+        self.data.as_ref().expect("setup() not called")
+    }
+
+    /// Decompose a flat point id into (i, j, k).
+    #[inline]
+    fn coords(n: usize, id: u32) -> (usize, usize, usize) {
+        let id = id as usize;
+        (id % n, (id / n) % n, id / (n * n))
+    }
+
+    /// Build the hyperplane schedule: plane d holds all (i, j, k) with
+    /// i + j + k = d.
+    fn build_planes(n: usize) -> (Vec<u32>, Vec<usize>) {
+        let nplanes = 3 * n - 2;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nplanes];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    buckets[i + j + k].push(((k * n + j) * n + i) as u32);
+                }
+            }
+        }
+        let mut planes = Vec::with_capacity(n * n * n);
+        let mut off = Vec::with_capacity(nplanes + 1);
+        off.push(0);
+        for b in buckets {
+            planes.extend_from_slice(&b);
+            off.push(planes.len());
+        }
+        (planes, off)
+    }
+
+    /// rhs = forcing − L(u): streamed stencil sweep (as in SP/BT).
+    fn compute_rhs(team: &mut Team, n: usize, d: &Data) {
+        team.parallel_for(0..n * n, Schedule::Static, &|ctx, rows| {
+            let mut flops = 0u64;
+            for kj in rows {
+                let k = kj / n;
+                let j = kj % n;
+                for i in 0..n {
+                    let c0 = cell(n, i, j, k);
+                    if (i * NC).is_multiple_of(8) {
+                        ctx.read_streamed(d.u.va(c0));
+                        ctx.read_streamed(d.forcing.va(c0));
+                        ctx.write_streamed(d.rhs.va(c0));
+                    }
+                    for c in 0..NC {
+                        // Interior 7-point Laplacian with clamped edges.
+                        let nb = |ii: isize, jj: isize, kk: isize| -> f64 {
+                            let ii = ii.clamp(0, n as isize - 1) as usize;
+                            let jj = jj.clamp(0, n as isize - 1) as usize;
+                            let kk = kk.clamp(0, n as isize - 1) as usize;
+                            d.u.get_raw(cell(n, ii, jj, kk) + c)
+                        };
+                        let (fi, fj, fk) = (i as isize, j as isize, k as isize);
+                        let lap = nb(fi - 1, fj, fk)
+                            + nb(fi + 1, fj, fk)
+                            + nb(fi, fj - 1, fk)
+                            + nb(fi, fj + 1, fk)
+                            + nb(fi, fj, fk - 1)
+                            + nb(fi, fj, fk + 1)
+                            - 6.0 * d.u.get_raw(c0 + c);
+                        d.rhs.set_raw(c0 + c, d.forcing.get_raw(c0 + c) + lap);
+                    }
+                    flops += 8 * NC as u64;
+                }
+            }
+            ctx.compute(flops);
+        });
+    }
+
+    /// One triangular sweep over the hyperplanes. `lower` selects the
+    /// forward (blts-like) or backward (buts-like) direction. Each plane
+    /// is a parallel loop; the implicit barrier between planes carries
+    /// the wavefront dependence.
+    fn sweep(team: &mut Team, n: usize, d: &Data, lower: bool) {
+        let nplanes = d.plane_off.len() - 1;
+        let order: Vec<usize> = if lower {
+            (0..nplanes).collect()
+        } else {
+            (0..nplanes).rev().collect()
+        };
+        for pd in order {
+            let lo = d.plane_off[pd];
+            let hi = d.plane_off[pd + 1];
+            team.parallel_for(lo..hi, Schedule::Static, &|ctx, rr| {
+                let mut flops = 0u64;
+                for t in rr {
+                    let (i, j, k) = Self::coords(n, d.planes[t]);
+                    let c0 = cell(n, i, j, k);
+                    // Dependence neighbours (previous plane).
+                    let dep = |ii: usize, jj: usize, kk: usize, c: usize| -> f64 {
+                        d.v.get_raw(cell(n, ii, jj, kk) + c)
+                    };
+                    // Scattered demand accesses: the point itself + its
+                    // three dependence neighbours live on far-apart pages.
+                    ctx.read_pipelined(d.rhs.va(c0));
+                    ctx.write_pipelined(d.v.va(c0));
+                    let mut have_dep = false;
+                    for c in 0..NC {
+                        let mut acc = d.rhs.get_raw(c0 + c);
+                        if lower {
+                            if i > 0 {
+                                acc += 0.2 * dep(i - 1, j, k, c);
+                                have_dep = true;
+                            }
+                            if j > 0 {
+                                acc += 0.2 * dep(i, j - 1, k, c);
+                                have_dep = true;
+                            }
+                            if k > 0 {
+                                acc += 0.2 * dep(i, j, k - 1, c);
+                                have_dep = true;
+                            }
+                        } else {
+                            if i + 1 < n {
+                                acc += 0.2 * dep(i + 1, j, k, c);
+                                have_dep = true;
+                            }
+                            if j + 1 < n {
+                                acc += 0.2 * dep(i, j + 1, k, c);
+                                have_dep = true;
+                            }
+                            if k + 1 < n {
+                                acc += 0.2 * dep(i, j, k + 1, c);
+                                have_dep = true;
+                            }
+                        }
+                        d.v.set_raw(c0 + c, acc / 2.0);
+                    }
+                    if have_dep {
+                        ctx.read_pipelined(d.v.va(cell(n, i.saturating_sub(1), j, k)));
+                    }
+                    flops += 10 * NC as u64;
+                }
+                ctx.compute(flops);
+            });
+        }
+    }
+
+    /// u += omega · v; returns ‖u‖².
+    fn update(team: &mut Team, n: usize, d: &Data) -> f64 {
+        let total = n * n * n * NC;
+        team.parallel_for_reduce(0..total, Schedule::Static, Reduction::Sum, &|ctx, rr| {
+            let mut s = 0.0;
+            let nlen = rr.len() as u64;
+            for e in rr {
+                if e % 8 == 0 {
+                    ctx.read_streamed(d.v.va(e));
+                    ctx.write_streamed(d.u.va(e));
+                }
+                let val = d.u.get_raw(e) + OMEGA * d.v.get_raw(e) * 0.01;
+                d.u.set_raw(e, val);
+                s += val * val;
+            }
+            ctx.compute(4 * nlen);
+            s
+        })
+    }
+
+    fn run_impl(&self, team: &mut Team) -> f64 {
+        let p = self.prm;
+        let n = p.n;
+        let d = self.data();
+        for e in 0..d.u.len() {
+            d.u.set_raw(e, init_field(e));
+        }
+        let mut checksum = 0.0;
+        for _ in 0..p.iters {
+            Self::compute_rhs(team, n, d);
+            d.v.fill_raw(0.0);
+            Self::sweep(team, n, d, true); // lower triangular
+            Self::sweep(team, n, d, false); // upper triangular
+            checksum = Self::update(team, n, d).sqrt();
+        }
+        checksum
+    }
+}
+
+impl Kernel for Lu {
+    fn name(&self) -> &'static str {
+        "LU"
+    }
+
+    fn class(&self) -> Class {
+        self.class
+    }
+
+    fn footprint(&self) -> Footprint {
+        let n3 = (self.prm.n * self.prm.n * self.prm.n) as u64;
+        Footprint {
+            instruction_bytes: 1_500_000,
+            // u, rhs, v, forcing (5 comps) + the plane schedule.
+            data_bytes: 4 * n3 * (NC as u64) * 8 + n3 * 4,
+        }
+    }
+
+    fn code_profile(&self) -> CodeProfile {
+        CodeProfile {
+            code_bytes: 1_500_000,
+            hot_bytes: 72 * 1024,
+            cold_period: 1100,
+        }
+    }
+
+    fn setup(&mut self, alloc: &mut BumpAllocator) {
+        let n = self.prm.n;
+        let n3 = n * n * n;
+        let (planes, plane_off) = Self::build_planes(n);
+        self.data = Some(Data {
+            u: alloc.alloc_vec_from(n3 * NC, init_field),
+            rhs: alloc.alloc_vec(n3 * NC),
+            v: alloc.alloc_vec(n3 * NC),
+            forcing: alloc.alloc_vec_from(n3 * NC, |e| ((e % 83) as f64 - 41.0) * 0.001),
+            planes,
+            plane_off,
+        });
+    }
+
+    fn run(&mut self, team: &mut Team) -> f64 {
+        self.run_impl(team)
+    }
+
+    fn reference(&self) -> f64 {
+        let mut team = Team::native(1);
+        self.run_impl(&mut team)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_native;
+    use crate::AppKind;
+
+    #[test]
+    fn hyperplanes_partition_the_grid() {
+        let n = 8;
+        let (planes, off) = Lu::build_planes(n);
+        assert_eq!(planes.len(), n * n * n);
+        assert_eq!(off.len(), 3 * n - 2 + 1);
+        // Every point appears exactly once, in its own diagonal's bucket.
+        let mut seen = vec![false; n * n * n];
+        for d in 0..3 * n - 2 {
+            for &id in &planes[off[d]..off[d + 1]] {
+                let (i, j, k) = Lu::coords(n, id);
+                assert_eq!(i + j + k, d, "point {id} in wrong plane");
+                assert!(!seen[id as usize]);
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn plane_sizes_peak_in_the_middle() {
+        let n = 8;
+        let (_, off) = Lu::build_planes(n);
+        let size = |d: usize| off[d + 1] - off[d];
+        assert_eq!(size(0), 1);
+        assert_eq!(size(3 * n - 3), 1);
+        let mid = size((3 * n - 2) / 2);
+        assert!(mid > size(0) && mid > size(3 * n - 3));
+    }
+
+    #[test]
+    fn lu_native_matches_reference_across_threads() {
+        for threads in [1, 2, 4] {
+            let (cs, ok) = run_native(AppKind::Lu, Class::S, threads);
+            assert!(ok, "threads={threads} checksum={cs}");
+            assert!(cs.is_finite() && cs > 0.0);
+        }
+    }
+
+    #[test]
+    fn lu_wavefront_dependence_is_respected() {
+        // The parallel result must equal the strictly sequential one —
+        // which it can only do if planes run in dependence order.
+        let (seq, _) = run_native(AppKind::Lu, Class::S, 1);
+        let (par, _) = run_native(AppKind::Lu, Class::S, 4);
+        assert!(crate::common::verify_close(seq, par), "{seq} vs {par}");
+    }
+}

@@ -1,0 +1,457 @@
+//! NPB MG: multigrid V-cycle Poisson solver.
+//!
+//! *"MG works continuously on a set of grids that are changed between
+//! coarse and fine. It tests both short and long distance data movement"*
+//! (paper §4.2). MG is the lowest-compute-intensity of the five — a few
+//! flops per grid point against sweeps over grids far larger than the
+//! 4 KB-page TLB reach — so page-walk time is a large share of its run
+//! time and the paper measures a ~17% improvement (and a ≥10× DTLB miss
+//! reduction) with 2 MB pages.
+//!
+//! Grids are periodic cubes; the V-cycle uses a 7-point residual/smoother
+//! and 7-point restriction/prolongation. Phases parallelize over (k, j)
+//! rows; each phase reads one array and writes another, so parallel
+//! writes are disjoint and results are deterministic.
+
+use crate::common::{Class, CodeProfile, Footprint, Kernel};
+use lpomp_runtime::{BumpAllocator, Reduction, Schedule, ShVec, Team};
+
+/// Stencil coefficients (center, face-neighbor) for the operator A,
+/// the smoother S, restriction and prolongation.
+const A0: f64 = -8.0 / 3.0;
+const A1: f64 = 1.0 / 6.0;
+const S0: f64 = -3.0 / 8.0;
+const S1: f64 = 1.0 / 32.0;
+
+#[derive(Clone, Copy, Debug)]
+struct Params {
+    /// Fine-grid edge length (power of two).
+    n: usize,
+    /// Coarsest-grid edge length.
+    coarsest: usize,
+    /// V-cycle iterations.
+    iters: usize,
+}
+
+fn params(class: Class) -> Params {
+    match class {
+        Class::S => Params {
+            n: 32,
+            coarsest: 4,
+            iters: 2,
+        },
+        // Fine grid 128^3 = 16 MB/array: sweeps span 4x the Opteron's
+        // 4 KB-page reach, within the 2 MB-page regime.
+        Class::W => Params {
+            n: 128,
+            coarsest: 4,
+            iters: 2,
+        },
+        Class::A => Params {
+            n: 192,
+            coarsest: 4,
+            iters: 2,
+        },
+        // NPB class B: 256^3, 20 iterations.
+        Class::B => Params {
+            n: 256,
+            coarsest: 4,
+            iters: 20,
+        },
+    }
+}
+
+/// One grid level.
+struct Level {
+    n: usize,
+    u: ShVec<f64>,
+    r: ShVec<f64>,
+}
+
+/// The MG benchmark.
+pub struct Mg {
+    class: Class,
+    prm: Params,
+    levels: Vec<Level>,
+    v: Option<ShVec<f64>>,
+}
+
+#[inline]
+fn idx(n: usize, i: usize, j: usize, k: usize) -> usize {
+    (k * n + j) * n + i
+}
+
+/// Periodic neighbor index.
+#[inline]
+fn wrap(x: usize, d: isize, n: usize) -> usize {
+    (x as isize + d).rem_euclid(n as isize) as usize
+}
+
+impl Mg {
+    /// New MG instance.
+    pub fn new(class: Class) -> Self {
+        Mg {
+            class,
+            prm: params(class),
+            levels: Vec::new(),
+            v: None,
+        }
+    }
+
+    fn level_dims(&self) -> Vec<usize> {
+        let mut dims = Vec::new();
+        let mut n = self.prm.n;
+        while n >= self.prm.coarsest {
+            dims.push(n);
+            n /= 2;
+        }
+        dims
+    }
+
+    /// 7-point stencil application `dst = src2 - A(src)` (resid) or
+    /// `dst += S(src)` (psinv), parallel over (k, j) rows.
+    ///
+    /// Instrumentation: per 8-element line, one streamed access per
+    /// distinct stencil stream (center, y±1, z±1 input lines and the
+    /// output line) — multi-stream sweeps are exactly what hardware
+    /// prefetchers cover, leaving the page walks as the exposed cost.
+    #[allow(clippy::too_many_arguments)]
+    fn stencil(
+        team: &mut Team,
+        n: usize,
+        src: &ShVec<f64>,
+        extra: Option<&ShVec<f64>>,
+        dst: &ShVec<f64>,
+        c0: f64,
+        c1: f64,
+        accumulate: bool,
+    ) {
+        team.parallel_for(0..n * n, Schedule::Static, &|ctx, rows| {
+            let mut flops = 0u64;
+            for kj in rows {
+                let k = kj / n;
+                let j = kj % n;
+                let km = wrap(k, -1, n);
+                let kp = wrap(k, 1, n);
+                let jm = wrap(j, -1, n);
+                let jp = wrap(j, 1, n);
+                for i0 in (0..n).step_by(8) {
+                    // One streamed access per stencil input line.
+                    ctx.read_streamed(src.va(idx(n, i0, j, k)));
+                    ctx.read_streamed(src.va(idx(n, i0, jm, k)));
+                    ctx.read_streamed(src.va(idx(n, i0, jp, k)));
+                    ctx.read_streamed(src.va(idx(n, i0, j, km)));
+                    ctx.read_streamed(src.va(idx(n, i0, j, kp)));
+                    if let Some(e) = extra {
+                        ctx.read_streamed(e.va(idx(n, i0, j, k)));
+                    }
+                    ctx.write_streamed(dst.va(idx(n, i0, j, k)));
+                    for i in i0..(i0 + 8).min(n) {
+                        let im = wrap(i, -1, n);
+                        let ip = wrap(i, 1, n);
+                        let center = src.get_raw(idx(n, i, j, k));
+                        let faces = src.get_raw(idx(n, im, j, k))
+                            + src.get_raw(idx(n, ip, j, k))
+                            + src.get_raw(idx(n, i, jm, k))
+                            + src.get_raw(idx(n, i, jp, k))
+                            + src.get_raw(idx(n, i, j, km))
+                            + src.get_raw(idx(n, i, j, kp));
+                        let mut val = c0 * center + c1 * faces;
+                        if let Some(e) = extra {
+                            val = e.get_raw(idx(n, i, j, k)) - val;
+                        }
+                        if accumulate {
+                            val += dst.get_raw(idx(n, i, j, k));
+                        }
+                        dst.set_raw(idx(n, i, j, k), val);
+                    }
+                    flops += 9 * 8;
+                }
+            }
+            ctx.compute(flops);
+        });
+    }
+
+    /// Restriction: coarse.r = weighted average of fine.r.
+    fn rprj3(
+        team: &mut Team,
+        fine_n: usize,
+        fine: &ShVec<f64>,
+        coarse_n: usize,
+        coarse: &ShVec<f64>,
+    ) {
+        team.parallel_for(0..coarse_n * coarse_n, Schedule::Static, &|ctx, rows| {
+            let mut flops = 0u64;
+            for kj in rows {
+                let k = kj / coarse_n;
+                let j = kj % coarse_n;
+                let fk = 2 * k;
+                let fj = 2 * j;
+                for i0 in (0..coarse_n).step_by(8) {
+                    // Fine reads: the (2i) line plus the z±1 / y±1 lines —
+                    // stride-2 streams through the fine grid.
+                    let fi0 = 2 * i0;
+                    ctx.read_streamed(fine.va(idx(fine_n, fi0, fj, fk)));
+                    ctx.read_streamed(fine.va(idx(fine_n, fi0, wrap(fj, -1, fine_n), fk)));
+                    ctx.read_streamed(fine.va(idx(fine_n, fi0, wrap(fj, 1, fine_n), fk)));
+                    ctx.read_streamed(fine.va(idx(fine_n, fi0, fj, wrap(fk, -1, fine_n))));
+                    ctx.read_streamed(fine.va(idx(fine_n, fi0, fj, wrap(fk, 1, fine_n))));
+                    ctx.write_streamed(coarse.va(idx(coarse_n, i0, j, k)));
+                    for i in i0..(i0 + 8).min(coarse_n) {
+                        let fi = 2 * i;
+                        let center = fine.get_raw(idx(fine_n, fi, fj, fk));
+                        let faces = fine.get_raw(idx(fine_n, wrap(fi, -1, fine_n), fj, fk))
+                            + fine.get_raw(idx(fine_n, wrap(fi, 1, fine_n), fj, fk))
+                            + fine.get_raw(idx(fine_n, fi, wrap(fj, -1, fine_n), fk))
+                            + fine.get_raw(idx(fine_n, fi, wrap(fj, 1, fine_n), fk))
+                            + fine.get_raw(idx(fine_n, fi, fj, wrap(fk, -1, fine_n)))
+                            + fine.get_raw(idx(fine_n, fi, fj, wrap(fk, 1, fine_n)));
+                        coarse.set_raw(idx(coarse_n, i, j, k), 0.5 * center + faces / 12.0);
+                    }
+                    flops += 9 * 8;
+                }
+            }
+            ctx.compute(flops);
+        });
+    }
+
+    /// Prolongation: fine.u += trilinear-ish interpolation of coarse.u.
+    fn interp(
+        team: &mut Team,
+        coarse_n: usize,
+        coarse: &ShVec<f64>,
+        fine_n: usize,
+        fine: &ShVec<f64>,
+    ) {
+        team.parallel_for(0..coarse_n * coarse_n, Schedule::Static, &|ctx, rows| {
+            let mut flops = 0u64;
+            for kj in rows {
+                let k = kj / coarse_n;
+                let j = kj % coarse_n;
+                let fk = 2 * k;
+                let fj = 2 * j;
+                for i0 in (0..coarse_n).step_by(8) {
+                    ctx.read_streamed(coarse.va(idx(coarse_n, i0, j, k)));
+                    // Each coarse line feeds two fine lines in x and the
+                    // odd-k plane.
+                    ctx.write_streamed(fine.va(idx(fine_n, 2 * i0, fj, fk)));
+                    if 2 * i0 + 8 < fine_n {
+                        ctx.write_streamed(fine.va(idx(fine_n, 2 * i0 + 8, fj, fk)));
+                    }
+                    ctx.write_streamed(fine.va(idx(fine_n, 2 * i0, fj, wrap(fk, 1, fine_n))));
+                    for i in i0..(i0 + 8).min(coarse_n) {
+                        let fi = 2 * i;
+                        let c = coarse.get_raw(idx(coarse_n, i, j, k));
+                        let cx = coarse.get_raw(idx(coarse_n, wrap(i, 1, coarse_n), j, k));
+                        // Even point gets the coarse value; odd point the
+                        // average with the next coarse point; the odd-k
+                        // plane gets a half contribution.
+                        let e0 = idx(fine_n, fi, fj, fk);
+                        let e1 = idx(fine_n, wrap(fi, 1, fine_n), fj, fk);
+                        let e2 = idx(fine_n, fi, fj, wrap(fk, 1, fine_n));
+                        fine.set_raw(e0, fine.get_raw(e0) + c);
+                        fine.set_raw(e1, fine.get_raw(e1) + 0.5 * (c + cx));
+                        fine.set_raw(e2, fine.get_raw(e2) + 0.5 * c);
+                    }
+                    flops += 6 * 8;
+                }
+            }
+            ctx.compute(flops);
+        });
+    }
+
+    /// Squared norm of a grid.
+    fn norm2(team: &mut Team, n: usize, g: &ShVec<f64>) -> f64 {
+        team.parallel_for_reduce(0..n * n, Schedule::Static, Reduction::Sum, &|ctx, rows| {
+            let mut s = 0.0;
+            let mut flops = 0u64;
+            for kj in rows.clone() {
+                let k = kj / n;
+                let j = kj % n;
+                for i0 in (0..n).step_by(8) {
+                    ctx.read_streamed(g.va(idx(n, i0, j, k)));
+                    for i in i0..(i0 + 8).min(n) {
+                        let v = g.get_raw(idx(n, i, j, k));
+                        s += v * v;
+                    }
+                    flops += 2 * 8;
+                }
+            }
+            ctx.compute(flops);
+            s
+        })
+    }
+
+    /// Initialise v with a deterministic sparse impulse pattern (NPB puts
+    /// +1/-1 at selected points; we use a fixed pseudo-random scatter).
+    fn init_v(v: &ShVec<f64>, n: usize) {
+        v.fill_raw(0.0);
+        let mut rng = crate::rng::Nprng::new_default();
+        for s in 0..20 {
+            let i = rng.next_index(n);
+            let j = rng.next_index(n);
+            let k = rng.next_index(n);
+            v.set_raw(idx(n, i, j, k), if s % 2 == 0 { 1.0 } else { -1.0 });
+        }
+    }
+
+    /// One V-cycle + residual, shared by `run` (any team).
+    fn vcycle(&self, team: &mut Team) {
+        let nl = self.levels.len();
+        let v = self.v.as_ref().unwrap();
+        // Downstroke: restrict residuals to the coarsest level.
+        for l in 0..nl - 1 {
+            let (f, c) = (&self.levels[l], &self.levels[l + 1]);
+            Self::rprj3(team, f.n, &f.r, c.n, &c.r);
+        }
+        // Coarsest solve: one smoothing application into u.
+        let bottom = &self.levels[nl - 1];
+        bottom.u.fill_raw(0.0);
+        Self::stencil(team, bottom.n, &bottom.r, None, &bottom.u, S0, S1, false);
+        // Upstroke: interpolate and smooth.
+        for l in (0..nl - 1).rev() {
+            let (f, c) = (&self.levels[l], &self.levels[l + 1]);
+            if l > 0 {
+                f.u.fill_raw(0.0);
+            }
+            Self::interp(team, c.n, &c.u, f.n, &f.u);
+            // r_l = (l == 0 ? v : r_l) - A u_l, then smooth u_l += S r_l.
+            let rhs = if l == 0 { v } else { &f.r };
+            Self::stencil(team, f.n, &f.u, Some(rhs), &f.r, A0, A1, false);
+            Self::stencil(team, f.n, &f.r, None, &f.u, S0, S1, true);
+        }
+    }
+
+    fn run_impl(&self, team: &mut Team) -> f64 {
+        let fine = &self.levels[0];
+        let v = self.v.as_ref().unwrap();
+        fine.u.fill_raw(0.0);
+        // r = v initially.
+        for i in 0..v.len() {
+            fine.r.set_raw(i, v.get_raw(i));
+        }
+        for _ in 0..self.prm.iters {
+            self.vcycle(team);
+            // Final residual r = v - A u on the fine grid.
+            Self::stencil(team, fine.n, &fine.u, Some(v), &fine.r, A0, A1, false);
+        }
+        Self::norm2(team, fine.n, &fine.r).sqrt()
+    }
+}
+
+impl Kernel for Mg {
+    fn name(&self) -> &'static str {
+        "MG"
+    }
+
+    fn class(&self) -> Class {
+        self.class
+    }
+
+    fn footprint(&self) -> Footprint {
+        let mut data = 0u64;
+        for n in self.level_dims() {
+            data += 2 * (n * n * n * 8) as u64; // u and r per level
+        }
+        data += (self.prm.n.pow(3) * 8) as u64; // v on the finest level
+        Footprint {
+            instruction_bytes: 1_400_000, // Table 2: MG binary 1.4 MB
+            data_bytes: data,
+        }
+    }
+
+    fn code_profile(&self) -> CodeProfile {
+        // MG has the most distinct phases of the five (paper Fig. 3 shows
+        // it with the highest — still negligible — ITLB miss rate), so it
+        // gets the largest hot region and most frequent cold excursions.
+        CodeProfile {
+            code_bytes: 1_400_000,
+            hot_bytes: 96 * 1024,
+            cold_period: 400,
+        }
+    }
+
+    fn setup(&mut self, alloc: &mut BumpAllocator) {
+        self.levels = self
+            .level_dims()
+            .into_iter()
+            .map(|n| Level {
+                n,
+                u: alloc.alloc_vec(n * n * n),
+                r: alloc.alloc_vec(n * n * n),
+            })
+            .collect();
+        let n = self.prm.n;
+        let v = alloc.alloc_vec(n * n * n);
+        Self::init_v(&v, n);
+        self.v = Some(v);
+    }
+
+    fn run(&mut self, team: &mut Team) -> f64 {
+        self.run_impl(team)
+    }
+
+    fn reference(&self) -> f64 {
+        // The parallel phases write disjoint elements and read only from
+        // other arrays, so a 1-thread native team computes the exact
+        // serial result.
+        let mut team = Team::native(1);
+        self.run_impl(&mut team)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_native;
+    use crate::AppKind;
+
+    #[test]
+    fn mg_native_matches_reference_across_threads() {
+        for threads in [1, 2, 4] {
+            let (cs, ok) = run_native(AppKind::Mg, Class::S, threads);
+            assert!(ok, "threads={threads} checksum={cs}");
+            assert!(cs.is_finite() && cs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mg_vcycle_reduces_residual() {
+        // The V-cycle must actually damp the impulse residual, i.e. the
+        // final residual norm is below the initial ||v||.
+        let mut k = Mg::new(Class::S);
+        let mut alloc = BumpAllocator::unbounded();
+        k.setup(&mut alloc);
+        let v = k.v.as_ref().unwrap();
+        let v0: f64 = (0..v.len())
+            .map(|i| v.get_raw(i) * v.get_raw(i))
+            .sum::<f64>()
+            .sqrt();
+        let mut team = Team::native(2);
+        let rn = k.run(&mut team);
+        assert!(rn < v0, "residual {rn} not below initial {v0}");
+    }
+
+    #[test]
+    fn mg_level_dims_halve() {
+        let k = Mg::new(Class::S);
+        assert_eq!(k.level_dims(), vec![32, 16, 8, 4]);
+    }
+
+    #[test]
+    fn mg_footprint_class_b_magnitude() {
+        // NPB MG class B is 256^3: our u/r/v hierarchy is ~420 MB; the
+        // paper's Table 2 reports 884 MB including runtime overheads —
+        // same order of magnitude.
+        let fp = Mg::new(Class::B).footprint();
+        let mb = fp.data_bytes as f64 / (1024.0 * 1024.0);
+        assert!((300.0..1000.0).contains(&mb), "MG B = {mb:.0} MB");
+    }
+
+    #[test]
+    fn wrap_is_periodic() {
+        assert_eq!(wrap(0, -1, 8), 7);
+        assert_eq!(wrap(7, 1, 8), 0);
+        assert_eq!(wrap(3, 1, 8), 4);
+    }
+}

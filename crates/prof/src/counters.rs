@@ -1,0 +1,290 @@
+//! Hardware-event enumeration and counter sheets.
+
+use core::fmt;
+
+/// The hardware events the simulator counts. These mirror the OProfile
+/// events the paper reads (DTLB/ITLB misses, cycles) plus the cache and
+/// runtime events needed to explain where time goes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Event {
+    /// Core clock cycles consumed.
+    Cycles,
+    /// Retired instructions (approximated as one per modelled operation).
+    Instructions,
+    /// Data loads issued.
+    Loads,
+    /// Data stores issued.
+    Stores,
+    /// Instruction fetches issued.
+    IFetches,
+    /// Data-TLB lookups that hit any level.
+    DtlbHits,
+    /// Data-TLB lookups that hit only in the L2 TLB.
+    DtlbL2Hits,
+    /// Data-TLB lookups that missed every level (page walks).
+    DtlbMisses,
+    /// Instruction-TLB misses.
+    ItlbMisses,
+    /// L1 data-cache misses.
+    L1dMisses,
+    /// L2 cache misses (DRAM accesses).
+    L2Misses,
+    /// Cycles spent in hardware page walks.
+    WalkCycles,
+    /// Prefetcher restarts at page boundaries of streamed sweeps.
+    PrefetchRestarts,
+    /// Cycles lost to prefetcher restarts.
+    PrefetchRestartCycles,
+    /// Page faults taken (demand population).
+    PageFaults,
+    /// SMT pipeline flushes (the Xeon's flush-on-stall implementation).
+    SmtFlushes,
+    /// Cycles lost to SMT pipeline flushes.
+    SmtFlushCycles,
+    /// Barrier episodes entered.
+    Barriers,
+    /// Cycles spent waiting at barriers.
+    BarrierCycles,
+}
+
+impl Event {
+    /// Number of distinct events.
+    pub const COUNT: usize = 19;
+
+    /// All events in declaration order.
+    pub const ALL: [Event; Event::COUNT] = [
+        Event::Cycles,
+        Event::Instructions,
+        Event::Loads,
+        Event::Stores,
+        Event::IFetches,
+        Event::DtlbHits,
+        Event::DtlbL2Hits,
+        Event::DtlbMisses,
+        Event::ItlbMisses,
+        Event::L1dMisses,
+        Event::L2Misses,
+        Event::WalkCycles,
+        Event::PrefetchRestarts,
+        Event::PrefetchRestartCycles,
+        Event::PageFaults,
+        Event::SmtFlushes,
+        Event::SmtFlushCycles,
+        Event::Barriers,
+        Event::BarrierCycles,
+    ];
+
+    /// Short mnemonic used in reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Event::Cycles => "cycles",
+            Event::Instructions => "inst",
+            Event::Loads => "loads",
+            Event::Stores => "stores",
+            Event::IFetches => "ifetch",
+            Event::DtlbHits => "dtlb_hit",
+            Event::DtlbL2Hits => "dtlb_l2_hit",
+            Event::DtlbMisses => "dtlb_miss",
+            Event::ItlbMisses => "itlb_miss",
+            Event::L1dMisses => "l1d_miss",
+            Event::L2Misses => "l2_miss",
+            Event::WalkCycles => "walk_cyc",
+            Event::PrefetchRestarts => "pf_restart",
+            Event::PrefetchRestartCycles => "pf_restart_cyc",
+            Event::PageFaults => "faults",
+            Event::SmtFlushes => "smt_flush",
+            Event::SmtFlushCycles => "smt_flush_cyc",
+            Event::Barriers => "barriers",
+            Event::BarrierCycles => "barrier_cyc",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A fixed-size bank of event counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    vals: [u64; Event::COUNT],
+}
+
+impl Counters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to an event.
+    #[inline]
+    pub fn add(&mut self, e: Event, n: u64) {
+        self.vals[e as usize] += n;
+    }
+
+    /// Increment an event by one.
+    #[inline]
+    pub fn bump(&mut self, e: Event) {
+        self.vals[e as usize] += 1;
+    }
+
+    /// Read an event's count.
+    #[inline]
+    pub fn get(&self, e: Event) -> u64 {
+        self.vals[e as usize]
+    }
+
+    /// Set an event's count (used for clock snapshots).
+    #[inline]
+    pub fn set(&mut self, e: Event, v: u64) {
+        self.vals[e as usize] = v;
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &Counters) {
+        for i in 0..Event::COUNT {
+            self.vals[i] += other.vals[i];
+        }
+    }
+
+    /// Iterate `(event, count)` pairs with nonzero counts.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
+        Event::ALL
+            .iter()
+            .copied()
+            .filter_map(move |e| (self.get(e) > 0).then_some((e, self.get(e))))
+    }
+}
+
+/// Counters for one logical thread.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadSheet {
+    /// Logical thread id.
+    pub thread: usize,
+    /// The thread's counters.
+    pub counters: Counters,
+}
+
+/// A whole run's profile: one sheet per logical thread.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    sheets: Vec<ThreadSheet>,
+}
+
+impl Profile {
+    /// Profile with `threads` zeroed sheets.
+    pub fn new(threads: usize) -> Self {
+        Profile {
+            sheets: (0..threads)
+                .map(|thread| ThreadSheet {
+                    thread,
+                    counters: Counters::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of threads profiled.
+    pub fn threads(&self) -> usize {
+        self.sheets.len()
+    }
+
+    /// Mutable access to a thread's counters.
+    pub fn thread_mut(&mut self, t: usize) -> &mut Counters {
+        &mut self.sheets[t].counters
+    }
+
+    /// Shared access to a thread's counters.
+    pub fn thread(&self, t: usize) -> &Counters {
+        &self.sheets[t].counters
+    }
+
+    /// All sheets.
+    pub fn sheets(&self) -> &[ThreadSheet] {
+        &self.sheets
+    }
+
+    /// Sum across threads (OProfile's "aggregate" view).
+    pub fn aggregate(&self) -> Counters {
+        let mut total = Counters::new();
+        for s in &self.sheets {
+            total.merge(&s.counters);
+        }
+        total
+    }
+
+    /// Maximum of an event across threads — for `Cycles` this is the
+    /// parallel run's critical path.
+    pub fn max(&self, e: Event) -> u64 {
+        self.sheets
+            .iter()
+            .map(|s| s.counters.get(e))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of an event across threads.
+    pub fn sum(&self, e: Event) -> u64 {
+        self.sheets.iter().map(|s| s.counters.get(e)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_get() {
+        let mut c = Counters::new();
+        c.add(Event::DtlbMisses, 5);
+        c.bump(Event::DtlbMisses);
+        assert_eq!(c.get(Event::DtlbMisses), 6);
+        assert_eq!(c.get(Event::ItlbMisses), 0);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = Counters::new();
+        a.add(Event::Loads, 3);
+        let mut b = Counters::new();
+        b.add(Event::Loads, 4);
+        b.add(Event::Stores, 1);
+        a.merge(&b);
+        assert_eq!(a.get(Event::Loads), 7);
+        assert_eq!(a.get(Event::Stores), 1);
+    }
+
+    #[test]
+    fn nonzero_iterates_only_touched_events() {
+        let mut c = Counters::new();
+        c.add(Event::Cycles, 10);
+        c.add(Event::L2Misses, 2);
+        let v: Vec<_> = c.nonzero().collect();
+        assert_eq!(v, vec![(Event::Cycles, 10), (Event::L2Misses, 2)]);
+    }
+
+    #[test]
+    fn profile_aggregate_and_max() {
+        let mut p = Profile::new(3);
+        p.thread_mut(0).add(Event::Cycles, 100);
+        p.thread_mut(1).add(Event::Cycles, 250);
+        p.thread_mut(2).add(Event::Cycles, 200);
+        assert_eq!(p.aggregate().get(Event::Cycles), 550);
+        assert_eq!(p.max(Event::Cycles), 250);
+        assert_eq!(p.sum(Event::Cycles), 550);
+        assert_eq!(p.threads(), 3);
+    }
+
+    #[test]
+    fn event_all_is_complete_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for e in Event::ALL {
+            assert!(seen.insert(e as usize));
+            assert!(!e.mnemonic().is_empty());
+        }
+        assert_eq!(seen.len(), Event::COUNT);
+    }
+}

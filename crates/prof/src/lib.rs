@@ -1,0 +1,22 @@
+//! # `lpomp-prof` — event counters and reports (the OProfile analogue)
+//!
+//! The paper measures its systems with OProfile: aggregate ITLB miss rates
+//! (Fig. 3) and normalized DTLB miss counts (Fig. 5). This crate provides
+//! the counter substrate those measurements need — a fixed set of hardware
+//! events, per-thread counter sheets, whole-run profiles with aggregation,
+//! rate computation against a cycle clock, and the normalized-comparison
+//! arithmetic of Fig. 5 — plus a small text-table formatter the experiment
+//! binaries use to print paper-shaped tables.
+//!
+//! Counting is exact rather than sampled: the simulator observes every
+//! event, so there is no need for OProfile's statistical sampling.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod report;
+pub mod table;
+
+pub use counters::{Counters, Event, Profile, ThreadSheet};
+pub use report::{imbalance, normalized, rate_per_second, NormalizedSeries};
+pub use table::TextTable;

@@ -1,0 +1,207 @@
+//! Barriers for the native engine.
+//!
+//! Omni/SCASH implements barriers over its intra-node communication layer
+//! (paper §3.3); our native engine provides two classic shared-memory
+//! algorithms — a centralized sense-reversing barrier and a software
+//! combining tree — both usable from real threads. The simulated engine
+//! does not execute these (it synchronizes clocks analytically using the
+//! cost model), but ablation A2 benchmarks them against each other.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Common interface of the native barrier algorithms.
+pub trait NativeBarrier: Sync {
+    /// Block until all `n` participants have arrived. `tid` is the
+    /// caller's dense thread id in `0..n`.
+    fn wait(&self, tid: usize);
+
+    /// Number of participants.
+    fn participants(&self) -> usize;
+}
+
+/// Centralized sense-reversing barrier: one atomic counter plus a global
+/// sense flag; each thread keeps a local sense it flips per episode.
+/// O(n) contention on one cache line, but the simplest correct choice.
+pub struct SenseBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+    local_sense: Vec<AtomicBool>,
+}
+
+impl SenseBarrier {
+    /// Barrier for `n` threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        SenseBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            local_sense: (0..n).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+}
+
+impl NativeBarrier for SenseBarrier {
+    fn wait(&self, tid: usize) {
+        let my_sense = self.local_sense[tid].load(Ordering::Relaxed);
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            // Last arrival: reset and release everyone.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+        self.local_sense[tid].store(!my_sense, Ordering::Relaxed);
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+/// Software combining-tree barrier: arrivals propagate up a binary tree of
+/// sense-reversing nodes, the root releases downward. O(log n) critical
+/// path, less contention per cache line than the centralized barrier.
+pub struct TreeBarrier {
+    n: usize,
+    /// One counter + sense per internal node; node 0 is the root.
+    nodes: Vec<TreeNode>,
+    local_sense: Vec<AtomicBool>,
+}
+
+struct TreeNode {
+    expected: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl TreeBarrier {
+    /// Barrier for `n` threads with fan-in 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        // A simple two-level scheme: pair leaves combine into a root wave.
+        // For the thread counts of this paper (≤8) one internal node per
+        // pair plus a root gives the right O(log n) structure.
+        let leaf_groups = n.div_ceil(2);
+        let mut nodes = Vec::with_capacity(leaf_groups + 1);
+        // Root expects one arrival per leaf group.
+        nodes.push(TreeNode {
+            expected: leaf_groups,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        });
+        for g in 0..leaf_groups {
+            let members = if 2 * g + 1 < n { 2 } else { 1 };
+            nodes.push(TreeNode {
+                expected: members,
+                count: AtomicUsize::new(0),
+                sense: AtomicBool::new(false),
+            });
+        }
+        TreeBarrier {
+            n,
+            nodes,
+            local_sense: (0..n).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+}
+
+impl NativeBarrier for TreeBarrier {
+    fn wait(&self, tid: usize) {
+        let my_sense = self.local_sense[tid].load(Ordering::Relaxed);
+        let leaf = 1 + tid / 2;
+        let node = &self.nodes[leaf];
+        if node.count.fetch_add(1, Ordering::AcqRel) == node.expected - 1 {
+            node.count.store(0, Ordering::Relaxed);
+            // Last in the group: arrive at the root.
+            let root = &self.nodes[0];
+            if root.count.fetch_add(1, Ordering::AcqRel) == root.expected - 1 {
+                root.count.store(0, Ordering::Relaxed);
+                root.sense.store(my_sense, Ordering::Release);
+            } else {
+                while root.sense.load(Ordering::Acquire) != my_sense {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+            // Release the group.
+            node.sense.store(my_sense, Ordering::Release);
+        } else {
+            while node.sense.load(Ordering::Acquire) != my_sense {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+        self.local_sense[tid].store(!my_sense, Ordering::Relaxed);
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn exercise(b: &dyn NativeBarrier, episodes: usize) {
+        let n = b.participants();
+        let phase_sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let phase_sum = &phase_sum;
+                s.spawn(move || {
+                    for e in 0..episodes {
+                        // Every thread adds its phase; after the barrier the
+                        // total must be exactly n * e for everyone.
+                        phase_sum.fetch_add(1, Ordering::SeqCst);
+                        b.wait(tid);
+                        let v = phase_sum.load(Ordering::SeqCst);
+                        assert!(v >= ((e + 1) * n) as u64, "tid {tid} episode {e}: saw {v}");
+                        b.wait(tid);
+                    }
+                });
+            }
+        });
+        assert_eq!(phase_sum.load(Ordering::SeqCst), (episodes * n) as u64);
+    }
+
+    #[test]
+    fn sense_barrier_synchronizes() {
+        for n in [1, 2, 3, 4, 8] {
+            exercise(&SenseBarrier::new(n), 50);
+        }
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            exercise(&TreeBarrier::new(n), 50);
+        }
+    }
+
+    #[test]
+    fn barriers_are_reusable_many_times() {
+        let b = SenseBarrier::new(2);
+        exercise(&b, 500);
+        let t = TreeBarrier::new(2);
+        exercise(&t, 500);
+    }
+
+    #[test]
+    fn single_thread_barrier_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+        let t = TreeBarrier::new(1);
+        for _ in 0..10 {
+            t.wait(0);
+        }
+    }
+}

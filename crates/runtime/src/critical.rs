@@ -1,0 +1,188 @@
+//! Mutual exclusion constructs: OpenMP's `critical` and its lock API.
+//!
+//! Omni implements `#pragma omp critical` and the `omp_*_lock` routines
+//! over its shared region; the native engine provides the same contracts
+//! over `parking_lot`. In the simulated engine loops execute one quantum
+//! at a time on a single OS thread, so these are trivially uncontended
+//! there — they exist for the native-engine programming model (examples,
+//! benches and any downstream user writing OpenMP-style Rust).
+
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An OpenMP `critical` section: at most one thread inside at a time.
+///
+/// ```
+/// use lpomp_runtime::{Critical, Schedule, Team};
+/// let critical = Critical::new();
+/// let mut total = 0u64;
+/// {
+///     let total_ref = std::sync::Mutex::new(&mut total);
+///     let mut team = Team::native(4);
+///     team.parallel_for(0..100, Schedule::Static, &|_, r| {
+///         // #pragma omp critical
+///         let _guard = critical.enter();
+///         **total_ref.lock().unwrap() += r.len() as u64;
+///     });
+/// }
+/// assert_eq!(total, 100);
+/// ```
+#[derive(Debug, Default)]
+pub struct Critical {
+    mutex: Mutex<()>,
+    entries: AtomicU64,
+}
+
+impl Critical {
+    /// New critical section.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enter the section; the guard releases it on drop.
+    pub fn enter(&self) -> MutexGuard<'_, ()> {
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        self.mutex.lock()
+    }
+
+    /// Attempt to enter without blocking.
+    pub fn try_enter(&self) -> Option<MutexGuard<'_, ()>> {
+        let g = self.mutex.try_lock();
+        if g.is_some() {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        g
+    }
+
+    /// How many times the section has been entered.
+    pub fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+}
+
+/// The OpenMP lock API (`omp_init_lock` / `set` / `unset` / `test`), for
+/// code ported from OpenMP that manages locks explicitly rather than
+/// lexically.
+#[derive(Debug, Default)]
+pub struct OmpLock {
+    mutex: Mutex<()>,
+}
+
+impl OmpLock {
+    /// `omp_init_lock`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `omp_set_lock`: blocks until acquired. Pair with [`unset`].
+    ///
+    /// [`unset`]: OmpLock::unset
+    pub fn set(&self) {
+        std::mem::forget(self.mutex.lock());
+    }
+
+    /// `omp_unset_lock`.
+    ///
+    /// # Safety contract (checked at runtime)
+    /// Panics if the lock is not held.
+    pub fn unset(&self) {
+        assert!(self.mutex.is_locked(), "omp_unset_lock on an unheld lock");
+        // Safety: the OpenMP contract is that the setting thread unsets;
+        // parking_lot supports unlocking from the owning context.
+        unsafe { self.mutex.force_unlock() }
+    }
+
+    /// `omp_test_lock`: try to acquire; true on success.
+    pub fn test(&self) -> bool {
+        match self.mutex.try_lock() {
+            Some(g) => {
+                std::mem::forget(g);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the lock is currently held.
+    pub fn is_set(&self) -> bool {
+        self.mutex.is_locked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schedule, Team};
+    use std::sync::atomic::AtomicI64;
+
+    #[test]
+    fn critical_section_serializes_updates() {
+        // A non-atomic read-modify-write protected by the critical
+        // section must not lose updates.
+        struct Wrap(std::cell::UnsafeCell<i64>);
+        // Safety: all access to the cell happens inside the critical
+        // section, which provides the exclusion.
+        unsafe impl Sync for Wrap {}
+        let critical = Critical::new();
+        let w = Wrap(std::cell::UnsafeCell::new(0i64));
+        let w_ref = &w;
+        let mut team = Team::native(4);
+        team.parallel_for(0..1000, Schedule::Dynamic(16), &|_, r| {
+            for _ in r {
+                let _g = critical.enter();
+                // Safety: exclusive by the critical section.
+                unsafe { *w_ref.0.get() += 1 };
+            }
+        });
+        assert_eq!(unsafe { *w.0.get() }, 1000);
+        assert_eq!(critical.entries(), 1000);
+    }
+
+    #[test]
+    fn try_enter_fails_while_held() {
+        let c = Critical::new();
+        let g = c.enter();
+        assert!(c.try_enter().is_none());
+        drop(g);
+        assert!(c.try_enter().is_some());
+    }
+
+    #[test]
+    fn omp_lock_set_unset_test() {
+        let l = OmpLock::new();
+        assert!(!l.is_set());
+        l.set();
+        assert!(l.is_set());
+        assert!(!l.test());
+        l.unset();
+        assert!(!l.is_set());
+        assert!(l.test());
+        l.unset();
+    }
+
+    #[test]
+    #[should_panic(expected = "unheld lock")]
+    fn unset_of_unheld_lock_panics() {
+        OmpLock::new().unset();
+    }
+
+    #[test]
+    fn omp_lock_guards_across_threads() {
+        let l = OmpLock::new();
+        let counter = AtomicI64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        l.set();
+                        let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                        l.unset();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 400);
+    }
+}

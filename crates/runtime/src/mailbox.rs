@@ -1,0 +1,359 @@
+//! Intra-node shared-memory message passing (paper §3.3).
+//!
+//! Omni/SCASH originally used the SCore communication library over
+//! Myrinet even within a node; the paper replaces it with *"a simple
+//! shared memory message passing interface through a file memory mapped
+//! into each process's space"*, with the properties:
+//!
+//! * single copy — the sender copies into the shared buffer; the receiver
+//!   reads the buffer in place;
+//! * flags signal message availability and buffer reuse;
+//! * up to 32 outstanding messages per channel;
+//! * messages are small (≤ 1 KB) — enough for barrier/reduction protocol
+//!   traffic;
+//! * the backing file uses **4 KB pages**, not large pages.
+//!
+//! [`Mailbox`] reproduces that design: an all-pairs matrix of fixed-slot
+//! rings with atomic full/empty flags. `recv_with` hands the receiver a
+//! borrowed view of the slot, preserving the single-copy property.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Maximum payload per message, as in the paper.
+pub const MAX_MSG_BYTES: usize = 1024;
+/// Outstanding messages per directed channel, as in the paper.
+pub const SLOTS_PER_CHANNEL: usize = 32;
+
+/// Errors from mailbox operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MailboxError {
+    /// Payload exceeds [`MAX_MSG_BYTES`].
+    TooLarge(usize),
+    /// All 32 slots of the channel are in flight.
+    ChannelFull,
+    /// No message available.
+    Empty,
+}
+
+impl std::fmt::Display for MailboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MailboxError::TooLarge(n) => {
+                write!(f, "message of {n} bytes exceeds {MAX_MSG_BYTES}")
+            }
+            MailboxError::ChannelFull => write!(f, "all {SLOTS_PER_CHANNEL} slots in flight"),
+            MailboxError::Empty => write!(f, "no message available"),
+        }
+    }
+}
+
+impl std::error::Error for MailboxError {}
+
+/// One message slot: a flag, a length, and a fixed buffer.
+struct Slot {
+    /// 0 = empty (sender may fill), 1 = full (receiver may read).
+    state: AtomicU32,
+    len: AtomicUsize,
+    data: parking_lot::Mutex<[u8; MAX_MSG_BYTES]>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU32::new(0),
+            len: AtomicUsize::new(0),
+            data: parking_lot::Mutex::new([0; MAX_MSG_BYTES]),
+        }
+    }
+}
+
+/// A directed channel: a ring of [`SLOTS_PER_CHANNEL`] slots with
+/// single-producer / single-consumer cursors.
+struct Channel {
+    slots: Vec<Slot>,
+    head: AtomicUsize, // next slot the sender fills
+    tail: AtomicUsize, // next slot the receiver drains
+}
+
+impl Channel {
+    fn new() -> Self {
+        Channel {
+            slots: (0..SLOTS_PER_CHANNEL).map(|_| Slot::new()).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// The all-pairs mailbox of one node's process team.
+pub struct Mailbox {
+    n: usize,
+    /// channels[from * n + to]
+    channels: Vec<Channel>,
+}
+
+impl Mailbox {
+    /// Mailbox connecting `n` processes (all ordered pairs, no self-send
+    /// channel is excluded — self-sends are legal and occasionally used by
+    /// collective algorithms).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Mailbox {
+            n,
+            channels: (0..n * n).map(|_| Channel::new()).collect(),
+        }
+    }
+
+    /// Number of connected processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Total shared-region bytes this mailbox occupies (the size of the
+    /// 4 KB-paged mapped file in the paper's design).
+    pub fn shared_bytes(&self) -> u64 {
+        (self.n * self.n * SLOTS_PER_CHANNEL * (MAX_MSG_BYTES + 16)) as u64
+    }
+
+    #[inline]
+    fn channel(&self, from: usize, to: usize) -> &Channel {
+        assert!(from < self.n && to < self.n, "rank out of range");
+        &self.channels[from * self.n + to]
+    }
+
+    /// Non-blocking send of `msg` from `from` to `to`.
+    pub fn try_send(&self, from: usize, to: usize, msg: &[u8]) -> Result<(), MailboxError> {
+        if msg.len() > MAX_MSG_BYTES {
+            return Err(MailboxError::TooLarge(msg.len()));
+        }
+        let ch = self.channel(from, to);
+        let head = ch.head.load(Ordering::Relaxed);
+        let slot = &ch.slots[head % SLOTS_PER_CHANNEL];
+        if slot.state.load(Ordering::Acquire) != 0 {
+            return Err(MailboxError::ChannelFull);
+        }
+        {
+            // The single copy of the design: sender → shared buffer.
+            let mut buf = slot.data.lock();
+            buf[..msg.len()].copy_from_slice(msg);
+        }
+        slot.len.store(msg.len(), Ordering::Relaxed);
+        slot.state.store(1, Ordering::Release);
+        ch.head.store(head.wrapping_add(1), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Blocking send (spins while the channel is full).
+    pub fn send(&self, from: usize, to: usize, msg: &[u8]) -> Result<(), MailboxError> {
+        loop {
+            match self.try_send(from, to, msg) {
+                Err(MailboxError::ChannelFull) => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Non-blocking receive on channel `from → to`; the closure sees the
+    /// message *in place* (no second copy) and its return value is passed
+    /// through.
+    pub fn try_recv_with<R>(
+        &self,
+        from: usize,
+        to: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, MailboxError> {
+        let ch = self.channel(from, to);
+        let tail = ch.tail.load(Ordering::Relaxed);
+        let slot = &ch.slots[tail % SLOTS_PER_CHANNEL];
+        if slot.state.load(Ordering::Acquire) != 1 {
+            return Err(MailboxError::Empty);
+        }
+        let len = slot.len.load(Ordering::Relaxed);
+        let r = {
+            let buf = slot.data.lock();
+            f(&buf[..len])
+        };
+        slot.state.store(0, Ordering::Release);
+        ch.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
+        Ok(r)
+    }
+
+    /// Blocking receive (spins until a message arrives).
+    pub fn recv_with<R>(&self, from: usize, to: usize, f: impl FnOnce(&[u8]) -> R) -> R {
+        let ch = self.channel(from, to);
+        let tail = ch.tail.load(Ordering::Relaxed);
+        let slot = &ch.slots[tail % SLOTS_PER_CHANNEL];
+        while slot.state.load(Ordering::Acquire) != 1 {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        let len = slot.len.load(Ordering::Relaxed);
+        let r = {
+            let buf = slot.data.lock();
+            f(&buf[..len])
+        };
+        slot.state.store(0, Ordering::Release);
+        ch.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
+        r
+    }
+
+    /// Convenience: blocking receive copied into an owned Vec.
+    pub fn recv(&self, from: usize, to: usize) -> Vec<u8> {
+        self.recv_with(from, to, |m| m.to_vec())
+    }
+}
+
+/// A mailbox-based all-reduce of one `f64` (sum), the collective the
+/// runtime's reductions need. Rank 0 gathers, combines, broadcasts.
+pub fn allreduce_sum(mb: &Mailbox, rank: usize, value: f64) -> f64 {
+    let n = mb.processes();
+    if n == 1 {
+        return value;
+    }
+    if rank == 0 {
+        let mut acc = value;
+        for r in 1..n {
+            let v = mb.recv_with(r, 0, |m| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(m);
+                f64::from_le_bytes(b)
+            });
+            acc += v;
+        }
+        for r in 1..n {
+            mb.send(0, r, &acc.to_le_bytes()).unwrap();
+        }
+        acc
+    } else {
+        mb.send(rank, 0, &value.to_le_bytes()).unwrap();
+        mb.recv_with(0, rank, |m| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(m);
+            f64::from_le_bytes(b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_recv_roundtrip() {
+        let mb = Mailbox::new(2);
+        mb.try_send(0, 1, b"hello").unwrap();
+        let got = mb.recv(0, 1);
+        assert_eq!(got, b"hello");
+    }
+
+    #[test]
+    fn fifo_order_per_channel() {
+        let mb = Mailbox::new(2);
+        for i in 0..10u8 {
+            mb.try_send(0, 1, &[i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(mb.recv(0, 1), vec![i]);
+        }
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mb = Mailbox::new(2);
+        let big = vec![0u8; MAX_MSG_BYTES + 1];
+        assert_eq!(
+            mb.try_send(0, 1, &big),
+            Err(MailboxError::TooLarge(MAX_MSG_BYTES + 1))
+        );
+        // Exactly max is fine.
+        let max = vec![7u8; MAX_MSG_BYTES];
+        mb.try_send(0, 1, &max).unwrap();
+        assert_eq!(mb.recv(0, 1), max);
+    }
+
+    #[test]
+    fn channel_capacity_is_32_outstanding() {
+        let mb = Mailbox::new(2);
+        for _ in 0..SLOTS_PER_CHANNEL {
+            mb.try_send(0, 1, b"x").unwrap();
+        }
+        assert_eq!(mb.try_send(0, 1, b"x"), Err(MailboxError::ChannelFull));
+        // Draining one frees one slot.
+        mb.recv(0, 1);
+        mb.try_send(0, 1, b"x").unwrap();
+    }
+
+    #[test]
+    fn empty_channel_reports_empty() {
+        let mb = Mailbox::new(2);
+        assert!(matches!(
+            mb.try_recv_with(0, 1, |_| ()),
+            Err(MailboxError::Empty)
+        ));
+    }
+
+    #[test]
+    fn channels_are_independent_directions() {
+        let mb = Mailbox::new(2);
+        mb.try_send(0, 1, b"a").unwrap();
+        mb.try_send(1, 0, b"b").unwrap();
+        assert_eq!(mb.recv(1, 0), b"b");
+        assert_eq!(mb.recv(0, 1), b"a");
+    }
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let mb = Mailbox::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100u32 {
+                    mb.send(0, 1, &i.to_le_bytes()).unwrap();
+                    let echo = mb.recv_with(1, 0, |m| {
+                        let mut b = [0u8; 4];
+                        b.copy_from_slice(m);
+                        u32::from_le_bytes(b)
+                    });
+                    assert_eq!(echo, i);
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..100 {
+                    let v = mb.recv(0, 1);
+                    mb.send(1, 0, &v).unwrap();
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let mb = Mailbox::new(4);
+        let mut results = vec![0.0; 4];
+        std::thread::scope(|s| {
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let mb = &mb;
+                s.spawn(move || {
+                    *slot = allreduce_sum(mb, rank, (rank + 1) as f64);
+                });
+            }
+        });
+        for r in results {
+            assert_eq!(r, 10.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_single_rank_is_identity() {
+        let mb = Mailbox::new(1);
+        assert_eq!(allreduce_sum(&mb, 0, 2.5), 2.5);
+    }
+
+    #[test]
+    fn shared_bytes_accounts_slots() {
+        let mb = Mailbox::new(4);
+        assert!(mb.shared_bytes() >= (16 * 32 * 1024) as u64);
+    }
+}

@@ -1,0 +1,689 @@
+//! The fork-join team: OpenMP's `parallel for` on two engines.
+//!
+//! A [`Team`] executes parallel loops either **natively** (real OS threads
+//! via `crossbeam`, no instrumentation — used for correctness tests,
+//! examples and wall-clock benchmarks) or **simulated** (logical threads
+//! interleaved over the `lpomp-machine` timing model — used to reproduce
+//! the paper's figures).
+//!
+//! The simulated engine is event-driven: at every step the logical thread
+//! with the *lowest cycle clock* runs its next quantum, so threads
+//! sharing a core's TLB (SMT) or a chip's L2 genuinely interleave in
+//! simulated time. Loop ends are joined by a modelled barrier that
+//! advances every thread to the slowest participant plus the barrier cost
+//! — the fork-join semantics of the paper's Figure 1.
+
+use crate::schedule::{plan, Plan, Schedule};
+use lpomp_machine::{CodeWalker, Machine, MemoryCtx, NullCtx, SimCtx};
+use lpomp_prof::{Counters, Event, Profile};
+use lpomp_vm::AddressSpace;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Loop body type: receives the thread's memory context and an iteration
+/// chunk. Must be `Sync` because the native engine calls it from many
+/// threads at once.
+pub type Body<'b> = &'b (dyn Fn(&mut dyn MemoryCtx, Range<usize>) + Sync);
+/// One `parallel sections` section.
+pub type Section<'b> = &'b (dyn Fn(&mut dyn MemoryCtx) + Sync);
+/// Reducing loop body: returns the chunk's partial value.
+pub type ReduceBody<'b> = &'b (dyn Fn(&mut dyn MemoryCtx, Range<usize>) -> f64 + Sync);
+
+/// Supported reduction operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduction {
+    /// `+` reduction.
+    Sum,
+    /// `max` reduction.
+    Max,
+    /// `min` reduction.
+    Min,
+}
+
+impl Reduction {
+    /// Identity element.
+    pub fn identity(self) -> f64 {
+        match self {
+            Reduction::Sum => 0.0,
+            Reduction::Max => f64::NEG_INFINITY,
+            Reduction::Min => f64::INFINITY,
+        }
+    }
+
+    /// Combine two partial values.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            Reduction::Sum => a + b,
+            Reduction::Max => a.max(b),
+            Reduction::Min => a.min(b),
+        }
+    }
+}
+
+/// Default iterations per simulated quantum (interleaving granularity).
+pub const DEFAULT_QUANTUM: usize = 64;
+
+/// The simulated execution engine: machine + process + per-thread state.
+pub struct SimEngine {
+    /// The hardware model.
+    pub machine: Machine,
+    /// The (single, shared) process address space.
+    pub aspace: AddressSpace,
+    clocks: Vec<u64>,
+    profile: Profile,
+    walkers: Vec<CodeWalker>,
+    placement: Vec<usize>,
+    threads: usize,
+    quantum: usize,
+}
+
+impl SimEngine {
+    /// Build an engine for `threads` logical threads. `code` describes the
+    /// instruction-fetch behaviour (cloned per thread). Placement follows
+    /// the paper's rule (cores first, then SMT contexts).
+    pub fn new(
+        mut machine: Machine,
+        aspace: AddressSpace,
+        threads: usize,
+        code: CodeWalker,
+        quantum: usize,
+    ) -> Self {
+        let placement = machine.config().placement(threads);
+        machine.set_residency(machine.config().residency(threads));
+        SimEngine {
+            machine,
+            aspace,
+            clocks: vec![0; threads],
+            profile: Profile::new(threads),
+            walkers: vec![code; threads],
+            placement,
+            threads,
+            quantum: quantum.max(1),
+        }
+    }
+
+    /// Core assigned to a logical thread.
+    pub fn core_of(&self, thread: usize) -> usize {
+        self.placement[thread]
+    }
+
+    /// The run's profile so far.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Critical-path cycles so far (max thread clock).
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Charge every thread `cycles` (stop-the-world events such as THP
+    /// migration or a global TLB shootdown).
+    pub fn charge_all(&mut self, cycles: u64) {
+        for t in 0..self.threads {
+            self.clocks[t] += cycles;
+            self.profile.thread_mut(t).add(Event::Cycles, cycles);
+        }
+    }
+
+    /// Flush every core's TLBs (global shootdown).
+    pub fn flush_tlbs(&mut self) {
+        self.machine.flush_all_tlbs();
+    }
+
+    /// Zero clocks and counters (keep TLB/cache state warm).
+    pub fn reset_timing(&mut self) {
+        self.clocks.iter_mut().for_each(|c| *c = 0);
+        self.profile = Profile::new(self.threads);
+    }
+
+    /// Run `body` over `plan` event-driven, returning per-thread partials.
+    fn run(&mut self, p: &Plan, body: ReduceBody<'_>, red: Reduction) -> Vec<f64> {
+        let mut partials = vec![red.identity(); self.threads];
+        match p {
+            Plan::Fixed(per) => {
+                // Cursor per thread: (chunk index, offset within chunk).
+                let mut cursor: Vec<(usize, usize)> = vec![(0, 0); self.threads];
+                loop {
+                    // Lowest-clock unfinished thread runs next.
+                    let mut next: Option<usize> = None;
+                    for t in 0..self.threads {
+                        let (ci, _) = cursor[t];
+                        if ci < per[t].len() && next.is_none_or(|b| self.clocks[t] < self.clocks[b])
+                        {
+                            next = Some(t);
+                        }
+                    }
+                    let Some(t) = next else { break };
+                    let (ci, off) = cursor[t];
+                    let chunk = &per[t][ci];
+                    let start = chunk.start + off;
+                    let end = (start + self.quantum).min(chunk.end);
+                    let v = self.exec_quantum(t, start..end, body);
+                    partials[t] = red.combine(partials[t], v);
+                    if end == chunk.end {
+                        cursor[t] = (ci + 1, 0);
+                    } else {
+                        cursor[t] = (ci, off + (end - start));
+                    }
+                }
+            }
+            Plan::Queue(q) => {
+                // Dynamic self-scheduling: the thread with the lowest clock
+                // claims the next chunk — the deterministic analogue of a
+                // shared iteration counter.
+                let mut qi = 0usize;
+                let mut current: Vec<Option<(Range<usize>, usize)>> = vec![None; self.threads];
+                loop {
+                    let mut next: Option<usize> = None;
+                    #[allow(clippy::needless_range_loop)] // t indexes three arrays
+                    for t in 0..self.threads {
+                        let has_work = current[t].is_some() || qi < q.len();
+                        if has_work && next.is_none_or(|b| self.clocks[t] < self.clocks[b]) {
+                            next = Some(t);
+                        }
+                    }
+                    let Some(t) = next else { break };
+                    if current[t].is_none() {
+                        if qi >= q.len() {
+                            // Another thread should claim instead; mark this
+                            // thread idle by skipping (it had no work).
+                            break;
+                        }
+                        current[t] = Some((q[qi].clone(), 0));
+                        qi += 1;
+                    }
+                    let (chunk, off) = current[t].clone().unwrap();
+                    let start = chunk.start + off;
+                    let end = (start + self.quantum).min(chunk.end);
+                    let v = self.exec_quantum(t, start..end, body);
+                    partials[t] = red.combine(partials[t], v);
+                    if end == chunk.end {
+                        current[t] = None;
+                    } else {
+                        current[t] = Some((chunk, off + (end - start)));
+                    }
+                }
+            }
+        }
+        partials
+    }
+
+    /// Execute one quantum on logical thread `t`.
+    fn exec_quantum(&mut self, t: usize, r: Range<usize>, body: ReduceBody<'_>) -> f64 {
+        let core = self.placement[t];
+        let mut ctx = SimCtx::new(
+            &mut self.machine,
+            &mut self.aspace,
+            self.profile.thread_mut(t),
+            &mut self.clocks[t],
+            &mut self.walkers[t],
+            core,
+            t,
+        );
+        body(&mut ctx, r)
+    }
+
+    /// Join all threads at a barrier: everyone advances to the maximum
+    /// clock plus the modelled barrier cost.
+    fn barrier_sync(&mut self) {
+        let max = self.elapsed_cycles();
+        let cost = self.machine.cost().barrier_cycles(self.threads);
+        for t in 0..self.threads {
+            let wait = max - self.clocks[t] + cost;
+            let c = self.profile.thread_mut(t);
+            c.bump(Event::Barriers);
+            c.add(Event::BarrierCycles, wait);
+            c.add(Event::Cycles, wait);
+            self.clocks[t] = max + cost;
+        }
+    }
+
+    /// Run a master-only (OpenMP `single`) section on thread 0, then join.
+    fn single(&mut self, body: &mut dyn FnMut(&mut dyn MemoryCtx)) {
+        let core = self.placement[0];
+        let mut ctx = SimCtx::new(
+            &mut self.machine,
+            &mut self.aspace,
+            self.profile.thread_mut(0),
+            &mut self.clocks[0],
+            &mut self.walkers[0],
+            core,
+            0,
+        );
+        body(&mut ctx);
+        drop(ctx);
+        self.barrier_sync();
+    }
+}
+
+/// A fork-join thread team bound to one of the two engines.
+pub enum Team {
+    /// Real OS threads, no instrumentation.
+    Native {
+        /// Number of worker threads.
+        threads: usize,
+    },
+    /// Logical threads over the machine model.
+    Sim(Box<SimEngine>),
+}
+
+impl Team {
+    /// A native team of `threads` OS threads.
+    pub fn native(threads: usize) -> Self {
+        assert!(threads > 0);
+        Team::Native { threads }
+    }
+
+    /// A simulated team around a prepared engine.
+    pub fn simulated(engine: SimEngine) -> Self {
+        Team::Sim(Box::new(engine))
+    }
+
+    /// Team size.
+    pub fn threads(&self) -> usize {
+        match self {
+            Team::Native { threads } => *threads,
+            Team::Sim(e) => e.threads,
+        }
+    }
+
+    /// Borrow the simulated engine, if any.
+    pub fn engine(&self) -> Option<&SimEngine> {
+        match self {
+            Team::Sim(e) => Some(e),
+            Team::Native { .. } => None,
+        }
+    }
+
+    /// Mutably borrow the simulated engine, if any.
+    pub fn engine_mut(&mut self) -> Option<&mut SimEngine> {
+        match self {
+            Team::Sim(e) => Some(e),
+            Team::Native { .. } => None,
+        }
+    }
+
+    /// `#pragma omp parallel for schedule(...)` with an implicit barrier.
+    pub fn parallel_for(&mut self, range: Range<usize>, schedule: Schedule, body: Body<'_>) {
+        self.parallel_for_reduce(range, schedule, Reduction::Sum, &|ctx, r| {
+            body(ctx, r);
+            0.0
+        });
+    }
+
+    /// `#pragma omp parallel for reduction(op)` with an implicit barrier.
+    pub fn parallel_for_reduce(
+        &mut self,
+        range: Range<usize>,
+        schedule: Schedule,
+        red: Reduction,
+        body: ReduceBody<'_>,
+    ) -> f64 {
+        let threads = self.threads();
+        let p = plan(range, threads, schedule);
+        match self {
+            Team::Sim(e) => {
+                let partials = e.run(&p, body, red);
+                e.barrier_sync();
+                partials
+                    .into_iter()
+                    .fold(red.identity(), |a, b| red.combine(a, b))
+            }
+            Team::Native { threads } => {
+                let threads = *threads;
+                match p {
+                    Plan::Fixed(per) => {
+                        let partials: Vec<f64> = crossbeam::thread::scope(|s| {
+                            let handles: Vec<_> = per
+                                .into_iter()
+                                .enumerate()
+                                .map(|(t, chunks)| {
+                                    s.spawn(move |_| {
+                                        let mut ctx = NullCtx::new(t);
+                                        let mut acc = red.identity();
+                                        for c in chunks {
+                                            acc = red.combine(acc, body(&mut ctx, c));
+                                        }
+                                        acc
+                                    })
+                                })
+                                .collect();
+                            handles.into_iter().map(|h| h.join().unwrap()).collect()
+                        })
+                        .expect("worker panicked");
+                        partials
+                            .into_iter()
+                            .fold(red.identity(), |a, b| red.combine(a, b))
+                    }
+                    Plan::Queue(q) => {
+                        // True self-scheduling with a shared chunk counter.
+                        let next = AtomicUsize::new(0);
+                        let q = &q;
+                        let next_ref = &next;
+                        let partials: Vec<f64> = crossbeam::thread::scope(|s| {
+                            let handles: Vec<_> = (0..threads)
+                                .map(|t| {
+                                    s.spawn(move |_| {
+                                        let mut ctx = NullCtx::new(t);
+                                        let mut acc = red.identity();
+                                        loop {
+                                            let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                                            if i >= q.len() {
+                                                break;
+                                            }
+                                            acc = red.combine(acc, body(&mut ctx, q[i].clone()));
+                                        }
+                                        acc
+                                    })
+                                })
+                                .collect();
+                            handles.into_iter().map(|h| h.join().unwrap()).collect()
+                        })
+                        .expect("worker panicked");
+                        partials
+                            .into_iter()
+                            .fold(red.identity(), |a, b| red.combine(a, b))
+                    }
+                }
+            }
+        }
+    }
+
+    /// `#pragma omp parallel sections`: each section runs exactly once,
+    /// distributed across the team (dynamic claiming), with the implicit
+    /// barrier at the end.
+    pub fn parallel_sections(&mut self, sections: &[Section<'_>]) {
+        self.parallel_for(0..sections.len(), Schedule::Dynamic(1), &|ctx, r| {
+            for i in r {
+                sections[i](ctx);
+            }
+        });
+    }
+
+    /// `#pragma omp single`: `body` runs once (on the master), then all
+    /// threads join.
+    pub fn single(&mut self, body: &mut dyn FnMut(&mut dyn MemoryCtx)) {
+        match self {
+            Team::Sim(e) => e.single(body),
+            Team::Native { .. } => {
+                let mut ctx = NullCtx::new(0);
+                body(&mut ctx);
+            }
+        }
+    }
+
+    /// Explicit barrier (`#pragma omp barrier`). Native teams synchronize
+    /// implicitly at loop ends, so this is a no-op there.
+    pub fn barrier(&mut self) {
+        if let Team::Sim(e) = self {
+            e.barrier_sync();
+        }
+    }
+
+    /// Critical-path cycles (simulated teams; 0 for native).
+    pub fn elapsed_cycles(&self) -> u64 {
+        match self {
+            Team::Sim(e) => e.elapsed_cycles(),
+            Team::Native { .. } => 0,
+        }
+    }
+
+    /// Critical-path seconds at the machine's clock (simulated teams).
+    pub fn elapsed_seconds(&self) -> f64 {
+        match self {
+            Team::Sim(e) => e.machine.cost().seconds(e.elapsed_cycles()),
+            Team::Native { .. } => 0.0,
+        }
+    }
+
+    /// The run profile (simulated teams).
+    pub fn profile(&self) -> Option<&Profile> {
+        self.engine().map(SimEngine::profile)
+    }
+
+    /// Aggregate counters (simulated teams; empty otherwise).
+    pub fn aggregate_counters(&self) -> Counters {
+        self.profile().map(Profile::aggregate).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::ShVec;
+    use lpomp_machine::opteron_2x2;
+    use lpomp_vm::{Backing, PageSize, Populate, PteFlags, VirtAddr};
+
+    fn sim_team(threads: usize) -> (Team, VirtAddr) {
+        let mut machine = Machine::new(opteron_2x2());
+        let mut aspace = AddressSpace::new(&mut machine.frames).unwrap();
+        let code = aspace
+            .mmap_fixed(
+                &mut machine.frames,
+                VirtAddr(0x40_0000),
+                1 << 20,
+                PageSize::Small4K,
+                PteFlags::rx(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "code",
+            )
+            .unwrap();
+        let data = aspace
+            .mmap(
+                &mut machine.frames,
+                16 << 20,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "data",
+            )
+            .unwrap();
+        let walker = CodeWalker::new(code, 1 << 20, 64 << 10, 1000);
+        let engine = SimEngine::new(machine, aspace, threads, walker, DEFAULT_QUANTUM);
+        (Team::simulated(engine), data)
+    }
+
+    #[test]
+    fn native_parallel_for_computes_correctly() {
+        let mut team = Team::native(4);
+        let v: ShVec<f64> = ShVec::new(1000, VirtAddr(0x1000));
+        team.parallel_for(0..1000, Schedule::Static, &|ctx, r| {
+            for i in r {
+                v.set(ctx, i, (i * 2) as f64);
+            }
+        });
+        for i in 0..1000 {
+            assert_eq!(v.get_raw(i), (i * 2) as f64);
+        }
+    }
+
+    #[test]
+    fn native_reduction_sums() {
+        let mut team = Team::native(3);
+        let s = team.parallel_for_reduce(1..101, Schedule::Dynamic(7), Reduction::Sum, &|_, r| {
+            r.map(|i| i as f64).sum()
+        });
+        assert_eq!(s, 5050.0);
+    }
+
+    #[test]
+    fn native_reduction_max_min() {
+        let mut team = Team::native(4);
+        let mx = team.parallel_for_reduce(0..100, Schedule::Static, Reduction::Max, &|_, r| {
+            r.map(|i| i as f64).fold(f64::NEG_INFINITY, f64::max)
+        });
+        assert_eq!(mx, 99.0);
+        let mn = team.parallel_for_reduce(5..100, Schedule::Guided(4), Reduction::Min, &|_, r| {
+            r.map(|i| i as f64).fold(f64::INFINITY, f64::min)
+        });
+        assert_eq!(mn, 5.0);
+    }
+
+    #[test]
+    fn sim_parallel_for_computes_and_charges_time() {
+        let (mut team, data) = sim_team(4);
+        let v: ShVec<f64> = ShVec::new(10_000, data);
+        team.parallel_for(0..10_000, Schedule::Static, &|ctx, r| {
+            for i in r {
+                v.set(ctx, i, i as f64);
+                ctx.compute(4);
+            }
+        });
+        for i in 0..10_000 {
+            assert_eq!(v.get_raw(i), i as f64);
+        }
+        assert!(team.elapsed_cycles() > 10_000);
+        let agg = team.aggregate_counters();
+        assert_eq!(agg.get(Event::Stores), 10_000);
+        assert_eq!(agg.get(Event::Barriers), 4);
+    }
+
+    #[test]
+    fn sim_reduction_matches_native() {
+        let (mut team, _) = sim_team(3);
+        let s = team.parallel_for_reduce(1..101, Schedule::Static, Reduction::Sum, &|_, r| {
+            r.map(|i| i as f64).sum()
+        });
+        assert_eq!(s, 5050.0);
+    }
+
+    #[test]
+    fn sim_dynamic_schedule_covers_all_iterations() {
+        let (mut team, data) = sim_team(4);
+        let v: ShVec<u64> = ShVec::new(503, data);
+        team.parallel_for(0..503, Schedule::Dynamic(16), &|ctx, r| {
+            for i in r {
+                let cur = v.get(ctx, i);
+                v.set(ctx, i, cur + 1);
+            }
+        });
+        for i in 0..503 {
+            assert_eq!(v.get_raw(i), 1, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn more_threads_less_time() {
+        let run = |threads: usize| {
+            let (mut team, data) = sim_team(threads);
+            let v: ShVec<f64> = ShVec::new(100_000, data);
+            team.parallel_for(0..100_000, Schedule::Static, &|ctx, r| {
+                for i in r {
+                    v.set(ctx, i, 1.0);
+                    ctx.compute(8);
+                }
+            });
+            team.elapsed_cycles()
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert!(
+            t4 * 2 < t1,
+            "4 threads ({t4}) should be at least 2x faster than 1 ({t1})"
+        );
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let (mut team, data) = sim_team(2);
+        let v: ShVec<f64> = ShVec::new(1000, data);
+        // Imbalanced loop: thread 0 does nothing, thread 1 works.
+        team.parallel_for(0..1000, Schedule::Static, &|ctx, r| {
+            for i in r {
+                if i >= 500 {
+                    v.set(ctx, i, 1.0);
+                    ctx.compute(100);
+                }
+            }
+        });
+        let e = team.engine().unwrap();
+        assert_eq!(e.clocks[0], e.clocks[1], "barrier must align clocks");
+        let p = team.profile().unwrap();
+        assert!(p.thread(0).get(Event::BarrierCycles) > 0);
+    }
+
+    #[test]
+    fn single_runs_once_and_joins() {
+        let (mut team, data) = sim_team(4);
+        let v: ShVec<u64> = ShVec::new(1, data);
+        team.single(&mut |ctx| {
+            let cur = v.get(ctx, 0);
+            v.set(ctx, 0, cur + 1);
+        });
+        assert_eq!(v.get_raw(0), 1);
+        let e = team.engine().unwrap();
+        let c0 = e.clocks[0];
+        assert!(e.clocks.iter().all(|&c| c == c0));
+    }
+
+    #[test]
+    fn reset_timing_zeroes_clocks_but_keeps_warm_state() {
+        let (mut team, data) = sim_team(2);
+        let v: ShVec<f64> = ShVec::new(100, data);
+        team.parallel_for(0..100, Schedule::Static, &|ctx, r| {
+            for i in r {
+                v.set(ctx, i, 1.0);
+            }
+        });
+        assert!(team.elapsed_cycles() > 0);
+        team.engine_mut().unwrap().reset_timing();
+        assert_eq!(team.elapsed_cycles(), 0);
+        assert_eq!(team.aggregate_counters().get(Event::Stores), 0);
+    }
+
+    #[test]
+    fn parallel_sections_run_each_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counters: Vec<AtomicU32> = (0..5).map(|_| AtomicU32::new(0)).collect();
+        let mut team = Team::native(3);
+        type BoxedSection<'a> = Box<dyn Fn(&mut dyn MemoryCtx) + Sync + 'a>;
+        let sections: Vec<BoxedSection<'_>> = (0..5)
+            .map(|i| {
+                let c = &counters[i];
+                Box::new(move |_: &mut dyn MemoryCtx| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as BoxedSection<'_>
+            })
+            .collect();
+        let refs: Vec<Section<'_>> = sections.iter().map(|b| b.as_ref()).collect();
+        team.parallel_sections(&refs);
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "section {i}");
+        }
+    }
+
+    #[test]
+    fn sim_parallel_sections_distribute_across_threads() {
+        let (mut team, data) = sim_team(4);
+        let v: ShVec<u64> = ShVec::new(8, data);
+        type BoxedSection<'a> = Box<dyn Fn(&mut dyn MemoryCtx) + Sync + 'a>;
+        let sections: Vec<BoxedSection<'_>> = (0..8)
+            .map(|i| {
+                let v = &v;
+                Box::new(move |ctx: &mut dyn MemoryCtx| {
+                    let owner = (ctx.thread_id() + 1) as u64;
+                    v.set(ctx, i, owner);
+                    ctx.compute(1000);
+                }) as BoxedSection<'_>
+            })
+            .collect();
+        let refs: Vec<Section<'_>> = sections.iter().map(|b| b.as_ref()).collect();
+        team.parallel_sections(&refs);
+        // Every section ran (nonzero marker), and more than one thread
+        // participated.
+        let owners: std::collections::HashSet<u64> = (0..8).map(|i| v.get_raw(i)).collect();
+        assert!(!owners.contains(&0));
+        assert!(owners.len() > 1, "sections all ran on one thread");
+    }
+
+    #[test]
+    fn empty_range_is_fine_on_both_engines() {
+        let mut nat = Team::native(4);
+        nat.parallel_for(10..10, Schedule::Static, &|_, _| panic!("no work"));
+        let (mut sim, _) = sim_team(2);
+        sim.parallel_for(10..10, Schedule::Dynamic(4), &|_, _| panic!("no work"));
+    }
+}

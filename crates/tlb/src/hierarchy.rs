@@ -1,0 +1,427 @@
+//! Multi-level TLB hierarchies and the split instruction/data TLB.
+//!
+//! A [`Tlb`] is one or two levels of [`TlbArray`] pairs (one array per page
+//! size per level). Lookups probe both page-size arrays of a level in
+//! parallel — hardware does not know the page size of an address until it
+//! hits or walks — then fall through to the next level; an L2 hit promotes
+//! the entry into L1. This mirrors the Opteron's two-level DTLB, whose L2
+//! notably has **no 2 MB entries** (paper §3.2), so large-page translations
+//! live only in the 8-entry L1 array.
+
+use crate::array::{ArrayStats, Assoc, TlbArray};
+use lpomp_vm::{PageSize, VirtAddr};
+
+/// Geometry of one TLB level: entry counts and associativity per page size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelConfig {
+    /// Entries for 4 KB pages.
+    pub small_entries: u16,
+    /// Associativity of the 4 KB array.
+    pub small_assoc: Assoc,
+    /// Entries for 2 MB pages (may be zero).
+    pub large_entries: u16,
+    /// Associativity of the 2 MB array.
+    pub large_assoc: Assoc,
+}
+
+impl LevelConfig {
+    /// Convenience: fully associative arrays of the given sizes.
+    pub const fn full(small_entries: u16, large_entries: u16) -> Self {
+        LevelConfig {
+            small_entries,
+            small_assoc: Assoc::Full,
+            large_entries,
+            large_assoc: Assoc::Full,
+        }
+    }
+
+    /// Entry count for a page size.
+    pub fn entries(&self, size: PageSize) -> u16 {
+        match size {
+            PageSize::Small4K => self.small_entries,
+            PageSize::Large2M => self.large_entries,
+        }
+    }
+
+    /// Reach of this level for a page size (entries × page bytes).
+    pub fn coverage_bytes(&self, size: PageSize) -> u64 {
+        self.entries(size) as u64 * size.bytes()
+    }
+}
+
+/// Geometry of a complete (possibly multi-level) TLB.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Human-readable name ("Opteron DTLB").
+    pub name: &'static str,
+    /// L1 geometry.
+    pub l1: LevelConfig,
+    /// Optional L2 geometry.
+    pub l2: Option<LevelConfig>,
+}
+
+impl TlbConfig {
+    /// Reach of the *last* level holding entries of `size`. This is the
+    /// "memory coverage" quantity of the paper's Table 1.
+    pub fn coverage_bytes(&self, size: PageSize) -> u64 {
+        match self.l2 {
+            Some(l2) if l2.entries(size) > 0 => l2.coverage_bytes(size),
+            _ => self.l1.coverage_bytes(size),
+        }
+    }
+}
+
+/// Where a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// Hit in the first level.
+    L1Hit(PageSize),
+    /// Missed L1, hit L2 (entry promoted to L1).
+    L2Hit(PageSize),
+    /// Missed every level; a page walk is required.
+    Miss,
+}
+
+impl TlbOutcome {
+    /// True unless a walk is required.
+    pub fn is_hit(&self) -> bool {
+        !matches!(self, TlbOutcome::Miss)
+    }
+}
+
+/// Aggregate counters for a [`Tlb`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses that L2 absorbed).
+    pub l2_hits: u64,
+    /// Full misses (walks).
+    pub misses: u64,
+    /// Fills performed after walks.
+    pub fills: u64,
+    /// Whole-TLB flushes.
+    pub flushes: u64,
+}
+
+impl TlbStats {
+    /// All lookups.
+    pub fn lookups(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.misses
+    }
+
+    /// Full-miss ratio in [0, 1].
+    pub fn miss_ratio(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.misses as f64 / n as f64
+        }
+    }
+}
+
+/// One level's pair of arrays.
+#[derive(Debug)]
+struct Level {
+    small: TlbArray,
+    large: TlbArray,
+}
+
+impl Level {
+    fn new(cfg: &LevelConfig) -> Self {
+        Level {
+            small: TlbArray::new(PageSize::Small4K, cfg.small_entries, cfg.small_assoc),
+            large: TlbArray::new(PageSize::Large2M, cfg.large_entries, cfg.large_assoc),
+        }
+    }
+
+    fn array_mut(&mut self, size: PageSize) -> &mut TlbArray {
+        match size {
+            PageSize::Small4K => &mut self.small,
+            PageSize::Large2M => &mut self.large,
+        }
+    }
+
+    /// Probe both size arrays for the address; returns the hitting size.
+    fn lookup(&mut self, va: VirtAddr) -> Option<PageSize> {
+        // Hardware probes both arrays concurrently; to keep the LRU state of
+        // the miss path realistic we only update the array that hits, so
+        // probe first and promote second.
+        if self.small.probe(va.vpn(PageSize::Small4K)) {
+            self.small.lookup(va.vpn(PageSize::Small4K));
+            Some(PageSize::Small4K)
+        } else if self.large.probe(va.vpn(PageSize::Large2M)) {
+            self.large.lookup(va.vpn(PageSize::Large2M));
+            Some(PageSize::Large2M)
+        } else {
+            // Record the miss in both arrays' local stats.
+            self.small.lookup(va.vpn(PageSize::Small4K));
+            self.large.lookup(va.vpn(PageSize::Large2M));
+            None
+        }
+    }
+
+    fn flush(&mut self) {
+        self.small.flush();
+        self.large.flush();
+    }
+}
+
+/// A complete one- or two-level TLB.
+#[derive(Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    l1: Level,
+    l2: Option<Level>,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Instantiate a TLB from its geometry.
+    pub fn new(config: TlbConfig) -> Self {
+        Tlb {
+            l1: Level::new(&config.l1),
+            l2: config.l2.as_ref().map(Level::new),
+            config,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The geometry this TLB was built from.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Per-array statistics: `(level, page size, stats)` tuples.
+    pub fn array_stats(&self) -> Vec<(u8, PageSize, ArrayStats)> {
+        let mut v = vec![
+            (1, PageSize::Small4K, self.l1.small.stats()),
+            (1, PageSize::Large2M, self.l1.large.stats()),
+        ];
+        if let Some(l2) = &self.l2 {
+            v.push((2, PageSize::Small4K, l2.small.stats()));
+            v.push((2, PageSize::Large2M, l2.large.stats()));
+        }
+        v
+    }
+
+    /// Translate-lookup for `va`. On an L2 hit the entry is promoted into
+    /// L1 (possibly evicting an L1 entry).
+    pub fn lookup(&mut self, va: VirtAddr) -> TlbOutcome {
+        if let Some(size) = self.l1.lookup(va) {
+            self.stats.l1_hits += 1;
+            return TlbOutcome::L1Hit(size);
+        }
+        if let Some(l2) = &mut self.l2 {
+            if let Some(size) = l2.lookup(va) {
+                self.stats.l2_hits += 1;
+                self.l1.array_mut(size).fill(va.vpn(size));
+                return TlbOutcome::L2Hit(size);
+            }
+        }
+        self.stats.misses += 1;
+        TlbOutcome::Miss
+    }
+
+    /// Install a translation after a page walk determined its size.
+    /// Fills L1 and, when the level has entries for the size, L2.
+    pub fn fill(&mut self, va: VirtAddr, size: PageSize) {
+        self.stats.fills += 1;
+        let vpn = va.vpn(size);
+        self.l1.array_mut(size).fill(vpn);
+        if let Some(l2) = &mut self.l2 {
+            l2.array_mut(size).fill(vpn);
+        }
+    }
+
+    /// Invalidate everything (context switch with address-space change).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        if let Some(l2) = &mut self.l2 {
+            l2.flush();
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Invalidate one translation (munmap / protection change).
+    pub fn invalidate(&mut self, va: VirtAddr, size: PageSize) {
+        let vpn = va.vpn(size);
+        self.l1.array_mut(size).invalidate(vpn);
+        if let Some(l2) = &mut self.l2 {
+            l2.array_mut(size).invalidate(vpn);
+        }
+    }
+}
+
+/// A split instruction/data TLB, as on every platform in the paper.
+#[derive(Debug)]
+pub struct SplitTlb {
+    /// Instruction-side TLB.
+    pub itlb: Tlb,
+    /// Data-side TLB.
+    pub dtlb: Tlb,
+}
+
+impl SplitTlb {
+    /// Build from the two geometries.
+    pub fn new(itlb: TlbConfig, dtlb: TlbConfig) -> Self {
+        SplitTlb {
+            itlb: Tlb::new(itlb),
+            dtlb: Tlb::new(dtlb),
+        }
+    }
+
+    /// Flush both sides.
+    pub fn flush(&mut self) {
+        self.itlb.flush();
+        self.dtlb.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> Tlb {
+        Tlb::new(TlbConfig {
+            name: "test",
+            l1: LevelConfig::full(2, 1),
+            l2: Some(LevelConfig::full(8, 0)),
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_l1_hit() {
+        let mut t = two_level();
+        let va = VirtAddr(0x1234);
+        assert_eq!(t.lookup(va), TlbOutcome::Miss);
+        t.fill(va, PageSize::Small4K);
+        assert_eq!(t.lookup(va), TlbOutcome::L1Hit(PageSize::Small4K));
+        // Same 4 KB page, different offset: still a hit.
+        assert_eq!(
+            t.lookup(VirtAddr(0x1ff0)),
+            TlbOutcome::L1Hit(PageSize::Small4K)
+        );
+        // Different 4 KB page: miss.
+        assert_eq!(t.lookup(VirtAddr(0x2000)), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn l2_absorbs_l1_capacity_misses_and_promotes() {
+        let mut t = two_level();
+        // Fill three distinct small pages; L1 holds 2, L2 holds all.
+        for p in 0..3u64 {
+            let va = VirtAddr(p * 4096);
+            t.lookup(va);
+            t.fill(va, PageSize::Small4K);
+        }
+        // Page 0 was evicted from L1 (capacity 2) but lives in L2.
+        assert_eq!(t.lookup(VirtAddr(0)), TlbOutcome::L2Hit(PageSize::Small4K));
+        // And is now promoted back into L1.
+        assert_eq!(t.lookup(VirtAddr(0)), TlbOutcome::L1Hit(PageSize::Small4K));
+    }
+
+    #[test]
+    fn large_pages_do_not_reach_l2_when_it_has_no_large_entries() {
+        // Opteron-like: L2 has zero 2 MB entries, L1 has 1.
+        let mut t = two_level();
+        let a = VirtAddr(0);
+        let b = VirtAddr(2 * 1024 * 1024);
+        t.lookup(a);
+        t.fill(a, PageSize::Large2M);
+        t.lookup(b);
+        t.fill(b, PageSize::Large2M); // evicts `a` from the only L1 slot
+                                      // `a` must be a full miss: no L2 backing for large pages.
+        assert_eq!(t.lookup(a), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn one_large_entry_covers_512_small_pages_worth() {
+        let mut t = two_level();
+        let base = VirtAddr(0x4000_0000);
+        t.lookup(base);
+        t.fill(base, PageSize::Large2M);
+        // Every 4 KB-aligned offset within the 2 MB page hits.
+        for k in [0u64, 1, 100, 511] {
+            assert_eq!(
+                t.lookup(base.add(k * 4096)),
+                TlbOutcome::L1Hit(PageSize::Large2M),
+                "offset {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_forces_full_misses() {
+        let mut t = two_level();
+        let va = VirtAddr(0x9000);
+        t.lookup(va);
+        t.fill(va, PageSize::Small4K);
+        t.flush();
+        assert_eq!(t.lookup(va), TlbOutcome::Miss);
+        assert_eq!(t.stats().flushes, 1);
+    }
+
+    #[test]
+    fn invalidate_one_translation() {
+        let mut t = two_level();
+        let va = VirtAddr(0x9000);
+        t.lookup(va);
+        t.fill(va, PageSize::Small4K);
+        t.invalidate(va, PageSize::Small4K);
+        assert_eq!(t.lookup(va), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = two_level();
+        let va = VirtAddr(0x1000);
+        t.lookup(va); // miss
+        t.fill(va, PageSize::Small4K);
+        t.lookup(va); // l1 hit
+        let s = t.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.fills, 1);
+        assert_eq!(s.lookups(), 2);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_uses_last_level_with_entries() {
+        let cfg = TlbConfig {
+            name: "opteron-ish",
+            l1: LevelConfig::full(32, 8),
+            l2: Some(LevelConfig {
+                small_entries: 1024,
+                small_assoc: Assoc::Ways(4),
+                large_entries: 0,
+                large_assoc: Assoc::Full,
+            }),
+        };
+        assert_eq!(cfg.coverage_bytes(PageSize::Small4K), 1024 * 4096);
+        // Large pages fall back to L1 coverage: 8 × 2 MB = 16 MB (Table 1).
+        assert_eq!(cfg.coverage_bytes(PageSize::Large2M), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn split_tlb_sides_are_independent() {
+        let cfg = TlbConfig {
+            name: "t",
+            l1: LevelConfig::full(4, 2),
+            l2: None,
+        };
+        let mut s = SplitTlb::new(cfg.clone(), cfg);
+        let va = VirtAddr(0x5000);
+        s.itlb.lookup(va);
+        s.itlb.fill(va, PageSize::Small4K);
+        assert_eq!(s.itlb.lookup(va), TlbOutcome::L1Hit(PageSize::Small4K));
+        assert_eq!(s.dtlb.lookup(va), TlbOutcome::Miss);
+    }
+}

@@ -1,0 +1,26 @@
+//! # `lpomp-tlb` — translation lookaside buffer simulator
+//!
+//! Structural models of the TLBs on the paper's two platforms:
+//!
+//! * [`mod@array`] — a single entry array (one page size), fully or
+//!   set-associative, true LRU;
+//! * [`hierarchy`] — one- and two-level TLBs with split 4 KB / 2 MB entry
+//!   arrays, L2→L1 promotion, and a split I/D wrapper;
+//! * [`presets`] — the Xeon and Opteron 270 geometries of the paper's
+//!   Table 1, including the reach ("coverage") computation and the table
+//!   regeneration used by `lpomp-bench --bin table1`.
+//!
+//! The machine model (`lpomp-machine`) owns one [`SplitTlb`] per core; on
+//! the Xeon preset the *same* instance serves both SMT contexts, modelling
+//! the §3.2 observation that hyper-threading effectively halves the number
+//! of TLB entries available to each thread.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod hierarchy;
+pub mod presets;
+
+pub use array::{ArrayStats, Assoc, TlbArray};
+pub use hierarchy::{LevelConfig, SplitTlb, Tlb, TlbConfig, TlbOutcome, TlbStats};
+pub use presets::{table1, Table1Row, OPTERON_DTLB, OPTERON_ITLB, XEON_DTLB, XEON_ITLB};

@@ -1,0 +1,226 @@
+//! TLB geometries of the paper's two evaluation platforms (its Table 1).
+//!
+//! The numbers follow the paper's prose, which is the most explicit source
+//! (§2.1 and §3.2):
+//!
+//! * *"The Intel Xeon processor has 128 entries for 4KB pages and 32
+//!   entries for 2MB pages"* — a single-level DTLB (and ITLB, which the
+//!   paper treats symmetrically).
+//! * *"the Opteron processor has 32 entries for 4KB pages in L1DTLB and 8
+//!   entries for 2MB pages in D1TLB. The D2TLB in the Opteron does not
+//!   have any entries for large pages"*; *"an L2DTLB size of 1024 for 4KB
+//!   pages"*.
+//!
+//! The printed Table 1 in the paper is partially garbled by typesetting;
+//! where it conflicts with the prose we follow the prose and record the
+//! discrepancy in `EXPERIMENTS.md`. The derived coverage values reproduce
+//! the table's legible coverage rows exactly: Xeon 4 KB DTLB reach 512 KB
+//! and 2 MB reach 64 MB; Opteron 2 MB reach 16 MB.
+
+use crate::array::Assoc;
+use crate::hierarchy::{LevelConfig, TlbConfig};
+use lpomp_vm::PageSize;
+
+/// Intel Xeon (Netburst, HyperThreading) data TLB: single level,
+/// 128 × 4 KB + 32 × 2 MB, fully associative, **shared between the two SMT
+/// contexts of a core** (sharing is applied by the machine model).
+pub const XEON_DTLB: TlbConfig = TlbConfig {
+    name: "Xeon DTLB",
+    l1: LevelConfig {
+        small_entries: 128,
+        small_assoc: Assoc::Full,
+        large_entries: 32,
+        large_assoc: Assoc::Full,
+    },
+    l2: None,
+};
+
+/// Intel Xeon instruction TLB. The paper's ITLB row is garbled; we mirror
+/// the DTLB geometry, which is immaterial to its conclusions because §4.3
+/// finds ITLB misses negligible either way.
+pub const XEON_ITLB: TlbConfig = TlbConfig {
+    name: "Xeon ITLB",
+    l1: LevelConfig {
+        small_entries: 128,
+        small_assoc: Assoc::Full,
+        large_entries: 32,
+        large_assoc: Assoc::Full,
+    },
+    l2: None,
+};
+
+/// AMD Opteron 270 data TLB: L1 32 × 4 KB + 8 × 2 MB fully associative,
+/// L2 1024 × 4 KB 4-way with **zero 2 MB entries** (paper §3.2). Private
+/// per core.
+pub const OPTERON_DTLB: TlbConfig = TlbConfig {
+    name: "Opteron DTLB",
+    l1: LevelConfig {
+        small_entries: 32,
+        small_assoc: Assoc::Full,
+        large_entries: 8,
+        large_assoc: Assoc::Full,
+    },
+    l2: Some(LevelConfig {
+        small_entries: 1024,
+        small_assoc: Assoc::Ways(4),
+        large_entries: 0,
+        large_assoc: Assoc::Full,
+    }),
+};
+
+/// AMD Opteron 270 instruction TLB: L1 32 × 4 KB + 8 × 2 MB, L2 512 × 4 KB.
+pub const OPTERON_ITLB: TlbConfig = TlbConfig {
+    name: "Opteron ITLB",
+    l1: LevelConfig {
+        small_entries: 32,
+        small_assoc: Assoc::Full,
+        large_entries: 8,
+        large_assoc: Assoc::Full,
+    },
+    l2: Some(LevelConfig {
+        small_entries: 512,
+        small_assoc: Assoc::Ways(4),
+        large_entries: 0,
+        large_assoc: Assoc::Full,
+    }),
+};
+
+/// One row of the reproduced Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Row label, matching the paper.
+    pub label: &'static str,
+    /// Xeon cell (entries, or bytes for coverage rows).
+    pub xeon: u64,
+    /// Opteron cell.
+    pub opteron: u64,
+    /// True when the cells are byte counts rather than entry counts.
+    pub is_bytes: bool,
+}
+
+/// Reproduce the paper's Table 1 ("Processor TLB Sizes and Coverage") from
+/// the preset geometries.
+pub fn table1() -> Vec<Table1Row> {
+    let x = &XEON_DTLB;
+    let o = &OPTERON_DTLB;
+    let xi = &XEON_ITLB;
+    let oi = &OPTERON_ITLB;
+    vec![
+        Table1Row {
+            label: "ITLB (4KB) Size",
+            xeon: xi.l1.small_entries as u64,
+            opteron: oi.l1.small_entries as u64,
+            is_bytes: false,
+        },
+        Table1Row {
+            label: "L1DTLB (4KB) Size",
+            xeon: x.l1.small_entries as u64,
+            opteron: o.l1.small_entries as u64,
+            is_bytes: false,
+        },
+        Table1Row {
+            label: "L1DTLB (2MB) Size",
+            xeon: x.l1.large_entries as u64,
+            opteron: o.l1.large_entries as u64,
+            is_bytes: false,
+        },
+        Table1Row {
+            label: "L2DTLB (4KB) Size",
+            xeon: x.l2.map_or(0, |l| l.small_entries as u64),
+            opteron: o.l2.map_or(0, |l| l.small_entries as u64),
+            is_bytes: false,
+        },
+        Table1Row {
+            label: "L2DTLB (2MB) Size",
+            xeon: x.l2.map_or(0, |l| l.large_entries as u64),
+            opteron: o.l2.map_or(0, |l| l.large_entries as u64),
+            is_bytes: false,
+        },
+        Table1Row {
+            label: "DTLB (4KB) Coverage",
+            xeon: x.coverage_bytes(PageSize::Small4K),
+            opteron: o.coverage_bytes(PageSize::Small4K),
+            is_bytes: true,
+        },
+        Table1Row {
+            label: "DTLB (2MB) Coverage",
+            xeon: x.coverage_bytes(PageSize::Large2M),
+            opteron: o.coverage_bytes(PageSize::Large2M),
+            is_bytes: true,
+        },
+    ]
+}
+
+/// Format a byte count the way the paper's table does (KB/MB).
+pub fn format_bytes(b: u64) -> String {
+    const MB: u64 = 1024 * 1024;
+    const KB: u64 = 1024;
+    if b >= MB && b.is_multiple_of(MB) {
+        format!("{}MB", b / MB)
+    } else if b >= KB && b.is_multiple_of(KB) {
+        format!("{}KB", b / KB)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_coverage_matches_paper_table1() {
+        // "L2DTLB (4KB) Coverage 512KB" / "L2DTLB (2MB) Coverage 64MB"
+        // (the Xeon has one DTLB level, so its last-level coverage is L1's).
+        assert_eq!(XEON_DTLB.coverage_bytes(PageSize::Small4K), 512 * 1024);
+        assert_eq!(
+            XEON_DTLB.coverage_bytes(PageSize::Large2M),
+            64 * 1024 * 1024
+        );
+    }
+
+    #[test]
+    fn opteron_coverage_matches_paper_table1() {
+        // 2 MB pages only live in the 8-entry L1: 16 MB reach.
+        assert_eq!(
+            OPTERON_DTLB.coverage_bytes(PageSize::Large2M),
+            16 * 1024 * 1024
+        );
+        // 4 KB pages reach the 1024-entry L2: 4 MB.
+        assert_eq!(
+            OPTERON_DTLB.coverage_bytes(PageSize::Small4K),
+            4 * 1024 * 1024
+        );
+    }
+
+    #[test]
+    fn opteron_l2_has_no_large_entries() {
+        assert_eq!(OPTERON_DTLB.l2.unwrap().large_entries, 0);
+        assert_eq!(OPTERON_ITLB.l2.unwrap().large_entries, 0);
+    }
+
+    #[test]
+    fn table1_has_all_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 7);
+        assert!(t.iter().any(|r| r.label.contains("ITLB")));
+        let cov: Vec<_> = t.iter().filter(|r| r.is_bytes).collect();
+        assert_eq!(cov.len(), 2);
+    }
+
+    #[test]
+    fn format_bytes_rendering() {
+        assert_eq!(format_bytes(512 * 1024), "512KB");
+        assert_eq!(format_bytes(64 * 1024 * 1024), "64MB");
+        assert_eq!(format_bytes(100), "100B");
+    }
+
+    #[test]
+    fn presets_instantiate() {
+        use crate::hierarchy::Tlb;
+        for cfg in [XEON_DTLB, XEON_ITLB, OPTERON_DTLB, OPTERON_ITLB] {
+            let t = Tlb::new(cfg);
+            assert!(!t.config().name.is_empty());
+        }
+    }
+}

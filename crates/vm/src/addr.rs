@@ -1,0 +1,251 @@
+//! Virtual and physical address types and page-size arithmetic.
+//!
+//! The paper contrasts the traditional 4 KB page with the 2 MB large page
+//! supported by modern x86 processors (its Table 1 lists separate TLB entry
+//! arrays for each size). Everything above this module is generic over
+//! [`PageSize`], so the rest of the stack can ask "what changes when the
+//! leaf page grows by a factor of 512?" without special cases.
+
+use core::fmt;
+
+/// Number of bits in the in-page offset of a 4 KB page.
+pub const SMALL_PAGE_SHIFT: u32 = 12;
+/// Number of bits in the in-page offset of a 2 MB page.
+pub const LARGE_PAGE_SHIFT: u32 = 21;
+/// Bytes in a 4 KB page.
+pub const SMALL_PAGE_BYTES: u64 = 1 << SMALL_PAGE_SHIFT;
+/// Bytes in a 2 MB page.
+pub const LARGE_PAGE_BYTES: u64 = 1 << LARGE_PAGE_SHIFT;
+/// How many 4 KB pages fit in one 2 MB page (512).
+pub const SMALL_PER_LARGE: u64 = LARGE_PAGE_BYTES / SMALL_PAGE_BYTES;
+
+/// A page size supported by the simulated MMU.
+///
+/// `Small4K` is the traditional base page; `Large2M` is the large page the
+/// paper's modified Omni/SCASH runtime allocates shared data from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PageSize {
+    /// Traditional 4 KB base page.
+    Small4K,
+    /// 2 MB large ("huge" / "super") page.
+    Large2M,
+}
+
+impl PageSize {
+    /// Size of the page in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Small4K => SMALL_PAGE_BYTES,
+            PageSize::Large2M => LARGE_PAGE_BYTES,
+        }
+    }
+
+    /// log2 of the page size.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Small4K => SMALL_PAGE_SHIFT,
+            PageSize::Large2M => LARGE_PAGE_SHIFT,
+        }
+    }
+
+    /// Mask that extracts the in-page offset.
+    #[inline]
+    pub const fn offset_mask(self) -> u64 {
+        self.bytes() - 1
+    }
+
+    /// Buddy-allocator order of one page of this size (order 0 = 4 KB).
+    #[inline]
+    pub const fn buddy_order(self) -> u8 {
+        match self {
+            PageSize::Small4K => 0,
+            PageSize::Large2M => (LARGE_PAGE_SHIFT - SMALL_PAGE_SHIFT) as u8,
+        }
+    }
+
+    /// Round `len` bytes up to a whole number of pages of this size.
+    #[inline]
+    pub const fn round_up(self, len: u64) -> u64 {
+        let m = self.offset_mask();
+        (len + m) & !m
+    }
+
+    /// Number of pages of this size needed to hold `len` bytes.
+    #[inline]
+    pub const fn pages_for(self, len: u64) -> u64 {
+        self.round_up(len) >> self.shift()
+    }
+
+    /// Both supported sizes, small first.
+    pub const ALL: [PageSize; 2] = [PageSize::Small4K, PageSize::Large2M];
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Small4K => write!(f, "4KB"),
+            PageSize::Large2M => write!(f, "2MB"),
+        }
+    }
+}
+
+/// A virtual address in a simulated 48-bit address space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address in the simulated machine's memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysAddr(pub u64);
+
+impl VirtAddr {
+    /// The zero address.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Virtual page number for a given page size.
+    #[inline]
+    pub const fn vpn(self, size: PageSize) -> u64 {
+        self.0 >> size.shift()
+    }
+
+    /// Offset within the page of the given size.
+    #[inline]
+    pub const fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & size.offset_mask()
+    }
+
+    /// First address of the page (of the given size) containing `self`.
+    #[inline]
+    pub const fn page_base(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 & !size.offset_mask())
+    }
+
+    /// Address `bytes` further along.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Is this address aligned to the given page size?
+    #[inline]
+    pub const fn is_aligned(self, size: PageSize) -> bool {
+        self.0 & size.offset_mask() == 0
+    }
+
+    /// Index into the page-table level `level` (0 = leaf PT, 3 = root).
+    ///
+    /// x86-64 long mode: 9 bits per level above the 12-bit page offset.
+    #[inline]
+    pub const fn pt_index(self, level: u8) -> usize {
+        ((self.0 >> (SMALL_PAGE_SHIFT + 9 * level as u32)) & 0x1ff) as usize
+    }
+}
+
+impl PhysAddr {
+    /// Physical frame number for a given page size.
+    #[inline]
+    pub const fn pfn(self, size: PageSize) -> u64 {
+        self.0 >> size.shift()
+    }
+
+    /// Address `bytes` further along.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+
+    /// First address of the frame (of the given size) containing `self`.
+    #[inline]
+    pub const fn frame_base(self, size: PageSize) -> PhysAddr {
+        PhysAddr(self.0 & !size.offset_mask())
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA({:#x})", self.0)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_constants() {
+        assert_eq!(PageSize::Small4K.bytes(), 4096);
+        assert_eq!(PageSize::Large2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(SMALL_PER_LARGE, 512);
+        assert_eq!(PageSize::Small4K.buddy_order(), 0);
+        assert_eq!(PageSize::Large2M.buddy_order(), 9);
+    }
+
+    #[test]
+    fn round_up_and_pages_for() {
+        let s = PageSize::Small4K;
+        assert_eq!(s.round_up(0), 0);
+        assert_eq!(s.round_up(1), 4096);
+        assert_eq!(s.round_up(4096), 4096);
+        assert_eq!(s.round_up(4097), 8192);
+        assert_eq!(s.pages_for(1), 1);
+        assert_eq!(s.pages_for(8192), 2);
+        let l = PageSize::Large2M;
+        assert_eq!(l.pages_for(1), 1);
+        assert_eq!(l.pages_for(LARGE_PAGE_BYTES + 1), 2);
+    }
+
+    #[test]
+    fn vpn_and_offset() {
+        let a = VirtAddr(0x40_2345);
+        assert_eq!(a.vpn(PageSize::Small4K), 0x402);
+        assert_eq!(a.page_offset(PageSize::Small4K), 0x345);
+        assert_eq!(a.vpn(PageSize::Large2M), 0x2);
+        assert_eq!(a.page_offset(PageSize::Large2M), 0x2345);
+        assert_eq!(a.page_base(PageSize::Small4K), VirtAddr(0x40_2000));
+        assert_eq!(a.page_base(PageSize::Large2M), VirtAddr(0x40_0000));
+    }
+
+    #[test]
+    fn pt_indices_cover_distinct_bits() {
+        // VA with a distinct 9-bit group per level.
+        let va = VirtAddr((1u64 << 12) | (2u64 << 21) | (3u64 << 30) | (4u64 << 39));
+        assert_eq!(va.pt_index(0), 1);
+        assert_eq!(va.pt_index(1), 2);
+        assert_eq!(va.pt_index(2), 3);
+        assert_eq!(va.pt_index(3), 4);
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(VirtAddr(0x200000).is_aligned(PageSize::Large2M));
+        assert!(!VirtAddr(0x201000).is_aligned(PageSize::Large2M));
+        assert!(VirtAddr(0x201000).is_aligned(PageSize::Small4K));
+    }
+
+    #[test]
+    fn phys_frame_math() {
+        let p = PhysAddr(0x40_2345);
+        assert_eq!(p.pfn(PageSize::Small4K), 0x402);
+        assert_eq!(p.frame_base(PageSize::Large2M), PhysAddr(0x40_0000));
+        assert_eq!(p.add(0x10).0, 0x40_2355);
+    }
+}

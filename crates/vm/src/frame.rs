@@ -1,0 +1,291 @@
+//! Buddy allocator for physical page frames.
+//!
+//! The Linux kernels the paper ran on back both 4 KB pages and — through the
+//! boot-time `hugetlbfs` reservation — 2 MB pages from a binary buddy
+//! allocator. We reproduce that substrate: order 0 is one 4 KB frame and
+//! order 9 is one 2 MB frame, so a large page is a naturally aligned block
+//! of 512 base frames. This is also what makes the paper's *preallocation*
+//! argument concrete: once the machine has been up for a while the buddy
+//! heap fragments and order-9 blocks become scarce, which is why the huge
+//! pool is reserved at "boot" (pool construction) in [`crate::hugetlbfs`].
+
+use crate::addr::{PhysAddr, SMALL_PAGE_SHIFT};
+use crate::error::{VmError, VmResult};
+use std::collections::BTreeSet;
+
+/// Maximum buddy order supported (order 10 = 4 MB), mirroring Linux's
+/// historical `MAX_ORDER`.
+pub const MAX_ORDER: u8 = 10;
+
+/// Statistics kept by the frame allocator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Successful allocations, by count.
+    pub allocs: u64,
+    /// Frees, by count.
+    pub frees: u64,
+    /// Splits of a larger block into two buddies.
+    pub splits: u64,
+    /// Coalesces of two buddies into a larger block.
+    pub merges: u64,
+    /// Allocation failures.
+    pub failures: u64,
+}
+
+/// Binary buddy allocator over a contiguous physical extent.
+///
+/// Frames are identified by their base [`PhysAddr`]; an order-`k` block is
+/// `2^k` base (4 KB) frames, naturally aligned to its own size.
+#[derive(Debug)]
+pub struct BuddyAllocator {
+    /// Free lists per order; ordered sets so behaviour is deterministic
+    /// (lowest address first) and buddy membership checks are O(log n).
+    free: Vec<BTreeSet<u64>>, // physical frame number (4 KB units) of block base
+    /// Live allocations: block base pfn → order. Catches double frees and
+    /// wrong-order frees.
+    allocated: std::collections::HashMap<u64, u8>,
+    /// Total managed base frames.
+    total_frames: u64,
+    /// Currently free base frames.
+    free_frames: u64,
+    stats: FrameStats,
+}
+
+impl BuddyAllocator {
+    /// Create an allocator managing `total_bytes` of physical memory
+    /// starting at physical address 0. `total_bytes` is rounded down to a
+    /// whole number of base frames.
+    pub fn new(total_bytes: u64) -> Self {
+        let total_frames = total_bytes >> SMALL_PAGE_SHIFT;
+        let mut a = BuddyAllocator {
+            free: (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect(),
+            allocated: std::collections::HashMap::new(),
+            total_frames,
+            free_frames: 0,
+            stats: FrameStats::default(),
+        };
+        // Seed the free lists with maximal aligned blocks.
+        let mut pfn = 0u64;
+        while pfn < total_frames {
+            let mut order = MAX_ORDER;
+            loop {
+                let span = 1u64 << order;
+                if pfn.is_multiple_of(span) && pfn + span <= total_frames {
+                    break;
+                }
+                order -= 1;
+            }
+            a.free[order as usize].insert(pfn);
+            a.free_frames += 1 << order;
+            pfn += 1 << order;
+        }
+        a
+    }
+
+    /// Total bytes managed.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_frames << SMALL_PAGE_SHIFT
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_frames << SMALL_PAGE_SHIFT
+    }
+
+    /// Snapshot of the allocator statistics.
+    pub fn stats(&self) -> FrameStats {
+        self.stats
+    }
+
+    /// Number of free blocks at exactly the given order.
+    pub fn free_blocks_at(&self, order: u8) -> usize {
+        self.free[order as usize].len()
+    }
+
+    /// Largest order with at least one free block, if any.
+    pub fn largest_free_order(&self) -> Option<u8> {
+        (0..=MAX_ORDER)
+            .rev()
+            .find(|&o| !self.free[o as usize].is_empty())
+    }
+
+    /// Allocate one naturally aligned block of order `order`, returning its
+    /// base physical address.
+    pub fn alloc(&mut self, order: u8) -> VmResult<PhysAddr> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        // Find the smallest order >= requested with a free block.
+        let mut found = None;
+        for o in order..=MAX_ORDER {
+            if let Some(&pfn) = self.free[o as usize].iter().next() {
+                found = Some((o, pfn));
+                break;
+            }
+        }
+        let (mut o, pfn) = match found {
+            Some(f) => f,
+            None => {
+                self.stats.failures += 1;
+                return Err(VmError::OutOfMemory { order });
+            }
+        };
+        self.free[o as usize].remove(&pfn);
+        // Split down to the requested order, returning the upper halves.
+        while o > order {
+            o -= 1;
+            let buddy = pfn + (1u64 << o);
+            self.free[o as usize].insert(buddy);
+            self.stats.splits += 1;
+        }
+        self.free_frames -= 1 << order;
+        self.stats.allocs += 1;
+        self.allocated.insert(pfn, order);
+        Ok(PhysAddr(pfn << SMALL_PAGE_SHIFT))
+    }
+
+    /// Free a block previously returned by [`alloc`](Self::alloc) with the
+    /// same order. Coalesces with free buddies as far as possible.
+    pub fn free(&mut self, addr: PhysAddr, order: u8) {
+        assert!(order <= MAX_ORDER);
+        let mut pfn = addr.0 >> SMALL_PAGE_SHIFT;
+        assert_eq!(
+            pfn % (1 << order),
+            0,
+            "freed block {addr:?} not aligned to order {order}"
+        );
+        match self.allocated.remove(&pfn) {
+            Some(o) => assert_eq!(o, order, "block {addr:?} freed with wrong order"),
+            None => panic!("double free or foreign free of block at {addr:?}"),
+        }
+        let mut o = order;
+        while o < MAX_ORDER {
+            let buddy = pfn ^ (1u64 << o);
+            if self.free[o as usize].remove(&buddy) {
+                pfn = pfn.min(buddy);
+                o += 1;
+                self.stats.merges += 1;
+            } else {
+                break;
+            }
+        }
+        let inserted = self.free[o as usize].insert(pfn);
+        debug_assert!(inserted, "free-list corruption at pfn {pfn:#x}");
+        self.free_frames += 1 << order;
+        self.stats.frees += 1;
+    }
+
+    /// External-fragmentation index for a target order: the fraction of free
+    /// memory that is *unusable* for an allocation of that order because it
+    /// sits in smaller blocks. 0.0 means any free memory could satisfy the
+    /// order; 1.0 means none of it could.
+    pub fn fragmentation_index(&self, order: u8) -> f64 {
+        if self.free_frames == 0 {
+            return 0.0;
+        }
+        let mut usable = 0u64;
+        for o in order..=MAX_ORDER {
+            usable += (self.free[o as usize].len() as u64) << o;
+        }
+        1.0 - usable as f64 / self.free_frames as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PageSize;
+
+    fn mb(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+
+    #[test]
+    fn fresh_allocator_is_fully_free() {
+        let a = BuddyAllocator::new(mb(64));
+        assert_eq!(a.total_bytes(), mb(64));
+        assert_eq!(a.free_bytes(), mb(64));
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_state() {
+        let mut a = BuddyAllocator::new(mb(16));
+        let before = a.free_bytes();
+        let b = a.alloc(0).unwrap();
+        assert_eq!(a.free_bytes(), before - 4096);
+        a.free(b, 0);
+        assert_eq!(a.free_bytes(), before);
+        // After coalescing everything is back to maximal blocks.
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+        assert_eq!(a.free_blocks_at(MAX_ORDER), 4);
+    }
+
+    #[test]
+    fn large_page_order_alloc_is_aligned() {
+        let mut a = BuddyAllocator::new(mb(8));
+        let p = a.alloc(PageSize::Large2M.buddy_order()).unwrap();
+        assert_eq!(p.0 % PageSize::Large2M.bytes(), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_oom() {
+        let mut a = BuddyAllocator::new(mb(4));
+        // 4 MB = 2 large pages.
+        let o9 = PageSize::Large2M.buddy_order();
+        a.alloc(o9).unwrap();
+        a.alloc(o9).unwrap();
+        assert_eq!(a.alloc(o9), Err(VmError::OutOfMemory { order: o9 }));
+        assert_eq!(a.stats().failures, 1);
+    }
+
+    #[test]
+    fn small_allocs_fragment_large_orders() {
+        let mut a = BuddyAllocator::new(mb(4));
+        // Grab one 4 KB frame out of each 2 MB region: no order-9 block left.
+        let mut held = Vec::new();
+        let o9 = PageSize::Large2M.buddy_order();
+        while a.largest_free_order().is_some_and(|o| o >= o9) {
+            // allocate order-0 until the order-9 supply is gone
+            held.push(a.alloc(0).unwrap());
+            if held.len() > 10_000 {
+                panic!("fragmentation never materialized");
+            }
+        }
+        assert!(a.alloc(o9).is_err());
+        assert!(a.fragmentation_index(o9) > 0.0);
+        // Freeing everything coalesces back to clean order-10 blocks.
+        for h in held {
+            a.free(h, 0);
+        }
+        assert_eq!(a.free_bytes(), mb(4));
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+        assert_eq!(a.fragmentation_index(o9), 0.0);
+    }
+
+    #[test]
+    fn distinct_blocks_do_not_overlap() {
+        let mut a = BuddyAllocator::new(mb(4));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1024 {
+            let p = a.alloc(0).unwrap();
+            assert!(seen.insert(p.0), "duplicate frame {p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "double free or foreign free")]
+    fn double_free_panics() {
+        let mut a = BuddyAllocator::new(mb(4));
+        let p = a.alloc(0).unwrap();
+        a.free(p, 0);
+        a.free(p, 0);
+    }
+
+    #[test]
+    fn split_and_merge_counters_move() {
+        let mut a = BuddyAllocator::new(mb(4));
+        let p = a.alloc(0).unwrap();
+        assert!(a.stats().splits >= 1);
+        a.free(p, 0);
+        assert!(a.stats().merges >= 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! A `hugetlbfs`-style reserved pool of 2 MB pages, plus the shared
+//! "map files" the modified Omni/SCASH runtime allocates its global heap
+//! from (paper §3.3: *"we preallocate a set of large pages which may be
+//! used by the processes through the hugetlbfs filesystem"*).
+//!
+//! The pool is carved out of the buddy allocator at construction — the
+//! boot-time reservation that guarantees order-9 blocks exist even after
+//! the rest of physical memory fragments. Files created in the pool own a
+//! fixed run of large frames; mapping a file into several address spaces
+//! shares those frames, which is how all processes of the node see one
+//! memory image.
+//!
+//! [`ShmFs`] is the small-page sibling used for the intra-node mailbox
+//! file, which the paper deliberately keeps in traditional 4 KB pages.
+
+use crate::addr::{PageSize, PhysAddr};
+use crate::error::{VmError, VmResult};
+use crate::frame::BuddyAllocator;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shared, named segment of preallocated frames of a single page size.
+///
+/// Cloned `Arc`s of a segment are handed to [`crate::vma::Backing::Shared`]
+/// so that multiple address spaces resolve faults to the same frames.
+#[derive(Debug)]
+pub struct SharedSegment {
+    name: String,
+    page_size: PageSize,
+    frames: Vec<PhysAddr>,
+}
+
+impl SharedSegment {
+    /// Name the segment was created under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Page size of every frame in the segment.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Length of the segment in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.frames.len() as u64 * self.page_size.bytes()
+    }
+
+    /// Number of pages in the segment.
+    pub fn page_count(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Physical frame backing page `index` of the file.
+    pub fn frame(&self, index: u64) -> VmResult<PhysAddr> {
+        self.frames
+            .get(index as usize)
+            .copied()
+            .ok_or(VmError::OutOfRange {
+                offset: index * self.page_size.bytes(),
+                len: self.page_size.bytes(),
+                object_len: self.len_bytes(),
+            })
+    }
+}
+
+/// Statistics for a huge-page pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HugePoolStats {
+    /// Pages reserved at pool creation.
+    pub reserved: u64,
+    /// Pages currently handed out to files.
+    pub in_use: u64,
+    /// Peak simultaneous usage.
+    pub peak: u64,
+    /// Allocation requests that failed because the pool was empty.
+    pub failed: u64,
+}
+
+/// Boot-time reserved pool of 2 MB pages (the `hugetlbfs` analogue).
+#[derive(Debug)]
+pub struct HugePool {
+    free: Vec<PhysAddr>,
+    files: HashMap<String, Arc<SharedSegment>>,
+    stats: HugePoolStats,
+}
+
+impl HugePool {
+    /// Reserve `pages` 2 MB pages from the buddy allocator. Fails with
+    /// [`VmError::OutOfMemory`] if physical memory is too fragmented or
+    /// small — exactly the condition boot-time reservation avoids.
+    pub fn reserve(frames: &mut BuddyAllocator, pages: u64) -> VmResult<Self> {
+        let order = PageSize::Large2M.buddy_order();
+        let mut free = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            match frames.alloc(order) {
+                Ok(pa) => free.push(pa),
+                Err(e) => {
+                    // Roll back the partial reservation.
+                    for pa in free {
+                        frames.free(pa, order);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(HugePool {
+            free,
+            files: HashMap::new(),
+            stats: HugePoolStats {
+                reserved: pages,
+                ..Default::default()
+            },
+        })
+    }
+
+    /// Pages still available in the pool.
+    pub fn available(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> HugePoolStats {
+        self.stats
+    }
+
+    /// Create a named file of `len_bytes` (rounded up to whole 2 MB pages)
+    /// backed by pool pages.
+    pub fn create_file(&mut self, name: &str, len_bytes: u64) -> VmResult<Arc<SharedSegment>> {
+        if self.files.contains_key(name) {
+            return Err(VmError::FileExists(name.to_owned()));
+        }
+        let pages = PageSize::Large2M.pages_for(len_bytes);
+        if pages > self.free.len() as u64 {
+            self.stats.failed += 1;
+            return Err(VmError::HugePoolExhausted {
+                requested: pages,
+                available: self.free.len() as u64,
+            });
+        }
+        let at = self.free.len() - pages as usize;
+        let frames = self.free.split_off(at);
+        self.stats.in_use += pages;
+        self.stats.peak = self.stats.peak.max(self.stats.in_use);
+        let seg = Arc::new(SharedSegment {
+            name: name.to_owned(),
+            page_size: PageSize::Large2M,
+            frames,
+        });
+        self.files.insert(name.to_owned(), seg.clone());
+        Ok(seg)
+    }
+
+    /// Look up an existing file by name (a second "process" opening it).
+    pub fn open_file(&self, name: &str) -> VmResult<Arc<SharedSegment>> {
+        self.files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VmError::NoSuchFile(name.to_owned()))
+    }
+
+    /// Remove a file, returning its pages to the pool once no address space
+    /// holds a reference (callers must have dropped their mappings' `Arc`s;
+    /// pages of still-referenced files are retained, like an unlinked but
+    /// open file).
+    pub fn unlink(&mut self, name: &str) -> VmResult<()> {
+        let seg = self
+            .files
+            .remove(name)
+            .ok_or_else(|| VmError::NoSuchFile(name.to_owned()))?;
+        match Arc::try_unwrap(seg) {
+            Ok(seg) => {
+                self.stats.in_use -= seg.frames.len() as u64;
+                self.free.extend(seg.frames);
+                Ok(())
+            }
+            Err(seg) => {
+                // Still mapped somewhere; keep it alive without a name.
+                self.stats.in_use -= 0; // unchanged; pages still in use
+                drop(seg);
+                Ok(())
+            }
+        }
+    }
+
+    /// Release the pool's unused pages back to the buddy allocator.
+    pub fn shrink_to_fit(&mut self, frames: &mut BuddyAllocator) {
+        let order = PageSize::Large2M.buddy_order();
+        for pa in self.free.drain(..) {
+            frames.free(pa, order);
+            self.stats.reserved -= 1;
+        }
+    }
+}
+
+/// Small-page shared files (POSIX shm analogue) — used for the mailbox
+/// region the paper keeps in 4 KB pages.
+#[derive(Debug, Default)]
+pub struct ShmFs {
+    files: HashMap<String, Arc<SharedSegment>>,
+}
+
+impl ShmFs {
+    /// Create an empty shm filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a named small-page file of `len_bytes` (rounded up), drawing
+    /// frames from the buddy allocator immediately.
+    pub fn create_file(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        name: &str,
+        len_bytes: u64,
+    ) -> VmResult<Arc<SharedSegment>> {
+        if self.files.contains_key(name) {
+            return Err(VmError::FileExists(name.to_owned()));
+        }
+        let pages = PageSize::Small4K.pages_for(len_bytes);
+        let mut fr = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            match frames.alloc(0) {
+                Ok(pa) => fr.push(pa),
+                Err(e) => {
+                    for pa in fr {
+                        frames.free(pa, 0);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let seg = Arc::new(SharedSegment {
+            name: name.to_owned(),
+            page_size: PageSize::Small4K,
+            frames: fr,
+        });
+        self.files.insert(name.to_owned(), seg.clone());
+        Ok(seg)
+    }
+
+    /// Look up an existing file.
+    pub fn open_file(&self, name: &str) -> VmResult<Arc<SharedSegment>> {
+        self.files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VmError::NoSuchFile(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> BuddyAllocator {
+        BuddyAllocator::new(64 * 1024 * 1024)
+    }
+
+    #[test]
+    fn reserve_and_create() {
+        let mut f = frames();
+        let mut pool = HugePool::reserve(&mut f, 8).unwrap();
+        assert_eq!(pool.available(), 8);
+        let seg = pool.create_file("heap", 5 * 1024 * 1024).unwrap(); // 3 pages
+        assert_eq!(seg.page_count(), 3);
+        assert_eq!(pool.available(), 5);
+        assert_eq!(pool.stats().in_use, 3);
+        // frames are 2MB aligned
+        for i in 0..3 {
+            assert_eq!(seg.frame(i).unwrap().0 % PageSize::Large2M.bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn reservation_failure_rolls_back() {
+        let mut f = BuddyAllocator::new(8 * 1024 * 1024); // 4 large pages
+        let before = f.free_bytes();
+        assert!(HugePool::reserve(&mut f, 100).is_err());
+        assert_eq!(f.free_bytes(), before);
+    }
+
+    #[test]
+    fn pool_exhaustion_reported() {
+        let mut f = frames();
+        let mut pool = HugePool::reserve(&mut f, 2).unwrap();
+        let e = pool.create_file("big", 10 * 1024 * 1024);
+        assert_eq!(
+            e.err(),
+            Some(VmError::HugePoolExhausted {
+                requested: 5,
+                available: 2
+            })
+        );
+        assert_eq!(pool.stats().failed, 1);
+    }
+
+    #[test]
+    fn open_returns_same_segment() {
+        let mut f = frames();
+        let mut pool = HugePool::reserve(&mut f, 4).unwrap();
+        let a = pool.create_file("heap", 1).unwrap();
+        let b = pool.open_file("heap").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(pool.open_file("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut f = frames();
+        let mut pool = HugePool::reserve(&mut f, 4).unwrap();
+        pool.create_file("heap", 1).unwrap();
+        assert_eq!(
+            pool.create_file("heap", 1).err(),
+            Some(VmError::FileExists("heap".into()))
+        );
+    }
+
+    #[test]
+    fn unlink_returns_pages_when_unreferenced() {
+        let mut f = frames();
+        let mut pool = HugePool::reserve(&mut f, 4).unwrap();
+        let seg = pool
+            .create_file("heap", 2 * PageSize::Large2M.bytes())
+            .unwrap();
+        drop(seg);
+        pool.unlink("heap").unwrap();
+        assert_eq!(pool.available(), 4);
+        assert_eq!(pool.stats().in_use, 0);
+    }
+
+    #[test]
+    fn shrink_returns_memory_to_buddy() {
+        let mut f = frames();
+        let before = f.free_bytes();
+        let mut pool = HugePool::reserve(&mut f, 8).unwrap();
+        assert_eq!(f.free_bytes(), before - 8 * PageSize::Large2M.bytes());
+        pool.shrink_to_fit(&mut f);
+        assert_eq!(f.free_bytes(), before);
+    }
+
+    #[test]
+    fn shm_small_pages() {
+        let mut f = frames();
+        let mut shm = ShmFs::new();
+        let seg = shm.create_file(&mut f, "mailbox", 10_000).unwrap();
+        assert_eq!(seg.page_size(), PageSize::Small4K);
+        assert_eq!(seg.page_count(), 3);
+        assert!(shm.open_file("mailbox").is_ok());
+        assert!(shm.create_file(&mut f, "mailbox", 1).is_err());
+    }
+}

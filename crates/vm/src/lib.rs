@@ -1,0 +1,39 @@
+//! # `lpomp-vm` — simulated virtual-memory substrate
+//!
+//! A from-scratch software model of the virtual-memory machinery the paper
+//! (Noronha & Panda, *Improving Scalability of OpenMP Applications on
+//! Multi-core Systems Using Large Page Support*, IPDPS 2007) relies on:
+//!
+//! * [`addr`] — virtual/physical addresses and the two page sizes (4 KB
+//!   base pages and 2 MB large pages);
+//! * [`frame`] — a binary buddy allocator for physical frames, the reason
+//!   large pages must be *reserved early* before memory fragments;
+//! * [`page_table`] — x86-64-style 4-level radix tables where a 2 MB
+//!   mapping ends the walk one level early (the paper's Figure 2);
+//! * [`vma`] — address spaces, regions, demand faulting vs. eager
+//!   population (the §3.3 preallocation design point);
+//! * [`hugetlbfs`] — the reserved large-page pool and the shared map files
+//!   through which all processes of a node share one heap image.
+//!
+//! Higher layers (`lpomp-tlb`, `lpomp-machine`) consume the
+//! [`page_table::WalkTrace`] to charge page walks to the cache hierarchy,
+//! and `lpomp-core` implements the paper's large-page allocation policy on
+//! top of [`hugetlbfs::HugePool`].
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod error;
+pub mod frame;
+pub mod hugetlbfs;
+pub mod page_table;
+pub mod promote;
+pub mod vma;
+
+pub use addr::{PageSize, PhysAddr, VirtAddr};
+pub use error::{VmError, VmResult};
+pub use frame::BuddyAllocator;
+pub use hugetlbfs::{HugePool, SharedSegment, ShmFs};
+pub use page_table::{AccessKind, PageTable, PteFlags, Translation, WalkTrace};
+pub use promote::{promote_region, PromotionReport};
+pub use vma::{AccessOutcome, AddressSpace, Backing, Populate, Vma};

@@ -1,0 +1,660 @@
+//! Multi-level page tables with mixed 4 KB / 2 MB leaves.
+//!
+//! The paper's Figure 2 walks through the Linux page-table organisation
+//! (PGD → PMD → PTE page frames → data frame) and observes that translating
+//! a virtual address costs one memory reference *per level*, which is what
+//! the TLB exists to avoid. We model the x86-64 long-mode radix tree the
+//! evaluation platforms actually used: four levels of 512 eight-byte
+//! entries (PML4 → PDPT → PD → PT), where a 2 MB mapping terminates one
+//! level early with a leaf in the page directory. That "one level shorter"
+//! walk — and the 512× fewer leaf entries — is the entire mechanism behind
+//! the paper's DTLB-miss reductions, so it is modelled structurally rather
+//! than as a constant.
+//!
+//! Every table node is given a physical frame from the buddy allocator, so
+//! a [`WalkTrace`] can report the exact physical addresses a hardware page
+//! walker would touch; the machine model charges those to the cache
+//! hierarchy (walks hit in L2 quite often in practice, which the paper's
+//! cycle numbers implicitly include).
+
+use crate::addr::{PageSize, PhysAddr, VirtAddr};
+use crate::error::{VmError, VmResult};
+use crate::frame::BuddyAllocator;
+
+/// Number of entries in one table node (9 address bits per level).
+pub const ENTRIES_PER_TABLE: usize = 512;
+/// Bytes of one page-table entry.
+pub const PTE_BYTES: u64 = 8;
+/// Number of radix levels (x86-64 long mode: PML4, PDPT, PD, PT).
+pub const LEVELS: u8 = 4;
+/// Level at which a 2 MB leaf terminates the walk (the page directory).
+pub const LARGE_LEAF_LEVEL: u8 = 1;
+
+/// Protection and status bits of a mapping, modelled after x86 PTE flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PteFlags {
+    /// Mapping is valid.
+    pub present: bool,
+    /// Writes permitted.
+    pub writable: bool,
+    /// Instruction fetches permitted (inverse of NX).
+    pub executable: bool,
+    /// Set by the walker on any access.
+    pub accessed: bool,
+    /// Set by the walker on a write.
+    pub dirty: bool,
+}
+
+impl PteFlags {
+    /// Read/write data mapping.
+    pub const fn rw() -> Self {
+        PteFlags {
+            present: true,
+            writable: true,
+            executable: false,
+            accessed: false,
+            dirty: false,
+        }
+    }
+
+    /// Read-only data mapping.
+    pub const fn ro() -> Self {
+        PteFlags {
+            present: true,
+            writable: false,
+            executable: false,
+            accessed: false,
+            dirty: false,
+        }
+    }
+
+    /// Executable (code) mapping.
+    pub const fn rx() -> Self {
+        PteFlags {
+            present: true,
+            writable: false,
+            executable: true,
+            accessed: false,
+            dirty: false,
+        }
+    }
+}
+
+/// One entry of a table node.
+#[derive(Debug, Default)]
+enum Entry {
+    /// Nothing mapped below this entry.
+    #[default]
+    None,
+    /// Pointer to the next-level table node.
+    Table(Box<Node>),
+    /// Terminal mapping (4 KB at level 0, 2 MB at level 1).
+    Leaf { pa: PhysAddr, flags: PteFlags },
+}
+
+/// A single 4 KB table node holding 512 entries.
+#[derive(Debug)]
+struct Node {
+    /// Physical frame backing this node (for walk-cost accounting).
+    frame: PhysAddr,
+    entries: Box<[Entry; ENTRIES_PER_TABLE]>,
+    /// Number of non-`None` entries, for reclamation.
+    live: u16,
+}
+
+impl Node {
+    fn new(frame: PhysAddr) -> Self {
+        Node {
+            frame,
+            entries: Box::new(std::array::from_fn(|_| Entry::None)),
+            live: 0,
+        }
+    }
+}
+
+/// The kind of access being translated; used for permission checks and for
+/// setting accessed/dirty bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// The result of a successful page walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Translation {
+    /// Translated physical address (frame base + offset).
+    pub pa: PhysAddr,
+    /// Page size of the terminal mapping.
+    pub size: PageSize,
+    /// Flags of the terminal mapping.
+    pub flags: PteFlags,
+}
+
+/// Physical addresses of the page-table entries a hardware walker reads,
+/// root first. A 4 KB walk has [`LEVELS`] steps; a 2 MB walk has one fewer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkTrace {
+    steps: [PhysAddr; LEVELS as usize],
+    len: u8,
+}
+
+impl WalkTrace {
+    fn new() -> Self {
+        WalkTrace {
+            steps: [PhysAddr(0); LEVELS as usize],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, pa: PhysAddr) {
+        self.steps[self.len as usize] = pa;
+        self.len += 1;
+    }
+
+    /// Entries touched, root first.
+    pub fn steps(&self) -> &[PhysAddr] {
+        &self.steps[..self.len as usize]
+    }
+
+    /// Number of memory references the walk performed.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the walk touched no memory (never the case for real walks).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Counters maintained by a page table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageTableStats {
+    /// Live 4 KB mappings.
+    pub small_mappings: u64,
+    /// Live 2 MB mappings.
+    pub large_mappings: u64,
+    /// Table nodes currently allocated (including the root).
+    pub nodes: u64,
+    /// Total walks performed via [`PageTable::walk`].
+    pub walks: u64,
+}
+
+/// A per-address-space radix page table.
+#[derive(Debug)]
+pub struct PageTable {
+    root: Node,
+    stats: PageTableStats,
+}
+
+impl PageTable {
+    /// Create an empty page table, drawing the root node's frame from
+    /// `frames`.
+    pub fn new(frames: &mut BuddyAllocator) -> VmResult<Self> {
+        let frame = frames.alloc(0)?;
+        Ok(PageTable {
+            root: Node::new(frame),
+            stats: PageTableStats {
+                nodes: 1,
+                ..Default::default()
+            },
+        })
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> PageTableStats {
+        self.stats
+    }
+
+    /// Memory consumed by table nodes themselves, in bytes. Large-page
+    /// mappings need dramatically fewer nodes — one of the secondary
+    /// benefits of 2 MB pages.
+    pub fn table_bytes(&self) -> u64 {
+        self.stats.nodes * crate::addr::SMALL_PAGE_BYTES
+    }
+
+    /// Map the page containing `va` to the frame at `pa` with the given
+    /// size and flags. Both addresses must be size-aligned.
+    pub fn map(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> VmResult<()> {
+        if !va.is_aligned(size) {
+            return Err(VmError::Misaligned { addr: va, size });
+        }
+        if pa.0 & size.offset_mask() != 0 {
+            return Err(VmError::Misaligned {
+                addr: VirtAddr(pa.0),
+                size,
+            });
+        }
+        let leaf_level = match size {
+            PageSize::Small4K => 0,
+            PageSize::Large2M => LARGE_LEAF_LEVEL,
+        };
+        let mut node = &mut self.root;
+        let mut level = LEVELS - 1;
+        while level > leaf_level {
+            let idx = va.pt_index(level);
+            // Descend, creating intermediate nodes as needed.
+            let entry = &mut node.entries[idx];
+            match entry {
+                Entry::None => {
+                    let frame = frames.alloc(0)?;
+                    *entry = Entry::Table(Box::new(Node::new(frame)));
+                    node.live += 1;
+                    self.stats.nodes += 1;
+                }
+                Entry::Table(_) => {}
+                Entry::Leaf { .. } => return Err(VmError::AlreadyMapped(va)),
+            }
+            node = match &mut node.entries[idx] {
+                Entry::Table(t) => t,
+                _ => unreachable!("just ensured a table entry"),
+            };
+            level -= 1;
+        }
+        let idx = va.pt_index(leaf_level);
+        // A 2 MB mapping may land where an (empty) page-table node sits —
+        // e.g. after THP promotion unmapped the 512 small pages. Reclaim
+        // the empty node and take its slot.
+        if size == PageSize::Large2M {
+            if let Entry::Table(t) = &node.entries[idx] {
+                if t.live == 0 {
+                    let freed = t.frame;
+                    node.entries[idx] = Entry::None;
+                    node.live -= 1;
+                    frames.free(freed, 0);
+                    self.stats.nodes -= 1;
+                }
+            }
+        }
+        match &node.entries[idx] {
+            Entry::None => {
+                node.entries[idx] = Entry::Leaf { pa, flags };
+                node.live += 1;
+                match size {
+                    PageSize::Small4K => self.stats.small_mappings += 1,
+                    PageSize::Large2M => self.stats.large_mappings += 1,
+                }
+                Ok(())
+            }
+            _ => Err(VmError::AlreadyMapped(va)),
+        }
+    }
+
+    /// Remove the mapping for the page containing `va`. Returns the old
+    /// translation. Empty intermediate nodes are *not* eagerly reclaimed
+    /// (as in Linux, where PGD/PMD frames persist until exit).
+    pub fn unmap(&mut self, va: VirtAddr, size: PageSize) -> VmResult<Translation> {
+        let leaf_level = match size {
+            PageSize::Small4K => 0,
+            PageSize::Large2M => LARGE_LEAF_LEVEL,
+        };
+        let mut node = &mut self.root;
+        let mut level = LEVELS - 1;
+        while level > leaf_level {
+            let idx = va.pt_index(level);
+            node = match &mut node.entries[idx] {
+                Entry::Table(t) => t,
+                _ => return Err(VmError::NotMapped(va)),
+            };
+            level -= 1;
+        }
+        let idx = va.pt_index(leaf_level);
+        match std::mem::take(&mut node.entries[idx]) {
+            Entry::Leaf { pa, flags } => {
+                node.live -= 1;
+                match size {
+                    PageSize::Small4K => self.stats.small_mappings -= 1,
+                    PageSize::Large2M => self.stats.large_mappings -= 1,
+                }
+                Ok(Translation { pa, size, flags })
+            }
+            other => {
+                node.entries[idx] = other;
+                Err(VmError::NotMapped(va))
+            }
+        }
+    }
+
+    /// Update the flags of an existing leaf mapping (mprotect path).
+    /// Returns the page size of the mapping.
+    pub fn protect(&mut self, va: VirtAddr, new_flags: PteFlags) -> VmResult<PageSize> {
+        let mut node = &mut self.root;
+        let mut level = LEVELS - 1;
+        loop {
+            let idx = va.pt_index(level);
+            match &mut node.entries[idx] {
+                Entry::None => return Err(VmError::NotMapped(va)),
+                Entry::Leaf { flags, .. } => {
+                    *flags = new_flags;
+                    return Ok(if level == 0 {
+                        PageSize::Small4K
+                    } else {
+                        PageSize::Large2M
+                    });
+                }
+                Entry::Table(t) => {
+                    if level == 0 {
+                        return Err(VmError::NotMapped(va));
+                    }
+                    node = t;
+                    level -= 1;
+                }
+            }
+        }
+    }
+
+    /// Translate `va` without permission checks or A/D updates (a "probe").
+    pub fn probe(&self, va: VirtAddr) -> Option<Translation> {
+        let mut node = &self.root;
+        let mut level = LEVELS - 1;
+        loop {
+            let idx = va.pt_index(level);
+            match &node.entries[idx] {
+                Entry::None => return None,
+                Entry::Leaf { pa, flags } => {
+                    let size = if level == 0 {
+                        PageSize::Small4K
+                    } else {
+                        PageSize::Large2M
+                    };
+                    return Some(Translation {
+                        pa: pa.add(va.page_offset(size)),
+                        size,
+                        flags: *flags,
+                    });
+                }
+                Entry::Table(t) => {
+                    if level == 0 {
+                        return None;
+                    }
+                    node = t;
+                    level -= 1;
+                }
+            }
+        }
+    }
+
+    /// Perform a full hardware-style walk for an access of kind `kind`,
+    /// recording every table entry touched, enforcing permissions, and
+    /// updating accessed/dirty bits.
+    pub fn walk(&mut self, va: VirtAddr, kind: AccessKind) -> VmResult<(Translation, WalkTrace)> {
+        self.stats.walks += 1;
+        let mut trace = WalkTrace::new();
+        let mut node = &mut self.root;
+        let mut level = LEVELS - 1;
+        loop {
+            let idx = va.pt_index(level);
+            trace.push(node.frame.add(idx as u64 * PTE_BYTES));
+            match &mut node.entries[idx] {
+                Entry::None => return Err(VmError::NotMapped(va)),
+                Entry::Leaf { pa, flags } => {
+                    let ok = match kind {
+                        AccessKind::Read => flags.present,
+                        AccessKind::Write => flags.present && flags.writable,
+                        AccessKind::Fetch => flags.present && flags.executable,
+                    };
+                    if !ok {
+                        return Err(VmError::ProtectionViolation(va));
+                    }
+                    flags.accessed = true;
+                    if kind == AccessKind::Write {
+                        flags.dirty = true;
+                    }
+                    let size = if level == 0 {
+                        PageSize::Small4K
+                    } else {
+                        PageSize::Large2M
+                    };
+                    let t = Translation {
+                        pa: pa.add(va.page_offset(size)),
+                        size,
+                        flags: *flags,
+                    };
+                    return Ok((t, trace));
+                }
+                Entry::Table(t) => {
+                    if level == 0 {
+                        return Err(VmError::NotMapped(va));
+                    }
+                    node = t;
+                    level -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (BuddyAllocator, PageTable) {
+        let mut frames = BuddyAllocator::new(64 * 1024 * 1024);
+        let pt = PageTable::new(&mut frames).unwrap();
+        (frames, pt)
+    }
+
+    #[test]
+    fn map_and_translate_small() {
+        let (mut frames, mut pt) = fixture();
+        let frame = frames.alloc(0).unwrap();
+        pt.map(
+            &mut frames,
+            VirtAddr(0x40_0000),
+            frame,
+            PageSize::Small4K,
+            PteFlags::rw(),
+        )
+        .unwrap();
+        let t = pt.probe(VirtAddr(0x40_0123)).unwrap();
+        assert_eq!(t.pa, frame.add(0x123));
+        assert_eq!(t.size, PageSize::Small4K);
+    }
+
+    #[test]
+    fn map_and_translate_large() {
+        let (mut frames, mut pt) = fixture();
+        let frame = frames.alloc(PageSize::Large2M.buddy_order()).unwrap();
+        pt.map(
+            &mut frames,
+            VirtAddr(0x20_0000),
+            frame,
+            PageSize::Large2M,
+            PteFlags::rw(),
+        )
+        .unwrap();
+        let t = pt.probe(VirtAddr(0x20_0000 + 0x12_345)).unwrap();
+        assert_eq!(t.pa, frame.add(0x12_345));
+        assert_eq!(t.size, PageSize::Large2M);
+    }
+
+    #[test]
+    fn walk_lengths_differ_by_page_size() {
+        let (mut frames, mut pt) = fixture();
+        let f4 = frames.alloc(0).unwrap();
+        let f2m = frames.alloc(PageSize::Large2M.buddy_order()).unwrap();
+        pt.map(
+            &mut frames,
+            VirtAddr(0x1000),
+            f4,
+            PageSize::Small4K,
+            PteFlags::rw(),
+        )
+        .unwrap();
+        pt.map(
+            &mut frames,
+            VirtAddr(0x4000_0000),
+            f2m,
+            PageSize::Large2M,
+            PteFlags::rw(),
+        )
+        .unwrap();
+        let (_, small_trace) = pt.walk(VirtAddr(0x1000), AccessKind::Read).unwrap();
+        let (_, large_trace) = pt.walk(VirtAddr(0x4000_0000), AccessKind::Read).unwrap();
+        assert_eq!(small_trace.len(), LEVELS as usize);
+        assert_eq!(large_trace.len(), LEVELS as usize - 1);
+    }
+
+    #[test]
+    fn walk_sets_accessed_and_dirty() {
+        let (mut frames, mut pt) = fixture();
+        let f = frames.alloc(0).unwrap();
+        pt.map(
+            &mut frames,
+            VirtAddr(0x1000),
+            f,
+            PageSize::Small4K,
+            PteFlags::rw(),
+        )
+        .unwrap();
+        let (t, _) = pt.walk(VirtAddr(0x1000), AccessKind::Read).unwrap();
+        assert!(t.flags.accessed);
+        assert!(!t.flags.dirty);
+        let (t, _) = pt.walk(VirtAddr(0x1000), AccessKind::Write).unwrap();
+        assert!(t.flags.dirty);
+    }
+
+    #[test]
+    fn permission_enforcement() {
+        let (mut frames, mut pt) = fixture();
+        let f = frames.alloc(0).unwrap();
+        pt.map(
+            &mut frames,
+            VirtAddr(0x1000),
+            f,
+            PageSize::Small4K,
+            PteFlags::ro(),
+        )
+        .unwrap();
+        assert!(pt.walk(VirtAddr(0x1000), AccessKind::Read).is_ok());
+        assert_eq!(
+            pt.walk(VirtAddr(0x1000), AccessKind::Write),
+            Err(VmError::ProtectionViolation(VirtAddr(0x1000)))
+        );
+        assert_eq!(
+            pt.walk(VirtAddr(0x1000), AccessKind::Fetch),
+            Err(VmError::ProtectionViolation(VirtAddr(0x1000)))
+        );
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let (mut frames, mut pt) = fixture();
+        let f = frames.alloc(0).unwrap();
+        pt.map(
+            &mut frames,
+            VirtAddr(0x1000),
+            f,
+            PageSize::Small4K,
+            PteFlags::rw(),
+        )
+        .unwrap();
+        let f2 = frames.alloc(0).unwrap();
+        assert_eq!(
+            pt.map(
+                &mut frames,
+                VirtAddr(0x1000),
+                f2,
+                PageSize::Small4K,
+                PteFlags::rw()
+            ),
+            Err(VmError::AlreadyMapped(VirtAddr(0x1000)))
+        );
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let (mut frames, mut pt) = fixture();
+        let f = frames.alloc(0).unwrap();
+        pt.map(
+            &mut frames,
+            VirtAddr(0x1000),
+            f,
+            PageSize::Small4K,
+            PteFlags::rw(),
+        )
+        .unwrap();
+        let t = pt.unmap(VirtAddr(0x1000), PageSize::Small4K).unwrap();
+        assert_eq!(t.pa, f);
+        assert!(pt.probe(VirtAddr(0x1000)).is_none());
+        assert_eq!(
+            pt.unmap(VirtAddr(0x1000), PageSize::Small4K),
+            Err(VmError::NotMapped(VirtAddr(0x1000)))
+        );
+    }
+
+    #[test]
+    fn misaligned_map_rejected() {
+        let (mut frames, mut pt) = fixture();
+        let f = frames.alloc(PageSize::Large2M.buddy_order()).unwrap();
+        assert!(matches!(
+            pt.map(
+                &mut frames,
+                VirtAddr(0x1000),
+                f,
+                PageSize::Large2M,
+                PteFlags::rw()
+            ),
+            Err(VmError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn node_count_grows_much_slower_for_large_pages() {
+        // Map 64 MB with 4 KB pages vs 2 MB pages and compare table overhead.
+        let mut frames = BuddyAllocator::new(512 * 1024 * 1024);
+        let mut small_pt = PageTable::new(&mut frames).unwrap();
+        let mut large_pt = PageTable::new(&mut frames).unwrap();
+        let span = 64u64 * 1024 * 1024;
+        let base = 0x1_0000_0000u64;
+        let mut off = 0;
+        while off < span {
+            let f = frames.alloc(0).unwrap();
+            small_pt
+                .map(
+                    &mut frames,
+                    VirtAddr(base + off),
+                    f,
+                    PageSize::Small4K,
+                    PteFlags::rw(),
+                )
+                .unwrap();
+            off += PageSize::Small4K.bytes();
+        }
+        let mut off = 0;
+        while off < span {
+            let f = frames.alloc(PageSize::Large2M.buddy_order()).unwrap();
+            large_pt
+                .map(
+                    &mut frames,
+                    VirtAddr(base + off),
+                    f,
+                    PageSize::Large2M,
+                    PteFlags::rw(),
+                )
+                .unwrap();
+            off += PageSize::Large2M.bytes();
+        }
+        assert_eq!(small_pt.stats().small_mappings, span / 4096);
+        assert_eq!(large_pt.stats().large_mappings, span / (2 * 1024 * 1024));
+        assert!(small_pt.table_bytes() > 8 * large_pt.table_bytes());
+    }
+
+    #[test]
+    fn probe_of_unmapped_returns_none() {
+        let (_frames, pt) = fixture();
+        assert!(pt.probe(VirtAddr(0xdead_b000)).is_none());
+    }
+}

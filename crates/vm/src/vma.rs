@@ -1,0 +1,780 @@
+//! Virtual memory areas and per-process address spaces.
+//!
+//! An [`AddressSpace`] is the analogue of a Linux `mm_struct`: an ordered
+//! set of [`Vma`] regions plus the radix page table. Regions can be backed
+//! anonymously (private frames) or by a shared segment (the memory-mapped
+//! file through which Omni/SCASH shares the global heap between the
+//! processes of one node — §3.3 of the paper). Each region has a fixed page
+//! size, so a single space can mix a 4 KB-backed mailbox file with a
+//! 2 MB-backed shared heap exactly the way the modified runtime does.
+//!
+//! Population policy is the design axis the paper argues about in §3.3
+//! ("Large Page Allocation"): demand faulting is what a general-purpose OS
+//! does; the paper's runtime *preallocates* (pre-touches) everything at
+//! startup because an OpenMP job owns the node for its whole run.
+
+use crate::addr::{PageSize, PhysAddr, VirtAddr};
+use crate::error::{VmError, VmResult};
+use crate::frame::BuddyAllocator;
+use crate::hugetlbfs::SharedSegment;
+use crate::page_table::{AccessKind, PageTable, PteFlags, Translation, WalkTrace};
+use std::sync::Arc;
+
+/// What backs a region's pages.
+#[derive(Clone, Debug)]
+pub enum Backing {
+    /// Private frames allocated from the buddy allocator at fault time.
+    Anonymous,
+    /// A shared segment whose frames were allocated when the segment was
+    /// created (hugetlbfs file or small-page shm file). Mapping processes
+    /// share the same physical frames.
+    Shared(Arc<SharedSegment>),
+}
+
+/// When the pages of a freshly created mapping get populated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Populate {
+    /// Map every page immediately (`MAP_POPULATE` / the paper's startup
+    /// preallocation). No faults are taken later.
+    Eager,
+    /// Pages are mapped by the fault handler on first touch.
+    OnDemand,
+}
+
+/// A contiguous virtual region with uniform backing, protection and page
+/// size.
+#[derive(Clone, Debug)]
+pub struct Vma {
+    /// First virtual address of the region.
+    pub start: VirtAddr,
+    /// Length in bytes (a whole number of pages).
+    pub len: u64,
+    /// Page size used for every mapping in the region.
+    pub page_size: PageSize,
+    /// Protection applied to each page.
+    pub flags: PteFlags,
+    /// What supplies the frames.
+    pub backing: Backing,
+    /// Debug name ("code", "shared-heap", "mailbox", ...).
+    pub name: String,
+}
+
+impl Vma {
+    /// End address (exclusive).
+    pub fn end(&self) -> VirtAddr {
+        self.start.add(self.len)
+    }
+
+    /// Does the region contain `va`?
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.start && va < self.end()
+    }
+
+    /// Number of pages in the region.
+    pub fn page_count(&self) -> u64 {
+        self.len >> self.page_size.shift()
+    }
+}
+
+/// Fault statistics for an address space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults resolved by allocating a fresh anonymous frame.
+    pub anon_faults: u64,
+    /// Faults resolved by mapping an existing shared frame.
+    pub shared_faults: u64,
+    /// Pages populated eagerly at mmap time.
+    pub prepopulated: u64,
+    /// Accesses that faulted on a region that does not exist (SIGSEGV).
+    pub segv: u64,
+}
+
+/// The outcome of [`AddressSpace::access`]: how the translation was
+/// obtained, so callers can charge the right cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The page was already mapped; `trace` is the hardware walk.
+    Walked(Translation, WalkTrace),
+    /// A page fault was taken and resolved, then the walk repeated.
+    Faulted(Translation, WalkTrace),
+}
+
+impl AccessOutcome {
+    /// The translation regardless of path.
+    pub fn translation(&self) -> Translation {
+        match self {
+            AccessOutcome::Walked(t, _) | AccessOutcome::Faulted(t, _) => *t,
+        }
+    }
+
+    /// The final successful walk trace.
+    pub fn trace(&self) -> &WalkTrace {
+        match self {
+            AccessOutcome::Walked(_, w) | AccessOutcome::Faulted(_, w) => w,
+        }
+    }
+
+    /// Whether a fault was taken.
+    pub fn faulted(&self) -> bool {
+        matches!(self, AccessOutcome::Faulted(..))
+    }
+}
+
+/// Base of the mmap arena (above the code/static segments).
+const MMAP_BASE: u64 = 0x1_0000_0000;
+
+/// A simulated process address space.
+#[derive(Debug)]
+pub struct AddressSpace {
+    pt: PageTable,
+    vmas: Vec<Vma>, // kept sorted by start
+    next_mmap: u64,
+    faults: FaultStats,
+    promotions: u64,
+}
+
+impl AddressSpace {
+    /// Create an empty address space; the page-table root is drawn from
+    /// `frames`.
+    pub fn new(frames: &mut BuddyAllocator) -> VmResult<Self> {
+        Ok(AddressSpace {
+            pt: PageTable::new(frames)?,
+            vmas: Vec::new(),
+            next_mmap: MMAP_BASE,
+            faults: FaultStats::default(),
+            promotions: 0,
+        })
+    }
+
+    /// Fault statistics snapshot.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
+    /// Number of regions that have had chunks promoted to large pages.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Record that a region was (partially) promoted — called by
+    /// [`crate::promote::promote_region`].
+    pub(crate) fn note_promotion(&mut self, _start: VirtAddr) {
+        self.promotions += 1;
+    }
+
+    /// Remove one page mapping (promotion migration path).
+    pub(crate) fn unmap_page(&mut self, va: VirtAddr, size: PageSize) -> VmResult<Translation> {
+        self.pt.unmap(va, size)
+    }
+
+    /// Install one page mapping (promotion migration path).
+    pub(crate) fn map_page(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> VmResult<()> {
+        self.pt.map(frames, va, pa, size, flags)
+    }
+
+    /// Borrow the underlying page table (for stats / direct walks).
+    pub fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    /// The regions of this space, ordered by start address.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// Total bytes mapped across all regions.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.vmas.iter().map(|v| v.len).sum()
+    }
+
+    /// Find the region containing `va`.
+    pub fn find_vma(&self, va: VirtAddr) -> Option<&Vma> {
+        // vmas is sorted by start; binary search for the candidate.
+        let idx = self
+            .vmas
+            .partition_point(|v| v.start.0 <= va.0)
+            .checked_sub(1)?;
+        let v = &self.vmas[idx];
+        v.contains(va).then_some(v)
+    }
+
+    fn find_vma_idx(&self, va: VirtAddr) -> Option<usize> {
+        let idx = self
+            .vmas
+            .partition_point(|v| v.start.0 <= va.0)
+            .checked_sub(1)?;
+        self.vmas[idx].contains(va).then_some(idx)
+    }
+
+    /// Reserve a fresh virtual range of `len` bytes aligned to `size`.
+    fn reserve_range(&mut self, len: u64, size: PageSize) -> VirtAddr {
+        let align = size.bytes();
+        let start = (self.next_mmap + align - 1) & !(align - 1);
+        self.next_mmap = start + len;
+        VirtAddr(start)
+    }
+
+    /// Create a mapping at a caller-chosen address (used for the fixed code
+    /// segment). `start` must be size-aligned and the range must not
+    /// overlap an existing region.
+    #[allow(clippy::too_many_arguments)] // mirrors mmap(2)'s parameter surface
+    pub fn mmap_fixed(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        start: VirtAddr,
+        len: u64,
+        page_size: PageSize,
+        flags: PteFlags,
+        backing: Backing,
+        populate: Populate,
+        name: &str,
+    ) -> VmResult<VirtAddr> {
+        if !start.is_aligned(page_size) {
+            return Err(VmError::Misaligned {
+                addr: start,
+                size: page_size,
+            });
+        }
+        let len = page_size.round_up(len);
+        let end = start.add(len);
+        if self.vmas.iter().any(|v| start < v.end() && v.start < end) {
+            return Err(VmError::AlreadyMapped(start));
+        }
+        if let Backing::Shared(seg) = &backing {
+            if seg.page_size() != page_size {
+                return Err(VmError::Misaligned {
+                    addr: start,
+                    size: page_size,
+                });
+            }
+            if len > seg.len_bytes() {
+                return Err(VmError::OutOfRange {
+                    offset: 0,
+                    len,
+                    object_len: seg.len_bytes(),
+                });
+            }
+        }
+        let vma = Vma {
+            start,
+            len,
+            page_size,
+            flags,
+            backing,
+            name: name.to_owned(),
+        };
+        let pos = self.vmas.partition_point(|v| v.start < vma.start);
+        self.vmas.insert(pos, vma);
+        if populate == Populate::Eager {
+            self.populate_region(frames, start)?;
+        }
+        // keep next_mmap above fixed mappings too
+        self.next_mmap = self.next_mmap.max(end.0);
+        Ok(start)
+    }
+
+    /// Create a mapping at a kernel-chosen address (anonymous `mmap`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn mmap(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        len: u64,
+        page_size: PageSize,
+        flags: PteFlags,
+        backing: Backing,
+        populate: Populate,
+        name: &str,
+    ) -> VmResult<VirtAddr> {
+        let len = page_size.round_up(len);
+        let start = self.reserve_range(len, page_size);
+        self.mmap_fixed(
+            frames, start, len, page_size, flags, backing, populate, name,
+        )
+    }
+
+    /// Populate every not-yet-mapped page of the region containing `start`.
+    /// Returns the number of pages populated.
+    pub fn populate_region(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        start: VirtAddr,
+    ) -> VmResult<u64> {
+        let idx = self.find_vma_idx(start).ok_or(VmError::NotMapped(start))?;
+        let (vstart, len, size) = {
+            let v = &self.vmas[idx];
+            (v.start, v.len, v.page_size)
+        };
+        let mut populated = 0;
+        let mut off = 0;
+        while off < len {
+            let va = vstart.add(off);
+            if self.pt.probe(va).is_none() {
+                self.install_page(frames, idx, va)?;
+                populated += 1;
+            }
+            off += size.bytes();
+        }
+        self.faults.prepopulated += populated;
+        Ok(populated)
+    }
+
+    /// Install the page containing `va` for region index `idx`.
+    fn install_page(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        idx: usize,
+        va: VirtAddr,
+    ) -> VmResult<PhysAddr> {
+        let (vstart, size, flags, backing) = {
+            let v = &self.vmas[idx];
+            (v.start, v.page_size, v.flags, v.backing.clone())
+        };
+        let page_va = va.page_base(size);
+        let pa = match backing {
+            Backing::Anonymous => frames.alloc(size.buddy_order())?,
+            Backing::Shared(seg) => {
+                let page_index = (page_va.0 - vstart.0) >> size.shift();
+                seg.frame(page_index)?
+            }
+        };
+        self.pt.map(frames, page_va, pa, size, flags)?;
+        Ok(pa)
+    }
+
+    /// Translate an access, taking and resolving a page fault if needed.
+    ///
+    /// This is the path the machine model drives: a TLB miss performs
+    /// `access`, charging the returned walk trace to the memory hierarchy
+    /// and an additional fault cost when [`AccessOutcome::Faulted`].
+    pub fn access(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> VmResult<AccessOutcome> {
+        match self.pt.walk(va, kind) {
+            Ok((t, w)) => Ok(AccessOutcome::Walked(t, w)),
+            Err(VmError::NotMapped(_)) => {
+                let idx = match self.find_vma_idx(va) {
+                    Some(i) => i,
+                    None => {
+                        self.faults.segv += 1;
+                        return Err(VmError::NotMapped(va));
+                    }
+                };
+                match &self.vmas[idx].backing {
+                    Backing::Anonymous => self.faults.anon_faults += 1,
+                    Backing::Shared(_) => self.faults.shared_faults += 1,
+                }
+                self.install_page(frames, idx, va)?;
+                let (t, w) = self.pt.walk(va, kind)?;
+                Ok(AccessOutcome::Faulted(t, w))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A `/proc/<pid>/smaps`-style listing of the regions: name, range,
+    /// page size, protection, and how many pages are installed.
+    pub fn smaps(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for v in &self.vmas {
+            let mut populated = 0u64;
+            let mut off = 0;
+            while off < v.len {
+                if self.pt.probe(v.start.add(off)).is_some() {
+                    populated += 1;
+                }
+                off += v.page_size.bytes();
+            }
+            let prot = format!(
+                "{}{}{}",
+                if v.flags.present { 'r' } else { '-' },
+                if v.flags.writable { 'w' } else { '-' },
+                if v.flags.executable { 'x' } else { '-' },
+            );
+            let _ = writeln!(
+                out,
+                "{:#014x}-{:#014x} {prot} {:>4} {:>8}/{:<8} {}",
+                v.start.0,
+                v.end().0,
+                v.page_size.to_string(),
+                populated,
+                v.page_count(),
+                v.name,
+            );
+        }
+        out
+    }
+
+    /// Change the protection of the region containing `start` (mprotect).
+    /// Updates the VMA and every installed mapping; the caller must shoot
+    /// down stale TLB entries afterwards (real TLBs cache permissions).
+    /// This is the mechanism SCASH's eager-release-consistency protocol
+    /// uses to trap remote-page accesses — which the paper *disables* for
+    /// intra-node runs (§3.3 "Memory Protection"); it is provided here for
+    /// completeness of the substrate.
+    pub fn mprotect(&mut self, start: VirtAddr, new_flags: PteFlags) -> VmResult<u64> {
+        let idx = self.find_vma_idx(start).ok_or(VmError::NotMapped(start))?;
+        self.vmas[idx].flags = new_flags;
+        let (vstart, len, vsize) = {
+            let v = &self.vmas[idx];
+            (v.start, v.len, v.page_size)
+        };
+        let mut changed = 0;
+        let mut off = 0;
+        while off < len {
+            let va = vstart.add(off);
+            match self.pt.probe(va) {
+                Some(t) => {
+                    self.pt.protect(va, new_flags)?;
+                    changed += 1;
+                    off += t.size.bytes();
+                }
+                None => off += vsize.bytes(),
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Remove the region containing `start`, unmapping all its pages and
+    /// returning anonymous frames to the allocator. Shared frames stay
+    /// owned by their segment.
+    pub fn munmap(&mut self, frames: &mut BuddyAllocator, start: VirtAddr) -> VmResult<()> {
+        let idx = self.find_vma_idx(start).ok_or(VmError::NotMapped(start))?;
+        let v = self.vmas.remove(idx);
+        // Promotion can leave a region with mixed page sizes; probe each
+        // position and unmap at the size actually installed.
+        let mut off = 0;
+        while off < v.len {
+            let va = v.start.add(off);
+            match self.pt.probe(va) {
+                Some(t) => {
+                    let size = t.size;
+                    self.pt.unmap(va, size)?;
+                    if matches!(v.backing, Backing::Anonymous) {
+                        frames.free(t.pa.frame_base(size), size.buddy_order());
+                    }
+                    off += size.bytes();
+                }
+                None => off += v.page_size.bytes(),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hugetlbfs::HugePool;
+
+    fn frames() -> BuddyAllocator {
+        BuddyAllocator::new(256 * 1024 * 1024)
+    }
+
+    #[test]
+    fn anonymous_demand_faulting() {
+        let mut f = frames();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        let base = asp
+            .mmap(
+                &mut f,
+                3 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::OnDemand,
+                "heap",
+            )
+            .unwrap();
+        let out = asp
+            .access(&mut f, base.add(4096), AccessKind::Write)
+            .unwrap();
+        assert!(out.faulted());
+        // second touch of the same page: no fault
+        let out = asp
+            .access(&mut f, base.add(4100), AccessKind::Read)
+            .unwrap();
+        assert!(!out.faulted());
+        assert_eq!(asp.fault_stats().anon_faults, 1);
+    }
+
+    #[test]
+    fn eager_population_takes_no_faults() {
+        let mut f = frames();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        let base = asp
+            .mmap(
+                &mut f,
+                8 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "heap",
+            )
+            .unwrap();
+        assert_eq!(asp.fault_stats().prepopulated, 8);
+        for i in 0..8 {
+            let out = asp
+                .access(&mut f, base.add(i * 4096), AccessKind::Read)
+                .unwrap();
+            assert!(!out.faulted());
+        }
+        assert_eq!(asp.fault_stats().anon_faults, 0);
+    }
+
+    #[test]
+    fn shared_segment_frames_are_shared_between_spaces() {
+        let mut f = frames();
+        let mut pool = HugePool::reserve(&mut f, 8).unwrap();
+        let seg = pool
+            .create_file("heap", 2 * PageSize::Large2M.bytes())
+            .unwrap();
+        let mut a = AddressSpace::new(&mut f).unwrap();
+        let mut b = AddressSpace::new(&mut f).unwrap();
+        let va_a = a
+            .mmap(
+                &mut f,
+                seg.len_bytes(),
+                PageSize::Large2M,
+                PteFlags::rw(),
+                Backing::Shared(seg.clone()),
+                Populate::Eager,
+                "shared-heap",
+            )
+            .unwrap();
+        let va_b = b
+            .mmap(
+                &mut f,
+                seg.len_bytes(),
+                PageSize::Large2M,
+                PteFlags::rw(),
+                Backing::Shared(seg.clone()),
+                Populate::Eager,
+                "shared-heap",
+            )
+            .unwrap();
+        let pa_a = a
+            .access(&mut f, va_a.add(0x1234), AccessKind::Read)
+            .unwrap();
+        let pa_b = b
+            .access(&mut f, va_b.add(0x1234), AccessKind::Read)
+            .unwrap();
+        assert_eq!(pa_a.translation().pa, pa_b.translation().pa);
+    }
+
+    #[test]
+    fn segv_on_unmapped_access() {
+        let mut f = frames();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        let e = asp.access(&mut f, VirtAddr(0xdead_0000), AccessKind::Read);
+        assert_eq!(e, Err(VmError::NotMapped(VirtAddr(0xdead_0000))));
+        assert_eq!(asp.fault_stats().segv, 1);
+    }
+
+    #[test]
+    fn munmap_returns_anonymous_frames() {
+        let mut f = frames();
+        let before = f.free_bytes();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        let base = asp
+            .mmap(
+                &mut f,
+                16 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "heap",
+            )
+            .unwrap();
+        asp.munmap(&mut f, base).unwrap();
+        // Only the page-table nodes remain allocated.
+        assert!(f.free_bytes() >= before - 16 * 4096);
+        assert!(asp.find_vma(base).is_none());
+    }
+
+    #[test]
+    fn mixed_page_sizes_in_one_space() {
+        let mut f = frames();
+        let mut pool = HugePool::reserve(&mut f, 4).unwrap();
+        let seg = pool.create_file("big", PageSize::Large2M.bytes()).unwrap();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        let small = asp
+            .mmap(
+                &mut f,
+                4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "mailbox",
+            )
+            .unwrap();
+        let large = asp
+            .mmap(
+                &mut f,
+                seg.len_bytes(),
+                PageSize::Large2M,
+                PteFlags::rw(),
+                Backing::Shared(seg),
+                Populate::Eager,
+                "shared-heap",
+            )
+            .unwrap();
+        let ts = asp
+            .access(&mut f, small, AccessKind::Read)
+            .unwrap()
+            .translation();
+        let tl = asp
+            .access(&mut f, large, AccessKind::Read)
+            .unwrap()
+            .translation();
+        assert_eq!(ts.size, PageSize::Small4K);
+        assert_eq!(tl.size, PageSize::Large2M);
+    }
+
+    #[test]
+    fn fixed_mapping_overlap_rejected() {
+        let mut f = frames();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        asp.mmap_fixed(
+            &mut f,
+            VirtAddr(0x40_0000),
+            8192,
+            PageSize::Small4K,
+            PteFlags::rx(),
+            Backing::Anonymous,
+            Populate::Eager,
+            "code",
+        )
+        .unwrap();
+        let e = asp.mmap_fixed(
+            &mut f,
+            VirtAddr(0x40_1000),
+            4096,
+            PageSize::Small4K,
+            PteFlags::rw(),
+            Backing::Anonymous,
+            Populate::Eager,
+            "overlap",
+        );
+        assert!(matches!(e, Err(VmError::AlreadyMapped(_))));
+    }
+
+    #[test]
+    fn mprotect_changes_enforcement() {
+        let mut f = frames();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        let base = asp
+            .mmap(
+                &mut f,
+                2 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "data",
+            )
+            .unwrap();
+        asp.access(&mut f, base, AccessKind::Write).unwrap();
+        let changed = asp.mprotect(base, PteFlags::ro()).unwrap();
+        assert_eq!(changed, 2);
+        assert_eq!(
+            asp.access(&mut f, base, AccessKind::Write),
+            Err(VmError::ProtectionViolation(base))
+        );
+        assert!(asp.access(&mut f, base, AccessKind::Read).is_ok());
+        // And back.
+        asp.mprotect(base, PteFlags::rw()).unwrap();
+        assert!(asp.access(&mut f, base, AccessKind::Write).is_ok());
+    }
+
+    #[test]
+    fn mprotect_applies_to_later_faults_too() {
+        let mut f = frames();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        let base = asp
+            .mmap(
+                &mut f,
+                2 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::OnDemand,
+                "lazy",
+            )
+            .unwrap();
+        asp.mprotect(base, PteFlags::ro()).unwrap();
+        // Page 1 was never populated; its demand fault must install the
+        // *new* protection.
+        assert_eq!(
+            asp.access(&mut f, base.add(4096), AccessKind::Write),
+            Err(VmError::ProtectionViolation(base.add(4096)))
+        );
+    }
+
+    #[test]
+    fn smaps_reports_regions() {
+        let mut f = frames();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        asp.mmap(
+            &mut f,
+            2 * 4096,
+            PageSize::Small4K,
+            PteFlags::rw(),
+            Backing::Anonymous,
+            Populate::OnDemand,
+            "lazy-heap",
+        )
+        .unwrap();
+        let base2 = asp
+            .mmap(
+                &mut f,
+                4096,
+                PageSize::Small4K,
+                PteFlags::rx(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "code",
+            )
+            .unwrap();
+        let _ = base2;
+        let report = asp.smaps();
+        assert!(report.contains("lazy-heap"));
+        assert!(report.contains("code"));
+        assert!(report.contains("r-x"));
+        // lazy region: 0 of 2 pages populated.
+        assert!(report.contains("       0/2"), "report:\n{report}");
+    }
+
+    #[test]
+    fn find_vma_boundaries() {
+        let mut f = frames();
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        let base = asp
+            .mmap(
+                &mut f,
+                2 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::OnDemand,
+                "r",
+            )
+            .unwrap();
+        assert!(asp.find_vma(base).is_some());
+        assert!(asp.find_vma(base.add(2 * 4096 - 1)).is_some());
+        assert!(asp.find_vma(base.add(2 * 4096)).is_none());
+    }
+}

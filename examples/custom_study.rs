@@ -1,0 +1,74 @@
+//! Use the sweep API to answer a question the paper doesn't: *how would
+//! the result change on an Opteron whose L2 DTLB were half the size?*
+//!
+//! This is the kind of what-if the library exists for — platform
+//! parameters are plain data, so hypothetical hardware is one struct
+//! update away.
+//!
+//! ```sh
+//! cargo run --release --example custom_study [S|W]
+//! ```
+
+use lpomp::core::{PagePolicy, RunOpts, SweepSpec};
+use lpomp::machine::opteron_2x2;
+use lpomp::npb::{AppKind, Class};
+use lpomp::tlb::{Assoc, LevelConfig};
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("W") | Some("w") => Class::W,
+        _ => Class::S,
+    };
+
+    // The real Opteron, and a hypothetical one with a 512-entry L2 DTLB.
+    let real = opteron_2x2();
+    let mut small_l2 = opteron_2x2();
+    small_l2.name = "Opteron-512";
+    small_l2.dtlb.l2 = Some(LevelConfig {
+        small_entries: 512,
+        small_assoc: Assoc::Ways(4),
+        large_entries: 0,
+        large_assoc: Assoc::Full,
+    });
+
+    let spec = SweepSpec {
+        apps: vec![AppKind::Cg, AppKind::Sp, AppKind::Mg],
+        class,
+        machines: vec![real, small_l2],
+        policies: vec![PagePolicy::Small4K, PagePolicy::Large2M],
+        threads: vec![4],
+        opts: RunOpts::default(),
+    };
+    println!(
+        "custom study: halving the Opteron L2 DTLB (class {class}, {} runs)\n",
+        spec.len()
+    );
+    let results = spec.run_with_progress(|done, total| {
+        eprint!("\r{done}/{total} runs");
+    });
+    eprintln!("\rdone.          ");
+
+    println!("machine       app   4KB(s)    2MB(s)    2MB gain");
+    for machine in ["Opteron", "Opteron-512"] {
+        for app in [AppKind::Cg, AppKind::Sp, AppKind::Mg] {
+            let small = results
+                .get(app, machine, PagePolicy::Small4K, 4)
+                .expect("ran");
+            let large = results
+                .get(app, machine, PagePolicy::Large2M, 4)
+                .expect("ran");
+            println!(
+                "{machine:<12}  {app:<4}  {:<8.4}  {:<8.4}  {:>5.1}%",
+                small.seconds,
+                large.seconds,
+                results.improvement(app, machine, 4).unwrap()
+            );
+        }
+    }
+    println!(
+        "\nA smaller 4KB L2 TLB makes the 4KB baseline worse, so the paper's\n\
+         large-page improvements would have been even bigger on such a part —\n\
+         the 2MB runs are identical on both machines (they never touch the\n\
+         L2 DTLB, which holds no 2MB entries)."
+    );
+}

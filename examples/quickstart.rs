@@ -1,0 +1,54 @@
+//! Quickstart: measure what 2 MB pages buy CG on the simulated Opteron.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lpomp::core::{run_sim, PagePolicy, RunOpts};
+use lpomp::machine::opteron_2x2;
+use lpomp::npb::{AppKind, Class};
+use lpomp::prof::Event;
+
+fn main() {
+    println!("lpomp quickstart: CG (class S), 4 threads, simulated Opteron 270\n");
+
+    // One call per configuration: application, class, platform, page
+    // policy, thread count.
+    let opts = RunOpts {
+        verify: true,
+        ..Default::default()
+    };
+    let small = run_sim(
+        AppKind::Cg,
+        Class::S,
+        opteron_2x2(),
+        PagePolicy::Small4K,
+        4,
+        opts,
+    );
+    let large = run_sim(
+        AppKind::Cg,
+        Class::S,
+        opteron_2x2(),
+        PagePolicy::Large2M,
+        4,
+        opts,
+    );
+
+    for r in [&small, &large] {
+        println!(
+            "{:>4} pages: {:.4}s  dtlb misses {:>8}  walk cycles {:>9}  verified: {}",
+            r.policy,
+            r.seconds,
+            r.dtlb_misses(),
+            r.counters.get(Event::WalkCycles),
+            r.verified.unwrap(),
+        );
+    }
+    println!(
+        "\nlarge pages: {:.1}% faster, {:.0}x fewer DTLB misses",
+        (1.0 - large.seconds / small.seconds) * 100.0,
+        small.dtlb_misses() as f64 / large.dtlb_misses().max(1) as f64,
+    );
+    println!("(run the full evaluation: cargo run --release -p lpomp-bench --bin fig4)");
+}

@@ -1,0 +1,60 @@
+//! A miniature of the paper's Figure 4 for one application: sweep thread
+//! counts and page policies for SP on both simulated platforms and print
+//! run times, speedups and the large-page improvement.
+//!
+//! ```sh
+//! cargo run --release --example scalability_study [S|W]
+//! ```
+
+use lpomp::core::{figure4_thread_counts, run_sim, PagePolicy, RunOpts};
+use lpomp::machine::{opteron_2x2, xeon_2x2_ht};
+use lpomp::npb::{AppKind, Class};
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("W") | Some("w") => Class::W,
+        _ => Class::S,
+    };
+    let app = AppKind::Sp;
+    println!("Scalability of {app} (class {class}) with 4KB vs 2MB pages\n");
+    for machine in [opteron_2x2(), xeon_2x2_ht()] {
+        println!("--- {} ---", machine.name);
+        println!("threads   4KB (s)   2MB (s)   speedup(4KB)  speedup(2MB)  2MB gain");
+        let mut base = (0.0, 0.0);
+        for n in figure4_thread_counts(&machine) {
+            let small = run_sim(
+                app,
+                class,
+                machine.clone(),
+                PagePolicy::Small4K,
+                n,
+                RunOpts::default(),
+            );
+            let large = run_sim(
+                app,
+                class,
+                machine.clone(),
+                PagePolicy::Large2M,
+                n,
+                RunOpts::default(),
+            );
+            if n == 1 {
+                base = (small.seconds, large.seconds);
+            }
+            println!(
+                "{n:>7}   {:>7.4}   {:>7.4}   {:>12.2}  {:>12.2}  {:>7.1}%",
+                small.seconds,
+                large.seconds,
+                base.0 / small.seconds,
+                base.1 / large.seconds,
+                (1.0 - large.seconds / small.seconds) * 100.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shapes (paper Fig. 4): both platforms scale to 4 threads;\n\
+         the Xeon's flush-on-stall hyper-threading prevents 4 -> 8 scaling;\n\
+         2MB pages improve SP by ~20% on the Opteron at 4 threads."
+    );
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the full `lpomp` public API.
+pub use lpomp_core as core;
+pub use lpomp_machine as machine;
+pub use lpomp_npb as npb;
+pub use lpomp_prof as prof;
+pub use lpomp_runtime as runtime;
+pub use lpomp_tlb as tlb;
+pub use lpomp_vm as vm;

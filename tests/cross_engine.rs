@@ -1,0 +1,85 @@
+//! Cross-engine equivalence: every kernel must compute the same checksum
+//! on the native engine (real threads), the simulated engine (any page
+//! policy, any thread count) and the serial reference.
+
+use lpomp::core::{run_sim, PagePolicy, RunOpts};
+use lpomp::machine::{opteron_2x2, xeon_2x2_ht};
+use lpomp::npb::{run_native, verify_close, AppKind, Class};
+
+#[test]
+fn native_equals_simulated_for_every_kernel() {
+    for app in AppKind::ALL {
+        let (native_cs, ok) = run_native(app, Class::S, 2);
+        assert!(ok, "{app}: native run failed verification");
+        let sim = run_sim(
+            app,
+            Class::S,
+            opteron_2x2(),
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+        );
+        assert!(
+            verify_close(sim.checksum, native_cs),
+            "{app}: native {native_cs} vs simulated {}",
+            sim.checksum
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_simulated_results() {
+    for app in [AppKind::Cg, AppKind::Mg, AppKind::Sp] {
+        let mut checksums = Vec::new();
+        for threads in [1, 2, 4] {
+            let r = run_sim(
+                app,
+                Class::S,
+                opteron_2x2(),
+                PagePolicy::Large2M,
+                threads,
+                RunOpts::default(),
+            );
+            checksums.push(r.checksum);
+        }
+        assert!(
+            checksums.windows(2).all(|w| verify_close(w[0], w[1])),
+            "{app}: checksums varied across thread counts: {checksums:?}"
+        );
+    }
+}
+
+#[test]
+fn platform_does_not_change_results() {
+    for app in [AppKind::Bt, AppKind::Ft] {
+        let opt = run_sim(
+            app,
+            Class::S,
+            opteron_2x2(),
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+        );
+        let xeon = run_sim(
+            app,
+            Class::S,
+            xeon_2x2_ht(),
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+        );
+        assert_eq!(opt.checksum, xeon.checksum, "{app}");
+    }
+}
+
+#[test]
+fn native_engine_is_deterministic_across_schedules() {
+    // The kernels' parallel phases are order-independent (disjoint writes,
+    // reductions combined deterministically per thread then in order), so
+    // repeated native runs must agree within reduction tolerance.
+    for app in [AppKind::Sp, AppKind::Mg] {
+        let (a, _) = run_native(app, Class::S, 4);
+        let (b, _) = run_native(app, Class::S, 4);
+        assert!(verify_close(a, b), "{app}: {a} vs {b}");
+    }
+}

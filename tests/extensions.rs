@@ -1,0 +1,188 @@
+//! Integration tests for the extension features (the paper's §6 future
+//! work, built in this repo): THP promotion, NUMA placement, the mixed
+//! policy and the page-walk-cache ablation switch.
+
+use lpomp::core::{run_sim, PagePolicy, RunOpts, System, SystemConfig};
+use lpomp::machine::{opteron_2x2, NumaConfig, NumaPlacement};
+use lpomp::npb::{AppKind, Class};
+use lpomp::prof::Event;
+
+#[test]
+fn thp_reaches_preallocated_performance() {
+    // Reference: the paper's system (preallocated 2 MB pages).
+    let prealloc = run_sim(
+        AppKind::Cg,
+        Class::S,
+        opteron_2x2(),
+        PagePolicy::Large2M,
+        4,
+        RunOpts::default(),
+    );
+    // THP: private 4 KB heap, run, collapse, run again.
+    let mut kernel = AppKind::Cg.build(Class::S);
+    let cfg = SystemConfig::thp(opteron_2x2(), 4);
+    let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+    let cs1 = kernel.run(&mut sys.team);
+    let first_run = sys.team.elapsed_seconds();
+    let misses_first = sys.team.aggregate_counters().get(Event::DtlbMisses);
+    let report = sys.promote_heap().unwrap();
+    assert!(report.promoted > 0);
+    sys.team.engine_mut().unwrap().reset_timing();
+    let cs2 = kernel.run(&mut sys.team);
+    assert_eq!(cs1, cs2, "promotion changed the computation");
+    assert_eq!(cs1, prealloc.checksum);
+    let steady = sys.team.elapsed_seconds();
+    let misses_steady = sys.team.aggregate_counters().get(Event::DtlbMisses);
+    // After collapse: faster than the 4 KB first run and a large miss
+    // reduction. (Tight equality with the preallocated system needs a
+    // realistic run length — the ext_thp binary at class W shows <1%.)
+    assert!(steady < first_run, "collapse must speed the rerun");
+    assert!(
+        misses_steady * 2 < misses_first,
+        "misses {misses_first} -> {misses_steady}"
+    );
+    assert!(steady < prealloc.seconds * 1.25);
+}
+
+#[test]
+fn thp_promotion_charges_migration_time() {
+    let mut kernel = AppKind::Cg.build(Class::S);
+    let cfg = SystemConfig::thp(opteron_2x2(), 4);
+    let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+    kernel.run(&mut sys.team);
+    let before = sys.team.elapsed_cycles();
+    let report = sys.promote_heap().unwrap();
+    let after = sys.team.elapsed_cycles();
+    assert!(
+        after > before,
+        "migration must cost time ({} chunks)",
+        report.promoted
+    );
+}
+
+#[test]
+fn numa_master_placement_slows_runs() {
+    let uniform = run_sim(
+        AppKind::Mg,
+        Class::S,
+        opteron_2x2(),
+        PagePolicy::Small4K,
+        4,
+        RunOpts::default(),
+    );
+    let mut numa_machine = opteron_2x2();
+    numa_machine.numa = Some(NumaConfig::opteron(NumaPlacement::MasterNode));
+    let master = run_sim(
+        AppKind::Mg,
+        Class::S,
+        numa_machine,
+        PagePolicy::Small4K,
+        4,
+        RunOpts::default(),
+    );
+    assert!(
+        master.seconds > uniform.seconds,
+        "remote accesses must cost time: {} vs {}",
+        master.seconds,
+        uniform.seconds
+    );
+    assert_eq!(master.checksum, uniform.checksum);
+}
+
+#[test]
+fn numa_interleave_beats_master_placement() {
+    let run = |placement| {
+        let mut m = opteron_2x2();
+        m.numa = Some(NumaConfig::opteron(placement));
+        run_sim(
+            AppKind::Mg,
+            Class::S,
+            m,
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+        )
+    };
+    let master = run(NumaPlacement::MasterNode);
+    let inter = run(NumaPlacement::Interleave4K);
+    assert!(inter.seconds < master.seconds);
+}
+
+#[test]
+fn large_page_benefit_survives_numa() {
+    let mut m = opteron_2x2();
+    m.numa = Some(NumaConfig::opteron(NumaPlacement::Interleave2M));
+    let small = run_sim(
+        AppKind::Cg,
+        Class::S,
+        m.clone(),
+        PagePolicy::Small4K,
+        4,
+        RunOpts::default(),
+    );
+    let large = run_sim(
+        AppKind::Cg,
+        Class::S,
+        m,
+        PagePolicy::Large2M,
+        4,
+        RunOpts::default(),
+    );
+    assert!(large.dtlb_misses() < small.dtlb_misses());
+    assert!(large.seconds <= small.seconds);
+}
+
+#[test]
+fn disabling_pwc_increases_walk_cycles() {
+    let mut no_pwc = opteron_2x2();
+    no_pwc.page_walk_cache = false;
+    let with = run_sim(
+        AppKind::Sp,
+        Class::S,
+        opteron_2x2(),
+        PagePolicy::Small4K,
+        4,
+        RunOpts::default(),
+    );
+    let without = run_sim(
+        AppKind::Sp,
+        Class::S,
+        no_pwc,
+        PagePolicy::Small4K,
+        4,
+        RunOpts::default(),
+    );
+    assert!(
+        without.counters.get(Event::WalkCycles) > with.counters.get(Event::WalkCycles),
+        "full walks must cost more"
+    );
+    assert_eq!(with.checksum, without.checksum);
+}
+
+#[test]
+fn is_extension_behaves_like_a_gather_code() {
+    // IS (random histogram scatter) should benefit from large pages like
+    // CG does, at test scale at least in misses.
+    let small = run_sim(
+        AppKind::Is,
+        Class::S,
+        opteron_2x2(),
+        PagePolicy::Small4K,
+        4,
+        RunOpts {
+            verify: true,
+            ..Default::default()
+        },
+    );
+    let large = run_sim(
+        AppKind::Is,
+        Class::S,
+        opteron_2x2(),
+        PagePolicy::Large2M,
+        4,
+        RunOpts::default(),
+    );
+    assert_eq!(small.verified, Some(true));
+    assert!(large.dtlb_misses() < small.dtlb_misses());
+    assert_eq!(small.checksum, large.checksum);
+}

@@ -1,0 +1,41 @@
+//! Golden-value regression tests: the serial class-S checksum of every
+//! kernel, recorded once. The kernels are fully deterministic (seeded NPB
+//! LCG, fixed iteration counts, serial order), so these must match to the
+//! last bit; any drift means an unintended algorithm change.
+//!
+//! If a kernel is *deliberately* changed, regenerate with:
+//! `run_native(app, Class::S, 1)` and update the constant.
+
+use lpomp::npb::{run_native, AppKind, Class};
+
+const GOLDENS: [(AppKind, f64); 8] = [
+    (AppKind::Bt, 2.652_554_475_647_803_8e1),
+    (AppKind::Cg, 2.444_260_326_430_914_5e1),
+    (AppKind::Ft, 1.999_408_082_544_893_2e3),
+    (AppKind::Sp, 4.095_537_131_630_490_5e1),
+    (AppKind::Mg, 9.251_660_116_369_598e-1),
+    (AppKind::Ep, 8.195_303_889_868_231e4),
+    (AppKind::Is, 9.865_2e4),
+    (AppKind::Lu, 2.667_321_423_017_07e1),
+];
+
+#[test]
+fn serial_class_s_checksums_are_bit_stable() {
+    for (app, want) in GOLDENS {
+        let (got, ok) = run_native(app, Class::S, 1);
+        assert!(ok, "{app}: verification failed");
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{app}: {got:.17e} != {want:.17e}"
+        );
+    }
+}
+
+#[test]
+fn goldens_cover_every_kernel() {
+    assert_eq!(GOLDENS.len(), AppKind::ALL.len());
+    for app in AppKind::ALL {
+        assert!(GOLDENS.iter().any(|(a, _)| *a == app), "{app} missing");
+    }
+}

@@ -1,0 +1,277 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning crates.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use lpomp::runtime::{plan, Mailbox, Plan, Schedule, ShVec};
+use lpomp::tlb::{Assoc, TlbArray};
+use lpomp::vm::{
+    AccessKind, AddressSpace, Backing, BuddyAllocator, PageSize, Populate, PteFlags, VirtAddr,
+};
+
+// ---------------------------------------------------------------- buddy
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free sequences: no overlap between live blocks, free
+    /// bytes account exactly, and freeing everything restores the heap.
+    #[test]
+    fn buddy_allocator_invariants(ops in proptest::collection::vec((0u8..2, 0u8..6), 1..120)) {
+        let total = 16 * 1024 * 1024u64;
+        let mut buddy = BuddyAllocator::new(total);
+        let mut live: Vec<(u64, u8)> = Vec::new();
+        for (op, order) in ops {
+            if op == 0 || live.is_empty() {
+                if let Ok(pa) = buddy.alloc(order) {
+                    // natural alignment
+                    prop_assert_eq!(pa.0 % (4096u64 << order), 0);
+                    // no overlap with any live block
+                    let len = 4096u64 << order;
+                    for &(base, o) in &live {
+                        let blen = 4096u64 << o;
+                        prop_assert!(pa.0 + len <= base || base + blen <= pa.0,
+                            "overlap: new [{:#x},{len}) vs live [{:#x},{blen})", pa.0, base);
+                    }
+                    live.push((pa.0, order));
+                }
+            } else {
+                let idx = (order as usize) % live.len();
+                let (base, o) = live.swap_remove(idx);
+                buddy.free(lpomp::vm::PhysAddr(base), o);
+            }
+            let live_bytes: u64 = live.iter().map(|&(_, o)| 4096u64 << o).sum();
+            prop_assert_eq!(buddy.free_bytes(), total - live_bytes);
+        }
+        for (base, o) in live.drain(..) {
+            buddy.free(lpomp::vm::PhysAddr(base), o);
+        }
+        prop_assert_eq!(buddy.free_bytes(), total);
+    }
+
+    /// Every schedule covers every iteration exactly once.
+    #[test]
+    fn schedules_cover_exactly_once(
+        start in 0usize..1000,
+        len in 0usize..2000,
+        threads in 1usize..9,
+        which in 0u8..4,
+        chunk in 1usize..64,
+    ) {
+        let sched = match which {
+            0 => Schedule::Static,
+            1 => Schedule::StaticChunk(chunk),
+            2 => Schedule::Dynamic(chunk),
+            _ => Schedule::Guided(chunk),
+        };
+        let p = plan(start..start + len, threads, sched);
+        let mut seen = vec![0u8; start + len];
+        let chunks = match &p {
+            Plan::Fixed(per) => per.iter().flatten().cloned().collect::<Vec<_>>(),
+            Plan::Queue(q) => q.clone(),
+        };
+        for c in chunks {
+            prop_assert!(c.start >= start && c.end <= start + len);
+            for i in c {
+                seen[i] += 1;
+            }
+        }
+        for (i, &count) in seen.iter().enumerate().take(start + len).skip(start) {
+            prop_assert_eq!(count, 1, "iteration {} covered {} times", i, count);
+        }
+    }
+
+    /// The TLB array behaves exactly like a reference LRU model.
+    #[test]
+    fn tlb_array_matches_reference_lru(
+        vpns in proptest::collection::vec(0u64..32, 1..300),
+        capacity in 1u16..9,
+    ) {
+        let mut tlb = TlbArray::new(PageSize::Small4K, capacity, Assoc::Full);
+        // Reference: vector of vpns, MRU at the front.
+        let mut model: Vec<u64> = Vec::new();
+        for vpn in vpns {
+            let hit = tlb.lookup(vpn);
+            let model_hit = model.contains(&vpn);
+            prop_assert_eq!(hit, model_hit, "vpn {} divergence", vpn);
+            if hit {
+                let pos = model.iter().position(|&v| v == vpn).unwrap();
+                let v = model.remove(pos);
+                model.insert(0, v);
+            } else {
+                tlb.fill(vpn);
+                if model.len() == capacity as usize {
+                    model.pop();
+                }
+                model.insert(0, vpn);
+            }
+        }
+    }
+
+    /// ShVec stores every written value at the right index.
+    #[test]
+    fn shvec_random_writes_read_back(
+        writes in proptest::collection::vec((0usize..64, any::<f64>()), 0..200)
+    ) {
+        let v: ShVec<f64> = ShVec::new(64, VirtAddr(0x1000));
+        let mut model: HashMap<usize, f64> = HashMap::new();
+        for (i, val) in writes {
+            v.set_raw(i, val);
+            model.insert(i, val);
+        }
+        for (i, val) in model {
+            let got = v.get_raw(i);
+            prop_assert!(got == val || (got.is_nan() && val.is_nan()));
+        }
+    }
+
+    /// Mailbox channels are FIFO for arbitrary message contents.
+    #[test]
+    fn mailbox_is_fifo(msgs in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..64), 1..32)
+    ) {
+        let mb = Mailbox::new(2);
+        for m in &msgs {
+            mb.try_send(0, 1, m).unwrap();
+        }
+        for m in &msgs {
+            let got = mb.recv(0, 1);
+            prop_assert_eq!(&got, m);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Map random pages, then every mapped address translates and every
+    /// unmapped address faults; unmapping restores the fault.
+    #[test]
+    fn page_table_translation_consistency(
+        pages in proptest::collection::btree_set(0u64..512, 1..40)
+    ) {
+        let mut frames = BuddyAllocator::new(64 * 1024 * 1024);
+        let mut asp = AddressSpace::new(&mut frames).unwrap();
+        let base = 0x4000_0000u64;
+        // Map one 4 KB page region per selected page number.
+        for &p in &pages {
+            asp.mmap_fixed(
+                &mut frames,
+                VirtAddr(base + p * 4096),
+                4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "p",
+            ).unwrap();
+        }
+        for p in 0u64..512 {
+            let va = VirtAddr(base + p * 4096 + (p % 4096));
+            let r = asp.access(&mut frames, va, AccessKind::Read);
+            prop_assert_eq!(r.is_ok(), pages.contains(&p), "page {}", p);
+        }
+        // Translations of distinct pages hit distinct frames.
+        let mut seen = std::collections::HashSet::new();
+        for &p in &pages {
+            let va = VirtAddr(base + p * 4096);
+            let t = asp.access(&mut frames, va, AccessKind::Read).unwrap().translation();
+            prop_assert!(seen.insert(t.pa.0), "frame reused at page {}", p);
+        }
+    }
+
+    /// THP promotion never breaks translation: after promoting a random
+    /// subset-populated region, every previously mapped page still
+    /// translates (now possibly via a 2 MB leaf) and unpopulated pages
+    /// still fault.
+    #[test]
+    fn promotion_preserves_translations(
+        touched in proptest::collection::btree_set(0u64..1024, 1..200)
+    ) {
+        use lpomp::vm::promote_region;
+        let mut frames = BuddyAllocator::new(64 * 1024 * 1024);
+        let mut asp = AddressSpace::new(&mut frames).unwrap();
+        let base = asp.mmap(
+            &mut frames,
+            2 * 2 * 1024 * 1024, // two 2 MB chunks of 4 KB pages
+            PageSize::Small4K,
+            PteFlags::rw(),
+            Backing::Anonymous,
+            Populate::OnDemand,
+            "heap",
+        ).unwrap();
+        for &p in &touched {
+            asp.access(&mut frames, base.add(p * 4096), AccessKind::Write).unwrap();
+        }
+        let report = promote_region(&mut asp, &mut frames, base).unwrap();
+        // A chunk is promoted iff all of its 512 pages were touched.
+        let chunk_full = |c: u64| (c * 512..(c + 1) * 512).all(|p| touched.contains(&p));
+        let expected = (0..2).filter(|&c| chunk_full(c)).count() as u64;
+        prop_assert_eq!(report.promoted, expected);
+        for p in 0u64..1024 {
+            let va = base.add(p * 4096);
+            let in_promoted = chunk_full(p / 512);
+            let r = asp.access(&mut frames, va, AccessKind::Read);
+            if in_promoted {
+                let t = r.unwrap().translation();
+                prop_assert_eq!(t.size, PageSize::Large2M);
+            } else if touched.contains(&p) {
+                let t = r.unwrap().translation();
+                prop_assert_eq!(t.size, PageSize::Small4K);
+            } else {
+                // Untouched page in an unpromoted chunk: demand fault
+                // resolves it (OnDemand region), so access succeeds too —
+                // but it must be a *fault*, not an existing mapping.
+                prop_assert!(r.unwrap().faulted());
+            }
+        }
+    }
+
+    /// NUMA node assignment is always in range and respects page-size
+    /// clamping (a page never straddles nodes).
+    #[test]
+    fn numa_nodes_in_range_and_page_uniform(
+        addr in 0u64..(1 << 33),
+        which in 0u8..3,
+    ) {
+        use lpomp::machine::{NumaConfig, NumaPlacement};
+        let placement = match which {
+            0 => NumaPlacement::MasterNode,
+            1 => NumaPlacement::Interleave4K,
+            _ => NumaPlacement::Interleave2M,
+        };
+        let n = NumaConfig::opteron(placement);
+        for page in [PageSize::Small4K, PageSize::Large2M] {
+            let node = n.node_of(VirtAddr(addr), page);
+            prop_assert!(node < n.nodes);
+            // Every address inside the same page maps to the same node.
+            let base = VirtAddr(addr & !page.offset_mask());
+            prop_assert_eq!(n.node_of(base, page), n.node_of(base.add(page.bytes() - 1), page));
+        }
+    }
+
+    /// Reductions over random data agree between native engine runs with
+    /// different schedules (within floating-point reassociation).
+    #[test]
+    fn native_reductions_schedule_independent(
+        data in proptest::collection::vec(-1000.0f64..1000.0, 1..500),
+        chunk in 1usize..32,
+    ) {
+        use lpomp::runtime::{Reduction, Team};
+        let v: ShVec<f64> = ShVec::from_fn(data.len(), VirtAddr(0x1000), |i| data[i]);
+        let mut results = Vec::new();
+        for sched in [Schedule::Static, Schedule::Dynamic(chunk), Schedule::Guided(chunk)] {
+            let mut team = Team::native(3);
+            let s = team.parallel_for_reduce(0..data.len(), sched, Reduction::Max, &|_, r| {
+                r.map(|i| v.get_raw(i)).fold(f64::NEG_INFINITY, f64::max)
+            });
+            results.push(s);
+        }
+        // max is exact regardless of association.
+        prop_assert_eq!(results[0], results[1]);
+        prop_assert_eq!(results[1], results[2]);
+        let direct = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(results[0], direct);
+    }
+}
