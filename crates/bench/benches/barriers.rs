@@ -5,7 +5,7 @@
 //! barrier and a combining tree. This bench measures episodes/second at
 //! 1–8 threads for both.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpomp_bench::harness::Group;
 use lpomp_runtime::{NativeBarrier, SenseBarrier, TreeBarrier};
 
 const EPISODES: usize = 1000;
@@ -23,34 +23,22 @@ fn run_episodes(b: &dyn NativeBarrier) {
     });
 }
 
-fn bench_barriers(c: &mut Criterion) {
+fn main() {
     // Run 1-4 threads even on small hosts (oversubscription is fine
     // for these synchronization benches); 8 only on big machines.
     let max = std::thread::available_parallelism()
         .map_or(4, |n| n.get())
         .max(4);
-    let mut g = c.benchmark_group("barrier_1000_episodes");
+    let g = Group::new("barrier_1000_episodes");
     for threads in [1, 2, 4, 8] {
         if threads > max {
             continue;
         }
-        g.bench_with_input(
-            BenchmarkId::new("sense_reversing", threads),
-            &threads,
-            |bench, &t| {
-                bench.iter(|| run_episodes(&SenseBarrier::new(t)));
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("tree", threads), &threads, |bench, &t| {
-            bench.iter(|| run_episodes(&TreeBarrier::new(t)));
+        g.bench(format!("sense_reversing/{threads}"), || {
+            run_episodes(&SenseBarrier::new(threads))
+        });
+        g.bench(format!("tree/{threads}"), || {
+            run_episodes(&TreeBarrier::new(threads))
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_barriers
-}
-criterion_main!(benches);

@@ -1,69 +1,61 @@
 //! Ablation A3: the §3.3 intra-node mailbox — single-copy latency and the
 //! all-reduce collective built on it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpomp_bench::harness::Group;
 use lpomp_runtime::{allreduce_sum, Mailbox};
 
-fn bench_pingpong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mailbox_pingpong");
+fn bench_pingpong() {
+    let g = Group::new("mailbox_pingpong");
     for size in [8usize, 64, 1024] {
-        g.bench_with_input(BenchmarkId::new("bytes", size), &size, |bench, &sz| {
-            let mb = Mailbox::new(2);
-            let msg = vec![0u8; sz];
-            bench.iter(|| {
-                std::thread::scope(|s| {
-                    s.spawn(|| {
-                        for _ in 0..100 {
-                            mb.send(0, 1, &msg).unwrap();
-                            mb.recv_with(1, 0, |_| ());
-                        }
-                    });
-                    s.spawn(|| {
-                        for _ in 0..100 {
-                            mb.recv_with(0, 1, |_| ());
-                            mb.send(1, 0, &msg).unwrap();
-                        }
-                    });
+        let mb = Mailbox::new(2);
+        let msg = vec![0u8; size];
+        g.bench(format!("bytes/{size}"), || {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        mb.send(0, 1, &msg).unwrap();
+                        mb.recv_with(1, 0, |_| ());
+                    }
                 });
-            });
-        });
-    }
-    g.finish();
-}
-
-fn bench_allreduce(c: &mut Criterion) {
-    // Run 1-4 threads even on small hosts (oversubscription is fine
-    // for these synchronization benches); 8 only on big machines.
-    let max = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .max(4);
-    let mut g = c.benchmark_group("mailbox_allreduce");
-    for ranks in [2usize, 4, 8] {
-        if ranks > max {
-            continue;
-        }
-        g.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |bench, &n| {
-            let mb = Mailbox::new(n);
-            bench.iter(|| {
-                std::thread::scope(|s| {
-                    for rank in 0..n {
-                        let mb = &mb;
-                        s.spawn(move || {
-                            for _ in 0..50 {
-                                allreduce_sum(mb, rank, rank as f64);
-                            }
-                        });
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        mb.recv_with(0, 1, |_| ());
+                        mb.send(1, 0, &msg).unwrap();
                     }
                 });
             });
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pingpong, bench_allreduce
+fn bench_allreduce() {
+    // Run 1-4 threads even on small hosts (oversubscription is fine
+    // for these synchronization benches); 8 only on big machines.
+    let max = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .max(4);
+    let g = Group::new("mailbox_allreduce");
+    for ranks in [2usize, 4, 8] {
+        if ranks > max {
+            continue;
+        }
+        let mb = Mailbox::new(ranks);
+        g.bench(format!("ranks/{ranks}"), || {
+            std::thread::scope(|s| {
+                for rank in 0..ranks {
+                    let mb = &mb;
+                    s.spawn(move || {
+                        for _ in 0..50 {
+                            allreduce_sum(mb, rank, rank as f64);
+                        }
+                    });
+                }
+            });
+        });
+    }
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_pingpong();
+    bench_allreduce();
+}

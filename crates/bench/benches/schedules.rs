@@ -2,7 +2,7 @@
 //! workload (per-iteration cost varies 1–64x), the case dynamic and
 //! guided scheduling exist for.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpomp_bench::harness::{black_box, Group};
 use lpomp_runtime::{Schedule, Team};
 
 const N: usize = 1 << 14;
@@ -17,14 +17,14 @@ fn work(i: usize) -> f64 {
     acc
 }
 
-fn bench_schedules(c: &mut Criterion) {
+fn main() {
     // Run 1-4 threads even on small hosts (oversubscription is fine
     // for these synchronization benches); 8 only on big machines.
     let max = std::thread::available_parallelism()
         .map_or(4, |n| n.get())
         .max(4);
     let threads = 4.min(max);
-    let mut g = c.benchmark_group(format!("irregular_loop_{threads}threads"));
+    let g = Group::new(format!("irregular_loop_{threads}threads"));
     let cases = [
         ("static", Schedule::Static),
         ("static_chunk64", Schedule::StaticChunk(64)),
@@ -32,21 +32,14 @@ fn bench_schedules(c: &mut Criterion) {
         ("guided16", Schedule::Guided(16)),
     ];
     for (name, sched) in cases {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &sched, |bench, &s| {
-            bench.iter(|| {
-                let mut team = Team::native(threads);
-                team.parallel_for_reduce(0..N, s, lpomp_runtime::Reduction::Sum, &|_, r| {
-                    r.map(work).sum()
-                })
-            });
+        g.bench(name, || {
+            let mut team = Team::native(threads);
+            black_box(team.parallel_for_reduce(
+                0..N,
+                sched,
+                lpomp_runtime::Reduction::Sum,
+                &|_, r| r.map(work).sum(),
+            ));
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_schedules
-}
-criterion_main!(benches);

@@ -2,53 +2,39 @@
 //! access vs a plain `Vec` baseline, sequential and strided — quantifying
 //! the cost of the runtime's data-race-free storage.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lpomp_bench::harness::{black_box, Group};
 use lpomp_runtime::ShVec;
 use lpomp_vm::VirtAddr;
 
 const N: usize = 1 << 16;
 
-fn bench_shvec(c: &mut Criterion) {
+fn main() {
     let sh: ShVec<f64> = ShVec::from_fn(N, VirtAddr(0x1000), |i| i as f64);
     let plain: Vec<f64> = (0..N).map(|i| i as f64).collect();
 
-    let mut g = c.benchmark_group("shared_array_sum");
-    g.bench_function("plain_vec_sequential", |b| {
-        b.iter(|| black_box(plain.iter().sum::<f64>()))
+    let g = Group::new("shared_array_sum");
+    g.bench("plain_vec_sequential", || {
+        black_box(plain.iter().sum::<f64>());
     });
-    g.bench_function("shvec_sequential", |b| {
-        b.iter(|| {
-            let mut s = 0.0;
-            for i in 0..N {
-                s += sh.get_raw(i);
-            }
-            black_box(s)
-        })
+    g.bench("shvec_sequential", || {
+        let mut s = 0.0;
+        for i in 0..N {
+            s += sh.get_raw(i);
+        }
+        black_box(s);
     });
-    g.bench_function("shvec_strided_64", |b| {
-        b.iter(|| {
-            let mut s = 0.0;
-            let mut i = 0;
-            while i < N {
-                s += sh.get_raw(i);
-                i += 64;
-            }
-            black_box(s)
-        })
+    g.bench("shvec_strided_64", || {
+        let mut s = 0.0;
+        let mut i = 0;
+        while i < N {
+            s += sh.get_raw(i);
+            i += 64;
+        }
+        black_box(s);
     });
-    g.bench_function("shvec_write_sequential", |b| {
-        b.iter(|| {
-            for i in 0..N {
-                sh.set_raw(i, i as f64);
-            }
-        })
+    g.bench("shvec_write_sequential", || {
+        for i in 0..N {
+            sh.set_raw(i, i as f64);
+        }
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_shvec
-}
-criterion_main!(benches);

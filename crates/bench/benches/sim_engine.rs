@@ -2,31 +2,25 @@
 //! machine model sustains, per page policy — the cost of reproducing the
 //! paper's measurements, and a regression guard for the harness itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lpomp_bench::harness::{black_box, Group};
 use lpomp_core::{run_sim, PagePolicy, RunOpts};
 use lpomp_machine::opteron_2x2;
 use lpomp_npb::{AppKind, Class};
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_run_class_s");
-    g.throughput(Throughput::Elements(1));
+fn main() {
+    let g = Group::new("sim_run_class_s");
     for policy in [PagePolicy::Small4K, PagePolicy::Large2M] {
         for app in [AppKind::Cg, AppKind::Mg] {
-            g.bench_with_input(
-                BenchmarkId::new(app.name(), policy.label()),
-                &(app, policy),
-                |b, &(app, policy)| {
-                    b.iter(|| run_sim(app, Class::S, opteron_2x2(), policy, 4, RunOpts::default()))
-                },
-            );
+            g.bench(format!("{}/{}", app.name(), policy.label()), || {
+                black_box(run_sim(
+                    app,
+                    Class::S,
+                    opteron_2x2(),
+                    policy,
+                    4,
+                    RunOpts::default(),
+                ));
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sim
-}
-criterion_main!(benches);

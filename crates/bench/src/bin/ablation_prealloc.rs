@@ -8,10 +8,14 @@
 //! a page-fault (and the walk behind it); with `Prefault` the run itself
 //! takes zero faults.
 //!
+//! The populate policy lives in `RunOpts`, outside the `SweepSpec` axes,
+//! so the eight runs fan out with [`lpomp_core::par_map`] directly
+//! (`LPOMP_WORKERS` overrides the worker count).
+//!
 //! Usage: `cargo run --release -p lpomp-bench --bin ablation_prealloc [S|W|A]`
 
 use lpomp_bench::class_from_args;
-use lpomp_core::{run_sim, PagePolicy, PopulatePolicy, RunOpts};
+use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, PopulatePolicy, RunOpts};
 use lpomp_machine::opteron_2x2;
 use lpomp_npb::AppKind;
 use lpomp_prof::table::fnum;
@@ -29,9 +33,17 @@ fn main() {
         "fault cycles",
         "slowdown",
     ]);
-    for app in [AppKind::Cg, AppKind::Mg] {
-        for policy in [PagePolicy::Small4K, PagePolicy::Large2M] {
-            let pre = run_sim(
+    let grid: Vec<(AppKind, PagePolicy)> = [AppKind::Cg, AppKind::Mg]
+        .into_iter()
+        .flat_map(|app| {
+            [PagePolicy::Small4K, PagePolicy::Large2M]
+                .into_iter()
+                .map(move |policy| (app, policy))
+        })
+        .collect();
+    let pairs = par_map(&grid, default_workers(), |_, &(app, policy)| {
+        let run = |populate| {
+            run_sim(
                 app,
                 class,
                 opteron_2x2(),
@@ -39,34 +51,26 @@ fn main() {
                 4,
                 RunOpts {
                     verify: false,
-                    populate: PopulatePolicy::Prefault,
+                    populate,
                 },
-            );
-            let lazy = run_sim(
-                app,
-                class,
-                opteron_2x2(),
-                policy,
-                4,
-                RunOpts {
-                    verify: false,
-                    populate: PopulatePolicy::OnDemand,
-                },
-            );
-            for (label, r) in [("prefault", &pre), ("on-demand", &lazy)] {
-                t.row(vec![
-                    app.to_string(),
-                    policy.to_string(),
-                    label.to_owned(),
-                    fnum(r.seconds, 4),
-                    r.counters.get(Event::PageFaults).to_string(),
-                    r.counters
-                        .get(Event::PageFaults)
-                        .saturating_mul(2500)
-                        .to_string(),
-                    format!("{}%", fnum((r.seconds / pre.seconds - 1.0) * 100.0, 2)),
-                ]);
-            }
+            )
+        };
+        (run(PopulatePolicy::Prefault), run(PopulatePolicy::OnDemand))
+    });
+    for (&(app, policy), (pre, lazy)) in grid.iter().zip(&pairs) {
+        for (label, r) in [("prefault", pre), ("on-demand", lazy)] {
+            t.row(vec![
+                app.to_string(),
+                policy.to_string(),
+                label.to_owned(),
+                fnum(r.seconds, 4),
+                r.counters.get(Event::PageFaults).to_string(),
+                r.counters
+                    .get(Event::PageFaults)
+                    .saturating_mul(2500)
+                    .to_string(),
+                format!("{}%", fnum((r.seconds / pre.seconds - 1.0) * 100.0, 2)),
+            ]);
         }
     }
     println!("{}", t.render());

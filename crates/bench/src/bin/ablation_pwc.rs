@@ -8,10 +8,14 @@
 //! i.e. the reproduction's calibrated walk costs are, if anything,
 //! conservative about the paper's effect.
 //!
+//! The PWC toggle is a machine-config edit shared by both platforms'
+//! names, so the runs fan out with [`lpomp_core::par_map`] directly
+//! (`LPOMP_WORKERS` overrides the worker count).
+//!
 //! Usage: `cargo run --release -p lpomp-bench --bin ablation_pwc [S|W|A]`
 
 use lpomp_bench::class_from_args;
-use lpomp_core::{run_sim, PagePolicy, RunOpts};
+use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, RunOpts};
 use lpomp_machine::opteron_2x2;
 use lpomp_npb::AppKind;
 use lpomp_prof::table::fnum;
@@ -21,37 +25,33 @@ fn main() {
     let class = class_from_args();
     println!("Ablation A5: page-walk cache (class {class}, 4 threads, Opteron)\n");
     let mut t = TextTable::new(vec!["app", "PWC", "4KB (s)", "2MB (s)", "2MB gain"]);
-    for app in [AppKind::Cg, AppKind::Sp] {
-        for pwc in [true, false] {
-            let mut machine = opteron_2x2();
-            machine.page_walk_cache = pwc;
-            let small = run_sim(
-                app,
-                class,
-                machine.clone(),
-                PagePolicy::Small4K,
-                4,
-                RunOpts::default(),
-            );
-            let large = run_sim(
-                app,
-                class,
-                machine,
-                PagePolicy::Large2M,
-                4,
-                RunOpts::default(),
-            );
-            t.row(vec![
-                app.to_string(),
-                if pwc { "on" } else { "off" }.to_owned(),
-                fnum(small.seconds, 4),
-                fnum(large.seconds, 4),
-                format!(
-                    "{}%",
-                    fnum((1.0 - large.seconds / small.seconds) * 100.0, 1)
-                ),
-            ]);
-        }
+    let grid: Vec<(AppKind, bool, PagePolicy)> = [AppKind::Cg, AppKind::Sp]
+        .into_iter()
+        .flat_map(|app| {
+            [true, false].into_iter().flat_map(move |pwc| {
+                [PagePolicy::Small4K, PagePolicy::Large2M]
+                    .into_iter()
+                    .map(move |policy| (app, pwc, policy))
+            })
+        })
+        .collect();
+    let records = par_map(&grid, default_workers(), |_, &(app, pwc, policy)| {
+        let mut machine = opteron_2x2();
+        machine.page_walk_cache = pwc;
+        run_sim(app, class, machine, policy, 4, RunOpts::default())
+    });
+    for (chunk, &(app, pwc, _)) in records.chunks(2).zip(grid.iter().step_by(2)) {
+        let (small, large) = (&chunk[0], &chunk[1]);
+        t.row(vec![
+            app.to_string(),
+            if pwc { "on" } else { "off" }.to_owned(),
+            fnum(small.seconds, 4),
+            fnum(large.seconds, 4),
+            format!(
+                "{}%",
+                fnum((1.0 - large.seconds / small.seconds) * 100.0, 1)
+            ),
+        ]);
     }
     println!("{}", t.render());
 }

@@ -1,0 +1,123 @@
+//! Harness benchmark: host wall-clock of the paper's Figure 4 sweep,
+//! emitted as machine-readable JSON (`BENCH_sweep.json`).
+//!
+//! Runs the full Figure 4 grid twice — once on a single worker (the
+//! serial baseline) and once on [`default_workers`] workers
+//! (`LPOMP_WORKERS` overrides) — and records per-configuration and total
+//! host seconds plus the parallel speedup. Because every configuration is
+//! an independent, deterministic simulation, the two sweeps produce
+//! byte-identical records (asserted here); only host time differs.
+//!
+//! On hosts with a single CPU the speedup is necessarily ~1.0; the JSON
+//! carries `host_cpus` so readers can interpret the number. On a 4-core
+//! host the class-W sweep is expected to run ≥2× faster in parallel.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin bench_json [S|W|A]`
+//! (writes `BENCH_sweep.json` in the current directory).
+
+use std::time::Instant;
+
+use lpomp_bench::class_from_args;
+use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, RunOpts, SweepSpec};
+use lpomp_npb::AppKind;
+
+/// Minimal JSON string escaping for the identifiers we emit.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let class = class_from_args();
+    let spec = SweepSpec::figure4(class);
+    // The sweep's own grid, flattened here so each cell can be timed on
+    // the worker that runs it.
+    let grid: Vec<(lpomp_machine::MachineConfig, AppKind, PagePolicy, usize)> = spec
+        .machines
+        .iter()
+        .flat_map(|machine| {
+            let (apps, policies, threads) = (&spec.apps, &spec.policies, &spec.threads);
+            apps.iter().flat_map(move |&app| {
+                policies.iter().flat_map(move |&policy| {
+                    threads
+                        .iter()
+                        .filter(|&&t| t <= machine.contexts())
+                        .map(move |&t| (machine.clone(), app, policy, t))
+                })
+            })
+        })
+        .collect();
+
+    let workers = default_workers();
+    let mut sweeps = Vec::new();
+    let mut all_records = Vec::new();
+    for &w in &[1, workers] {
+        let t0 = Instant::now();
+        let timed = par_map(&grid, w, |_, (machine, app, policy, threads)| {
+            let r0 = Instant::now();
+            let rec = run_sim(
+                *app,
+                class,
+                machine.clone(),
+                *policy,
+                *threads,
+                RunOpts::default(),
+            );
+            (rec, r0.elapsed().as_secs_f64())
+        });
+        let total = t0.elapsed().as_secs_f64();
+        all_records.push(timed.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>());
+        sweeps.push((w, total, timed));
+        eprintln!("workers={w}: {total:.2}s");
+    }
+    assert_eq!(
+        all_records[0], all_records[1],
+        "parallel sweep records must be byte-identical to the serial run"
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (serial_total, parallel_total) = (sweeps[0].1, sweeps[1].1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fig4_sweep\",\n");
+    out.push_str(&format!("  \"class\": \"{class}\",\n"));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!(
+        "  \"serial_workers\": 1,\n  \"parallel_workers\": {workers},\n"
+    ));
+    out.push_str(&format!(
+        "  \"serial_total_seconds\": {serial_total:.3},\n  \"parallel_total_seconds\": {parallel_total:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"parallel_speedup\": {:.3},\n",
+        serial_total / parallel_total
+    ));
+    out.push_str(&format!(
+        "  \"records_identical\": true,\n  \"note\": \"each config is an independent deterministic simulation; \
+         worker count changes host time only. Speedup is bounded by host_cpus ({host_cpus} here); \
+         a >=2x class-W speedup is expected on >=4 cores.\",\n"
+    ));
+    out.push_str("  \"configs\": [\n");
+    let (_, _, timed) = &sweeps[1];
+    for (i, ((machine, app, policy, threads), (rec, host_s))) in
+        grid.iter().zip(timed.iter()).enumerate()
+    {
+        out.push_str(&format!(
+            "    {{\"machine\": \"{}\", \"app\": \"{}\", \"policy\": \"{}\", \"threads\": {}, \
+             \"host_seconds\": {:.3}, \"sim_seconds\": {:.6}}}{}\n",
+            esc(machine.name),
+            esc(app.name()),
+            esc(policy.label()),
+            threads,
+            host_s,
+            rec.seconds,
+            if i + 1 == grid.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sweep.json", &out).expect("write BENCH_sweep.json");
+    println!(
+        "wrote BENCH_sweep.json: serial {serial_total:.2}s, {workers} workers {parallel_total:.2}s"
+    );
+}

@@ -8,10 +8,13 @@
 //! Mixed should track the 2 MB policy's run time while consuming fewer
 //! reserved large pages.
 //!
+//! The 5-app × 3-policy grid executes through the parallel sweep harness
+//! (`LPOMP_WORKERS` overrides the worker count).
+//!
 //! Usage: `cargo run --release -p lpomp-bench --bin ext_mixed [S|W|A]`
 
 use lpomp_bench::class_from_args;
-use lpomp_core::{run_sim, PagePolicy, RunOpts};
+use lpomp_core::{PagePolicy, RunOpts, SweepSpec};
 use lpomp_machine::opteron_2x2;
 use lpomp_npb::AppKind;
 use lpomp_prof::table::fnum;
@@ -23,6 +26,15 @@ fn main() {
     let mixed = PagePolicy::Mixed {
         threshold_bytes: 256 * 1024,
     };
+    let results = SweepSpec {
+        apps: AppKind::PAPER_FIVE.to_vec(),
+        class,
+        machines: vec![opteron_2x2()],
+        policies: vec![PagePolicy::Small4K, PagePolicy::Large2M, mixed],
+        threads: vec![4],
+        opts: RunOpts::default(),
+    }
+    .run();
     let mut t = TextTable::new(vec![
         "app",
         "4KB (s)",
@@ -31,23 +43,15 @@ fn main() {
         "mixed vs 2MB",
     ]);
     for app in AppKind::PAPER_FIVE {
-        let small = run_sim(
-            app,
-            class,
-            opteron_2x2(),
-            PagePolicy::Small4K,
-            4,
-            RunOpts::default(),
-        );
-        let large = run_sim(
-            app,
-            class,
-            opteron_2x2(),
-            PagePolicy::Large2M,
-            4,
-            RunOpts::default(),
-        );
-        let mix = run_sim(app, class, opteron_2x2(), mixed, 4, RunOpts::default());
+        let small = results
+            .get(app, "Opteron", PagePolicy::Small4K, 4)
+            .expect("grid covers config");
+        let large = results
+            .get(app, "Opteron", PagePolicy::Large2M, 4)
+            .expect("grid covers config");
+        let mix = results
+            .get(app, "Opteron", mixed, 4)
+            .expect("grid covers config");
         t.row(vec![
             app.to_string(),
             fnum(small.seconds, 4),

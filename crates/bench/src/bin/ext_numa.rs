@@ -12,10 +12,14 @@
 //!   stripe to 2 MB chunks;
 //! * `interleave-2MB` — coarse striping, achievable at either page size.
 //!
+//! The four placement variants share one machine name, so this binary
+//! fans the eight runs out with [`lpomp_core::par_map`] directly rather
+//! than through `SweepSpec` (`LPOMP_WORKERS` overrides the worker count).
+//!
 //! Usage: `cargo run --release -p lpomp-bench --bin ext_numa [S|W|A]`
 
 use lpomp_bench::class_from_args;
-use lpomp_core::{run_sim, PagePolicy, RunOpts};
+use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, RunOpts};
 use lpomp_machine::{opteron_2x2, NumaConfig, NumaPlacement};
 use lpomp_npb::AppKind;
 use lpomp_prof::table::fnum;
@@ -34,25 +38,22 @@ fn main() {
         Some(NumaPlacement::Interleave4K),
         Some(NumaPlacement::Interleave2M),
     ];
-    for p in placements {
+    let grid: Vec<(Option<NumaPlacement>, PagePolicy)> = placements
+        .iter()
+        .flat_map(|&p| {
+            [PagePolicy::Small4K, PagePolicy::Large2M]
+                .into_iter()
+                .map(move |policy| (p, policy))
+        })
+        .collect();
+    let records = par_map(&grid, default_workers(), |_, &(p, policy)| {
         let mut machine = opteron_2x2();
         machine.numa = p.map(NumaConfig::opteron);
-        let small = run_sim(
-            app,
-            class,
-            machine.clone(),
-            PagePolicy::Small4K,
-            4,
-            RunOpts::default(),
-        );
-        let large = run_sim(
-            app,
-            class,
-            machine,
-            PagePolicy::Large2M,
-            4,
-            RunOpts::default(),
-        );
+        run_sim(app, class, machine, policy, 4, RunOpts::default())
+    });
+    for (i, p) in placements.iter().enumerate() {
+        let small = &records[2 * i];
+        let large = &records[2 * i + 1];
         t.row(vec![
             p.map_or("uniform (paper)".to_owned(), |p| p.label().to_owned()),
             fnum(small.seconds, 4),

@@ -15,7 +15,7 @@
 //! Usage: `cargo run --release -p lpomp-bench --bin ext_thp [S|W|A]`
 
 use lpomp_bench::class_from_args;
-use lpomp_core::{run_sim, PagePolicy, RunOpts, System, SystemConfig};
+use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, RunOpts, System, SystemConfig};
 use lpomp_machine::opteron_2x2;
 use lpomp_npb::AppKind;
 use lpomp_prof::table::fnum;
@@ -26,22 +26,14 @@ fn main() {
     let app = AppKind::Cg;
     println!("Extension E2: THP-style promotion ({app}, class {class}, 4 threads, Opteron)\n");
 
-    let small = run_sim(
-        app,
-        class,
-        opteron_2x2(),
-        PagePolicy::Small4K,
-        4,
-        RunOpts::default(),
+    // The two static baselines run in parallel; the THP scenario below is
+    // inherently sequential (run → promote → run on one system).
+    let baselines = par_map(
+        &[PagePolicy::Small4K, PagePolicy::Large2M],
+        default_workers(),
+        |_, &policy| run_sim(app, class, opteron_2x2(), policy, 4, RunOpts::default()),
     );
-    let large = run_sim(
-        app,
-        class,
-        opteron_2x2(),
-        PagePolicy::Large2M,
-        4,
-        RunOpts::default(),
-    );
+    let (small, large) = (&baselines[0], &baselines[1]);
 
     // THP scenario: private 4 KB heap, promote after the first run.
     let mut kernel = app.build(class);

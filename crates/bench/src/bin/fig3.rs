@@ -8,10 +8,13 @@
 //! worth pursuing. The harness verifies the same conclusion holds here:
 //! every application's ITLB-miss cycle overhead is below 0.1% of run time.
 //!
+//! The five runs execute through the parallel sweep harness
+//! (`LPOMP_WORKERS` overrides the worker count).
+//!
 //! Usage: `cargo run --release -p lpomp-bench --bin fig3 [S|W|A]`
 
 use lpomp_bench::class_from_args;
-use lpomp_core::{run_sim, PagePolicy, RunOpts};
+use lpomp_core::{PagePolicy, RunOpts, SweepSpec};
 use lpomp_machine::opteron_2x2;
 use lpomp_npb::AppKind;
 use lpomp_prof::table::fnum;
@@ -23,6 +26,15 @@ fn main() {
         "Figure 3: Aggregate ITLB misses/second, 4 threads, Opteron,\n\
          binary in 4KB pages (class {class})\n"
     );
+    let results = SweepSpec {
+        apps: AppKind::PAPER_FIVE.to_vec(),
+        class,
+        machines: vec![opteron_2x2()],
+        policies: vec![PagePolicy::Small4K],
+        threads: vec![4],
+        opts: RunOpts::default(),
+    }
+    .run();
     let mut t = TextTable::new(vec![
         "app",
         "itlb misses",
@@ -31,14 +43,9 @@ fn main() {
         "est. overhead",
     ]);
     for app in AppKind::PAPER_FIVE {
-        let r = run_sim(
-            app,
-            class,
-            opteron_2x2(),
-            PagePolicy::Small4K,
-            4,
-            RunOpts::default(),
-        );
+        let r = results
+            .get(app, "Opteron", PagePolicy::Small4K, 4)
+            .expect("grid covers config");
         // Paper's arithmetic: misses/second x ~200 cycles per miss at
         // 2 GHz ⇒ fraction of each second lost to ITLB misses.
         let rate = r.itlb_miss_rate();

@@ -2,10 +2,14 @@
 //! CG, FT, SP, MG on the Opteron (1, 2, 4 threads) and Xeon (1, 2, 4, 8
 //! threads with hyper-threading), each with 4 KB and 2 MB pages.
 //!
+//! The whole grid is executed up front by the parallel sweep harness
+//! (`LPOMP_WORKERS` overrides the worker count), then rendered in the
+//! original order — the tables are byte-identical to the serial runner.
+//!
 //! Usage: `cargo run --release -p lpomp-bench --bin fig4 [S|W|A]`
 
-use lpomp_bench::{class_from_args, improvement_pct, run_pair};
-use lpomp_core::figure4_thread_counts;
+use lpomp_bench::{class_from_args, improvement_pct};
+use lpomp_core::{figure4_thread_counts, PagePolicy, SweepSpec};
 use lpomp_machine::{opteron_2x2, xeon_2x2_ht};
 use lpomp_npb::AppKind;
 use lpomp_prof::table::fnum;
@@ -14,6 +18,7 @@ use lpomp_prof::TextTable;
 fn main() {
     let class = class_from_args();
     println!("Figure 4: scalability with 4KB vs 2MB pages (class {class})\n");
+    let results = SweepSpec::figure4(class).run();
     for machine in [opteron_2x2(), xeon_2x2_ht()] {
         let threads = figure4_thread_counts(&machine);
         for app in AppKind::PAPER_FIVE {
@@ -29,7 +34,12 @@ fn main() {
             ]);
             let mut base = (0.0f64, 0.0f64);
             for &n in &threads {
-                let (small, large) = run_pair(app, class, machine.clone(), n);
+                let small = results
+                    .get(app, machine.name, PagePolicy::Small4K, n)
+                    .expect("grid covers config");
+                let large = results
+                    .get(app, machine.name, PagePolicy::Large2M, n)
+                    .expect("grid covers config");
                 if n == 1 {
                     base = (small.seconds, large.seconds);
                 }
@@ -39,7 +49,7 @@ fn main() {
                     n.to_string(),
                     fnum(small.seconds, 3),
                     fnum(large.seconds, 3),
-                    format!("{}%", fnum(improvement_pct(&small, &large), 1)),
+                    format!("{}%", fnum(improvement_pct(small, large), 1)),
                     fnum(base.0 / small.seconds, 2),
                     fnum(base.1 / large.seconds, 2),
                 ]);

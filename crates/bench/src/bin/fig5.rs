@@ -6,9 +6,14 @@
 //! (normalized 2 MB bars near zero); BT and FT see much smaller
 //! reductions.
 //!
+//! Runs the 5-app × 2-policy grid through the parallel sweep harness
+//! (`LPOMP_WORKERS` overrides the worker count); output is identical to
+//! the serial loop.
+//!
 //! Usage: `cargo run --release -p lpomp-bench --bin fig5 [S|W|A]`
 
-use lpomp_bench::{class_from_args, run_pair};
+use lpomp_bench::class_from_args;
+use lpomp_core::{PagePolicy, RunOpts, SweepSpec};
 use lpomp_machine::opteron_2x2;
 use lpomp_npb::AppKind;
 use lpomp_prof::report::normalized;
@@ -18,6 +23,15 @@ use lpomp_prof::TextTable;
 fn main() {
     let class = class_from_args();
     println!("Figure 5: Normalized DTLB misses at 4 threads, Opteron (class {class})\n");
+    let results = SweepSpec {
+        apps: AppKind::PAPER_FIVE.to_vec(),
+        class,
+        machines: vec![opteron_2x2()],
+        policies: vec![PagePolicy::Small4K, PagePolicy::Large2M],
+        threads: vec![4],
+        opts: RunOpts::default(),
+    }
+    .run();
     let mut t = TextTable::new(vec![
         "app",
         "4KB misses",
@@ -27,7 +41,12 @@ fn main() {
         "reduction",
     ]);
     for app in AppKind::PAPER_FIVE {
-        let (small, large) = run_pair(app, class, opteron_2x2(), 4);
+        let small = results
+            .get(app, "Opteron", PagePolicy::Small4K, 4)
+            .expect("grid covers config");
+        let large = results
+            .get(app, "Opteron", PagePolicy::Large2M, 4)
+            .expect("grid covers config");
         let n = normalized(small.dtlb_misses(), large.dtlb_misses());
         t.row(vec![
             app.to_string(),

@@ -1,0 +1,91 @@
+//! Minimal wall-clock benchmarking harness for the `[[bench]]` targets.
+//!
+//! Replaces the external criterion dependency so the workspace builds
+//! offline. Each benchmark runs a warm-up, then a fixed number of timed
+//! samples; the report prints the median, min and max nanoseconds per
+//! iteration. Numbers are comparable run-to-run on the same host — good
+//! enough for the regression-guard role these benches play.
+
+use std::time::{Duration, Instant};
+
+/// Default sample count per benchmark.
+const SAMPLES: usize = 10;
+/// Minimum time each sample should cover, so cheap bodies are batched.
+const MIN_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Keep a value (and its computation) alive past the optimizer.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named group of benchmarks, printed as one table section.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n== {name} ==");
+        Group { name }
+    }
+
+    /// Time `body`, printing one line `group/id  median [min .. max]`.
+    pub fn bench(&self, id: impl AsRef<str>, mut body: impl FnMut()) {
+        let id = id.as_ref();
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch covers MIN_SAMPLE.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                body();
+            }
+            let el = t.elapsed();
+            if el >= MIN_SAMPLE {
+                break;
+            }
+            // At least double; scale toward the target in one step when
+            // the measurement is meaningful.
+            let scale = if el.as_nanos() > 1000 {
+                (MIN_SAMPLE.as_nanos() / el.as_nanos()).max(2) as u64
+            } else {
+                16
+            };
+            batch = batch.saturating_mul(scale).min(1 << 30);
+        }
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    body();
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{:<40} {:>12}/iter  [{} .. {}]  ({batch} iters/sample)",
+            format!("{}/{id}", self.name),
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}

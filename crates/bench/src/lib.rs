@@ -12,8 +12,10 @@
 //! | `ablation_prealloc` | A1 — preallocation vs demand faulting |
 //! | `ext_mixed` | E1 — the §6 mixed page policy |
 //!
-//! Criterion benches (`cargo bench`) cover the runtime primitives:
-//! barriers, the mailbox, loop schedules, and shared-array access.
+//! Wall-clock benches (`cargo bench -p lpomp-bench --features bench`)
+//! cover the runtime primitives: barriers, the mailbox, loop schedules,
+//! and shared-array access. They use the in-tree [`harness`] module, so
+//! the default build carries no benchmarking dependency.
 //!
 //! The library half holds the sweep helpers the binaries share. Binaries
 //! accept an optional class argument (`S`, `W`, `A`) — default `W`, the
@@ -22,6 +24,9 @@
 use lpomp_core::{run_sim, PagePolicy, RunOpts, RunRecord};
 use lpomp_machine::MachineConfig;
 use lpomp_npb::{AppKind, Class};
+
+#[cfg(feature = "bench")]
+pub mod harness;
 
 /// Parse the class argument (first CLI arg), defaulting to `W`.
 pub fn class_from_args() -> Class {

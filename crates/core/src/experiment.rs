@@ -13,7 +13,11 @@ use lpomp_npb::{AppKind, Class};
 use lpomp_prof::{Counters, Event};
 
 /// The result of one simulated benchmark run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field (including bit-exact `f64`s): two
+/// records are equal iff the simulations behaved identically. The
+/// parallel sweep's determinism tests rely on this.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
     /// Application.
     pub app: AppKind,

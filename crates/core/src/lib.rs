@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod parallel;
 pub mod policy;
 pub mod sweep;
 pub mod system;
 
 pub use experiment::{figure4_thread_counts, run_sim, RunOpts, RunRecord};
+pub use parallel::{default_workers, par_map};
 pub use policy::{PagePolicy, PopulatePolicy};
 pub use sweep::{SweepResults, SweepSpec};
 pub use system::{SetupStats, System, SystemConfig, CODE_BASE};

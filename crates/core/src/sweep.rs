@@ -7,6 +7,7 @@
 //! and slice the [`SweepResults`] by any axis.
 
 use crate::experiment::{run_sim, RunOpts, RunRecord};
+use crate::parallel::{default_workers, par_map};
 use crate::policy::PagePolicy;
 use lpomp_machine::MachineConfig;
 use lpomp_npb::{AppKind, Class};
@@ -58,17 +59,12 @@ impl SweepSpec {
         self.len() == 0
     }
 
-    /// Execute the sweep. `progress` is called before each run with
-    /// (index, total, record-to-be) description.
-    pub fn run(&self) -> SweepResults {
-        self.run_with_progress(|_, _| {})
-    }
-
-    /// Execute with a progress callback `(completed, total)`.
-    pub fn run_with_progress(&self, mut progress: impl FnMut(usize, usize)) -> SweepResults {
-        let total = self.len();
-        let mut records = Vec::with_capacity(total);
-        let mut done = 0;
+    /// The grid in its canonical (serial-loop) order:
+    /// machines → apps → policies → threads, skipping thread counts a
+    /// machine cannot seat. Every `run*` method executes exactly this
+    /// list, so results are identical however they are scheduled.
+    fn grid(&self) -> Vec<(&MachineConfig, AppKind, PagePolicy, usize)> {
+        let mut configs = Vec::with_capacity(self.len());
         for machine in &self.machines {
             for &app in &self.apps {
                 for &policy in &self.policies {
@@ -76,19 +72,55 @@ impl SweepSpec {
                         if threads > machine.contexts() {
                             continue;
                         }
-                        progress(done, total);
-                        records.push(run_sim(
-                            app,
-                            self.class,
-                            machine.clone(),
-                            policy,
-                            threads,
-                            self.opts,
-                        ));
-                        done += 1;
+                        configs.push((machine, app, policy, threads));
                     }
                 }
             }
+        }
+        configs
+    }
+
+    /// Execute the sweep on [`default_workers`] worker threads
+    /// (`LPOMP_WORKERS` overrides; see [`crate::parallel`]).
+    ///
+    /// Configurations are independent simulations, so the records are
+    /// byte-identical to a serial run regardless of worker count.
+    pub fn run(&self) -> SweepResults {
+        self.run_parallel(default_workers())
+    }
+
+    /// Execute the sweep on exactly `workers` threads. `run_parallel(1)`
+    /// is the serial loop; any other count produces the same records in
+    /// the same (grid) order.
+    pub fn run_parallel(&self, workers: usize) -> SweepResults {
+        let grid = self.grid();
+        let records = par_map(&grid, workers, |_, &(machine, app, policy, threads)| {
+            run_sim(app, self.class, machine.clone(), policy, threads, self.opts)
+        });
+        SweepResults { records }
+    }
+
+    /// Execute with a progress callback `(completed, total)`.
+    ///
+    /// Serial by construction (the callback is `FnMut`); use [`run`] or
+    /// [`run_parallel`] when no per-run hook is needed.
+    ///
+    /// [`run`]: SweepSpec::run
+    /// [`run_parallel`]: SweepSpec::run_parallel
+    pub fn run_with_progress(&self, mut progress: impl FnMut(usize, usize)) -> SweepResults {
+        let grid = self.grid();
+        let total = grid.len();
+        let mut records = Vec::with_capacity(total);
+        for (done, &(machine, app, policy, threads)) in grid.iter().enumerate() {
+            progress(done, total);
+            records.push(run_sim(
+                app,
+                self.class,
+                machine.clone(),
+                policy,
+                threads,
+                self.opts,
+            ));
         }
         SweepResults { records }
     }
@@ -206,6 +238,19 @@ mod tests {
             assert_eq!(total, 8);
         });
         assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        // Each grid cell is an independent simulation, so the records must
+        // be *byte-identical* (RunRecord's PartialEq compares f64 fields
+        // exactly) in grid order for any worker count — including counts
+        // far above the host's parallelism.
+        let spec = small_spec();
+        let serial = spec.run_parallel(1);
+        let parallel = spec.run_parallel(8);
+        assert_eq!(serial.records().len(), 8);
+        assert_eq!(serial.records(), parallel.records());
     }
 
     #[test]

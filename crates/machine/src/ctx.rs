@@ -266,6 +266,42 @@ impl MemoryCtx for SimCtx<'_> {
         self.data(va, DataKind::Write, AccessMode::Pipelined);
     }
 
+    // Whole-run batched variants of the streaming helpers: one call into
+    // the machine charges the full line run, page by page, instead of one
+    // `data_access` round-trip per line. `Machine::data_access_run`
+    // replicates this context's per-line charge rule exactly (SMT scale →
+    // clock → cycle counter), so clock and counters are identical to the
+    // default per-line loop — only host time differs.
+    fn stream_read(&mut self, va: VirtAddr, len: u64) {
+        self.machine
+            .data_access_run(
+                self.aspace,
+                self.core,
+                va,
+                len,
+                DataKind::Read,
+                AccessMode::Stream,
+                self.counters,
+                self.clock,
+            )
+            .unwrap_or_else(|e| panic!("thread {} stream read at {va}: {e}", self.thread));
+    }
+
+    fn stream_write(&mut self, va: VirtAddr, len: u64) {
+        self.machine
+            .data_access_run(
+                self.aspace,
+                self.core,
+                va,
+                len,
+                DataKind::Write,
+                AccessMode::Stream,
+                self.counters,
+                self.clock,
+            )
+            .unwrap_or_else(|e| panic!("thread {} stream write at {va}: {e}", self.thread));
+    }
+
     fn compute(&mut self, instructions: u64) {
         self.counters.add(Event::Instructions, instructions);
         self.charge(instructions); // CPI 1.0 for the compute component
@@ -411,6 +447,53 @@ mod tests {
         ctx.stream_read(f.base, 4096);
         drop(ctx);
         assert_eq!(counters.get(Event::Loads), 4096 / 64);
+    }
+
+    #[test]
+    fn batched_stream_equals_per_line_loop() {
+        // `stream_read`/`stream_write` go through the batched
+        // `Machine::data_access_run`; they must leave the counter sheet
+        // and clock exactly where the default per-line helper loop would.
+        let run = |batched: bool| -> (Counters, u64) {
+            let mut f = fixture();
+            let mut counters = Counters::new();
+            let mut clock = 0u64;
+            let mut ctx = SimCtx::new(
+                &mut f.machine,
+                &mut f.aspace,
+                &mut counters,
+                &mut clock,
+                &mut f.code,
+                0,
+                0,
+            );
+            // Unaligned start, multi-page spans, interleaved reads and
+            // writes, a revisit (warm caches), and a partial tail.
+            let spans = [(96u64, 2 * 4096 + 72), (64 * 1024, 4096), (96, 4096)];
+            for &(start, len) in &spans {
+                if batched {
+                    ctx.stream_read(f.base.add(start), len);
+                    ctx.stream_write(f.base.add(start), len);
+                } else {
+                    let mut off = 0;
+                    while off < len {
+                        ctx.read_streamed(f.base.add(start + off));
+                        off += 64;
+                    }
+                    let mut off = 0;
+                    while off < len {
+                        ctx.write_streamed(f.base.add(start + off));
+                        off += 64;
+                    }
+                }
+            }
+            drop(ctx);
+            (counters, clock)
+        };
+        let (fast, fast_clock) = run(true);
+        let (slow, slow_clock) = run(false);
+        assert_eq!(fast, slow, "batched stream changed simulated counters");
+        assert_eq!(fast_clock, slow_clock, "batched stream changed the clock");
     }
 
     #[test]

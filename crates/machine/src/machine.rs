@@ -6,7 +6,7 @@ use crate::config::MachineConfig;
 use crate::cost::CostModel;
 use lpomp_prof::{Counters, Event};
 use lpomp_tlb::{Tlb, TlbOutcome};
-use lpomp_vm::{AccessKind, AddressSpace, BuddyAllocator, VirtAddr, VmResult};
+use lpomp_vm::{AccessKind, AddressSpace, BuddyAllocator, PageSize, VirtAddr, VmResult};
 
 /// Tag bit added to physical page-walk addresses before they enter the
 /// (virtually indexed) cache model, keeping the PA and VA keyspaces
@@ -49,6 +49,47 @@ pub enum AccessMode {
     Stream,
 }
 
+/// The page of a core's immediately preceding access: the one-entry
+/// "micro-TLB" in front of the modelled TLB hierarchy.
+///
+/// Exactness argument (why the fast path cannot change any simulated
+/// counter): this entry describes the *last* translation performed on the
+/// core, so it is the most-recently-used entry of its L1 array — every
+/// lookup outcome leaves the touched entry MRU (an L1 hit re-fronts it, an
+/// L2 hit promote-fills it to the front, a miss fills it to the front).
+/// A repeat access to the same page would therefore return
+/// `L1Hit(size)` and its move-to-front would be a no-op, so recording the
+/// hit via [`Tlb::record_l1_hit_bypass`] is observationally identical to
+/// the full lookup. Staleness is detected by comparing `generation`
+/// against [`Tlb::generation`], which advances on every flush or
+/// invalidation. Debug builds re-check both facts against the real TLB
+/// state ([`Tlb::peek`] / [`Tlb::l1_is_mru`]) on every bypassed hit.
+#[derive(Clone, Copy, Debug)]
+struct MicroEntry {
+    page_base: u64,
+    page_end: u64,
+    size: PageSize,
+    generation: u64,
+}
+
+impl MicroEntry {
+    #[inline]
+    fn covers(&self, tlb: &Tlb, va: VirtAddr) -> bool {
+        self.generation == tlb.generation() && self.page_base <= va.0 && va.0 < self.page_end
+    }
+
+    #[inline]
+    fn install(slot: &mut Option<MicroEntry>, tlb: &Tlb, va: VirtAddr, size: PageSize) {
+        let base = va.page_base(size).0;
+        *slot = Some(MicroEntry {
+            page_base: base,
+            page_end: base + size.bytes(),
+            size,
+            generation: tlb.generation(),
+        });
+    }
+}
+
 /// The simulated multi-core machine.
 ///
 /// One data and one instruction TLB per core — *shared by that core's SMT
@@ -66,6 +107,12 @@ pub struct Machine {
     l2s: Vec<Cache>,
     /// Logical threads currently resident per core (set by the engine).
     residency: Vec<usize>,
+    /// Per-core last-translation cache for the data side (see
+    /// [`MicroEntry`]). Staleness is generation-checked, so TLB flushes
+    /// need not clear these.
+    micro_data: Vec<Option<MicroEntry>>,
+    /// Per-core last-translation cache for the instruction side.
+    micro_code: Vec<Option<MicroEntry>>,
 }
 
 impl Machine {
@@ -81,6 +128,8 @@ impl Machine {
                 .map(|_| Cache::new(cfg.l2))
                 .collect(),
             residency: vec![0; cores],
+            micro_data: vec![None; cores],
+            micro_code: vec![None; cores],
             cfg,
         }
     }
@@ -206,9 +255,61 @@ impl Machine {
         }
     }
 
+    /// Charge the post-translation stage of a data access: cache
+    /// hierarchy, NUMA remote penalty (DRAM only), SMT stall rule.
+    #[inline]
+    fn memory_stage(
+        &mut self,
+        core: usize,
+        va: VirtAddr,
+        page_size: PageSize,
+        mode: AccessMode,
+        counters: &mut Counters,
+    ) -> u64 {
+        let (mem_cycles, dram, stalled) = self.cache_access(core, va.0, mode, counters);
+        let mut cycles = mem_cycles;
+        if dram {
+            if let Some(numa) = &self.cfg.numa {
+                if numa.node_of(va, page_size) != self.cfg.node_of_core(core) {
+                    cycles += match mode {
+                        AccessMode::Stream => numa.remote_stream_extra,
+                        _ => numa.remote_extra,
+                    };
+                }
+            }
+        }
+        if stalled {
+            cycles += self.maybe_smt_flush(core, counters);
+        }
+        cycles
+    }
+
+    /// Debug-build proof that a micro-TLB bypass is observationally
+    /// identical to a real lookup: the entry must still be resident
+    /// (an actual `L1Hit(size)` — in particular no stale other-size entry
+    /// shadows it in probe order) and MRU (the move-to-front would be a
+    /// no-op).
+    #[inline]
+    fn debug_check_bypass(tlb: &Tlb, va: VirtAddr, size: PageSize) {
+        debug_assert_eq!(
+            tlb.peek(va),
+            TlbOutcome::L1Hit(size),
+            "micro-TLB fast path diverged from the real TLB at {va}"
+        );
+        debug_assert!(
+            tlb.l1_is_mru(va, size),
+            "micro-TLB entry for {va} is resident but not MRU"
+        );
+    }
+
     /// Perform a data access of `kind` at `va` from a thread on `core`,
     /// returning the cycles it took. Drives: DTLB lookup → (page walk →
     /// fault) → cache hierarchy → SMT stall rule.
+    ///
+    /// A one-entry micro-TLB (the core's immediately preceding data
+    /// translation, see [`MicroEntry`]) short-circuits the DTLB's LRU
+    /// machinery for same-page repeat accesses; counters and cycle charges
+    /// are identical either way.
     pub fn data_access(
         &mut self,
         aspace: &mut AddressSpace,
@@ -222,6 +323,14 @@ impl Machine {
             DataKind::Read => Event::Loads,
             DataKind::Write => Event::Stores,
         });
+        if let Some(e) = self.micro_data[core] {
+            if e.covers(&self.dtlbs[core], va) {
+                counters.bump(Event::DtlbHits);
+                Self::debug_check_bypass(&self.dtlbs[core], va, e.size);
+                self.dtlbs[core].record_l1_hit_bypass(e.size);
+                return Ok(self.memory_stage(core, va, e.size, mode, counters));
+            }
+        }
         let mut cycles = 0u64;
         let page_size;
         match self.dtlbs[core].lookup(va) {
@@ -273,22 +382,91 @@ impl Machine {
                 self.dtlbs[core].fill(va, page_size);
             }
         }
-        let (mem_cycles, dram, stalled) = self.cache_access(core, va.0, mode, counters);
-        cycles += mem_cycles;
-        if dram {
-            if let Some(numa) = &self.cfg.numa {
-                if numa.node_of(va, page_size) != self.cfg.node_of_core(core) {
-                    cycles += match mode {
+        // Every outcome above leaves `va`'s entry MRU in its L1 array
+        // (re-front, promote-fill, or fill), establishing the bypass
+        // precondition for the next same-page access.
+        MicroEntry::install(&mut self.micro_data[core], &self.dtlbs[core], va, page_size);
+        Ok(cycles + self.memory_stage(core, va, page_size, mode, counters))
+    }
+
+    /// Stream `len` bytes from `va` through the data path, one access per
+    /// cache line, charging `clock`/`counters` exactly as the equivalent
+    /// per-line [`data_access`]-and-charge loop would (the per-line charge
+    /// is SMT-scaled, added to the clock, and counted as
+    /// [`Event::Cycles`], in that order — mirroring the engine's charge
+    /// rule).
+    ///
+    /// The first line of each page-run takes the full path (which may
+    /// walk, fault, or restart the prefetcher, and leaves the micro-TLB
+    /// pointing at that page); subsequent lines of the same page cannot
+    /// miss the TLB — the entry is MRU and nothing else touches this
+    /// core's TLB in between — so they are charged with one bypassed
+    /// translation + one cache reference each, with the page's NUMA home
+    /// resolved once.
+    ///
+    /// [`data_access`]: Machine::data_access
+    #[allow(clippy::too_many_arguments)]
+    pub fn data_access_run(
+        &mut self,
+        aspace: &mut AddressSpace,
+        core: usize,
+        va: VirtAddr,
+        len: u64,
+        kind: DataKind,
+        mode: AccessMode,
+        counters: &mut Counters,
+        clock: &mut u64,
+    ) -> VmResult<()> {
+        const LINE: u64 = crate::cache::LINE_BYTES;
+        let line_event = match kind {
+            DataKind::Read => Event::Loads,
+            DataKind::Write => Event::Stores,
+        };
+        let mut off = 0;
+        while off < len {
+            // First line of a page-run: full translation path.
+            let cycles = self.data_access(aspace, core, va.add(off), kind, mode, counters)?;
+            let scaled = self.smt_charge_scale(core, cycles);
+            *clock += scaled;
+            counters.add(Event::Cycles, scaled);
+            off += LINE;
+            let e = self.micro_data[core].expect("data_access installs a micro entry");
+            // The page's NUMA home is a property of the page alone
+            // (placement chunks are at least page-sized), so the remote
+            // penalty for DRAM-reaching lines is uniform across the run.
+            let remote_extra = match &self.cfg.numa {
+                Some(numa)
+                    if numa.node_of(VirtAddr(e.page_base), e.size)
+                        != self.cfg.node_of_core(core) =>
+                {
+                    match mode {
                         AccessMode::Stream => numa.remote_stream_extra,
                         _ => numa.remote_extra,
-                    };
+                    }
                 }
+                _ => 0,
+            };
+            while off < len && va.add(off).0 < e.page_end {
+                let line = va.add(off);
+                counters.bump(line_event);
+                counters.bump(Event::DtlbHits);
+                Self::debug_check_bypass(&self.dtlbs[core], line, e.size);
+                self.dtlbs[core].record_l1_hit_bypass(e.size);
+                let (mem_cycles, dram, stalled) = self.cache_access(core, line.0, mode, counters);
+                let mut cycles = mem_cycles;
+                if dram {
+                    cycles += remote_extra;
+                }
+                if stalled {
+                    cycles += self.maybe_smt_flush(core, counters);
+                }
+                let scaled = self.smt_charge_scale(core, cycles);
+                *clock += scaled;
+                counters.add(Event::Cycles, scaled);
+                off += LINE;
             }
         }
-        if stalled {
-            cycles += self.maybe_smt_flush(core, counters);
-        }
-        Ok(cycles)
+        Ok(())
     }
 
     /// Perform an instruction fetch at `va` from a thread on `core`. The
@@ -302,9 +480,16 @@ impl Machine {
         counters: &mut Counters,
     ) -> VmResult<u64> {
         counters.bump(Event::IFetches);
-        match self.itlbs[core].lookup(va) {
-            TlbOutcome::L1Hit(_) => Ok(0),
-            TlbOutcome::L2Hit(_) => Ok(self.cfg.cost.tlb_l2_hit),
+        if let Some(e) = self.micro_code[core] {
+            if e.covers(&self.itlbs[core], va) {
+                Self::debug_check_bypass(&self.itlbs[core], va, e.size);
+                self.itlbs[core].record_l1_hit_bypass(e.size);
+                return Ok(0);
+            }
+        }
+        let (cycles, size) = match self.itlbs[core].lookup(va) {
+            TlbOutcome::L1Hit(s) => (0, s),
+            TlbOutcome::L2Hit(s) => (self.cfg.cost.tlb_l2_hit, s),
             TlbOutcome::Miss => {
                 counters.bump(Event::ItlbMisses);
                 let outcome = aspace.access(&mut self.frames, va, AccessKind::Fetch)?;
@@ -323,10 +508,13 @@ impl Machine {
                     walk_cycles += self.cfg.cost.page_fault;
                 }
                 counters.add(Event::WalkCycles, walk_cycles);
-                self.itlbs[core].fill(va, outcome.translation().size);
-                Ok(walk_cycles)
+                let size = outcome.translation().size;
+                self.itlbs[core].fill(va, size);
+                (walk_cycles, size)
             }
-        }
+        };
+        MicroEntry::install(&mut self.micro_code[core], &self.itlbs[core], va, size);
+        Ok(cycles)
     }
 }
 
@@ -539,6 +727,119 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c.get(Event::SmtFlushes), 0);
+    }
+
+    #[test]
+    fn tlb_flush_invalidates_micro_entry() {
+        let (mut m, mut asp, base) = setup(opteron_2x2());
+        let mut c = Counters::new();
+        for off in [0u64, 64, 128] {
+            m.data_access(
+                &mut asp,
+                0,
+                base.add(off),
+                DataKind::Read,
+                AccessMode::Latency,
+                &mut c,
+            )
+            .unwrap();
+        }
+        assert_eq!(c.get(Event::DtlbMisses), 1);
+        assert_eq!(c.get(Event::DtlbHits), 2);
+        m.flush_all_tlbs();
+        m.data_access(
+            &mut asp,
+            0,
+            base,
+            DataKind::Read,
+            AccessMode::Latency,
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(
+            c.get(Event::DtlbMisses),
+            2,
+            "a flushed translation must miss even if it was the core's last access"
+        );
+    }
+
+    #[test]
+    fn batched_run_matches_per_line_loop() {
+        // The exactness contract of `data_access_run`: identical counters,
+        // clock, and TLB statistics to the per-line loop it replaces.
+        // Exercised on the harshest config: SMT-shared cores (charge
+        // scaling + pipeline flushes) with NUMA interleaving (remote
+        // penalties), unaligned start, partial tail line, multi-page span.
+        use crate::numa::{NumaConfig, NumaPlacement};
+        let mk = |size: PageSize| {
+            let mut cfg = xeon_2x2_ht();
+            cfg.numa = Some(NumaConfig::opteron(NumaPlacement::Interleave4K));
+            let mut m = Machine::new(cfg);
+            let mut asp = AddressSpace::new(&mut m.frames).unwrap();
+            let base = asp
+                .mmap(
+                    &mut m.frames,
+                    4 * PageSize::Large2M.bytes(),
+                    size,
+                    PteFlags::rw(),
+                    Backing::Anonymous,
+                    Populate::Eager,
+                    "data",
+                )
+                .unwrap();
+            m.set_residency(vec![2, 2, 2, 2]);
+            (m, asp, base)
+        };
+        for size in [PageSize::Small4K, PageSize::Large2M] {
+            for kind in [DataKind::Read, DataKind::Write] {
+                let start = 96u64; // not line- or page-aligned
+                let len = 3 * 4096 + 200; // crosses pages, partial tail
+                let (mut m1, mut a1, b1) = mk(size);
+                let (mut c1, mut clk1) = (Counters::new(), 0u64);
+                m1.data_access_run(
+                    &mut a1,
+                    0,
+                    b1.add(start),
+                    len,
+                    kind,
+                    AccessMode::Stream,
+                    &mut c1,
+                    &mut clk1,
+                )
+                .unwrap();
+                let (mut m2, mut a2, b2) = mk(size);
+                let (mut c2, mut clk2) = (Counters::new(), 0u64);
+                let mut off = 0;
+                while off < len {
+                    let cy = m2
+                        .data_access(
+                            &mut a2,
+                            0,
+                            b2.add(start + off),
+                            kind,
+                            AccessMode::Stream,
+                            &mut c2,
+                        )
+                        .unwrap();
+                    let scaled = m2.smt_charge_scale(0, cy);
+                    clk2 += scaled;
+                    c2.add(Event::Cycles, scaled);
+                    off += crate::cache::LINE_BYTES;
+                }
+                assert_eq!(c1, c2, "counters diverged ({size:?}, {kind:?})");
+                assert_eq!(clk1, clk2, "clock diverged ({size:?}, {kind:?})");
+                assert_eq!(
+                    m1.dtlb(0).stats(),
+                    m2.dtlb(0).stats(),
+                    "TLB stats diverged ({size:?}, {kind:?})"
+                );
+                assert_eq!(
+                    m1.dtlb(0).array_stats(),
+                    m2.dtlb(0).array_stats(),
+                    "array stats diverged ({size:?}, {kind:?})"
+                );
+            }
+        }
     }
 
     #[test]

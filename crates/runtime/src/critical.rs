@@ -2,13 +2,13 @@
 //!
 //! Omni implements `#pragma omp critical` and the `omp_*_lock` routines
 //! over its shared region; the native engine provides the same contracts
-//! over `parking_lot`. In the simulated engine loops execute one quantum
-//! at a time on a single OS thread, so these are trivially uncontended
-//! there — they exist for the native-engine programming model (examples,
-//! benches and any downstream user writing OpenMP-style Rust).
+//! over the standard library. In the simulated engine loops execute one
+//! quantum at a time on a single OS thread, so these are trivially
+//! uncontended there — they exist for the native-engine programming model
+//! (examples, benches and any downstream user writing OpenMP-style Rust).
 
-use parking_lot::{Mutex, MutexGuard};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// An OpenMP `critical` section: at most one thread inside at a time.
 ///
@@ -42,16 +42,23 @@ impl Critical {
     /// Enter the section; the guard releases it on drop.
     pub fn enter(&self) -> MutexGuard<'_, ()> {
         self.entries.fetch_add(1, Ordering::Relaxed);
-        self.mutex.lock()
+        // A poisoned `()` mutex carries no state to corrupt; recover it.
+        self.mutex.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Attempt to enter without blocking.
     pub fn try_enter(&self) -> Option<MutexGuard<'_, ()>> {
-        let g = self.mutex.try_lock();
-        if g.is_some() {
-            self.entries.fetch_add(1, Ordering::Relaxed);
+        match self.mutex.try_lock() {
+            Ok(g) => {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                Some(g)
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                Some(p.into_inner())
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
         }
-        g
     }
 
     /// How many times the section has been entered.
@@ -63,9 +70,13 @@ impl Critical {
 /// The OpenMP lock API (`omp_init_lock` / `set` / `unset` / `test`), for
 /// code ported from OpenMP that manages locks explicitly rather than
 /// lexically.
+///
+/// OpenMP locks are *not* lexically scoped — `omp_set_lock` in one
+/// function may be released by `omp_unset_lock` in another — so this is a
+/// raw flag lock rather than a guard-based mutex.
 #[derive(Debug, Default)]
 pub struct OmpLock {
-    mutex: Mutex<()>,
+    held: AtomicBool,
 }
 
 impl OmpLock {
@@ -78,7 +89,21 @@ impl OmpLock {
     ///
     /// [`unset`]: OmpLock::unset
     pub fn set(&self) {
-        std::mem::forget(self.mutex.lock());
+        let mut spins = 0u32;
+        while self
+            .held
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // Bounded spin, then yield: these protect short OpenMP-style
+            // critical regions, so contention windows are tiny.
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// `omp_unset_lock`.
@@ -86,26 +111,22 @@ impl OmpLock {
     /// # Safety contract (checked at runtime)
     /// Panics if the lock is not held.
     pub fn unset(&self) {
-        assert!(self.mutex.is_locked(), "omp_unset_lock on an unheld lock");
-        // Safety: the OpenMP contract is that the setting thread unsets;
-        // parking_lot supports unlocking from the owning context.
-        unsafe { self.mutex.force_unlock() }
+        assert!(
+            self.held.swap(false, Ordering::Release),
+            "omp_unset_lock on an unheld lock"
+        );
     }
 
     /// `omp_test_lock`: try to acquire; true on success.
     pub fn test(&self) -> bool {
-        match self.mutex.try_lock() {
-            Some(g) => {
-                std::mem::forget(g);
-                true
-            }
-            None => false,
-        }
+        self.held
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
     }
 
     /// Whether the lock is currently held.
     pub fn is_set(&self) -> bool {
-        self.mutex.is_locked()
+        self.held.load(Ordering::Relaxed)
     }
 }
 

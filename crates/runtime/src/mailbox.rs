@@ -54,7 +54,7 @@ struct Slot {
     /// 0 = empty (sender may fill), 1 = full (receiver may read).
     state: AtomicU32,
     len: AtomicUsize,
-    data: parking_lot::Mutex<[u8; MAX_MSG_BYTES]>,
+    data: std::sync::Mutex<[u8; MAX_MSG_BYTES]>,
 }
 
 impl Slot {
@@ -62,7 +62,7 @@ impl Slot {
         Slot {
             state: AtomicU32::new(0),
             len: AtomicUsize::new(0),
-            data: parking_lot::Mutex::new([0; MAX_MSG_BYTES]),
+            data: std::sync::Mutex::new([0; MAX_MSG_BYTES]),
         }
     }
 }
@@ -134,7 +134,10 @@ impl Mailbox {
         }
         {
             // The single copy of the design: sender → shared buffer.
-            let mut buf = slot.data.lock();
+            let mut buf = slot
+                .data
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             buf[..msg.len()].copy_from_slice(msg);
         }
         slot.len.store(msg.len(), Ordering::Relaxed);
@@ -173,7 +176,10 @@ impl Mailbox {
         }
         let len = slot.len.load(Ordering::Relaxed);
         let r = {
-            let buf = slot.data.lock();
+            let buf = slot
+                .data
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             f(&buf[..len])
         };
         slot.state.store(0, Ordering::Release);
@@ -192,7 +198,10 @@ impl Mailbox {
         }
         let len = slot.len.load(Ordering::Relaxed);
         let r = {
-            let buf = slot.data.lock();
+            let buf = slot
+                .data
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             f(&buf[..len])
         };
         slot.state.store(0, Ordering::Release);

@@ -1,8 +1,8 @@
 //! The fork-join team: OpenMP's `parallel for` on two engines.
 //!
 //! A [`Team`] executes parallel loops either **natively** (real OS threads
-//! via `crossbeam`, no instrumentation — used for correctness tests,
-//! examples and wall-clock benchmarks) or **simulated** (logical threads
+//! via `std::thread::scope`, no instrumentation — used for correctness
+//! tests, examples and wall-clock benchmarks) or **simulated** (logical threads
 //! interleaved over the `lpomp-machine` timing model — used to reproduce
 //! the paper's figures).
 //!
@@ -334,12 +334,12 @@ impl Team {
                 let threads = *threads;
                 match p {
                     Plan::Fixed(per) => {
-                        let partials: Vec<f64> = crossbeam::thread::scope(|s| {
+                        let partials: Vec<f64> = std::thread::scope(|s| {
                             let handles: Vec<_> = per
                                 .into_iter()
                                 .enumerate()
                                 .map(|(t, chunks)| {
-                                    s.spawn(move |_| {
+                                    s.spawn(move || {
                                         let mut ctx = NullCtx::new(t);
                                         let mut acc = red.identity();
                                         for c in chunks {
@@ -349,9 +349,11 @@ impl Team {
                                     })
                                 })
                                 .collect();
-                            handles.into_iter().map(|h| h.join().unwrap()).collect()
-                        })
-                        .expect("worker panicked");
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("worker panicked"))
+                                .collect()
+                        });
                         partials
                             .into_iter()
                             .fold(red.identity(), |a, b| red.combine(a, b))
@@ -361,10 +363,10 @@ impl Team {
                         let next = AtomicUsize::new(0);
                         let q = &q;
                         let next_ref = &next;
-                        let partials: Vec<f64> = crossbeam::thread::scope(|s| {
+                        let partials: Vec<f64> = std::thread::scope(|s| {
                             let handles: Vec<_> = (0..threads)
                                 .map(|t| {
-                                    s.spawn(move |_| {
+                                    s.spawn(move || {
                                         let mut ctx = NullCtx::new(t);
                                         let mut acc = red.identity();
                                         loop {
@@ -378,9 +380,11 @@ impl Team {
                                     })
                                 })
                                 .collect();
-                            handles.into_iter().map(|h| h.join().unwrap()).collect()
-                        })
-                        .expect("worker panicked");
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("worker panicked"))
+                                .collect()
+                        });
                         partials
                             .into_iter()
                             .fold(red.identity(), |a, b| red.combine(a, b))

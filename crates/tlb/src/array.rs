@@ -161,6 +161,33 @@ impl TlbArray {
         self.sets[self.set_index(vpn)].contains(&vpn)
     }
 
+    /// True when `vpn` is the most-recently-used entry of its set — i.e.
+    /// a [`lookup`] of it would hit *and* its move-to-front would be a
+    /// no-op. The condition under which a hit may be recorded via
+    /// [`record_hit_bypass`] without changing any future eviction.
+    ///
+    /// [`lookup`]: TlbArray::lookup
+    /// [`record_hit_bypass`]: TlbArray::record_hit_bypass
+    pub fn is_mru(&self, vpn: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.sets[self.set_index(vpn)].first() == Some(&vpn)
+    }
+
+    /// Record a hit without searching or reordering the set.
+    ///
+    /// Correct only when the caller has proven the entry is resident and
+    /// already MRU (see [`is_mru`]) — then `lookup` would bump
+    /// `stats.hits` and leave the array state untouched, which is exactly
+    /// what this does without the O(ways) scan.
+    ///
+    /// [`is_mru`]: TlbArray::is_mru
+    #[inline]
+    pub fn record_hit_bypass(&mut self) {
+        self.stats.hits += 1;
+    }
+
     /// Install a VPN (after a miss + walk), evicting the set's LRU entry if
     /// full. Returns the evicted VPN, if any.
     pub fn fill(&mut self, vpn: u64) -> Option<u64> {

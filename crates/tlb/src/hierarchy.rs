@@ -136,10 +136,29 @@ impl Level {
         }
     }
 
+    fn array(&self, size: PageSize) -> &TlbArray {
+        match size {
+            PageSize::Small4K => &self.small,
+            PageSize::Large2M => &self.large,
+        }
+    }
+
     fn array_mut(&mut self, size: PageSize) -> &mut TlbArray {
         match size {
             PageSize::Small4K => &mut self.small,
             PageSize::Large2M => &mut self.large,
+        }
+    }
+
+    /// Non-mutating twin of [`Level::lookup`]: same probe order, no LRU
+    /// movement, no stats.
+    fn peek(&self, va: VirtAddr) -> Option<PageSize> {
+        if self.small.probe(va.vpn(PageSize::Small4K)) {
+            Some(PageSize::Small4K)
+        } else if self.large.probe(va.vpn(PageSize::Large2M)) {
+            Some(PageSize::Large2M)
+        } else {
+            None
         }
     }
 
@@ -175,6 +194,14 @@ pub struct Tlb {
     l1: Level,
     l2: Option<Level>,
     stats: TlbStats,
+    /// Bumped by every operation that removes entries ([`flush`] /
+    /// [`invalidate`]). Callers caching "this translation is resident"
+    /// facts outside the TLB (the machine's last-translation micro-TLB)
+    /// compare generations to find out their cache is stale.
+    ///
+    /// [`flush`]: Tlb::flush
+    /// [`invalidate`]: Tlb::invalidate
+    generation: u64,
 }
 
 impl Tlb {
@@ -185,7 +212,18 @@ impl Tlb {
             l2: config.l2.as_ref().map(Level::new),
             config,
             stats: TlbStats::default(),
+            generation: 0,
         }
+    }
+
+    /// Invalidation epoch: changes whenever [`flush`] or [`invalidate`]
+    /// may have removed an entry. See the `generation` field.
+    ///
+    /// [`flush`]: Tlb::flush
+    /// [`invalidate`]: Tlb::invalidate
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The geometry this TLB was built from.
@@ -229,6 +267,53 @@ impl Tlb {
         TlbOutcome::Miss
     }
 
+    /// Non-mutating twin of [`lookup`]: what a lookup *would* return,
+    /// with no LRU reordering, no L2→L1 promotion and no stats. (An
+    /// `L2Hit` answer therefore describes the lookup's outcome, not its
+    /// side effects.)
+    ///
+    /// [`lookup`]: Tlb::lookup
+    pub fn peek(&self, va: VirtAddr) -> TlbOutcome {
+        if let Some(size) = self.l1.peek(va) {
+            return TlbOutcome::L1Hit(size);
+        }
+        if let Some(l2) = &self.l2 {
+            if let Some(size) = l2.peek(va) {
+                return TlbOutcome::L2Hit(size);
+            }
+        }
+        TlbOutcome::Miss
+    }
+
+    /// True when `va`'s translation of `size` is the most-recently-used
+    /// entry of its L1 set — the precondition for
+    /// [`record_l1_hit_bypass`].
+    ///
+    /// [`record_l1_hit_bypass`]: Tlb::record_l1_hit_bypass
+    #[inline]
+    pub fn l1_is_mru(&self, va: VirtAddr, size: PageSize) -> bool {
+        self.l1.array(size).is_mru(va.vpn(size))
+    }
+
+    /// Record an L1 hit of `size` without performing the lookup.
+    ///
+    /// The fast-path contract (enforced by the caller, checked by debug
+    /// assertions against [`peek`] / [`l1_is_mru`]): the entry is
+    /// resident in L1 and already MRU, and no other array would have
+    /// answered first — so a real [`lookup`] would return `L1Hit(size)`
+    /// and change nothing but the hit counters. This method applies
+    /// exactly those counter updates ([`TlbStats::l1_hits`] and the
+    /// array's [`ArrayStats::hits`]) in O(1).
+    ///
+    /// [`peek`]: Tlb::peek
+    /// [`l1_is_mru`]: Tlb::l1_is_mru
+    /// [`lookup`]: Tlb::lookup
+    #[inline]
+    pub fn record_l1_hit_bypass(&mut self, size: PageSize) {
+        self.stats.l1_hits += 1;
+        self.l1.array_mut(size).record_hit_bypass();
+    }
+
     /// Install a translation after a page walk determined its size.
     /// Fills L1 and, when the level has entries for the size, L2.
     pub fn fill(&mut self, va: VirtAddr, size: PageSize) {
@@ -247,6 +332,7 @@ impl Tlb {
             l2.flush();
         }
         self.stats.flushes += 1;
+        self.generation += 1;
     }
 
     /// Invalidate one translation (munmap / protection change).
@@ -256,6 +342,7 @@ impl Tlb {
         if let Some(l2) = &mut self.l2 {
             l2.array_mut(size).invalidate(vpn);
         }
+        self.generation += 1;
     }
 }
 
@@ -408,6 +495,74 @@ mod tests {
         assert_eq!(cfg.coverage_bytes(PageSize::Small4K), 1024 * 4096);
         // Large pages fall back to L1 coverage: 8 × 2 MB = 16 MB (Table 1).
         assert_eq!(cfg.coverage_bytes(PageSize::Large2M), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn peek_matches_lookup_without_side_effects() {
+        let mut t = two_level();
+        let va = VirtAddr(0x3000);
+        assert_eq!(t.peek(va), TlbOutcome::Miss);
+        t.lookup(va);
+        t.fill(va, PageSize::Small4K);
+        let stats_before = t.stats();
+        assert_eq!(t.peek(va), TlbOutcome::L1Hit(PageSize::Small4K));
+        assert_eq!(t.peek(va), TlbOutcome::L1Hit(PageSize::Small4K));
+        assert_eq!(t.stats(), stats_before, "peek must not count");
+        // Evict from L1 (capacity 2 small entries) but keep in L2.
+        for p in 1..3u64 {
+            let v = VirtAddr(0x3000 + p * 4096);
+            t.lookup(v);
+            t.fill(v, PageSize::Small4K);
+        }
+        assert_eq!(t.peek(va), TlbOutcome::L2Hit(PageSize::Small4K));
+        // peek performed no promotion: still an L2 answer.
+        assert_eq!(t.peek(va), TlbOutcome::L2Hit(PageSize::Small4K));
+    }
+
+    #[test]
+    fn bypass_hit_recording_equals_real_lookup() {
+        // Two TLBs driven identically, except one records repeat hits of
+        // the MRU entry through the bypass: stats and eviction behaviour
+        // must stay identical.
+        let mut real = two_level();
+        let mut fast = two_level();
+        let va = VirtAddr(0x7000);
+        for t in [&mut real, &mut fast] {
+            t.lookup(va);
+            t.fill(va, PageSize::Small4K);
+        }
+        for _ in 0..5 {
+            assert_eq!(real.lookup(va), TlbOutcome::L1Hit(PageSize::Small4K));
+            assert!(fast.l1_is_mru(va, PageSize::Small4K));
+            fast.record_l1_hit_bypass(PageSize::Small4K);
+        }
+        assert_eq!(real.stats(), fast.stats());
+        assert_eq!(real.array_stats(), fast.array_stats());
+        // Future behaviour identical: fill pressure evicts the same way.
+        for p in 1..3u64 {
+            let v = VirtAddr(0x7000 + p * 4096);
+            for t in [&mut real, &mut fast] {
+                t.lookup(v);
+                t.fill(v, PageSize::Small4K);
+            }
+        }
+        assert_eq!(real.peek(va), fast.peek(va));
+    }
+
+    #[test]
+    fn generation_changes_only_on_invalidation() {
+        let mut t = two_level();
+        let g0 = t.generation();
+        let va = VirtAddr(0x9000);
+        t.lookup(va);
+        t.fill(va, PageSize::Small4K);
+        t.lookup(va);
+        assert_eq!(t.generation(), g0, "lookups and fills keep generation");
+        t.invalidate(va, PageSize::Small4K);
+        let g1 = t.generation();
+        assert_ne!(g1, g0);
+        t.flush();
+        assert_ne!(t.generation(), g1);
     }
 
     #[test]
