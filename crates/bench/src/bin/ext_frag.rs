@@ -1,0 +1,218 @@
+//! Extension **E5**: external fragmentation vs. promotion strategy.
+//!
+//! The paper's boot-time reservation exists because a long-running
+//! system's buddy heap fragments: free memory abounds, free *2 MB blocks*
+//! do not. This experiment ages the heap to a chosen severity (the
+//! fraction of free order-9 blocks fragmented — each left holding one
+//! live, movable 4 KB page) and compares, for CG on the Opteron at 4
+//! threads:
+//!
+//! 1. **2MB preallocated** — the paper's system; reservation happens at
+//!    boot, *before* fragmentation, so aging cannot touch it;
+//! 2. **one-shot THP** — run on 4 KB pages, then a single stop-the-world
+//!    collapse: on an aged heap it finds no order-9 blocks and reports
+//!    `blocked` chunks, so the rerun stays at 4 KB speed;
+//! 3. **khugepaged + compaction** — the incremental daemon scans at
+//!    barriers, migrates the movable pages out of aged blocks
+//!    (compaction), collapses chunk by chunk within its cycle budget, and
+//!    reaches preallocated-class steady state with no reservation at all.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin ext_frag [S|W|A]`
+
+use lpomp_bench::class_from_args;
+use lpomp_core::{
+    default_workers, par_map, run_sim, PagePolicy, RunOpts, RunRecord, System, SystemConfig,
+};
+use lpomp_machine::opteron_2x2;
+use lpomp_npb::{AppKind, Class, Kernel};
+use lpomp_prof::table::fnum;
+use lpomp_prof::{Event, TextTable};
+use lpomp_vm::{age_heap, PageSize};
+
+const SEVERITIES: [f64; 3] = [0.0, 0.5, 1.0];
+
+struct Aged {
+    label: &'static str,
+    severity: f64,
+    frag_index: f64,
+    run1: f64,
+    run2: f64,
+    misses2: u64,
+    blocked: u64,
+    collapsed: u64,
+    compacted: u64,
+    shootdowns: u64,
+}
+
+/// Build a THP system, age its free memory, and return the system plus
+/// the post-aging fragmentation index at order 9.
+fn aged_system(cfg: &SystemConfig, kernel: &mut dyn Kernel, severity: f64) -> (System, f64) {
+    let mut sys = System::build(cfg, kernel).unwrap();
+    let e = sys.team.engine_mut().unwrap();
+    age_heap(&mut e.machine.frames, &mut e.aspace, severity).unwrap();
+    let frag_index = e
+        .machine
+        .frames
+        .fragmentation_index(PageSize::Large2M.buddy_order());
+    (sys, frag_index)
+}
+
+/// Scenario 2: one-shot stop-the-world collapse on an aged heap.
+fn one_shot(app: AppKind, class: Class, severity: f64) -> Aged {
+    let mut kernel = app.build(class);
+    let cfg = SystemConfig::thp(opteron_2x2(), 4);
+    let (mut sys, frag_index) = aged_system(&cfg, kernel.as_mut(), severity);
+    kernel.run(&mut sys.team);
+    let run1 = sys.team.elapsed_seconds();
+    let report = sys.promote_heap().unwrap();
+    sys.team.engine_mut().unwrap().reset_timing();
+    kernel.run(&mut sys.team);
+    Aged {
+        label: "one-shot THP",
+        severity,
+        frag_index,
+        run1,
+        run2: sys.team.elapsed_seconds(),
+        misses2: sys.team.aggregate_counters().get(Event::DtlbMisses),
+        blocked: report.skipped_no_memory,
+        collapsed: report.promoted,
+        compacted: 0,
+        shootdowns: 0,
+    }
+}
+
+/// Scenario 3: the incremental khugepaged daemon with compaction.
+fn daemon(app: AppKind, class: Class, severity: f64) -> Aged {
+    let mut kernel = app.build(class);
+    let cfg = SystemConfig::thp_daemon(opteron_2x2(), 4);
+    let (mut sys, frag_index) = aged_system(&cfg, kernel.as_mut(), severity);
+    kernel.run(&mut sys.team);
+    let run1 = sys.team.elapsed_seconds();
+    let agg1 = sys.team.aggregate_counters();
+    sys.team.engine_mut().unwrap().reset_timing();
+    kernel.run(&mut sys.team);
+    Aged {
+        label: "daemon+compaction",
+        severity,
+        frag_index,
+        run1,
+        run2: sys.team.elapsed_seconds(),
+        misses2: sys.team.aggregate_counters().get(Event::DtlbMisses),
+        blocked: 0,
+        collapsed: agg1.get(Event::PagesCollapsed),
+        compacted: agg1.get(Event::PagesCompacted),
+        shootdowns: agg1.get(Event::TlbShootdowns),
+    }
+}
+
+fn main() {
+    let class = class_from_args();
+    let app = AppKind::Cg;
+    println!(
+        "Extension E5: fragmentation vs promotion strategy ({app}, class {class}, \
+         4 threads, Opteron)\n"
+    );
+    println!(
+        "severity = fraction of free 2MB blocks aged before the app starts\n\
+         (each aged block keeps one live movable 4KB page; the rest is free)\n"
+    );
+
+    // Every cell is an independent system; run the grid in parallel.
+    enum Job {
+        Prealloc,
+        OneShot(f64),
+        Daemon(f64),
+    }
+    let mut jobs = vec![Job::Prealloc];
+    for &s in &SEVERITIES {
+        jobs.push(Job::OneShot(s));
+        jobs.push(Job::Daemon(s));
+    }
+    enum Cell {
+        Prealloc(Box<RunRecord>),
+        Aged(Aged),
+    }
+    let cells = par_map(&jobs, default_workers(), |_, job| match job {
+        Job::Prealloc => Cell::Prealloc(Box::new(run_sim(
+            app,
+            class,
+            opteron_2x2(),
+            PagePolicy::Large2M,
+            4,
+            RunOpts::default(),
+        ))),
+        Job::OneShot(s) => Cell::Aged(one_shot(app, class, *s)),
+        Job::Daemon(s) => Cell::Aged(daemon(app, class, *s)),
+    });
+
+    let mut prealloc = None;
+    let mut aged: Vec<Aged> = Vec::new();
+    for c in cells {
+        match c {
+            Cell::Prealloc(r) => prealloc = Some(r),
+            Cell::Aged(a) => aged.push(a),
+        }
+    }
+    let prealloc = prealloc.expect("prealloc job ran");
+
+    let mut t = TextTable::new(vec![
+        "scenario",
+        "severity",
+        "frag idx",
+        "run 1 (s)",
+        "run 2 (s)",
+        "dtlb miss 2",
+        "blocked",
+        "collapsed",
+        "compacted",
+        "shootdowns",
+    ]);
+    t.row(vec![
+        "2MB preallocated".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        fnum(prealloc.seconds, 4),
+        fnum(prealloc.seconds, 4),
+        prealloc.dtlb_misses().to_string(),
+        "0".to_owned(),
+        "0".to_owned(),
+        "0".to_owned(),
+        "0".to_owned(),
+    ]);
+    for a in &aged {
+        t.row(vec![
+            a.label.to_owned(),
+            fnum(a.severity, 1),
+            fnum(a.frag_index, 2),
+            fnum(a.run1, 4),
+            fnum(a.run2, 4),
+            a.misses2.to_string(),
+            a.blocked.to_string(),
+            a.collapsed.to_string(),
+            a.compacted.to_string(),
+            a.shootdowns.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let worst_one_shot = aged
+        .iter()
+        .find(|a| a.label == "one-shot THP" && a.severity == 1.0)
+        .unwrap();
+    let worst_daemon = aged
+        .iter()
+        .find(|a| a.label == "daemon+compaction" && a.severity == 1.0)
+        .unwrap();
+    println!(
+        "At full severity the one-shot collapse is blocked on {} chunks and its\n\
+         rerun stays at 4KB speed; the daemon compacts {} pages, collapses {}\n\
+         chunks at barriers, and its steady state reaches {}% of the\n\
+         preallocated system's speed ({}s vs {}s) with zero boot-time reservation.",
+        worst_one_shot.blocked,
+        worst_daemon.compacted,
+        worst_daemon.collapsed,
+        fnum(100.0 * prealloc.seconds / worst_daemon.run2, 1),
+        fnum(worst_daemon.run2, 4),
+        fnum(prealloc.seconds, 4),
+    );
+}

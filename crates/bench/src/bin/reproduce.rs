@@ -33,6 +33,7 @@ fn main() {
         ("ext_thp", true),
         ("ext_numa", true),
         ("ext_reach", false),
+        ("ext_frag", true),
         ("diag", true),
     ];
     let mut failures = 0;

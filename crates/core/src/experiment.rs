@@ -100,6 +100,7 @@ pub fn run_sim(
         threads,
         quantum: lpomp_runtime::DEFAULT_QUANTUM,
         private_heap: false,
+        khugepaged: None,
     };
     let mut sys = System::build(&cfg, kernel.as_mut())
         .unwrap_or_else(|e| panic!("{app} {class} system build failed: {e}"));

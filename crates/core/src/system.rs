@@ -21,8 +21,8 @@ use lpomp_machine::{CodeWalker, Machine, MachineConfig};
 use lpomp_npb::{CodeProfile, Kernel};
 use lpomp_runtime::{BumpAllocator, SimEngine, Team, DEFAULT_QUANTUM};
 use lpomp_vm::{
-    promote_region, AddressSpace, Backing, HugePool, PageSize, PromotionReport, PteFlags, ShmFs,
-    VirtAddr, VmResult,
+    promote_region, AddressSpace, Backing, HugePool, KhugepagedConfig, PageSize, PromotionReport,
+    PteFlags, ShmFs, VirtAddr, VmResult,
 };
 
 /// Fixed base of the code segment (conventional ELF text base).
@@ -52,6 +52,11 @@ pub struct SystemConfig {
     /// map file. Required for [`System::promote_heap`] (the THP extension
     /// E2): the kernel never collapses file-backed pages.
     pub private_heap: bool,
+    /// Attach an incremental khugepaged daemon to the engine: a budgeted
+    /// scan runs at every barrier, collapsing chunks (and compacting when
+    /// fragmented) instead of the stop-the-world
+    /// [`System::promote_heap`].
+    pub khugepaged: Option<KhugepagedConfig>,
 }
 
 impl SystemConfig {
@@ -65,6 +70,7 @@ impl SystemConfig {
             threads,
             quantum: DEFAULT_QUANTUM,
             private_heap: false,
+            khugepaged: None,
         }
     }
 
@@ -78,6 +84,17 @@ impl SystemConfig {
             threads,
             quantum: DEFAULT_QUANTUM,
             private_heap: true,
+            khugepaged: None,
+        }
+    }
+
+    /// Like [`SystemConfig::thp`], but with the incremental khugepaged
+    /// daemon attached: the heap is collapsed a budgeted chunk at a time
+    /// at barriers, with compaction when the buddy heap is fragmented.
+    pub fn thp_daemon(machine: MachineConfig, threads: usize) -> Self {
+        SystemConfig {
+            khugepaged: Some(KhugepagedConfig::default()),
+            ..SystemConfig::thp(machine, threads)
         }
     }
 }
@@ -226,7 +243,10 @@ impl System {
             code_prof.hot_bytes,
             code_prof.cold_period,
         );
-        let engine = SimEngine::new(machine, aspace, cfg.threads, walker, cfg.quantum);
+        let mut engine = SimEngine::new(machine, aspace, cfg.threads, walker, cfg.quantum);
+        if let Some(k) = cfg.khugepaged {
+            engine.enable_khugepaged(k);
+        }
         Ok(System {
             team: Team::simulated(engine),
             setup,
@@ -242,8 +262,10 @@ impl System {
     /// Run a khugepaged-style collapse over the heap (requires a system
     /// built with [`SystemConfig::thp`] — a private anonymous 4 KB heap).
     ///
-    /// Charges every thread the stop-the-world migration cost (copying
-    /// each collapsed 2 MB chunk) and performs the TLB shootdown.
+    /// Charges every thread the full stop-the-world cost: copying each
+    /// collapsed chunk's 512 pages, rewriting its 513 page-table entries,
+    /// and — if anything collapsed — a broadcast shootdown IPI taken on
+    /// every core before the TLBs are flushed.
     pub fn promote_heap(&mut self) -> VmResult<PromotionReport> {
         let engine = self
             .team
@@ -254,13 +276,26 @@ impl System {
             &mut engine.machine.frames,
             self.heap_base,
         )?;
-        // Copy cost: read + write one line at a time over each chunk.
-        let lines_per_chunk = PageSize::Large2M.bytes() / 64;
-        let per_line = 2 * engine.machine.cost().dram_stream;
-        let cycles = report.promoted * lines_per_chunk * per_line;
+        // Per chunk: migrate 512 pages (one streamed read + write each)
+        // and edit 513 PTEs (512 unmaps + 1 large map) under the PT lock.
+        let c = engine.machine.cost();
+        let cycles = report.promoted * (512 * c.migrate_page + 513 * c.pt_edit);
         engine.charge_all(cycles);
-        // IPI shootdown: stale small-page translations must go everywhere.
-        engine.flush_tlbs();
+        if report.promoted > 0 {
+            // IPI shootdown: stale 4 KB translations must go everywhere,
+            // and every core pays for taking the interrupt.
+            engine.tlb_shootdown();
+            // After the flush no core may still translate a promoted chunk
+            // from a stale small-page entry.
+            debug_assert!(
+                (0..engine.machine.config().cores()).all(|core| !engine
+                    .machine
+                    .dtlb(core)
+                    .peek(self.heap_base)
+                    .is_hit()),
+                "stale TLB entries survived the post-collapse shootdown"
+            );
+        }
         Ok(report)
     }
 }
@@ -280,6 +315,7 @@ mod tests {
             threads: 4,
             quantum: DEFAULT_QUANTUM,
             private_heap: false,
+            khugepaged: None,
         };
         let sys = System::build(&cfg, kernel.as_mut()).unwrap();
         (sys, kernel)
@@ -352,6 +388,30 @@ mod tests {
             misses_after * 2 < misses_before,
             "misses {misses_before} -> {misses_after}"
         );
+    }
+
+    #[test]
+    fn daemon_system_collapses_heap_incrementally() {
+        let mut kernel = AppKind::Cg.build(Class::S);
+        let cfg = SystemConfig::thp_daemon(opteron_2x2(), 4);
+        let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+        let cs = kernel.run(&mut sys.team);
+        assert!(kernel.verify(cs), "checksum {cs}");
+        let agg = sys.team.aggregate_counters();
+        assert!(
+            agg.get(lpomp_prof::Event::PagesCollapsed) > 0,
+            "daemon never collapsed anything"
+        );
+        assert!(agg.get(lpomp_prof::Event::DaemonCycles) > 0);
+        // A steady-state rerun pays no further daemon tax and runs at
+        // promoted (large-page) speed.
+        let e = sys.team.engine_mut().unwrap();
+        assert!(e.daemon().unwrap().is_idle());
+        e.reset_timing();
+        let cs2 = kernel.run(&mut sys.team);
+        assert_eq!(cs, cs2);
+        let agg2 = sys.team.aggregate_counters();
+        assert_eq!(agg2.get(lpomp_prof::Event::DaemonCycles), 0);
     }
 
     #[test]

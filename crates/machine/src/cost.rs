@@ -63,6 +63,15 @@ pub struct CostModel {
     pub smt_share_num: u64,
     /// Denominator of the SMT charge multiplier.
     pub smt_share_den: u64,
+    /// Kernel cost of migrating one 4 KB page: copy 64 cache lines at
+    /// streaming bandwidth (read + write), as promotion/compaction does.
+    pub migrate_page: u64,
+    /// Cost of editing one page-table entry under the page-table lock
+    /// (locked read-modify-write plus bookkeeping).
+    pub pt_edit: u64,
+    /// Per-core cost of a broadcast TLB-shootdown IPI round: send the
+    /// interrupt, take it on the remote core, invalidate, acknowledge.
+    pub shootdown_ipi: u64,
 }
 
 impl CostModel {
@@ -91,6 +100,10 @@ impl CostModel {
             barrier_per_thread: 40,
             smt_share_num: 1,
             smt_share_den: 1,
+            // 64 cache lines read + written at streaming bandwidth.
+            migrate_page: 64 * 2 * 26,
+            pt_edit: 80,
+            shootdown_ipi: 1200,
         }
     }
 
@@ -122,6 +135,11 @@ impl CostModel {
             // at about half speed.
             smt_share_num: 2,
             smt_share_den: 1,
+            migrate_page: 64 * 2 * 38,
+            pt_edit: 80,
+            // Interrupt delivery over the front-side bus is slower than
+            // HyperTransport's.
+            shootdown_ipi: 1500,
         }
     }
 
@@ -198,6 +216,19 @@ mod tests {
         // Each co-resident context runs at about half speed: 8 threads do
         // no better than 4 (the paper's Fig. 4 Xeon collapse).
         assert_eq!(x.smt_scale(100), 200);
+    }
+
+    #[test]
+    fn daemon_costs_are_sane() {
+        for m in [CostModel::opteron(), CostModel::xeon()] {
+            // A page copy is two 4 KB transfers at streaming bandwidth.
+            assert_eq!(m.migrate_page, 64 * 2 * m.dram_stream);
+            // A PT edit is cheaper than a fault but dearer than DRAM
+            // access; a shootdown round costs several DRAM latencies.
+            assert!(m.pt_edit < m.page_fault);
+            assert!(m.shootdown_ipi > m.dram);
+            assert!(m.shootdown_ipi < m.page_fault);
+        }
     }
 
     #[test]

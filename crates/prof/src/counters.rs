@@ -46,11 +46,21 @@ pub enum Event {
     Barriers,
     /// Cycles spent waiting at barriers.
     BarrierCycles,
+    /// 2 MB chunks collapsed to large pages by the khugepaged daemon.
+    PagesCollapsed,
+    /// 4 KB pages migrated by memory compaction.
+    PagesCompacted,
+    /// 2 MB pages split back to 4 KB under memory pressure.
+    PagesDemoted,
+    /// Broadcast TLB shootdowns (one IPI round each).
+    TlbShootdowns,
+    /// Cycles of khugepaged daemon work charged to the cores.
+    DaemonCycles,
 }
 
 impl Event {
     /// Number of distinct events.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 24;
 
     /// All events in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -73,6 +83,11 @@ impl Event {
         Event::SmtFlushCycles,
         Event::Barriers,
         Event::BarrierCycles,
+        Event::PagesCollapsed,
+        Event::PagesCompacted,
+        Event::PagesDemoted,
+        Event::TlbShootdowns,
+        Event::DaemonCycles,
     ];
 
     /// Short mnemonic used in reports.
@@ -97,6 +112,11 @@ impl Event {
             Event::SmtFlushCycles => "smt_flush_cyc",
             Event::Barriers => "barriers",
             Event::BarrierCycles => "barrier_cyc",
+            Event::PagesCollapsed => "collapsed",
+            Event::PagesCompacted => "compacted",
+            Event::PagesDemoted => "demoted",
+            Event::TlbShootdowns => "shootdowns",
+            Event::DaemonCycles => "daemon_cyc",
         }
     }
 }

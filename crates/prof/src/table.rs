@@ -105,12 +105,60 @@ impl TextTable {
 }
 
 /// Format a float with `digits` decimal places (report convention).
+///
+/// Rounding is **half away from zero on the exact decimal expansion** of
+/// the value, spelled out digit by digit rather than delegated to the
+/// platform's float formatter. Every finite `f64` has a finite decimal
+/// expansion (at most 1074 fractional digits), so "the first dropped
+/// digit is ≥ 5" is an exact ≥-half test, not an approximation — the
+/// result is bit-for-bit reproducible everywhere, which the byte-identical
+/// `results/` goldens depend on.
 pub fn fnum(x: f64, digits: usize) -> String {
-    if x.is_infinite() {
-        "inf".to_owned()
-    } else {
-        format!("{x:.digits$}")
+    if x.is_nan() {
+        return "nan".to_owned();
     }
+    if x.is_infinite() {
+        return if x < 0.0 { "-inf" } else { "inf" }.to_owned();
+    }
+    // Exact expansion of |x|; split into integer and fractional digits.
+    let exact = format!("{:.1074}", x.abs());
+    let (int_part, frac_part) = exact.split_once('.').expect("{:.1074} always has a point");
+    let mut ds: Vec<u8> = int_part
+        .bytes()
+        .chain(frac_part.bytes().take(digits))
+        .map(|b| b - b'0')
+        .collect();
+    let mut int_len = int_part.len();
+    let first_dropped = frac_part.as_bytes().get(digits).map_or(0, |b| b - b'0');
+    if first_dropped >= 5 {
+        // Round away from zero: propagate the carry leftwards.
+        let mut i = ds.len();
+        loop {
+            if i == 0 {
+                ds.insert(0, 1);
+                int_len += 1;
+                break;
+            }
+            i -= 1;
+            if ds[i] == 9 {
+                ds[i] = 0;
+            } else {
+                ds[i] += 1;
+                break;
+            }
+        }
+    }
+    let mut out = String::with_capacity(ds.len() + 2);
+    if x.is_sign_negative() {
+        out.push('-');
+    }
+    for (i, d) in ds.iter().enumerate() {
+        if i == int_len {
+            out.push('.');
+        }
+        out.push((b'0' + d) as char);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -154,6 +202,32 @@ mod tests {
     fn fnum_formats() {
         assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(fnum(f64::INFINITY, 2), "inf");
+    }
+
+    #[test]
+    fn fnum_rounds_ties_away_from_zero() {
+        // 0.125, 2.5 and 0.0625 are exact in binary, so these really are
+        // ties / below-half cases, not artifacts of the nearest double.
+        assert_eq!(fnum(0.125, 2), "0.13");
+        assert_eq!(fnum(-0.125, 2), "-0.13");
+        assert_eq!(fnum(2.5, 0), "3");
+        assert_eq!(fnum(0.0625, 3), "0.063");
+        assert_eq!(fnum(0.0624, 3), "0.062");
+    }
+
+    #[test]
+    fn fnum_carry_propagation_and_edges() {
+        assert_eq!(fnum(0.999951, 4), "1.0000");
+        assert_eq!(fnum(9.99999, 2), "10.00");
+        assert_eq!(fnum(-0.99999, 1), "-1.0");
+        assert_eq!(fnum(0.0, 3), "0.000");
+        assert_eq!(fnum(0.0004, 3), "0.000");
+        assert_eq!(fnum(42.0, 0), "42");
+        assert_eq!(fnum(f64::NEG_INFINITY, 1), "-inf");
+        assert_eq!(fnum(f64::NAN, 1), "nan");
+        // Values with long exact expansions truncate/round correctly.
+        assert_eq!(fnum(1.0 / 3.0, 5), "0.33333");
+        assert_eq!(fnum(2.0 / 3.0, 5), "0.66667");
     }
 
     #[test]

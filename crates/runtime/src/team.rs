@@ -16,7 +16,7 @@
 use crate::schedule::{plan, Plan, Schedule};
 use lpomp_machine::{CodeWalker, Machine, MemoryCtx, NullCtx, SimCtx};
 use lpomp_prof::{Counters, Event, Profile};
-use lpomp_vm::AddressSpace;
+use lpomp_vm::{AddressSpace, DaemonCosts, Khugepaged, KhugepagedConfig};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -75,6 +75,7 @@ pub struct SimEngine {
     placement: Vec<usize>,
     threads: usize,
     quantum: usize,
+    daemon: Option<(Khugepaged, DaemonCosts)>,
 }
 
 impl SimEngine {
@@ -99,7 +100,28 @@ impl SimEngine {
             placement,
             threads,
             quantum: quantum.max(1),
+            daemon: None,
         }
+    }
+
+    /// Attach an incremental khugepaged daemon. It runs at every barrier:
+    /// a budgeted scan whose cycles are charged to all cores (the daemon
+    /// holds `mmap_sem`-like locks, so application threads stall), with a
+    /// broadcast TLB shootdown whenever it changed any translation.
+    pub fn enable_khugepaged(&mut self, cfg: KhugepagedConfig) {
+        let c = self.machine.cost();
+        let costs = DaemonCosts {
+            // One PTE inspection: a cached read plus loop overhead.
+            scan_page: c.l1_hit + 2,
+            migrate_page: c.migrate_page,
+            pt_edit: c.pt_edit,
+        };
+        self.daemon = Some((Khugepaged::new(cfg), costs));
+    }
+
+    /// The attached daemon, if any (its lifetime totals and idle state).
+    pub fn daemon(&self) -> Option<&Khugepaged> {
+        self.daemon.as_ref().map(|(d, _)| d)
     }
 
     /// Core assigned to a logical thread.
@@ -129,6 +151,14 @@ impl SimEngine {
     /// Flush every core's TLBs (global shootdown).
     pub fn flush_tlbs(&mut self) {
         self.machine.flush_all_tlbs();
+    }
+
+    /// Broadcast TLB shootdown with its cost: every core takes the IPI
+    /// (charged to its clock) and flushes its TLBs.
+    pub fn tlb_shootdown(&mut self) {
+        self.charge_all(self.machine.cost().shootdown_ipi);
+        self.machine.flush_all_tlbs();
+        self.profile.thread_mut(0).bump(Event::TlbShootdowns);
     }
 
     /// Zero clocks and counters (keep TLB/cache state warm).
@@ -237,6 +267,33 @@ impl SimEngine {
             c.add(Event::Cycles, wait);
             self.clocks[t] = max + cost;
         }
+        self.daemon_step();
+    }
+
+    /// Run one khugepaged scan at the barrier (if a daemon is attached)
+    /// and charge its work to the simulated timeline: every core stalls
+    /// for the scan's cycles, and any translation change costs a
+    /// broadcast shootdown IPI plus a full TLB flush on every core.
+    fn daemon_step(&mut self) {
+        let Some((mut daemon, costs)) = self.daemon.take() else {
+            return;
+        };
+        let out = daemon
+            .scan(&mut self.aspace, &mut self.machine.frames, &costs)
+            .expect("khugepaged scan failed");
+        if out.cycles > 0 {
+            self.charge_all(out.cycles);
+        }
+        if out.shootdown {
+            self.tlb_shootdown();
+        }
+        // Daemon activity is bookkept on the master thread's sheet.
+        let c = self.profile.thread_mut(0);
+        c.add(Event::DaemonCycles, out.cycles);
+        c.add(Event::PagesCollapsed, out.collapsed);
+        c.add(Event::PagesCompacted, out.compact_migrated);
+        c.add(Event::PagesDemoted, out.demoted);
+        self.daemon = Some((daemon, costs));
     }
 
     /// Run a master-only (OpenMP `single`) section on thread 0, then join.
@@ -681,6 +738,43 @@ mod tests {
         let owners: std::collections::HashSet<u64> = (0..8).map(|i| v.get_raw(i)).collect();
         assert!(!owners.contains(&0));
         assert!(owners.len() > 1, "sections all ran on one thread");
+    }
+
+    #[test]
+    fn khugepaged_runs_at_barriers_and_is_charged() {
+        use lpomp_vm::{AccessKind, KhugepagedConfig, PageSize as Ps};
+        let (mut team, data) = sim_team(4);
+        team.engine_mut()
+            .unwrap()
+            .enable_khugepaged(KhugepagedConfig::default());
+        let v: ShVec<f64> = ShVec::new(10_000, data);
+        // Several loops → several barriers → several daemon scans.
+        for _ in 0..8 {
+            team.parallel_for(0..10_000, Schedule::Static, &|ctx, r| {
+                for i in r {
+                    v.set(ctx, i, i as f64);
+                }
+            });
+        }
+        for i in 0..10_000 {
+            assert_eq!(v.get_raw(i), i as f64);
+        }
+        let e = team.engine_mut().unwrap();
+        // The eagerly populated 16 MB data region got collapsed…
+        let t = e
+            .aspace
+            .access(&mut e.machine.frames, data, AccessKind::Read)
+            .unwrap()
+            .translation();
+        assert_eq!(t.size, Ps::Large2M);
+        let d = e.daemon().unwrap();
+        assert!(d.totals().collapsed >= 8, "16 MB = 8 chunks");
+        assert!(d.is_idle(), "steady state must go idle");
+        // …and the work is visible in the profile, charged to the clock.
+        let p = team.profile().unwrap();
+        assert!(p.thread(0).get(Event::PagesCollapsed) >= 8);
+        assert!(p.thread(0).get(Event::DaemonCycles) > 0);
+        assert!(p.thread(0).get(Event::TlbShootdowns) >= 1);
     }
 
     #[test]

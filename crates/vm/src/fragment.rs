@@ -1,0 +1,217 @@
+//! Deterministic heap aging: manufacture external fragmentation.
+//!
+//! The paper's preallocation argument rests on what a long-running system
+//! does to the buddy heap: scattered long-lived 4 KB allocations leave
+//! plenty of free memory but almost no free *order-9 blocks*. This module
+//! reproduces that state on demand so the fragmentation experiments
+//! (`ext_frag`) and the compaction/daemon tests run against a realistic
+//! adversary instead of a freshly booted allocator.
+//!
+//! [`age_heap`] leaves each "aged" 2 MB block holding exactly one live,
+//! *movable* 4 KB page (mapped into a dedicated anonymous region, the way
+//! a long-lived process's stray heap page would be) with the other 511
+//! frames free. The result: a high [`BuddyAllocator::fragmentation_index`]
+//! at order 9, one-shot promotion failing with `skipped_no_memory`, and
+//! exactly the workload compaction is built to unwind.
+
+use crate::addr::{PageSize, PhysAddr, VirtAddr};
+use crate::error::VmResult;
+use crate::frame::BuddyAllocator;
+use crate::page_table::{AccessKind, PteFlags};
+use crate::vma::{AddressSpace, Backing, Populate};
+
+/// What [`age_heap`] did to the allocator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AgeReport {
+    /// 2 MB blocks fragmented: one movable page live, 511 frames free.
+    pub fragmented: u64,
+    /// 2 MB blocks left entirely free (the unaged remainder).
+    pub spared: u64,
+    /// Frames pinned for the rest of the run (sub-order-9 remnants and
+    /// page-table scaffolding) — the immovable residue of a real uptime.
+    pub pinned_frames: u64,
+}
+
+/// Age the free memory of `frames`: fragment `fraction` (0.0–1.0) of the
+/// currently free order-9 blocks, leaving each with a single movable 4 KB
+/// page mapped into a fresh anonymous region of `aspace`.
+///
+/// Deterministic by construction: blocks are aged in ascending physical
+/// order and the mapped page of each aged block is its offset-0 frame.
+/// All remaining free memory that is not spared as whole order-9 blocks is
+/// pinned (allocated and never freed), so after aging the only free frames
+/// are the 511-frame holes inside aged blocks plus the spared blocks.
+pub fn age_heap(
+    frames: &mut BuddyAllocator,
+    aspace: &mut AddressSpace,
+    fraction: f64,
+) -> VmResult<AgeReport> {
+    let o9 = PageSize::Large2M.buddy_order();
+    let small = PageSize::Small4K;
+    let mut report = AgeReport::default();
+
+    // Capture every free order-9 block, in ascending address order.
+    let mut held = Vec::new();
+    while let Ok(b) = frames.alloc(o9) {
+        held.push(b);
+    }
+    let total = held.len();
+    let target = ((fraction.clamp(0.0, 1.0) * total as f64).round() as usize).min(total);
+
+    // The fragmenter region: one demand-faulted page per aged block.
+    let base = if target > 0 {
+        Some(aspace.mmap(
+            frames,
+            target as u64 * small.bytes(),
+            small,
+            PteFlags::rw(),
+            Backing::Anonymous,
+            Populate::OnDemand,
+            "fragmenter",
+        )?)
+    } else {
+        None
+    };
+    // Pre-build the region's page-table paths while free frames are still
+    // plentiful: fault the head page of each 2 MB-aligned leaf span. The
+    // remaining faults below then allocate *only* a data frame, which lets
+    // us steer each page onto an exact physical frame.
+    let mut anchors = 0usize;
+    if let Some(base) = base {
+        let mut va = base;
+        let end = base.add(target as u64 * small.bytes());
+        while va < end {
+            aspace.access(frames, va, AccessKind::Write)?;
+            anchors += 1;
+            va = VirtAddr(PageSize::Large2M.round_up(va.0 + 1));
+        }
+    }
+    // Pin every other free frame: a long uptime's immovable residue.
+    let mut pinned = 0u64;
+    while frames.alloc(0).is_ok() {
+        pinned += 1;
+        assert!(pinned < 1 << 24, "drain loop ran away");
+    }
+
+    // Age blocks: with zero frames free elsewhere, freeing an aged block's
+    // offset-0 frame and faulting the next fragmenter page lands that page
+    // exactly there.
+    let mut aged = Vec::new();
+    let mut next_block = held.iter();
+    if let Some(base) = base {
+        for i in 0..target {
+            if i.is_multiple_of(512) {
+                continue; // anchor page — already mapped elsewhere
+            }
+            let Some(&b) = next_block.next() else { break };
+            frames.split_allocated(b, o9);
+            frames.free(b, 0);
+            let va = base.add(i as u64 * small.bytes());
+            aspace.access(frames, va, AccessKind::Write)?;
+            debug_assert_eq!(
+                aspace
+                    .page_table()
+                    .probe(va)
+                    .map(|t| t.pa.frame_base(small)),
+                Some(b),
+                "fragmenter page landed on the wrong frame"
+            );
+            aged.push(b);
+        }
+    }
+    // Spare the requested remainder as whole free order-9 blocks; anything
+    // still held beyond that stays pinned.
+    let spared = total - target;
+    for _ in 0..spared {
+        if let Some(&b) = next_block.next() {
+            frames.free(b, o9);
+            report.spared += 1;
+        }
+    }
+    for &b in next_block {
+        pinned += 512;
+        let _ = b; // held, never freed
+    }
+    // Release the 511 remaining frames of every aged block.
+    for &b in &aged {
+        for k in 1..512u64 {
+            frames.free(PhysAddr(b.0 + k * small.bytes()), 0);
+        }
+    }
+    report.fragmented = aged.len() as u64;
+    report.pinned_frames = pinned + anchors as u64;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BuddyAllocator, AddressSpace) {
+        let mut frames = BuddyAllocator::new(64 * 1024 * 1024);
+        let asp = AddressSpace::new(&mut frames).unwrap();
+        (frames, asp)
+    }
+
+    #[test]
+    fn full_aging_blocks_order9_allocation() {
+        let (mut frames, mut asp) = setup();
+        let r = age_heap(&mut frames, &mut asp, 1.0).unwrap();
+        assert!(r.fragmented > 10, "{r:?}");
+        assert_eq!(r.spared, 0);
+        let o9 = PageSize::Large2M.buddy_order();
+        assert!(frames.alloc(o9).is_err(), "order-9 must be exhausted");
+        assert!(
+            frames.fragmentation_index(o9) > 0.99,
+            "index {}",
+            frames.fragmentation_index(o9)
+        );
+        // ... while ~511/512 of each aged block's memory is still free.
+        assert!(frames.free_bytes() > r.fragmented * 500 * 4096);
+    }
+
+    #[test]
+    fn partial_aging_spares_whole_blocks() {
+        let (mut frames, mut asp) = setup();
+        let r = age_heap(&mut frames, &mut asp, 0.5).unwrap();
+        assert!(r.spared > 0);
+        assert!(r.fragmented > 0);
+        let o9 = PageSize::Large2M.buddy_order();
+        // Spared blocks satisfy order-9 allocations — exactly r.spared of them.
+        let mut got = 0;
+        while frames.alloc(o9).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, r.spared);
+    }
+
+    #[test]
+    fn zero_fraction_changes_nothing_orderwise() {
+        let (mut frames, mut asp) = setup();
+        let free_before = frames.free_bytes();
+        let r = age_heap(&mut frames, &mut asp, 0.0).unwrap();
+        assert_eq!(r.fragmented, 0);
+        // Everything free before is spared or pinned, none fragmented.
+        let o9 = PageSize::Large2M.buddy_order();
+        assert!(frames.alloc(o9).is_ok());
+        assert!(free_before >= frames.free_bytes());
+    }
+
+    #[test]
+    fn aged_pages_are_live_and_writable() {
+        let (mut frames, mut asp) = setup();
+        age_heap(&mut frames, &mut asp, 1.0).unwrap();
+        let vma = asp
+            .vmas()
+            .iter()
+            .find(|v| v.name == "fragmenter")
+            .expect("fragmenter region exists")
+            .clone();
+        let mut off = 0;
+        while off < vma.len {
+            asp.access(&mut frames, vma.start.add(off), AccessKind::Write)
+                .unwrap();
+            off += 4096;
+        }
+    }
+}

@@ -49,6 +49,10 @@ pub struct BuddyAllocator {
     /// Currently free base frames.
     free_frames: u64,
     stats: FrameStats,
+    /// Fault injection: fail the next `inject_count` allocations of order
+    /// ≥ `inject_min_order` (adversarial-fragmentation testing).
+    inject_count: u64,
+    inject_min_order: u8,
 }
 
 impl BuddyAllocator {
@@ -63,6 +67,8 @@ impl BuddyAllocator {
             total_frames,
             free_frames: 0,
             stats: FrameStats::default(),
+            inject_count: 0,
+            inject_min_order: 0,
         };
         // Seed the free lists with maximal aligned blocks.
         let mut pfn = 0u64;
@@ -113,6 +119,9 @@ impl BuddyAllocator {
     /// base physical address.
     pub fn alloc(&mut self, order: u8) -> VmResult<PhysAddr> {
         assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        if self.injected_failure(order) {
+            return Err(VmError::OutOfMemory { order });
+        }
         // Find the smallest order >= requested with a free block.
         let mut found = None;
         for o in order..=MAX_ORDER {
@@ -171,6 +180,122 @@ impl BuddyAllocator {
         debug_assert!(inserted, "free-list corruption at pfn {pfn:#x}");
         self.free_frames += 1 << order;
         self.stats.frees += 1;
+    }
+
+    /// Allocate one naturally aligned block of order `order` from the
+    /// *top* of physical memory (highest free address). This is the
+    /// compaction free scanner's allocation path: migration targets are
+    /// drawn from the opposite end of memory from the low-address blocks
+    /// being vacated, so the two scanners converge instead of thrashing.
+    pub fn alloc_topdown(&mut self, order: u8) -> VmResult<PhysAddr> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        if self.injected_failure(order) {
+            return Err(VmError::OutOfMemory { order });
+        }
+        // Candidate per order: the block with the highest *top* address.
+        let mut found: Option<(u8, u64)> = None;
+        for o in order..=MAX_ORDER {
+            if let Some(&pfn) = self.free[o as usize].iter().next_back() {
+                let top = pfn + (1u64 << o);
+                if found.is_none_or(|(fo, fp)| top > fp + (1u64 << fo)) {
+                    found = Some((o, pfn));
+                }
+            }
+        }
+        let (mut o, mut pfn) = match found {
+            Some(f) => f,
+            None => {
+                self.stats.failures += 1;
+                return Err(VmError::OutOfMemory { order });
+            }
+        };
+        self.free[o as usize].remove(&pfn);
+        // Split down keeping the *upper* half each time, so the returned
+        // block is the highest-addressed piece.
+        while o > order {
+            o -= 1;
+            self.free[o as usize].insert(pfn);
+            pfn += 1u64 << o;
+            self.stats.splits += 1;
+        }
+        self.free_frames -= 1 << order;
+        self.stats.allocs += 1;
+        self.allocated.insert(pfn, order);
+        Ok(PhysAddr(pfn << SMALL_PAGE_SHIFT))
+    }
+
+    /// Split a live allocated block of `order` into `2^order` individually
+    /// allocated order-0 frames, in place — no frames change state, only
+    /// the bookkeeping granularity. This is how a 2 MB page is *demoted*:
+    /// the backing block stays where it is, but each 4 KB piece becomes
+    /// independently freeable (and migratable) afterwards.
+    pub fn split_allocated(&mut self, addr: PhysAddr, order: u8) {
+        assert!(order <= MAX_ORDER);
+        let pfn = addr.0 >> SMALL_PAGE_SHIFT;
+        match self.allocated.remove(&pfn) {
+            Some(o) => assert_eq!(o, order, "block {addr:?} split with wrong order"),
+            None => panic!("split of unallocated block at {addr:?}"),
+        }
+        for i in 0..(1u64 << order) {
+            self.allocated.insert(pfn + i, 0);
+        }
+    }
+
+    /// Enumerate the allocated blocks inside `[base_pfn, base_pfn + span)`
+    /// as `(base_pfn, order)` pairs, in address order. Returns `None` when
+    /// the range is covered by a block *larger* than itself (so the range
+    /// cannot be reasoned about in isolation). `span` must be a power of
+    /// two and `base_pfn` aligned to it — the shape of a compaction
+    /// candidate.
+    pub fn allocated_blocks_in(&self, base_pfn: u64, span: u64) -> Option<Vec<(u64, u8)>> {
+        debug_assert!(span.is_power_of_two() && base_pfn.is_multiple_of(span));
+        let end = base_pfn + span;
+        let mut out = Vec::new();
+        let mut pos = base_pfn;
+        while pos < end {
+            if let Some(&ord) = self.allocated.get(&pos) {
+                out.push((pos, ord));
+                pos += 1u64 << ord;
+                continue;
+            }
+            // Not an allocated base: must be inside a free block. The free
+            // block may be *larger* than the queried span (coalescing does
+            // not stop at the span boundary), so check the aligned cover of
+            // `pos` at every order.
+            let mut advance = None;
+            for o in 0..=MAX_ORDER {
+                let cover = pos & !((1u64 << o) - 1);
+                if self.free[o as usize].contains(&cover) {
+                    advance = Some(cover + (1u64 << o) - pos);
+                    break;
+                }
+            }
+            match advance {
+                Some(s) => pos += s,
+                // Interior of a covering *allocated* block: opaque to this
+                // range.
+                None => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Fault injection for adversarial tests: the next `count` allocations
+    /// (either path) requesting order ≥ `min_order` fail with
+    /// [`VmError::OutOfMemory`], counted as failures in the stats.
+    pub fn inject_alloc_failures(&mut self, count: u64, min_order: u8) {
+        self.inject_count = count;
+        self.inject_min_order = min_order;
+    }
+
+    fn injected_failure(&mut self, order: u8) -> bool {
+        if self.inject_count > 0 && order >= self.inject_min_order {
+            self.inject_count -= 1;
+            self.stats.failures += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// External-fragmentation index for a target order: the fraction of free
@@ -278,6 +403,87 @@ mod tests {
         let p = a.alloc(0).unwrap();
         a.free(p, 0);
         a.free(p, 0);
+    }
+
+    #[test]
+    fn topdown_alloc_comes_from_the_high_end() {
+        let mut a = BuddyAllocator::new(mb(8));
+        let low = a.alloc(0).unwrap();
+        let high = a.alloc_topdown(0).unwrap();
+        assert_eq!(low.0, 0);
+        assert_eq!(high.0, mb(8) - 4096, "topdown must return the last frame");
+        // Repeated topdown allocations descend.
+        let next = a.alloc_topdown(0).unwrap();
+        assert_eq!(next.0, mb(8) - 2 * 4096);
+        a.free(low, 0);
+        a.free(high, 0);
+        a.free(next, 0);
+        assert_eq!(a.free_bytes(), mb(8));
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+    }
+
+    #[test]
+    fn split_allocated_enables_partial_free() {
+        let mut a = BuddyAllocator::new(mb(8));
+        let o9 = PageSize::Large2M.buddy_order();
+        let block = a.alloc(o9).unwrap();
+        let before = a.free_bytes();
+        a.split_allocated(block, o9);
+        assert_eq!(a.free_bytes(), before, "split moves no memory");
+        // Each 4 KB piece is now independently freeable; freeing all of
+        // them coalesces back to a clean heap.
+        for i in 0..512 {
+            a.free(PhysAddr(block.0 + i * 4096), 0);
+        }
+        assert_eq!(a.free_bytes(), mb(8));
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+    }
+
+    #[test]
+    #[should_panic(expected = "split of unallocated block")]
+    fn split_of_free_block_panics() {
+        let mut a = BuddyAllocator::new(mb(4));
+        a.split_allocated(PhysAddr(0), 9);
+    }
+
+    #[test]
+    fn allocated_blocks_in_reports_range_contents() {
+        let mut a = BuddyAllocator::new(mb(8));
+        // Empty range: no allocated blocks.
+        assert_eq!(a.allocated_blocks_in(0, 512), Some(vec![]));
+        let p0 = a.alloc(0).unwrap();
+        let p1 = a.alloc(1).unwrap();
+        let got = a.allocated_blocks_in(0, 512).unwrap();
+        assert_eq!(
+            got,
+            vec![(p0.0 >> 12, 0), (p1.0 >> 12, 1)],
+            "range must list both live blocks"
+        );
+        // A range interior to a larger covering block is opaque.
+        let big = a.alloc(MAX_ORDER).unwrap();
+        let base_pfn = big.0 >> 12;
+        assert_eq!(a.allocated_blocks_in(base_pfn + 512, 512), None);
+        assert_eq!(
+            a.allocated_blocks_in(base_pfn, 1024),
+            Some(vec![(base_pfn, MAX_ORDER)])
+        );
+    }
+
+    #[test]
+    fn injected_failures_hit_matching_orders_only() {
+        let mut a = BuddyAllocator::new(mb(8));
+        let o9 = PageSize::Large2M.buddy_order();
+        a.inject_alloc_failures(2, o9);
+        // Small allocations are unaffected.
+        let small = a.alloc(0).unwrap();
+        a.free(small, 0);
+        // The next two order-9 requests fail despite plenty of memory.
+        assert_eq!(a.alloc(o9), Err(VmError::OutOfMemory { order: o9 }));
+        assert_eq!(a.alloc_topdown(o9), Err(VmError::OutOfMemory { order: o9 }));
+        assert_eq!(a.stats().failures, 2);
+        // The budget is spent; allocation works again.
+        let p = a.alloc(o9).unwrap();
+        a.free(p, o9);
     }
 
     #[test]

@@ -23,17 +23,23 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod compact;
 pub mod error;
+pub mod fragment;
 pub mod frame;
 pub mod hugetlbfs;
+pub mod khugepaged;
 pub mod page_table;
 pub mod promote;
 pub mod vma;
 
 pub use addr::{PageSize, PhysAddr, VirtAddr};
+pub use compact::{compact, CompactReport};
 pub use error::{VmError, VmResult};
+pub use fragment::{age_heap, AgeReport};
 pub use frame::BuddyAllocator;
 pub use hugetlbfs::{HugePool, SharedSegment, ShmFs};
+pub use khugepaged::{DaemonCosts, Khugepaged, KhugepagedConfig, ScanOutcome};
 pub use page_table::{AccessKind, PageTable, PteFlags, Translation, WalkTrace};
 pub use promote::{promote_region, PromotionReport};
 pub use vma::{AccessOutcome, AddressSpace, Backing, Populate, Vma};

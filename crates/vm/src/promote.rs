@@ -26,6 +26,10 @@ pub struct PromotionReport {
     /// Chunks skipped because no order-9 frame was available
     /// (fragmentation).
     pub skipped_no_memory: u64,
+    /// Chunks skipped because their pages carry *different* protection
+    /// bits: collapsing them into one leaf would silently widen (or
+    /// narrow) some pages' permissions, so they are left alone.
+    pub skipped_mixed_flags: u64,
     /// Small pages migrated (freed back to the allocator).
     pub small_pages_freed: u64,
 }
@@ -64,59 +68,104 @@ pub fn promote_region(
     }
     let (region_start, region_len) = (vma.start, vma.len);
     let large = PageSize::Large2M;
-    let small = PageSize::Small4K;
 
     let mut report = PromotionReport::default();
     // First fully-contained 2 MB-aligned chunk.
     let mut chunk = VirtAddr(large.round_up(region_start.0));
     while chunk.0 + large.bytes() <= region_start.0 + region_len {
-        // All 512 small pages must be present.
-        let mut old_frames = Vec::with_capacity(512);
-        let mut complete = true;
-        for i in 0..512u64 {
-            match aspace.page_table().probe(chunk.add(i * small.bytes())) {
-                Some(t) if t.size == PageSize::Small4K => old_frames.push(t.pa.frame_base(small)),
-                _ => {
-                    complete = false;
-                    break;
-                }
+        match try_collapse_chunk(aspace, frames, chunk)? {
+            ChunkCollapse::Promoted => {
+                report.promoted += 1;
+                report.small_pages_freed += 512;
             }
-        }
-        if !complete {
-            report.skipped_unpopulated += 1;
-            chunk = chunk.add(large.bytes());
-            continue;
-        }
-        // khugepaged order: reserve the target frame first; bail out
-        // without touching the mapping if memory is too fragmented.
-        let target = match frames.alloc(large.buddy_order()) {
-            Ok(f) => f,
-            Err(_) => {
-                report.skipped_no_memory += 1;
-                chunk = chunk.add(large.bytes());
-                continue;
+            ChunkCollapse::AlreadyLarge | ChunkCollapse::Unpopulated => {
+                report.skipped_unpopulated += 1;
             }
-        };
-        // Migrate: unmap the small pages, free their frames, install the
-        // large leaf. (Data migration is implicit — the simulator's
-        // values live host-side; the cost is charged by the caller.)
-        let flags = aspace.page_table().probe(chunk).expect("just probed").flags;
-        for i in 0..512u64 {
-            let va = chunk.add(i * small.bytes());
-            aspace.unmap_page(va, small)?;
+            ChunkCollapse::MixedFlags => report.skipped_mixed_flags += 1,
+            ChunkCollapse::NoMemory => report.skipped_no_memory += 1,
         }
-        for f in old_frames {
-            frames.free(f, small.buddy_order());
-            report.small_pages_freed += 1;
-        }
-        aspace.map_page(frames, chunk, target, large, flags)?;
-        report.promoted += 1;
         chunk = chunk.add(large.bytes());
     }
     if report.promoted > 0 {
         aspace.note_promotion(region_start);
     }
     Ok(report)
+}
+
+/// Outcome of a single-chunk collapse attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ChunkCollapse {
+    /// Collapsed into one 2 MB leaf; 512 small frames were freed.
+    Promoted,
+    /// The chunk is already backed by a 2 MB leaf.
+    AlreadyLarge,
+    /// Not all 512 small pages are present.
+    Unpopulated,
+    /// The pages disagree on protection bits; collapsing would change
+    /// the permissions of some of them.
+    MixedFlags,
+    /// No free order-9 block (fragmentation).
+    NoMemory,
+}
+
+/// Attempt to collapse the one 2 MB-aligned chunk at `chunk` (the shared
+/// engine of [`promote_region`] and the incremental
+/// [`crate::khugepaged::Khugepaged`] daemon).
+///
+/// The chunk is inspected *before* anything is touched: if its pages are
+/// incomplete or carry heterogeneous protection, the mapping is left
+/// untouched. Only protection bits (writable/executable) must agree;
+/// accessed/dirty bits are hardware-set status and are OR-combined into
+/// the new leaf instead.
+pub(crate) fn try_collapse_chunk(
+    aspace: &mut AddressSpace,
+    frames: &mut BuddyAllocator,
+    chunk: VirtAddr,
+) -> VmResult<ChunkCollapse> {
+    let small = PageSize::Small4K;
+    let large = PageSize::Large2M;
+    debug_assert!(chunk.is_aligned(large));
+
+    // All 512 small pages must be present with uniform protection.
+    let mut old_frames = Vec::with_capacity(512);
+    let mut flags = match aspace.page_table().probe(chunk) {
+        Some(t) if t.size == PageSize::Large2M => return Ok(ChunkCollapse::AlreadyLarge),
+        Some(t) => {
+            old_frames.push(t.pa.frame_base(small));
+            t.flags
+        }
+        None => return Ok(ChunkCollapse::Unpopulated),
+    };
+    for i in 1..512u64 {
+        match aspace.page_table().probe(chunk.add(i * small.bytes())) {
+            Some(t) if t.size == PageSize::Small4K => {
+                if (t.flags.writable, t.flags.executable) != (flags.writable, flags.executable) {
+                    return Ok(ChunkCollapse::MixedFlags);
+                }
+                flags.accessed |= t.flags.accessed;
+                flags.dirty |= t.flags.dirty;
+                old_frames.push(t.pa.frame_base(small));
+            }
+            _ => return Ok(ChunkCollapse::Unpopulated),
+        }
+    }
+    // khugepaged order: reserve the target frame first; bail out without
+    // touching the mapping if memory is too fragmented.
+    let target = match frames.alloc(large.buddy_order()) {
+        Ok(f) => f,
+        Err(_) => return Ok(ChunkCollapse::NoMemory),
+    };
+    // Migrate: unmap the small pages, free their frames, install the
+    // large leaf. (Data migration is implicit — the simulator's values
+    // live host-side; the cost is charged by the caller.)
+    for i in 0..512u64 {
+        aspace.unmap_page(chunk.add(i * small.bytes()), small)?;
+    }
+    for f in old_frames {
+        frames.free(f, small.buddy_order());
+    }
+    aspace.map_page(frames, chunk, target, large, flags)?;
+    Ok(ChunkCollapse::Promoted)
 }
 
 #[cfg(test)]
@@ -203,6 +252,49 @@ mod tests {
             .unwrap()
             .translation();
         assert_eq!(t.size, PageSize::Small4K);
+    }
+
+    #[test]
+    fn mixed_protection_chunks_are_skipped_not_widened() {
+        let len = 2 * PageSize::Large2M.bytes();
+        let (mut frames, mut asp, base) = setup(len, Populate::Eager);
+        // One page of the first chunk becomes read-only (the pattern of a
+        // guard page or a COW-protected page). Collapsing that chunk with
+        // the first PTE's RW flags would silently make it writable again.
+        let ro_page = base.add(3 * 4096);
+        asp.page_table_mut()
+            .protect(ro_page, PteFlags::ro())
+            .unwrap();
+        let r = promote_region(&mut asp, &mut frames, base).unwrap();
+        assert_eq!(r.promoted, 1, "the uniform chunk still collapses");
+        assert_eq!(r.skipped_mixed_flags, 1);
+        // The mixed chunk keeps its 4 KB mappings and its protection.
+        let t = asp
+            .access(&mut frames, base, AccessKind::Read)
+            .unwrap()
+            .translation();
+        assert_eq!(t.size, PageSize::Small4K);
+        assert_eq!(
+            asp.access(&mut frames, ro_page, AccessKind::Write),
+            Err(VmError::ProtectionViolation(ro_page))
+        );
+        assert!(asp.access(&mut frames, ro_page, AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    fn accessed_dirty_bits_do_not_block_collapse() {
+        let len = PageSize::Large2M.bytes();
+        let (mut frames, mut asp, base) = setup(len, Populate::Eager);
+        // Dirty one page; the rest keep clean hardware status bits. A/D
+        // heterogeneity is not a protection mismatch — the chunk must
+        // still collapse, with the leaf inheriting the OR of the bits.
+        asp.access(&mut frames, base.add(7 * 4096), AccessKind::Write)
+            .unwrap();
+        let r = promote_region(&mut asp, &mut frames, base).unwrap();
+        assert_eq!(r.promoted, 1);
+        assert_eq!(r.skipped_mixed_flags, 0);
+        let flags = asp.page_table().probe(base).unwrap().flags;
+        assert!(flags.dirty && flags.accessed);
     }
 
     #[test]

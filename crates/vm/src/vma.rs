@@ -184,6 +184,13 @@ impl AddressSpace {
         &self.pt
     }
 
+    /// Mutably borrow the page table (test scaffolding: setting up
+    /// non-uniform protection without a user-visible API).
+    #[cfg(test)]
+    pub(crate) fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.pt
+    }
+
     /// The regions of this space, ordered by start address.
     pub fn vmas(&self) -> &[Vma] {
         &self.vmas

@@ -39,3 +39,64 @@ fn goldens_cover_every_kernel() {
         assert!(GOLDENS.iter().any(|(a, _)| *a == app), "{app} missing");
     }
 }
+
+/// Every `results/` file must round-trip byte-identically: rerunning the
+/// binary it was captured from reproduces it exactly. This is what makes
+/// the committed tables trustworthy — the simulator is deterministic and
+/// `fnum` rounds identically everywhere.
+///
+/// Filenames encode the command: `fig4_W.txt` → `fig4 W`,
+/// `table1.txt` / `ext_reach.txt` → no class argument.
+///
+/// Ignored by default (runs every experiment binary, minutes of work);
+/// CI runs it in the bands job via `--ignored`.
+#[test]
+#[ignore = "reruns every experiment binary; exercised by the CI bands job"]
+fn results_files_round_trip_byte_identically() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let results = root.join("results");
+    let mut files: Vec<_> = std::fs::read_dir(&results)
+        .expect("results/ exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no goldens found in {}",
+        results.display()
+    );
+
+    let classes = ["S", "W", "A", "B"];
+    let mut failed = Vec::new();
+    for path in &files {
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        // `<bin>_<class>` when the suffix is a known class, else `<bin>`.
+        let (bin, class) = match stem.rsplit_once('_') {
+            Some((b, c)) if classes.contains(&c) => (b, Some(c)),
+            _ => (stem, None),
+        };
+        let mut cmd = std::process::Command::new(env!("CARGO"));
+        cmd.current_dir(root)
+            .args(["run", "--release", "-q", "-p", "lpomp-bench", "--bin", bin]);
+        if let Some(c) = class {
+            cmd.arg(c);
+        }
+        let out = cmd.output().expect("cargo run spawns");
+        assert!(
+            out.status.success(),
+            "{bin} {} exited with {}: {}",
+            class.unwrap_or(""),
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let want = std::fs::read(path).unwrap();
+        if out.stdout != want {
+            failed.push(stem.to_owned());
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "goldens drifted (regenerate by rerunning the binary): {failed:?}"
+    );
+}

@@ -338,6 +338,68 @@ fn numa_nodes_in_range_and_page_uniform() {
     }
 }
 
+/// Twin-system equivalence: the same kernel on a system with the
+/// khugepaged daemon and on one without it produces bit-identical
+/// checksums, and afterwards every virtual page carries the same
+/// presence and protection (writable / executable) bits. The daemon may
+/// change page *sizes* and physical placement — never program-visible
+/// semantics. (Accessed/dirty are excluded: collapse OR-combines them
+/// across a chunk by design.)
+#[test]
+fn khugepaged_twin_systems_are_semantically_identical() {
+    use lpomp::core::{System, SystemConfig};
+    use lpomp::machine::opteron_2x2;
+    use lpomp::npb::{AppKind, Class};
+
+    for (app, threads) in [(AppKind::Cg, 4), (AppKind::Mg, 2)] {
+        let run_twin = |daemon: bool| {
+            let mut kernel = app.build(Class::S);
+            let cfg = if daemon {
+                SystemConfig::thp_daemon(opteron_2x2(), threads)
+            } else {
+                SystemConfig::thp(opteron_2x2(), threads)
+            };
+            let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+            let checksum = kernel.run(&mut sys.team);
+            (checksum, sys)
+        };
+        let (cs_off, sys_off) = run_twin(false);
+        let (cs_on, sys_on) = run_twin(true);
+        assert_eq!(
+            cs_off.to_bits(),
+            cs_on.to_bits(),
+            "{app}: daemon changed the checksum"
+        );
+        let off = sys_off.team.engine().unwrap();
+        let on = sys_on.team.engine().unwrap();
+        // The comparison below is only meaningful if the daemon really
+        // rewrote mappings while the kernel ran.
+        assert!(
+            on.daemon().unwrap().totals().collapsed > 0,
+            "{app}: daemon never collapsed anything — twin test is vacuous"
+        );
+        // Identical region layout...
+        let spans = |e: &lpomp::runtime::SimEngine| -> Vec<(u64, u64)> {
+            e.aspace.vmas().iter().map(|v| (v.start.0, v.len)).collect()
+        };
+        assert_eq!(spans(off), spans(on), "{app}: VMA layout diverged");
+        // ...and identical per-page permissions, page by page.
+        for &(start, len) in &spans(off) {
+            for off_bytes in (0..len).step_by(4096) {
+                let va = VirtAddr(start + off_bytes);
+                let perms = |t: Option<lpomp::vm::Translation>| {
+                    t.map(|t| (t.flags.present, t.flags.writable, t.flags.executable))
+                };
+                assert_eq!(
+                    perms(off.aspace.page_table().probe(va)),
+                    perms(on.aspace.page_table().probe(va)),
+                    "{app}: permissions diverged at {va:?}"
+                );
+            }
+        }
+    }
+}
+
 /// Reductions over random data agree between native engine runs with
 /// different schedules (within floating-point reassociation).
 #[test]
