@@ -52,6 +52,7 @@ fn main() {
                 RunOpts {
                     verify: false,
                     populate,
+                    ..RunOpts::default()
                 },
             )
         };

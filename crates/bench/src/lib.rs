@@ -14,7 +14,7 @@
 //!
 //! Wall-clock benches (`cargo bench -p lpomp-bench --features bench`)
 //! cover the runtime primitives: barriers, the mailbox, loop schedules,
-//! and shared-array access. They use the in-tree [`harness`] module, so
+//! and shared-array access. They use the in-tree `harness` module, so
 //! the default build carries no benchmarking dependency.
 //!
 //! The library half holds the sweep helpers the binaries share. Binaries

@@ -71,6 +71,9 @@ pub struct RunOpts {
     pub verify: bool,
     /// Populate policy (the paper's default is prefault).
     pub populate: PopulatePolicy,
+    /// Attach the AutoNUMA-style balancing daemon (extension E3; only
+    /// meaningful on a machine with a NUMA configuration).
+    pub numa_daemon: Option<lpomp_vm::NumaDaemonConfig>,
 }
 
 impl Default for RunOpts {
@@ -78,6 +81,7 @@ impl Default for RunOpts {
         RunOpts {
             verify: false,
             populate: PopulatePolicy::Prefault,
+            numa_daemon: None,
         }
     }
 }
@@ -101,6 +105,7 @@ pub fn run_sim(
         quantum: lpomp_runtime::DEFAULT_QUANTUM,
         private_heap: false,
         khugepaged: None,
+        numa_daemon: opts.numa_daemon,
     };
     let mut sys = System::build(&cfg, kernel.as_mut())
         .unwrap_or_else(|e| panic!("{app} {class} system build failed: {e}"));

@@ -17,12 +17,12 @@
 //!    transformation target) and build the simulated fork-join team.
 
 use crate::policy::{PagePolicy, PopulatePolicy};
-use lpomp_machine::{CodeWalker, Machine, MachineConfig};
+use lpomp_machine::{CodeWalker, Machine, MachineConfig, NumaPlacement};
 use lpomp_npb::{CodeProfile, Kernel};
 use lpomp_runtime::{BumpAllocator, SimEngine, Team, DEFAULT_QUANTUM};
 use lpomp_vm::{
-    promote_region, AddressSpace, Backing, HugePool, KhugepagedConfig, PageSize, PromotionReport,
-    PteFlags, ShmFs, VirtAddr, VmResult,
+    promote_region, AddressSpace, Backing, HugePool, KhugepagedConfig, NodePolicy,
+    NumaDaemonConfig, PageSize, PromotionReport, PteFlags, ShmFs, VirtAddr, VmResult,
 };
 
 /// Fixed base of the code segment (conventional ELF text base).
@@ -57,6 +57,11 @@ pub struct SystemConfig {
     /// fragmented) instead of the stop-the-world
     /// [`System::promote_heap`].
     pub khugepaged: Option<KhugepagedConfig>,
+    /// Attach an AutoNUMA-style balancing daemon: hinting samples are
+    /// recorded during execution and pages with persistently remote
+    /// accessors are migrated at barriers. Only meaningful when the
+    /// machine has a NUMA configuration.
+    pub numa_daemon: Option<NumaDaemonConfig>,
 }
 
 impl SystemConfig {
@@ -71,6 +76,7 @@ impl SystemConfig {
             quantum: DEFAULT_QUANTUM,
             private_heap: false,
             khugepaged: None,
+            numa_daemon: None,
         }
     }
 
@@ -85,6 +91,7 @@ impl SystemConfig {
             quantum: DEFAULT_QUANTUM,
             private_heap: true,
             khugepaged: None,
+            numa_daemon: None,
         }
     }
 
@@ -142,6 +149,34 @@ impl System {
             "code",
         )?;
 
+        // NUMA placement. The code segment above was mapped *before* the
+        // node policy is installed, so code frames stay on node 0 (as does
+        // the mailbox below: both are small and shared). The heap is where
+        // placement matters, and it is placed one of two ways:
+        //
+        // * **statically**, at segment creation, for the shared (hugetlbfs
+        //   or shm) heaps — master-node puts every chunk on node 0,
+        //   interleave round-robins placement chunks (clamped up to the
+        //   page size: a 2 MB page is indivisible);
+        // * **dynamically**, at fault time, for first-touch — which needs
+        //   a *private anonymous* heap (shared-segment frames belong to
+        //   the segment and are placed when it is created), so under
+        //   first-touch the heap is anonymous at the policy's page size.
+        //   With startup prefaulting the master thread is the first
+        //   toucher of everything, which degenerates to master-node — the
+        //   classic OpenMP pitfall; first-touch results use OnDemand.
+        let numa = cfg.machine.numa;
+        let first_touch = matches!(numa.map(|n| n.placement), Some(NumaPlacement::FirstTouch));
+        if let Some(n) = &numa {
+            let policy = match n.placement {
+                NumaPlacement::MasterNode => NodePolicy::Fixed(0),
+                NumaPlacement::Interleave4K => NodePolicy::Interleave { chunk: 4096 },
+                NumaPlacement::Interleave2M => NodePolicy::Interleave { chunk: 2 << 20 },
+                NumaPlacement::FirstTouch => NodePolicy::FirstTouch,
+            };
+            aspace.set_node_policy(n.nodes, policy);
+        }
+
         // (3)+(4) Shared heap.
         let heap_bytes = kernel.footprint().data_bytes * HEAP_SLACK_NUM / HEAP_SLACK_DEN;
         // Round to whole 2 MB chunks regardless of policy, so a 4 KB heap
@@ -149,11 +184,56 @@ impl System {
         let heap_len = PageSize::Large2M.round_up(heap_bytes.max(PageSize::Large2M.bytes()));
         setup.heap_bytes = heap_len;
         let populate = cfg.populate.as_vm();
-        let (heap_base, small_base) = if cfg.policy.needs_huge_pool() {
+        let (heap_base, small_base) = if cfg.policy.needs_huge_pool() && first_touch {
+            // First-touch large pages: a private anonymous 2 MB heap whose
+            // pages land on the faulting thread's node.
+            let heap_base = aspace.mmap(
+                &mut machine.frames,
+                heap_len,
+                PageSize::Large2M,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                populate,
+                "private-heap",
+            )?;
+            let small_base = if matches!(cfg.policy, PagePolicy::Mixed { .. }) {
+                Some(aspace.mmap(
+                    &mut machine.frames,
+                    MIXED_SMALL_REGION,
+                    PageSize::Small4K,
+                    PteFlags::rw(),
+                    Backing::Anonymous,
+                    populate,
+                    "small-heap",
+                )?)
+            } else {
+                None
+            };
+            (heap_base, small_base)
+        } else if cfg.policy.needs_huge_pool() {
             let pages = PageSize::Large2M.pages_for(heap_len);
-            let mut pool = HugePool::reserve(&mut machine.frames, pages)?;
+            let seg = match &numa {
+                Some(n) => {
+                    // Static placement: decide each 2 MB page's node up
+                    // front, mirror the split in per-node `nr_hugepages`
+                    // reservations, then deal pages out accordingly.
+                    let chunk = n.placement.granularity().max(PageSize::Large2M.bytes());
+                    let nodes = n.nodes as u64;
+                    let node_for =
+                        |i: u64| ((i * PageSize::Large2M.bytes() / chunk) % nodes) as usize;
+                    let mut per_node = vec![0u64; n.nodes];
+                    for i in 0..pages {
+                        per_node[node_for(i)] += 1;
+                    }
+                    let mut pool = HugePool::reserve_per_node(&mut machine.frames, &per_node)?;
+                    pool.create_file_on("omni-shared-heap", heap_len, node_for)?
+                }
+                None => {
+                    let mut pool = HugePool::reserve(&mut machine.frames, pages)?;
+                    pool.create_file("omni-shared-heap", heap_len)?
+                }
+            };
             setup.huge_pages_reserved = pages;
-            let seg = pool.create_file("omni-shared-heap", heap_len)?;
             let heap_base = aspace.mmap(
                 &mut machine.frames,
                 heap_len,
@@ -166,8 +246,13 @@ impl System {
             // Under Mixed, add a 4 KB-paged region for small allocations.
             let small_base = if matches!(cfg.policy, PagePolicy::Mixed { .. }) {
                 let mut shm = ShmFs::new();
-                let sseg =
-                    shm.create_file(&mut machine.frames, "omni-small-heap", MIXED_SMALL_REGION)?;
+                let sseg = Self::shm_file(
+                    &mut shm,
+                    &mut machine.frames,
+                    &numa,
+                    "omni-small-heap",
+                    MIXED_SMALL_REGION,
+                )?;
                 Some(aspace.mmap(
                     &mut machine.frames,
                     MIXED_SMALL_REGION,
@@ -181,8 +266,9 @@ impl System {
                 None
             };
             (heap_base, small_base)
-        } else if cfg.private_heap {
-            // THP scenario: private anonymous 4 KB heap, collapsible later.
+        } else if cfg.private_heap || first_touch {
+            // THP scenario (collapsible later) or first-touch small pages:
+            // either way a private anonymous 4 KB heap.
             let heap_base = aspace.mmap(
                 &mut machine.frames,
                 heap_len,
@@ -196,7 +282,13 @@ impl System {
             (heap_base, None)
         } else {
             let mut shm = ShmFs::new();
-            let seg = shm.create_file(&mut machine.frames, "omni-shared-heap", heap_len)?;
+            let seg = Self::shm_file(
+                &mut shm,
+                &mut machine.frames,
+                &numa,
+                "omni-shared-heap",
+                heap_len,
+            )?;
             let heap_base = aspace.mmap(
                 &mut machine.frames,
                 heap_len,
@@ -247,11 +339,37 @@ impl System {
         if let Some(k) = cfg.khugepaged {
             engine.enable_khugepaged(k);
         }
+        if let Some(nd) = cfg.numa_daemon {
+            engine.enable_numa_daemon(nd);
+        }
         Ok(System {
             team: Team::simulated(engine),
             setup,
             heap_base,
         })
+    }
+
+    /// Create a 4 KB shm file, statically placed according to the NUMA
+    /// placement (node 0 for master-node, round-robin chunks for
+    /// interleave) when the machine has one.
+    fn shm_file(
+        shm: &mut ShmFs,
+        frames: &mut lpomp_vm::BuddyAllocator,
+        numa: &Option<lpomp_machine::NumaConfig>,
+        name: &str,
+        len: u64,
+    ) -> VmResult<std::sync::Arc<lpomp_vm::SharedSegment>> {
+        match numa {
+            Some(n) => {
+                let small = PageSize::Small4K.bytes();
+                let chunk = n.placement.granularity().max(small);
+                let nodes = n.nodes as u64;
+                shm.create_file_placed(frames, name, len, |i| {
+                    Some(((i * small / chunk) % nodes) as usize)
+                })
+            }
+            None => shm.create_file(frames, name, len),
+        }
     }
 
     /// Base virtual address of the shared heap.
@@ -316,6 +434,7 @@ mod tests {
             quantum: DEFAULT_QUANTUM,
             private_heap: false,
             khugepaged: None,
+            numa_daemon: None,
         };
         let sys = System::build(&cfg, kernel.as_mut()).unwrap();
         (sys, kernel)

@@ -6,7 +6,9 @@ use crate::config::MachineConfig;
 use crate::cost::CostModel;
 use lpomp_prof::{Counters, Event};
 use lpomp_tlb::{Tlb, TlbOutcome};
-use lpomp_vm::{AccessKind, AddressSpace, BuddyAllocator, PageSize, VirtAddr, VmResult};
+use lpomp_vm::{
+    AccessKind, AddressSpace, BuddyAllocator, HintSamples, PageSize, PhysAddr, VirtAddr, VmResult,
+};
 
 /// Tag bit added to physical page-walk addresses before they enter the
 /// (virtually indexed) cache model, keeping the PA and VA keyspaces
@@ -70,6 +72,11 @@ struct MicroEntry {
     page_end: u64,
     size: PageSize,
     generation: u64,
+    /// NUMA home node of the page's frame, resolved when the entry was
+    /// installed. A page's frame can only change under a TLB shootdown
+    /// (collapse, demotion, migration), which bumps the generation and
+    /// invalidates this entry — so the cached home can never go stale.
+    home: usize,
 }
 
 impl MicroEntry {
@@ -79,13 +86,20 @@ impl MicroEntry {
     }
 
     #[inline]
-    fn install(slot: &mut Option<MicroEntry>, tlb: &Tlb, va: VirtAddr, size: PageSize) {
+    fn install(
+        slot: &mut Option<MicroEntry>,
+        tlb: &Tlb,
+        va: VirtAddr,
+        size: PageSize,
+        home: usize,
+    ) {
         let base = va.page_base(size).0;
         *slot = Some(MicroEntry {
             page_base: base,
             page_end: base + size.bytes(),
             size,
             generation: tlb.generation(),
+            home,
         });
     }
 }
@@ -113,14 +127,24 @@ pub struct Machine {
     micro_data: Vec<Option<MicroEntry>>,
     /// Per-core last-translation cache for the instruction side.
     micro_code: Vec<Option<MicroEntry>>,
+    /// NUMA hinting-fault samples (page base → per-node access tallies),
+    /// recorded on DTLB misses when sampling is enabled and drained by the
+    /// balancing daemon at barriers.
+    hint_samples: Option<HintSamples>,
 }
 
 impl Machine {
-    /// Build the machine described by `cfg`.
+    /// Build the machine described by `cfg`. With a NUMA configuration the
+    /// physical extent is split into per-node frame ranges; otherwise the
+    /// whole extent is one node.
     pub fn new(cfg: MachineConfig) -> Self {
         let cores = cfg.cores();
+        let frames = match &cfg.numa {
+            Some(n) => BuddyAllocator::with_nodes(cfg.ram_bytes, n.nodes),
+            None => BuddyAllocator::new(cfg.ram_bytes),
+        };
         Machine {
-            frames: BuddyAllocator::new(cfg.ram_bytes),
+            frames,
             dtlbs: (0..cores).map(|_| Tlb::new(cfg.dtlb.clone())).collect(),
             itlbs: (0..cores).map(|_| Tlb::new(cfg.itlb.clone())).collect(),
             l1ds: (0..cores).map(|_| Cache::new(cfg.l1d)).collect(),
@@ -130,7 +154,24 @@ impl Machine {
             residency: vec![0; cores],
             micro_data: vec![None; cores],
             micro_code: vec![None; cores],
+            hint_samples: None,
             cfg,
+        }
+    }
+
+    /// Start recording NUMA hinting-fault samples (one per DTLB miss:
+    /// which node touched which page). The balancing daemon turns these
+    /// into migration decisions.
+    pub fn enable_hint_sampling(&mut self) {
+        self.hint_samples = Some(HintSamples::new());
+    }
+
+    /// Take the hint samples accumulated since the last drain, leaving an
+    /// empty batch behind. Returns an empty batch when sampling is off.
+    pub fn drain_hint_samples(&mut self) -> HintSamples {
+        match &mut self.hint_samples {
+            Some(s) => std::mem::take(s),
+            None => HintSamples::new(),
         }
     }
 
@@ -228,7 +269,11 @@ impl Machine {
     }
 
     /// Charge a page-walk reference. Hardware walkers fetch PTEs through
-    /// the L2, not the L1D.
+    /// the L2, not the L1D. On a NUMA machine a PTE is data like any
+    /// other: when the walk misses to DRAM and the page-table frame lives
+    /// on a different node than the walking core, the reference pays the
+    /// remote hop — unless per-node page-table replication keeps a local
+    /// copy of every table, which makes every walk node-local.
     #[inline]
     fn walk_ref(&mut self, core: usize, pa: u64, counters: &mut Counters) -> u64 {
         let cost = &self.cfg.cost;
@@ -237,7 +282,19 @@ impl Machine {
             cost.l2_hit
         } else {
             counters.bump(Event::L2Misses);
-            cost.dram
+            let mut cycles = cost.dram;
+            if let Some(numa) = &self.cfg.numa {
+                let remote = !numa.replicate_pt
+                    && self.frames.node_of(PhysAddr(pa)) != self.cfg.node_of_core(core);
+                if remote {
+                    cycles += numa.remote_extra;
+                    counters.add(Event::RemoteWalkCycles, numa.remote_extra);
+                    counters.bump(Event::RemoteDramAccesses);
+                } else {
+                    counters.bump(Event::LocalDramAccesses);
+                }
+            }
+            cycles
         }
     }
 
@@ -256,13 +313,14 @@ impl Machine {
     }
 
     /// Charge the post-translation stage of a data access: cache
-    /// hierarchy, NUMA remote penalty (DRAM only), SMT stall rule.
+    /// hierarchy, NUMA remote penalty (DRAM only, against the page's
+    /// physical `home` node), SMT stall rule.
     #[inline]
     fn memory_stage(
         &mut self,
         core: usize,
         va: VirtAddr,
-        page_size: PageSize,
+        home: usize,
         mode: AccessMode,
         counters: &mut Counters,
     ) -> u64 {
@@ -270,11 +328,14 @@ impl Machine {
         let mut cycles = mem_cycles;
         if dram {
             if let Some(numa) = &self.cfg.numa {
-                if numa.node_of(va, page_size) != self.cfg.node_of_core(core) {
+                if home != self.cfg.node_of_core(core) {
                     cycles += match mode {
                         AccessMode::Stream => numa.remote_stream_extra,
                         _ => numa.remote_extra,
                     };
+                    counters.bump(Event::RemoteDramAccesses);
+                } else {
+                    counters.bump(Event::LocalDramAccesses);
                 }
             }
         }
@@ -282,6 +343,21 @@ impl Machine {
             cycles += self.maybe_smt_flush(core, counters);
         }
         cycles
+    }
+
+    /// The NUMA home node of the mapped page containing `va`: the node
+    /// owning its physical frame. Returns 0 on non-NUMA machines (where
+    /// the distinction never reaches a charge) and for unmapped addresses.
+    #[inline]
+    fn resolve_home(&self, aspace: &AddressSpace, va: VirtAddr) -> usize {
+        if self.cfg.numa.is_none() {
+            return 0;
+        }
+        aspace
+            .page_table()
+            .probe(va)
+            .map(|t| self.frames.node_of(t.pa))
+            .unwrap_or(0)
     }
 
     /// Debug-build proof that a micro-TLB bypass is observationally
@@ -307,7 +383,7 @@ impl Machine {
     /// fault) → cache hierarchy → SMT stall rule.
     ///
     /// A one-entry micro-TLB (the core's immediately preceding data
-    /// translation, see [`MicroEntry`]) short-circuits the DTLB's LRU
+    /// translation, see `MicroEntry`) short-circuits the DTLB's LRU
     /// machinery for same-page repeat accesses; counters and cycle charges
     /// are identical either way.
     pub fn data_access(
@@ -328,25 +404,31 @@ impl Machine {
                 counters.bump(Event::DtlbHits);
                 Self::debug_check_bypass(&self.dtlbs[core], va, e.size);
                 self.dtlbs[core].record_l1_hit_bypass(e.size);
-                return Ok(self.memory_stage(core, va, e.size, mode, counters));
+                return Ok(self.memory_stage(core, va, e.home, mode, counters));
             }
         }
         let mut cycles = 0u64;
         let page_size;
+        let home;
         match self.dtlbs[core].lookup(va) {
             TlbOutcome::L1Hit(s) => {
                 page_size = s;
+                home = self.resolve_home(aspace, va);
                 counters.bump(Event::DtlbHits);
             }
             TlbOutcome::L2Hit(s) => {
                 page_size = s;
+                home = self.resolve_home(aspace, va);
                 counters.bump(Event::DtlbHits);
                 counters.bump(Event::DtlbL2Hits);
                 cycles += self.cfg.cost.tlb_l2_hit;
             }
             TlbOutcome::Miss => {
                 counters.bump(Event::DtlbMisses);
-                let outcome = aspace.access(&mut self.frames, va, kind.as_vm())?;
+                // First-touch placement: a fault taken here places the
+                // page on the faulting core's node.
+                let touch = self.cfg.numa.as_ref().map(|_| self.cfg.node_of_core(core));
+                let outcome = aspace.access_from(&mut self.frames, va, kind.as_vm(), touch)?;
                 let mut walk_cycles = self.cfg.cost.walk_base;
                 // Page-walk caches keep the upper levels of the radix
                 // tree resident; only the leaf PTE reference goes through
@@ -363,6 +445,13 @@ impl Machine {
                 if outcome.faulted() {
                     counters.bump(Event::PageFaults);
                     walk_cycles += self.cfg.cost.page_fault;
+                    if let Some(numa) = &self.cfg.numa {
+                        // Replicated page tables: the fault's PTE install
+                        // is broadcast to every other node's replica.
+                        if numa.replicate_pt {
+                            walk_cycles += (numa.nodes as u64 - 1) * self.cfg.cost.pt_edit;
+                        }
+                    }
                 }
                 counters.add(Event::WalkCycles, walk_cycles);
                 cycles += walk_cycles;
@@ -379,14 +468,34 @@ impl Machine {
                     cycles += self.cfg.cost.stream_restart;
                 }
                 page_size = outcome.translation().size;
+                home = if self.cfg.numa.is_some() {
+                    self.frames.node_of(outcome.translation().pa)
+                } else {
+                    0
+                };
                 self.dtlbs[core].fill(va, page_size);
             }
+        }
+        // NUMA hinting: every full DTLB lookup (the micro-TLB bypass
+        // already folds same-page repeats into one episode) records which
+        // node touched the page — the simulator's analogue of AutoNUMA's
+        // periodic hinting faults, which fire regardless of TLB residency
+        // because the kernel unmaps sampled ranges.
+        if let Some(samples) = &mut self.hint_samples {
+            samples.record(va.page_base(page_size).0, self.cfg.node_of_core(core));
+            counters.bump(Event::NumaHintFaults);
         }
         // Every outcome above leaves `va`'s entry MRU in its L1 array
         // (re-front, promote-fill, or fill), establishing the bypass
         // precondition for the next same-page access.
-        MicroEntry::install(&mut self.micro_data[core], &self.dtlbs[core], va, page_size);
-        Ok(cycles + self.memory_stage(core, va, page_size, mode, counters))
+        MicroEntry::install(
+            &mut self.micro_data[core],
+            &self.dtlbs[core],
+            va,
+            page_size,
+            home,
+        );
+        Ok(cycles + self.memory_stage(core, va, home, mode, counters))
     }
 
     /// Stream `len` bytes from `va` through the data path, one access per
@@ -431,20 +540,20 @@ impl Machine {
             counters.add(Event::Cycles, scaled);
             off += LINE;
             let e = self.micro_data[core].expect("data_access installs a micro entry");
-            // The page's NUMA home is a property of the page alone
-            // (placement chunks are at least page-sized), so the remote
-            // penalty for DRAM-reaching lines is uniform across the run.
-            let remote_extra = match &self.cfg.numa {
-                Some(numa)
-                    if numa.node_of(VirtAddr(e.page_base), e.size)
-                        != self.cfg.node_of_core(core) =>
-                {
+            // The page's NUMA home is a property of its frame alone, so
+            // the remote penalty for DRAM-reaching lines is uniform
+            // across the run. The micro entry cached the home when it was
+            // installed; a frame change would have bumped the generation.
+            let numa_on = self.cfg.numa.is_some();
+            let (remote, remote_extra) = match &self.cfg.numa {
+                Some(numa) if e.home != self.cfg.node_of_core(core) => (
+                    true,
                     match mode {
                         AccessMode::Stream => numa.remote_stream_extra,
                         _ => numa.remote_extra,
-                    }
-                }
-                _ => 0,
+                    },
+                ),
+                _ => (false, 0),
             };
             while off < len && va.add(off).0 < e.page_end {
                 let line = va.add(off);
@@ -456,6 +565,13 @@ impl Machine {
                 let mut cycles = mem_cycles;
                 if dram {
                     cycles += remote_extra;
+                    if numa_on {
+                        counters.bump(if remote {
+                            Event::RemoteDramAccesses
+                        } else {
+                            Event::LocalDramAccesses
+                        });
+                    }
                 }
                 if stalled {
                     cycles += self.maybe_smt_flush(core, counters);
@@ -492,7 +608,8 @@ impl Machine {
             TlbOutcome::L2Hit(s) => (self.cfg.cost.tlb_l2_hit, s),
             TlbOutcome::Miss => {
                 counters.bump(Event::ItlbMisses);
-                let outcome = aspace.access(&mut self.frames, va, AccessKind::Fetch)?;
+                let touch = self.cfg.numa.as_ref().map(|_| self.cfg.node_of_core(core));
+                let outcome = aspace.access_from(&mut self.frames, va, AccessKind::Fetch, touch)?;
                 let mut walk_cycles = self.cfg.cost.walk_base;
                 if self.cfg.page_walk_cache {
                     if let Some(leaf) = outcome.trace().steps().last() {
@@ -506,6 +623,11 @@ impl Machine {
                 if outcome.faulted() {
                     counters.bump(Event::PageFaults);
                     walk_cycles += self.cfg.cost.page_fault;
+                    if let Some(numa) = &self.cfg.numa {
+                        if numa.replicate_pt {
+                            walk_cycles += (numa.nodes as u64 - 1) * self.cfg.cost.pt_edit;
+                        }
+                    }
                 }
                 counters.add(Event::WalkCycles, walk_cycles);
                 let size = outcome.translation().size;
@@ -513,7 +635,10 @@ impl Machine {
                 (walk_cycles, size)
             }
         };
-        MicroEntry::install(&mut self.micro_code[core], &self.itlbs[core], va, size);
+        // The instruction side never classifies its line fetches (the L1I
+        // is assumed to hit), so the cached home is unused; 0 keeps the
+        // entry well-formed.
+        MicroEntry::install(&mut self.micro_code[core], &self.itlbs[core], va, size, 0);
         Ok(cycles)
     }
 }
@@ -522,7 +647,7 @@ impl Machine {
 mod tests {
     use super::*;
     use crate::config::{opteron_2x2, xeon_2x2_ht};
-    use lpomp_vm::{Backing, PageSize, Populate, PteFlags};
+    use lpomp_vm::{Backing, NodePolicy, PageSize, Populate, PteFlags};
 
     fn setup(cfg: MachineConfig) -> (Machine, AddressSpace, VirtAddr) {
         let mut m = Machine::new(cfg);
@@ -776,6 +901,9 @@ mod tests {
             cfg.numa = Some(NumaConfig::opteron(NumaPlacement::Interleave4K));
             let mut m = Machine::new(cfg);
             let mut asp = AddressSpace::new(&mut m.frames).unwrap();
+            // Physically interleave the heap so the run crosses pages
+            // whose frames alternate between local and remote nodes.
+            asp.set_node_policy(2, NodePolicy::Interleave { chunk: 4096 });
             let base = asp
                 .mmap(
                     &mut m.frames,
@@ -840,6 +968,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn remote_page_walks_pay_the_hop_unless_replicated() {
+        // Satellite regression for the walk-side NUMA charge: page-table
+        // frames are allocated on node 0, so a walk from a node-1 core
+        // whose leaf PTE fetch reaches DRAM pays `remote_extra` — unless
+        // per-node page-table replication keeps the walk local.
+        use crate::numa::{NumaConfig, NumaPlacement};
+        let numa = NumaConfig::opteron(NumaPlacement::MasterNode);
+        let run = |replicate: bool| {
+            let mut cfg = opteron_2x2();
+            cfg.numa = Some(if replicate {
+                numa.with_replicated_pt()
+            } else {
+                numa
+            });
+            let (mut m, mut asp, base) = setup(cfg);
+            let mut c0 = Counters::new();
+            m.data_access(
+                &mut asp,
+                0,
+                base,
+                DataKind::Read,
+                AccessMode::Latency,
+                &mut c0,
+            )
+            .unwrap();
+            // Page 32's leaf PTE is on a different cache line than page
+            // 0's, and core 2 (chip 1 = node 1) has its own L2 anyway.
+            let mut c2 = Counters::new();
+            let cost2 = m
+                .data_access(
+                    &mut asp,
+                    2,
+                    base.add(32 * 4096),
+                    DataKind::Read,
+                    AccessMode::Latency,
+                    &mut c2,
+                )
+                .unwrap();
+            (c0, c2, cost2)
+        };
+        let (c0, c2, cost_shared) = run(false);
+        assert_eq!(c0.get(Event::RemoteWalkCycles), 0);
+        assert_eq!(c2.get(Event::RemoteWalkCycles), numa.remote_extra);
+        // Every DRAM-reaching reference is classified: walk + data line.
+        assert_eq!(
+            c0.get(Event::LocalDramAccesses) + c0.get(Event::RemoteDramAccesses),
+            c0.get(Event::L2Misses)
+        );
+        assert_eq!(c2.get(Event::RemoteDramAccesses), c2.get(Event::L2Misses));
+        let (r0, r2, cost_replicated) = run(true);
+        assert_eq!(r0.get(Event::RemoteWalkCycles), 0);
+        assert_eq!(r2.get(Event::RemoteWalkCycles), 0);
+        // Replication removes exactly the walk's hop; the data line (home
+        // node 0, touched from node 1) still pays its own.
+        assert_eq!(cost_shared - cost_replicated, numa.remote_extra);
+        assert_eq!(r2.get(Event::RemoteDramAccesses), 1);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! NUMA modelling for the Opteron platform (extension E3).
+//! NUMA configuration for the Opteron platform (extension E3).
 //!
 //! The paper's Opteron testbed is two sockets connected by HyperTransport
 //! (§2.1), i.e. a NUMA machine: each chip has its own memory controller,
@@ -6,18 +6,27 @@
 //! The paper does not isolate NUMA effects; this extension does, because
 //! page size and NUMA *placement granularity* interact — a page is the
 //! smallest unit of physical placement, so 2 MB pages cannot be
-//! interleaved at 4 KB granularity. Large pages trade TLB reach against
-//! placement flexibility, a trade-off that became well known once
-//! hugepages met multi-socket machines.
+//! interleaved (or migrated) at 4 KB granularity. Large pages trade TLB
+//! reach against placement flexibility.
 //!
-//! The model is analytic: the placement policy determines which node owns
-//! each *physical placement chunk* (max of the policy granularity and the
-//! mapping's page size — a single page always lives on one node), and
-//! DRAM-level accesses from the other chip pay `remote_extra` cycles
-//! (full for demand misses, a fraction for prefetched streams, which pay
-//! in bandwidth rather than latency).
-
-use lpomp_vm::{PageSize, VirtAddr};
+//! The model is physical: the buddy allocator's extent is split into
+//! per-node frame ranges (`BuddyAllocator::with_nodes`), every page lives
+//! on the node that owns its frame, and a reference that reaches DRAM
+//! pays `remote_extra` cycles when the frame's home differs from the
+//! requesting core's node (`remote_stream_extra` for prefetched streams,
+//! which pay in bandwidth rather than latency). Page walks are memory
+//! references too: a PTE fetched from a remote node's DRAM pays the same
+//! hop, unless [`NumaConfig::replicate_pt`] keeps a replica of the page
+//! tables on every node (the Mitosis design — Achermann et al., ASPLOS
+//! 2020), making every walk node-local at the price of broadcasting
+//! every page-table edit.
+//!
+//! [`NumaPlacement`] decides where pages land: statically at segment
+//! creation for the shared heaps (master-node, interleave) or dynamically
+//! at fault time for first-touch, where the runtime places each page on
+//! the faulting thread's node. The optional balancing daemon
+//! (`lpomp_vm::migrate::NumaDaemon`) then migrates pages with persistent
+//! remote accessors.
 
 /// How pages are distributed across the nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,13 +40,19 @@ pub enum NumaPlacement {
     Interleave4K,
     /// Round-robin 2 MB chunks across nodes.
     Interleave2M,
+    /// Place each page on the node of the thread that first touches it —
+    /// Linux's default policy, and the only one that can put a thread's
+    /// partition of the data next to the thread.
+    FirstTouch,
 }
 
 impl NumaPlacement {
     /// Placement granularity in bytes (before clamping by page size).
+    /// First-touch has no static granularity; like master-node it reports
+    /// `u64::MAX` (a page is placed wherever its first toucher runs).
     pub fn granularity(self) -> u64 {
         match self {
-            NumaPlacement::MasterNode => u64::MAX,
+            NumaPlacement::MasterNode | NumaPlacement::FirstTouch => u64::MAX,
             NumaPlacement::Interleave4K => 4096,
             NumaPlacement::Interleave2M => 2 * 1024 * 1024,
         }
@@ -49,6 +64,7 @@ impl NumaPlacement {
             NumaPlacement::MasterNode => "master-node",
             NumaPlacement::Interleave4K => "interleave-4KB",
             NumaPlacement::Interleave2M => "interleave-2MB",
+            NumaPlacement::FirstTouch => "first-touch",
         }
     }
 }
@@ -66,31 +82,32 @@ pub struct NumaConfig {
     pub remote_stream_extra: u64,
     /// Page placement policy.
     pub placement: NumaPlacement,
+    /// Mitosis-style per-node page-table replication: every node's page
+    /// walker reads a local replica, so walks never pay the remote hop.
+    /// The price is replica maintenance — every page-table edit is
+    /// applied `nodes - 1` extra times, and the same TLB shootdowns that
+    /// invalidate stale translations invalidate stale replica entries.
+    pub replicate_pt: bool,
 }
 
 impl NumaConfig {
     /// The Opteron 270 pair: two nodes, ~70 extra cycles per remote
-    /// demand access (one coherent HyperTransport hop at 2 GHz).
+    /// demand access (one coherent HyperTransport hop at 2 GHz),
+    /// shared (non-replicated) page tables.
     pub fn opteron(placement: NumaPlacement) -> Self {
         NumaConfig {
             nodes: 2,
             remote_extra: 70,
             remote_stream_extra: 9,
             placement,
+            replicate_pt: false,
         }
     }
 
-    /// Home node of the placement chunk containing `va`, for a mapping of
-    /// page size `page`. A page is physically contiguous on one node, so
-    /// the effective chunk is at least the page.
-    pub fn node_of(&self, va: VirtAddr, page: PageSize) -> usize {
-        match self.placement {
-            NumaPlacement::MasterNode => 0,
-            _ => {
-                let chunk = self.placement.granularity().max(page.bytes());
-                ((va.0 / chunk) as usize) % self.nodes
-            }
-        }
+    /// This configuration with per-node page-table replication enabled.
+    pub fn with_replicated_pt(mut self) -> Self {
+        self.replicate_pt = true;
+        self
     }
 }
 
@@ -99,40 +116,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn master_node_pins_everything_to_zero() {
-        let n = NumaConfig::opteron(NumaPlacement::MasterNode);
-        for a in [0u64, 1 << 12, 1 << 21, 1 << 30] {
-            assert_eq!(n.node_of(VirtAddr(a), PageSize::Small4K), 0);
-            assert_eq!(n.node_of(VirtAddr(a), PageSize::Large2M), 0);
+    fn interleave_granularities_and_labels() {
+        assert_eq!(NumaPlacement::Interleave4K.granularity(), 4096);
+        assert_eq!(NumaPlacement::Interleave2M.granularity(), 2 << 20);
+        assert_eq!(NumaPlacement::MasterNode.granularity(), u64::MAX);
+        assert_eq!(NumaPlacement::FirstTouch.granularity(), u64::MAX);
+        for p in [
+            NumaPlacement::MasterNode,
+            NumaPlacement::Interleave4K,
+            NumaPlacement::Interleave2M,
+            NumaPlacement::FirstTouch,
+        ] {
+            assert!(!p.label().is_empty());
         }
-    }
-
-    #[test]
-    fn interleave_4k_alternates_per_page() {
-        let n = NumaConfig::opteron(NumaPlacement::Interleave4K);
-        assert_eq!(n.node_of(VirtAddr(0), PageSize::Small4K), 0);
-        assert_eq!(n.node_of(VirtAddr(4096), PageSize::Small4K), 1);
-        assert_eq!(n.node_of(VirtAddr(8192), PageSize::Small4K), 0);
-    }
-
-    #[test]
-    fn large_pages_clamp_interleave_granularity() {
-        // A 2 MB page lives on one node even under 4 KB interleave.
-        let n = NumaConfig::opteron(NumaPlacement::Interleave4K);
-        let page = PageSize::Large2M;
-        let base = VirtAddr(0);
-        for off in (0..page.bytes()).step_by(64 * 1024) {
-            assert_eq!(n.node_of(base.add(off), page), 0, "offset {off}");
-        }
-        assert_eq!(n.node_of(VirtAddr(page.bytes()), page), 1);
-    }
-
-    #[test]
-    fn interleave_2m_alternates_per_large_chunk() {
-        let n = NumaConfig::opteron(NumaPlacement::Interleave2M);
-        assert_eq!(n.node_of(VirtAddr(0), PageSize::Small4K), 0);
-        assert_eq!(n.node_of(VirtAddr(2 << 20), PageSize::Small4K), 1);
-        assert_eq!(n.node_of(VirtAddr(1 << 20), PageSize::Small4K), 0);
     }
 
     #[test]
@@ -140,5 +136,7 @@ mod tests {
         let n = NumaConfig::opteron(NumaPlacement::Interleave2M);
         assert!(n.remote_stream_extra < n.remote_extra);
         assert!(n.nodes == 2);
+        assert!(!n.replicate_pt);
+        assert!(n.with_replicated_pt().replicate_pt);
     }
 }

@@ -56,11 +56,23 @@ pub enum Event {
     TlbShootdowns,
     /// Cycles of khugepaged daemon work charged to the cores.
     DaemonCycles,
+    /// DRAM accesses served by the requesting core's own node (only
+    /// counted on NUMA machines; zero otherwise).
+    LocalDramAccesses,
+    /// DRAM accesses that crossed the interconnect to a remote node
+    /// (only counted on NUMA machines; zero otherwise).
+    RemoteDramAccesses,
+    /// Extra cycles page walks spent fetching PTEs from a remote node.
+    RemoteWalkCycles,
+    /// NUMA hinting-fault samples recorded for the migration daemon.
+    NumaHintFaults,
+    /// Pages migrated between nodes by the NUMA daemon.
+    PagesMigrated,
 }
 
 impl Event {
     /// Number of distinct events.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 29;
 
     /// All events in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -88,6 +100,11 @@ impl Event {
         Event::PagesDemoted,
         Event::TlbShootdowns,
         Event::DaemonCycles,
+        Event::LocalDramAccesses,
+        Event::RemoteDramAccesses,
+        Event::RemoteWalkCycles,
+        Event::NumaHintFaults,
+        Event::PagesMigrated,
     ];
 
     /// Short mnemonic used in reports.
@@ -117,6 +134,11 @@ impl Event {
             Event::PagesDemoted => "demoted",
             Event::TlbShootdowns => "shootdowns",
             Event::DaemonCycles => "daemon_cyc",
+            Event::LocalDramAccesses => "dram_local",
+            Event::RemoteDramAccesses => "dram_remote",
+            Event::RemoteWalkCycles => "remote_walk_cyc",
+            Event::NumaHintFaults => "hint_faults",
+            Event::PagesMigrated => "migrated",
         }
     }
 }

@@ -16,7 +16,9 @@
 use crate::schedule::{plan, Plan, Schedule};
 use lpomp_machine::{CodeWalker, Machine, MemoryCtx, NullCtx, SimCtx};
 use lpomp_prof::{Counters, Event, Profile};
-use lpomp_vm::{AddressSpace, DaemonCosts, Khugepaged, KhugepagedConfig};
+use lpomp_vm::{
+    AddressSpace, DaemonCosts, Khugepaged, KhugepagedConfig, NumaDaemon, NumaDaemonConfig,
+};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -76,6 +78,7 @@ pub struct SimEngine {
     threads: usize,
     quantum: usize,
     daemon: Option<(Khugepaged, DaemonCosts)>,
+    numa_daemon: Option<(NumaDaemon, DaemonCosts)>,
 }
 
 impl SimEngine {
@@ -101,6 +104,7 @@ impl SimEngine {
             threads,
             quantum: quantum.max(1),
             daemon: None,
+            numa_daemon: None,
         }
     }
 
@@ -122,6 +126,28 @@ impl SimEngine {
     /// The attached daemon, if any (its lifetime totals and idle state).
     pub fn daemon(&self) -> Option<&Khugepaged> {
         self.daemon.as_ref().map(|(d, _)| d)
+    }
+
+    /// Attach an AutoNUMA-style balancing daemon. The machine starts
+    /// recording hinting-fault samples (which node touched which page) on
+    /// every DTLB miss; at every barrier the daemon absorbs the batch and
+    /// migrates pages with persistently remote accessors, charged like
+    /// khugepaged: scan cycles stall all cores, migrations cost a
+    /// broadcast shootdown.
+    pub fn enable_numa_daemon(&mut self, cfg: NumaDaemonConfig) {
+        let c = self.machine.cost();
+        let costs = DaemonCosts {
+            scan_page: c.l1_hit + 2,
+            migrate_page: c.migrate_page,
+            pt_edit: c.pt_edit,
+        };
+        self.machine.enable_hint_sampling();
+        self.numa_daemon = Some((NumaDaemon::new(cfg), costs));
+    }
+
+    /// The attached NUMA balancing daemon, if any.
+    pub fn numa_daemon(&self) -> Option<&NumaDaemon> {
+        self.numa_daemon.as_ref().map(|(d, _)| d)
     }
 
     /// Core assigned to a logical thread.
@@ -270,30 +296,60 @@ impl SimEngine {
         self.daemon_step();
     }
 
-    /// Run one khugepaged scan at the barrier (if a daemon is attached)
-    /// and charge its work to the simulated timeline: every core stalls
+    /// Extra page-table edits per edit when per-node replication is on:
+    /// every edit is re-applied to each other node's replica.
+    fn replica_edit_factor(&self) -> u64 {
+        match &self.machine.config().numa {
+            Some(n) if n.replicate_pt => n.nodes as u64 - 1,
+            _ => 0,
+        }
+    }
+
+    /// Run the barrier-time daemons (khugepaged, then the NUMA balancer)
+    /// and charge their work to the simulated timeline: every core stalls
     /// for the scan's cycles, and any translation change costs a
-    /// broadcast shootdown IPI plus a full TLB flush on every core.
+    /// broadcast shootdown IPI plus a full TLB flush on every core. With
+    /// replicated page tables every PTE edit a daemon makes is broadcast
+    /// to the other nodes' replicas, so replication taxes the daemons too.
     fn daemon_step(&mut self) {
-        let Some((mut daemon, costs)) = self.daemon.take() else {
-            return;
-        };
-        let out = daemon
-            .scan(&mut self.aspace, &mut self.machine.frames, &costs)
-            .expect("khugepaged scan failed");
-        if out.cycles > 0 {
-            self.charge_all(out.cycles);
+        let replica = self.replica_edit_factor();
+        if let Some((mut daemon, costs)) = self.daemon.take() {
+            let out = daemon
+                .scan(&mut self.aspace, &mut self.machine.frames, &costs)
+                .expect("khugepaged scan failed");
+            let cycles = out.cycles + out.pt_edits * replica * costs.pt_edit;
+            if cycles > 0 {
+                self.charge_all(cycles);
+            }
+            if out.shootdown {
+                self.tlb_shootdown();
+            }
+            // Daemon activity is bookkept on the master thread's sheet.
+            let c = self.profile.thread_mut(0);
+            c.add(Event::DaemonCycles, cycles);
+            c.add(Event::PagesCollapsed, out.collapsed);
+            c.add(Event::PagesCompacted, out.compact_migrated);
+            c.add(Event::PagesDemoted, out.demoted);
+            self.daemon = Some((daemon, costs));
         }
-        if out.shootdown {
-            self.tlb_shootdown();
+        if let Some((mut daemon, costs)) = self.numa_daemon.take() {
+            let batch = self.machine.drain_hint_samples();
+            daemon.absorb(batch);
+            let out = daemon
+                .scan(&mut self.aspace, &mut self.machine.frames, &costs)
+                .expect("numa balancing scan failed");
+            let cycles = out.cycles + out.pt_edits * replica * costs.pt_edit;
+            if cycles > 0 {
+                self.charge_all(cycles);
+            }
+            if out.shootdown {
+                self.tlb_shootdown();
+            }
+            let c = self.profile.thread_mut(0);
+            c.add(Event::DaemonCycles, cycles);
+            c.add(Event::PagesMigrated, out.migrated);
+            self.numa_daemon = Some((daemon, costs));
         }
-        // Daemon activity is bookkept on the master thread's sheet.
-        let c = self.profile.thread_mut(0);
-        c.add(Event::DaemonCycles, out.cycles);
-        c.add(Event::PagesCollapsed, out.collapsed);
-        c.add(Event::PagesCompacted, out.compact_migrated);
-        c.add(Event::PagesDemoted, out.demoted);
-        self.daemon = Some((daemon, costs));
     }
 
     /// Run a master-only (OpenMP `single`) section on thread 0, then join.
@@ -775,6 +831,74 @@ mod tests {
         assert!(p.thread(0).get(Event::PagesCollapsed) >= 8);
         assert!(p.thread(0).get(Event::DaemonCycles) > 0);
         assert!(p.thread(0).get(Event::TlbShootdowns) >= 1);
+    }
+
+    #[test]
+    fn numa_daemon_migrates_remote_pages_at_barriers() {
+        use lpomp_machine::{NumaConfig, NumaPlacement};
+        use lpomp_vm::NumaDaemonConfig;
+        let mut cfg = opteron_2x2();
+        cfg.numa = Some(NumaConfig::opteron(NumaPlacement::MasterNode));
+        let mut machine = Machine::new(cfg);
+        let mut aspace = AddressSpace::new(&mut machine.frames).unwrap();
+        let code = aspace
+            .mmap_fixed(
+                &mut machine.frames,
+                VirtAddr(0x40_0000),
+                1 << 20,
+                PageSize::Small4K,
+                PteFlags::rx(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "code",
+            )
+            .unwrap();
+        // Eagerly populated with no placement policy: the whole 8 MB heap
+        // starts on node 0, like master-thread initialization would leave it.
+        let data = aspace
+            .mmap(
+                &mut machine.frames,
+                8 << 20,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "data",
+            )
+            .unwrap();
+        let walker = CodeWalker::new(code, 1 << 20, 64 << 10, 1000);
+        let engine = SimEngine::new(machine, aspace, 4, walker, DEFAULT_QUANTUM);
+        let mut team = Team::simulated(engine);
+        team.engine_mut()
+            .unwrap()
+            .enable_numa_daemon(NumaDaemonConfig::default());
+        let n = (8 << 20) / 8;
+        let v: ShVec<f64> = ShVec::new(n, data);
+        // Static partitioning puts the upper half of the heap under
+        // threads 2 and 3, which run on chip 1 = node 1: persistently
+        // remote, so the balancer must move their partitions over.
+        for _ in 0..8 {
+            team.parallel_for(0..n, Schedule::Static, &|ctx, r| {
+                for i in r {
+                    v.set(ctx, i, i as f64);
+                }
+            });
+        }
+        for i in (0..n).step_by(997) {
+            assert_eq!(v.get_raw(i), i as f64);
+        }
+        let agg = team.aggregate_counters();
+        assert!(agg.get(Event::NumaHintFaults) > 0, "sampling must be live");
+        let p = team.profile().unwrap();
+        assert!(p.thread(0).get(Event::PagesMigrated) > 0);
+        assert!(p.thread(0).get(Event::DaemonCycles) > 0);
+        assert!(p.thread(0).get(Event::TlbShootdowns) >= 1);
+        let e = team.engine().unwrap();
+        assert!(e.numa_daemon().unwrap().totals().migrated > 0);
+        // A page deep in thread 3's partition now lives on node 1.
+        let probe = data.add((8 << 20) * 7 / 8);
+        let t = e.aspace.page_table().probe(probe).unwrap();
+        assert_eq!(e.machine.frames.node_of(t.pa), 1);
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct BuddyAllocator {
     /// ≥ `inject_min_order` (adversarial-fragmentation testing).
     inject_count: u64,
     inject_min_order: u8,
+    /// NUMA nodes the extent is divided into (1 = UMA).
+    nodes: usize,
+    /// Base frames per node (MAX_ORDER-aligned); the last node absorbs any
+    /// remainder. Meaningless when `nodes == 1`.
+    node_span: u64,
 }
 
 impl BuddyAllocator {
@@ -60,7 +65,27 @@ impl BuddyAllocator {
     /// starting at physical address 0. `total_bytes` is rounded down to a
     /// whole number of base frames.
     pub fn new(total_bytes: u64) -> Self {
+        Self::with_nodes(total_bytes, 1)
+    }
+
+    /// Create an allocator whose extent is divided into `nodes` equal NUMA
+    /// nodes. Node boundaries are aligned to `MAX_ORDER` blocks, so no
+    /// buddy block ever straddles two nodes; the last node absorbs any
+    /// remainder frames. With `nodes == 1` this is identical to
+    /// [`new`](Self::new).
+    pub fn with_nodes(total_bytes: u64, nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
         let total_frames = total_bytes >> SMALL_PAGE_SHIFT;
+        let node_span = if nodes == 1 {
+            total_frames
+        } else {
+            let span = (total_frames / nodes as u64) & !((1u64 << MAX_ORDER) - 1);
+            assert!(
+                span > 0,
+                "{total_bytes} bytes is too small to split across {nodes} nodes"
+            );
+            span
+        };
         let mut a = BuddyAllocator {
             free: (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect(),
             allocated: std::collections::HashMap::new(),
@@ -69,6 +94,8 @@ impl BuddyAllocator {
             stats: FrameStats::default(),
             inject_count: 0,
             inject_min_order: 0,
+            nodes,
+            node_span,
         };
         // Seed the free lists with maximal aligned blocks.
         let mut pfn = 0u64;
@@ -113,6 +140,86 @@ impl BuddyAllocator {
         (0..=MAX_ORDER)
             .rev()
             .find(|&o| !self.free[o as usize].is_empty())
+    }
+
+    /// Number of NUMA nodes the extent is divided into.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Home node of a physical address: the node whose frame range contains
+    /// it. Frames past the last even node boundary belong to the last node.
+    pub fn node_of(&self, pa: PhysAddr) -> usize {
+        if self.nodes == 1 {
+            return 0;
+        }
+        (((pa.0 >> SMALL_PAGE_SHIFT) / self.node_span) as usize).min(self.nodes - 1)
+    }
+
+    /// The `[start, end)` physical frame number range owned by `node`.
+    fn node_pfn_range(&self, node: usize) -> (u64, u64) {
+        let start = self.node_span * node as u64;
+        let end = if node == self.nodes - 1 {
+            self.total_frames
+        } else {
+            start + self.node_span
+        };
+        (start, end)
+    }
+
+    /// Bytes currently free on one node.
+    pub fn free_bytes_on(&self, node: usize) -> u64 {
+        assert!(node < self.nodes);
+        let (lo, hi) = self.node_pfn_range(node);
+        let mut frames = 0u64;
+        for o in 0..=MAX_ORDER {
+            frames += (self.free[o as usize].range(lo..hi).count() as u64) << o;
+        }
+        frames << SMALL_PAGE_SHIFT
+    }
+
+    /// Allocate one naturally aligned block of order `order` from `node`'s
+    /// frame range, falling back to the other nodes in ascending wrap-around
+    /// order when the preferred node is exhausted — the shape of Linux's
+    /// zonelist fallback. The caller can detect an off-node fallback with
+    /// [`node_of`](Self::node_of).
+    pub fn alloc_on_node(&mut self, node: usize, order: u8) -> VmResult<PhysAddr> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        assert!(node < self.nodes, "node {node} out of range");
+        if self.nodes == 1 {
+            return self.alloc(order);
+        }
+        if self.injected_failure(order) {
+            return Err(VmError::OutOfMemory { order });
+        }
+        for i in 0..self.nodes {
+            let n = (node + i) % self.nodes;
+            let (lo, hi) = self.node_pfn_range(n);
+            // Smallest order >= requested with a free block on this node.
+            // Node boundaries are MAX_ORDER-aligned, so any block whose base
+            // lies in the range is wholly contained in it.
+            let mut found = None;
+            for o in order..=MAX_ORDER {
+                if let Some(&pfn) = self.free[o as usize].range(lo..hi).next() {
+                    found = Some((o, pfn));
+                    break;
+                }
+            }
+            let Some((mut o, pfn)) = found else { continue };
+            self.free[o as usize].remove(&pfn);
+            while o > order {
+                o -= 1;
+                let buddy = pfn + (1u64 << o);
+                self.free[o as usize].insert(buddy);
+                self.stats.splits += 1;
+            }
+            self.free_frames -= 1 << order;
+            self.stats.allocs += 1;
+            self.allocated.insert(pfn, order);
+            return Ok(PhysAddr(pfn << SMALL_PAGE_SHIFT));
+        }
+        self.stats.failures += 1;
+        Err(VmError::OutOfMemory { order })
     }
 
     /// Allocate one naturally aligned block of order `order`, returning its
@@ -484,6 +591,73 @@ mod tests {
         // The budget is spent; allocation works again.
         let p = a.alloc(o9).unwrap();
         a.free(p, o9);
+    }
+
+    #[test]
+    fn node_ranges_partition_the_extent() {
+        let a = BuddyAllocator::with_nodes(mb(16), 2);
+        assert_eq!(a.nodes(), 2);
+        assert_eq!(a.free_bytes_on(0) + a.free_bytes_on(1), mb(16));
+        assert_eq!(a.node_of(PhysAddr(0)), 0);
+        assert_eq!(a.node_of(PhysAddr(mb(8) - 4096)), 0);
+        assert_eq!(a.node_of(PhysAddr(mb(8))), 1);
+        assert_eq!(a.node_of(PhysAddr(mb(16) - 4096)), 1);
+    }
+
+    #[test]
+    fn single_node_allocator_matches_uma_behavior() {
+        let mut uma = BuddyAllocator::new(mb(8));
+        let mut one = BuddyAllocator::with_nodes(mb(8), 1);
+        for _ in 0..64 {
+            assert_eq!(uma.alloc(0).unwrap(), one.alloc(0).unwrap());
+        }
+        assert_eq!(uma.alloc(9).unwrap(), one.alloc_on_node(0, 9).unwrap());
+        assert_eq!(one.node_of(PhysAddr(mb(7))), 0);
+    }
+
+    #[test]
+    fn alloc_on_node_stays_on_node_until_exhausted() {
+        let mut a = BuddyAllocator::with_nodes(mb(8), 2);
+        let o9 = PageSize::Large2M.buddy_order();
+        // Node 1 serves from its own half first.
+        let p = a.alloc_on_node(1, o9).unwrap();
+        assert_eq!(a.node_of(p), 1);
+        let q = a.alloc_on_node(1, o9).unwrap();
+        assert_eq!(a.node_of(q), 1);
+        assert_eq!(a.free_bytes_on(1), 0);
+        // Exhausted: falls back to node 0 rather than failing.
+        let r = a.alloc_on_node(1, o9).unwrap();
+        assert_eq!(a.node_of(r), 0);
+        // Blocks remain properly aligned and freeable.
+        a.free(p, o9);
+        a.free(q, o9);
+        a.free(r, o9);
+        assert_eq!(a.free_bytes(), mb(8));
+    }
+
+    #[test]
+    fn node_blocks_never_straddle_the_boundary() {
+        let mut a = BuddyAllocator::with_nodes(mb(16), 2);
+        while let Ok(p) = a.alloc(MAX_ORDER) {
+            let node_first = a.node_of(p);
+            let node_last = a.node_of(PhysAddr(p.0 + (4096 << MAX_ORDER) - 4096));
+            assert_eq!(node_first, node_last, "block at {p:?} straddles nodes");
+        }
+    }
+
+    #[test]
+    fn alloc_on_node_oom_only_when_every_node_is_empty() {
+        let mut a = BuddyAllocator::with_nodes(mb(8), 2);
+        let o9 = PageSize::Large2M.buddy_order();
+        // 2 large pages per node; node 0 then drains node 1 via fallback.
+        for _ in 0..4 {
+            a.alloc_on_node(0, o9).unwrap();
+        }
+        assert_eq!(
+            a.alloc_on_node(0, o9),
+            Err(VmError::OutOfMemory { order: o9 })
+        );
+        assert_eq!(a.stats().failures, 1);
     }
 
     #[test]

@@ -81,6 +81,13 @@ pub struct HugePoolStats {
 #[derive(Debug)]
 pub struct HugePool {
     free: Vec<PhysAddr>,
+    /// Per-node free buckets, populated only by
+    /// [`reserve_per_node`](Self::reserve_per_node) — the analogue of a
+    /// per-node `nr_hugepages` sysctl. Empty for classic reservations.
+    node_free: Vec<Vec<PhysAddr>>,
+    /// Home node of every frame reserved per-node, for re-bucketing on
+    /// unlink. Lookup-only, so unordered iteration never matters.
+    origin: HashMap<u64, usize>,
     files: HashMap<String, Arc<SharedSegment>>,
     stats: HugePoolStats,
 }
@@ -106,6 +113,8 @@ impl HugePool {
         }
         Ok(HugePool {
             free,
+            node_free: Vec::new(),
+            origin: HashMap::new(),
             files: HashMap::new(),
             stats: HugePoolStats {
                 reserved: pages,
@@ -114,9 +123,66 @@ impl HugePool {
         })
     }
 
-    /// Pages still available in the pool.
+    /// Reserve `per_node[n]` 2 MB pages on each NUMA node `n`, mirroring
+    /// Linux's per-node `nr_hugepages` reservation. Each page must come
+    /// from its requested node's frame range — a fallback to another node
+    /// is treated as exhaustion and rolls the whole reservation back.
+    /// Files are then cut from the per-node buckets with
+    /// [`create_file_on`](Self::create_file_on).
+    pub fn reserve_per_node(frames: &mut BuddyAllocator, per_node: &[u64]) -> VmResult<Self> {
+        let order = PageSize::Large2M.buddy_order();
+        let mut node_free: Vec<Vec<PhysAddr>> = per_node
+            .iter()
+            .map(|&n| Vec::with_capacity(n as usize))
+            .collect();
+        let mut origin = HashMap::new();
+        let rollback = |frames: &mut BuddyAllocator, buckets: &mut Vec<Vec<PhysAddr>>| {
+            for bucket in buckets.iter_mut() {
+                for pa in bucket.drain(..) {
+                    frames.free(pa, order);
+                }
+            }
+        };
+        for (node, &pages) in per_node.iter().enumerate() {
+            for _ in 0..pages {
+                match frames.alloc_on_node(node, order) {
+                    Ok(pa) if frames.node_of(pa) == node => {
+                        origin.insert(pa.0, node);
+                        node_free[node].push(pa);
+                    }
+                    Ok(pa) => {
+                        // Landed off-node: the node itself is full.
+                        frames.free(pa, order);
+                        rollback(frames, &mut node_free);
+                        return Err(VmError::OutOfMemory { order });
+                    }
+                    Err(e) => {
+                        rollback(frames, &mut node_free);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(HugePool {
+            free: Vec::new(),
+            node_free,
+            origin,
+            files: HashMap::new(),
+            stats: HugePoolStats {
+                reserved: per_node.iter().sum(),
+                ..Default::default()
+            },
+        })
+    }
+
+    /// Pages still available in the pool (all nodes combined).
     pub fn available(&self) -> u64 {
-        self.free.len() as u64
+        self.free.len() as u64 + self.node_free.iter().map(|b| b.len() as u64).sum::<u64>()
+    }
+
+    /// Pages still available on one node of a per-node reservation.
+    pub fn available_on(&self, node: usize) -> u64 {
+        self.node_free.get(node).map_or(0, |b| b.len() as u64)
     }
 
     /// Statistics snapshot.
@@ -151,6 +217,62 @@ impl HugePool {
         Ok(seg)
     }
 
+    /// Create a named file whose page `i` is drawn from node
+    /// `node_for(i)`'s bucket of a per-node reservation — how a NUMA-aware
+    /// runtime places a shared hugetlbfs heap (master-node, interleave, …)
+    /// at segment-creation time. When the requested node's bucket is empty
+    /// the page falls back to the lowest-numbered non-empty bucket, like
+    /// the kernel's zonelist walk.
+    pub fn create_file_on(
+        &mut self,
+        name: &str,
+        len_bytes: u64,
+        node_for: impl Fn(u64) -> usize,
+    ) -> VmResult<Arc<SharedSegment>> {
+        if self.node_free.is_empty() {
+            // Classic reservation: there is only one bucket, so placement
+            // degenerates to plain creation.
+            return self.create_file(name, len_bytes);
+        }
+        if self.files.contains_key(name) {
+            return Err(VmError::FileExists(name.to_owned()));
+        }
+        let pages = PageSize::Large2M.pages_for(len_bytes);
+        if pages > self.available() {
+            self.stats.failed += 1;
+            return Err(VmError::HugePoolExhausted {
+                requested: pages,
+                available: self.available(),
+            });
+        }
+        let mut frames = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let want = node_for(i).min(self.node_free.len().saturating_sub(1));
+            let bucket = if self.node_free.get(want).is_some_and(|b| !b.is_empty()) {
+                want
+            } else {
+                self.node_free
+                    .iter()
+                    .position(|b| !b.is_empty())
+                    .expect("available() said pages remain")
+            };
+            frames.push(
+                self.node_free[bucket]
+                    .pop()
+                    .expect("bucket checked non-empty"),
+            );
+        }
+        self.stats.in_use += pages;
+        self.stats.peak = self.stats.peak.max(self.stats.in_use);
+        let seg = Arc::new(SharedSegment {
+            name: name.to_owned(),
+            page_size: PageSize::Large2M,
+            frames,
+        });
+        self.files.insert(name.to_owned(), seg.clone());
+        Ok(seg)
+    }
+
     /// Look up an existing file by name (a second "process" opening it).
     pub fn open_file(&self, name: &str) -> VmResult<Arc<SharedSegment>> {
         self.files
@@ -171,7 +293,12 @@ impl HugePool {
         match Arc::try_unwrap(seg) {
             Ok(seg) => {
                 self.stats.in_use -= seg.frames.len() as u64;
-                self.free.extend(seg.frames);
+                for pa in seg.frames {
+                    match self.origin.get(&pa.0) {
+                        Some(&node) => self.node_free[node].push(pa),
+                        None => self.free.push(pa),
+                    }
+                }
                 Ok(())
             }
             Err(seg) => {
@@ -189,6 +316,12 @@ impl HugePool {
         for pa in self.free.drain(..) {
             frames.free(pa, order);
             self.stats.reserved -= 1;
+        }
+        for bucket in self.node_free.iter_mut() {
+            for pa in bucket.drain(..) {
+                frames.free(pa, order);
+                self.stats.reserved -= 1;
+            }
         }
     }
 }
@@ -214,13 +347,31 @@ impl ShmFs {
         name: &str,
         len_bytes: u64,
     ) -> VmResult<Arc<SharedSegment>> {
+        self.create_file_placed(frames, name, len_bytes, |_| None)
+    }
+
+    /// Like [`create_file`](Self::create_file), but page `i` is allocated
+    /// on node `node_for(i)` when it returns `Some` — NUMA placement for
+    /// shared 4 KB segments. `None` keeps the allocator's default (lowest
+    /// address first).
+    pub fn create_file_placed(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        name: &str,
+        len_bytes: u64,
+        node_for: impl Fn(u64) -> Option<usize>,
+    ) -> VmResult<Arc<SharedSegment>> {
         if self.files.contains_key(name) {
             return Err(VmError::FileExists(name.to_owned()));
         }
         let pages = PageSize::Small4K.pages_for(len_bytes);
         let mut fr = Vec::with_capacity(pages as usize);
-        for _ in 0..pages {
-            match frames.alloc(0) {
+        for i in 0..pages {
+            let got = match node_for(i) {
+                Some(node) => frames.alloc_on_node(node.min(frames.nodes() - 1), 0),
+                None => frames.alloc(0),
+            };
+            match got {
                 Ok(pa) => fr.push(pa),
                 Err(e) => {
                     for pa in fr {
@@ -336,6 +487,73 @@ mod tests {
         assert_eq!(f.free_bytes(), before - 8 * PageSize::Large2M.bytes());
         pool.shrink_to_fit(&mut f);
         assert_eq!(f.free_bytes(), before);
+    }
+
+    #[test]
+    fn per_node_reservation_places_pages() {
+        let mut f = BuddyAllocator::with_nodes(64 * 1024 * 1024, 2);
+        let mut pool = HugePool::reserve_per_node(&mut f, &[4, 4]).unwrap();
+        assert_eq!(pool.available(), 8);
+        assert_eq!(pool.available_on(0), 4);
+        assert_eq!(pool.available_on(1), 4);
+        // Interleaved file: even pages on node 0, odd on node 1.
+        let seg = pool
+            .create_file_on("heap", 4 * PageSize::Large2M.bytes(), |i| (i % 2) as usize)
+            .unwrap();
+        for i in 0..4 {
+            let pa = seg.frame(i).unwrap();
+            assert_eq!(f.node_of(pa), (i % 2) as usize, "page {i} misplaced");
+        }
+        assert_eq!(pool.available_on(0), 2);
+        assert_eq!(pool.available_on(1), 2);
+        // Master-node file: everything on node 0, overflowing to node 1
+        // once node 0's bucket runs dry.
+        let seg2 = pool
+            .create_file_on("master", 3 * PageSize::Large2M.bytes(), |_| 0)
+            .unwrap();
+        assert_eq!(f.node_of(seg2.frame(0).unwrap()), 0);
+        assert_eq!(f.node_of(seg2.frame(1).unwrap()), 0);
+        assert_eq!(f.node_of(seg2.frame(2).unwrap()), 1, "fallback bucket");
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn per_node_unlink_rebuckets_and_shrink_returns_all() {
+        let mut f = BuddyAllocator::with_nodes(64 * 1024 * 1024, 2);
+        let before = f.free_bytes();
+        let mut pool = HugePool::reserve_per_node(&mut f, &[2, 2]).unwrap();
+        let seg = pool
+            .create_file_on("heap", 2 * PageSize::Large2M.bytes(), |i| (i % 2) as usize)
+            .unwrap();
+        assert_eq!(pool.available_on(0), 1);
+        drop(seg);
+        pool.unlink("heap").unwrap();
+        assert_eq!(pool.available_on(0), 2);
+        assert_eq!(pool.available_on(1), 2);
+        pool.shrink_to_fit(&mut f);
+        assert_eq!(f.free_bytes(), before);
+    }
+
+    #[test]
+    fn per_node_reservation_rolls_back_when_a_node_is_full() {
+        // 8 MB split over 2 nodes = 2 large pages per node; asking for 3 on
+        // node 1 must fail without leaking the partial reservation.
+        let mut f = BuddyAllocator::with_nodes(8 * 1024 * 1024, 2);
+        let before = f.free_bytes();
+        assert!(HugePool::reserve_per_node(&mut f, &[1, 3]).is_err());
+        assert_eq!(f.free_bytes(), before);
+    }
+
+    #[test]
+    fn shm_placed_file_lands_on_requested_nodes() {
+        let mut f = BuddyAllocator::with_nodes(16 * 1024 * 1024, 2);
+        let mut shm = ShmFs::new();
+        let seg = shm
+            .create_file_placed(&mut f, "heap", 8 * 4096, |i| Some((i % 2) as usize))
+            .unwrap();
+        for i in 0..8 {
+            assert_eq!(f.node_of(seg.frame(i).unwrap()), (i % 2) as usize);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!
 //! * **incremental collapse** — scan anonymous 4 KB regions from a resume
 //!   cursor, collapse each fully populated, protection-uniform 2 MB chunk
-//!   (via the same [`crate::promote::try_collapse_chunk`] engine as the
+//!   (via the same `promote::try_collapse_chunk` engine as the
 //!   one-shot path), and stop when the per-invocation budget is spent;
 //! * **compaction fallback** — when a collapse fails for want of a free
 //!   order-9 block, run [`crate::compact::compact`] for one block and

@@ -29,6 +29,7 @@ pub mod fragment;
 pub mod frame;
 pub mod hugetlbfs;
 pub mod khugepaged;
+pub mod migrate;
 pub mod page_table;
 pub mod promote;
 pub mod vma;
@@ -40,6 +41,10 @@ pub use fragment::{age_heap, AgeReport};
 pub use frame::BuddyAllocator;
 pub use hugetlbfs::{HugePool, SharedSegment, ShmFs};
 pub use khugepaged::{DaemonCosts, Khugepaged, KhugepagedConfig, ScanOutcome};
+pub use migrate::{
+    migrate_page_to_node, HintSamples, MigrateOutcome, NumaDaemon, NumaDaemonConfig,
+    NumaScanOutcome,
+};
 pub use page_table::{AccessKind, PageTable, PteFlags, Translation, WalkTrace};
 pub use promote::{promote_region, PromotionReport};
-pub use vma::{AccessOutcome, AddressSpace, Backing, Populate, Vma};
+pub use vma::{AccessOutcome, AddressSpace, Backing, NodePolicy, Populate, Vma};

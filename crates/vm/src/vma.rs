@@ -31,6 +31,28 @@ pub enum Backing {
     Shared(Arc<SharedSegment>),
 }
 
+/// NUMA placement applied when an anonymous page is allocated at fault
+/// time. This is the VM half of the machine's placement policy: the
+/// machine decides which node is "local" to the faulting thread, the
+/// address space decides which node the fresh frame comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodePolicy {
+    /// Every anonymous page on one fixed node (the paper's master-node
+    /// degenerate case when the master's node is passed).
+    Fixed(usize),
+    /// Round-robin `chunk`-byte virtual chunks across the nodes. The chunk
+    /// is clamped up to the region's page size, so 2 MB pages interleave
+    /// at 2 MB even when 4 KB interleave is requested.
+    Interleave {
+        /// Bytes per interleave chunk.
+        chunk: u64,
+    },
+    /// Place each page on the node of the thread that first touches it —
+    /// Linux's default policy. Pages populated without a faulting thread
+    /// (eager prepopulation) fall back to node 0.
+    FirstTouch,
+}
+
 /// When the pages of a freshly created mapping get populated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Populate {
@@ -131,6 +153,9 @@ pub struct AddressSpace {
     next_mmap: u64,
     faults: FaultStats,
     promotions: u64,
+    /// `(nodes, policy)` governing anonymous frame placement; `None` keeps
+    /// the allocator's default (lowest address first).
+    node_policy: Option<(usize, NodePolicy)>,
 }
 
 impl AddressSpace {
@@ -143,7 +168,18 @@ impl AddressSpace {
             next_mmap: MMAP_BASE,
             faults: FaultStats::default(),
             promotions: 0,
+            node_policy: None,
         })
+    }
+
+    /// Set the NUMA placement policy for anonymous fault-time allocations.
+    pub fn set_node_policy(&mut self, nodes: usize, policy: NodePolicy) {
+        self.node_policy = Some((nodes, policy));
+    }
+
+    /// The NUMA placement policy, if one was set.
+    pub fn node_policy(&self) -> Option<(usize, NodePolicy)> {
+        self.node_policy
     }
 
     /// Fault statistics snapshot.
@@ -323,7 +359,7 @@ impl AddressSpace {
         while off < len {
             let va = vstart.add(off);
             if self.pt.probe(va).is_none() {
-                self.install_page(frames, idx, va)?;
+                self.install_page(frames, idx, va, None)?;
                 populated += 1;
             }
             off += size.bytes();
@@ -332,12 +368,16 @@ impl AddressSpace {
         Ok(populated)
     }
 
-    /// Install the page containing `va` for region index `idx`.
+    /// Install the page containing `va` for region index `idx`. For
+    /// anonymous backing the frame's home node follows the space's
+    /// [`NodePolicy`]; `touch` is the faulting thread's node, consumed by
+    /// [`NodePolicy::FirstTouch`].
     fn install_page(
         &mut self,
         frames: &mut BuddyAllocator,
         idx: usize,
         va: VirtAddr,
+        touch: Option<usize>,
     ) -> VmResult<PhysAddr> {
         let (vstart, size, flags, backing) = {
             let v = &self.vmas[idx];
@@ -345,7 +385,20 @@ impl AddressSpace {
         };
         let page_va = va.page_base(size);
         let pa = match backing {
-            Backing::Anonymous => frames.alloc(size.buddy_order())?,
+            Backing::Anonymous => match self.node_policy {
+                Some((nodes, policy)) => {
+                    let node = match policy {
+                        NodePolicy::Fixed(n) => n,
+                        NodePolicy::Interleave { chunk } => {
+                            let chunk = chunk.max(size.bytes());
+                            ((page_va.0 / chunk) as usize) % nodes
+                        }
+                        NodePolicy::FirstTouch => touch.unwrap_or(0),
+                    };
+                    frames.alloc_on_node(node.min(nodes - 1), size.buddy_order())?
+                }
+                None => frames.alloc(size.buddy_order())?,
+            },
             Backing::Shared(seg) => {
                 let page_index = (page_va.0 - vstart.0) >> size.shift();
                 seg.frame(page_index)?
@@ -366,6 +419,19 @@ impl AddressSpace {
         va: VirtAddr,
         kind: AccessKind,
     ) -> VmResult<AccessOutcome> {
+        self.access_from(frames, va, kind, None)
+    }
+
+    /// [`access`](Self::access) with the faulting thread's NUMA node, so a
+    /// demand fault under [`NodePolicy::FirstTouch`] places the fresh frame
+    /// on the toucher's node.
+    pub fn access_from(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        va: VirtAddr,
+        kind: AccessKind,
+        touch: Option<usize>,
+    ) -> VmResult<AccessOutcome> {
         match self.pt.walk(va, kind) {
             Ok((t, w)) => Ok(AccessOutcome::Walked(t, w)),
             Err(VmError::NotMapped(_)) => {
@@ -380,7 +446,7 @@ impl AddressSpace {
                     Backing::Anonymous => self.faults.anon_faults += 1,
                     Backing::Shared(_) => self.faults.shared_faults += 1,
                 }
-                self.install_page(frames, idx, va)?;
+                self.install_page(frames, idx, va, touch)?;
                 let (t, w) = self.pt.walk(va, kind)?;
                 Ok(AccessOutcome::Faulted(t, w))
             }
@@ -763,6 +829,55 @@ mod tests {
         assert!(report.contains("r-x"));
         // lazy region: 0 of 2 pages populated.
         assert!(report.contains("       0/2"), "report:\n{report}");
+    }
+
+    #[test]
+    fn first_touch_places_frames_on_the_touching_node() {
+        let mut f = BuddyAllocator::with_nodes(256 * 1024 * 1024, 2);
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        asp.set_node_policy(2, NodePolicy::FirstTouch);
+        let base = asp
+            .mmap(
+                &mut f,
+                4 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::OnDemand,
+                "heap",
+            )
+            .unwrap();
+        // Threads on node 1 touch pages 0-1, node 0 touches pages 2-3.
+        for (i, node) in [(0, 1usize), (1, 1), (2, 0), (3, 0)] {
+            let out = asp
+                .access_from(&mut f, base.add(i * 4096), AccessKind::Write, Some(node))
+                .unwrap();
+            assert!(out.faulted());
+            assert_eq!(f.node_of(out.translation().pa), node, "page {i}");
+        }
+    }
+
+    #[test]
+    fn interleave_policy_alternates_nodes_per_chunk() {
+        let mut f = BuddyAllocator::with_nodes(256 * 1024 * 1024, 2);
+        let mut asp = AddressSpace::new(&mut f).unwrap();
+        asp.set_node_policy(2, NodePolicy::Interleave { chunk: 4096 });
+        let base = asp
+            .mmap(
+                &mut f,
+                8 * 4096,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "heap",
+            )
+            .unwrap();
+        for i in 0..8u64 {
+            let t = asp.page_table().probe(base.add(i * 4096)).unwrap();
+            let expect = (((base.0 + i * 4096) / 4096) % 2) as usize;
+            assert_eq!(f.node_of(t.pa), expect, "page {i}");
+        }
     }
 
     #[test]

@@ -149,6 +149,82 @@ fn xeon_has_no_l2_tlb_hits() {
 }
 
 #[test]
+fn numa_counters_partition_dram_accesses() {
+    // With a NUMA config, every DRAM-reaching reference (data or page
+    // walk) is classified local or remote — the two must sum exactly to
+    // the L2 miss count, for every placement and page size.
+    use lpomp::machine::{NumaConfig, NumaPlacement};
+    for placement in [
+        NumaPlacement::MasterNode,
+        NumaPlacement::Interleave4K,
+        NumaPlacement::FirstTouch,
+    ] {
+        for policy in [PagePolicy::Small4K, PagePolicy::Large2M] {
+            let mut machine = opteron_2x2();
+            machine.numa = Some(NumaConfig::opteron(placement));
+            let r = run_sim(
+                AppKind::Mg,
+                Class::S,
+                machine,
+                policy,
+                4,
+                RunOpts {
+                    populate: lpomp::core::PopulatePolicy::OnDemand,
+                    ..RunOpts::default()
+                },
+            );
+            let c = &r.counters;
+            let local = c.get(Event::LocalDramAccesses);
+            let remote = c.get(Event::RemoteDramAccesses);
+            let l2m = c.get(Event::L2Misses);
+            assert_eq!(
+                local + remote,
+                l2m,
+                "{placement:?} {policy}: local {local} + remote {remote} != L2 misses {l2m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn numa_counters_zero_without_numa_config() {
+    // The uniform-memory paper baseline must not be perturbed: none of
+    // the NUMA-only counters may fire without a NUMA config.
+    for r in all_records() {
+        let c = &r.counters;
+        for ev in [
+            Event::LocalDramAccesses,
+            Event::RemoteDramAccesses,
+            Event::RemoteWalkCycles,
+            Event::NumaHintFaults,
+            Event::PagesMigrated,
+        ] {
+            assert_eq!(
+                c.get(ev),
+                0,
+                "{} {}: {ev:?} fired without a NUMA config",
+                r.app,
+                r.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn event_all_is_complete_ordered_and_uniquely_named() {
+    // `Event::ALL` drives every counter sheet and CSV header: it must
+    // list each event exactly once, in declaration order, with distinct
+    // mnemonics.
+    use std::collections::HashSet;
+    assert_eq!(Event::ALL.len(), Event::COUNT);
+    for (i, ev) in Event::ALL.iter().enumerate() {
+        assert_eq!(*ev as usize, i, "{ev:?} out of declaration order");
+    }
+    let names: HashSet<&str> = Event::ALL.iter().map(|e| e.mnemonic()).collect();
+    assert_eq!(names.len(), Event::COUNT, "duplicate mnemonic");
+}
+
+#[test]
 fn smt_flush_cycles_only_on_xeon_at_eight_threads() {
     let opt = run_sim(
         AppKind::Sp,

@@ -189,6 +189,7 @@ fn preallocation_moves_faults_out_of_the_run() {
         RunOpts {
             verify: false,
             populate: PopulatePolicy::Prefault,
+            ..RunOpts::default()
         },
     );
     let lazy = run_sim(
@@ -200,6 +201,7 @@ fn preallocation_moves_faults_out_of_the_run() {
         RunOpts {
             verify: false,
             populate: PopulatePolicy::OnDemand,
+            ..RunOpts::default()
         },
     );
     assert_eq!(pre.counters.get(Event::PageFaults), 0);

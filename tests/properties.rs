@@ -310,29 +310,35 @@ fn promotion_preserves_translations() {
     }
 }
 
-/// NUMA node assignment is always in range and respects page-size
-/// clamping (a page never straddles nodes).
+/// Physical NUMA properties of the node-aware buddy allocator: every
+/// frame's home node is in range, node-targeted allocation lands on the
+/// requested node while it has memory, and an allocated block of any
+/// order never straddles a node boundary — so a page's home is a
+/// property of the page alone (what the machine layer's cached
+/// micro-TLB home relies on).
 #[test]
-fn numa_nodes_in_range_and_page_uniform() {
-    use lpomp::machine::{NumaConfig, NumaPlacement};
+fn numa_nodes_in_range_and_blocks_node_uniform() {
+    use lpomp::vm::{BuddyAllocator, PhysAddr};
     for seed in 0..24u64 {
         let mut rng = Rng::new(0x17a * 49979687 + seed);
-        let addr = rng.below(1 << 33);
-        let placement = match rng.below(3) {
-            0 => NumaPlacement::MasterNode,
-            1 => NumaPlacement::Interleave4K,
-            _ => NumaPlacement::Interleave2M,
-        };
-        let n = NumaConfig::opteron(placement);
-        for page in [PageSize::Small4K, PageSize::Large2M] {
-            let node = n.node_of(VirtAddr(addr), page);
-            assert!(node < n.nodes, "seed {seed}");
-            // Every address inside the same page maps to the same node.
-            let base = VirtAddr(addr & !page.offset_mask());
+        let nodes = 2 + rng.below(3) as usize; // 2..=4
+        let mb = 16 * (1 + rng.below(8)); // 16..=128 MB
+        let mut frames = BuddyAllocator::with_nodes(mb * 1024 * 1024, nodes);
+        assert_eq!(frames.nodes(), nodes);
+        for _ in 0..64 {
+            let node = rng.below(nodes as u64) as usize;
+            let order = rng.below(10) as u8;
+            let Ok(pa) = frames.alloc_on_node(node, order) else {
+                continue;
+            };
+            let home = frames.node_of(pa);
+            assert!(home < nodes, "seed {seed}: node out of range");
+            // Every address inside the block lives on one node.
+            let last = PhysAddr(pa.0 + (4096u64 << order) - 1);
             assert_eq!(
-                n.node_of(base, page),
-                n.node_of(base.add(page.bytes() - 1), page),
-                "seed {seed}"
+                home,
+                frames.node_of(last),
+                "seed {seed}: block straddles a node boundary"
             );
         }
     }
@@ -384,6 +390,85 @@ fn khugepaged_twin_systems_are_semantically_identical() {
         };
         assert_eq!(spans(off), spans(on), "{app}: VMA layout diverged");
         // ...and identical per-page permissions, page by page.
+        for &(start, len) in &spans(off) {
+            for off_bytes in (0..len).step_by(4096) {
+                let va = VirtAddr(start + off_bytes);
+                let perms = |t: Option<lpomp::vm::Translation>| {
+                    t.map(|t| (t.flags.present, t.flags.writable, t.flags.executable))
+                };
+                assert_eq!(
+                    perms(off.aspace.page_table().probe(va)),
+                    perms(on.aspace.page_table().probe(va)),
+                    "{app}: permissions diverged at {va:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The NUMA machinery (first-touch placement, the balancing daemon,
+/// replicated page tables) is a pure performance layer: a run with all
+/// of it enabled computes bit-for-bit the same checksum as a plain
+/// NUMA run, over the same VMA layout, with identical per-page
+/// permissions. Only cycle counts may differ.
+#[test]
+fn numa_daemon_twin_systems_are_semantically_identical() {
+    use lpomp::core::{PagePolicy, PopulatePolicy, System, SystemConfig};
+    use lpomp::machine::{opteron_2x2, NumaConfig, NumaPlacement};
+    use lpomp::npb::{AppKind, Class};
+    use lpomp::vm::NumaDaemonConfig;
+
+    // MG's block-partitioned grids give the daemon node-dominated pages
+    // to migrate; CG's shared sparse vectors are accessed from both
+    // nodes, so the daemon judges them but (correctly) leaves them put.
+    for (app, threads, placement, expect_migrate) in [
+        (AppKind::Mg, 4, NumaPlacement::FirstTouch, true),
+        (AppKind::Cg, 4, NumaPlacement::MasterNode, false),
+    ] {
+        let run_twin = |daemon: bool| {
+            let mut machine = opteron_2x2();
+            let numa = NumaConfig::opteron(placement);
+            machine.numa = Some(if daemon {
+                numa.with_replicated_pt()
+            } else {
+                numa
+            });
+            let mut cfg = SystemConfig::paper(machine, PagePolicy::Small4K, threads);
+            cfg.populate = PopulatePolicy::OnDemand;
+            cfg.numa_daemon = daemon.then(NumaDaemonConfig::default);
+            let mut kernel = app.build(Class::S);
+            let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+            let checksum = kernel.run(&mut sys.team);
+            (checksum, sys)
+        };
+        let (cs_off, sys_off) = run_twin(false);
+        let (cs_on, sys_on) = run_twin(true);
+        assert_eq!(
+            cs_off.to_bits(),
+            cs_on.to_bits(),
+            "{app}: NUMA daemon/replication changed the checksum"
+        );
+        let off = sys_off.team.engine().unwrap();
+        let on = sys_on.team.engine().unwrap();
+        // Meaningful only if the daemon actually did something: either
+        // it migrated pages, or it at least judged remote-majority pages
+        // (CG's genuinely shared pages are kept put by design).
+        let totals = on.numa_daemon().unwrap().totals();
+        if expect_migrate {
+            assert!(
+                totals.migrated > 0,
+                "{app}: daemon never migrated a page — twin test is vacuous"
+            );
+        } else {
+            assert!(
+                totals.migrated + totals.stuck_shared > 0,
+                "{app}: daemon never judged a page — twin test is vacuous"
+            );
+        }
+        let spans = |e: &lpomp::runtime::SimEngine| -> Vec<(u64, u64)> {
+            e.aspace.vmas().iter().map(|v| (v.start.0, v.len)).collect()
+        };
+        assert_eq!(spans(off), spans(on), "{app}: VMA layout diverged");
         for &(start, len) in &spans(off) {
             for off_bytes in (0..len).step_by(4096) {
                 let va = VirtAddr(start + off_bytes);
