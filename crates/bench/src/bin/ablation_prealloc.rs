@@ -8,18 +8,14 @@
 //! a page-fault (and the walk behind it); with `Prefault` the run itself
 //! takes zero faults.
 //!
-//! The populate policy lives in `RunOpts`, outside the `SweepSpec` axes,
+//! The populate policy is a [`SystemBuilder`] axis outside `SweepSpec`,
 //! so the eight runs fan out with [`lpomp_core::par_map`] directly
 //! (`LPOMP_WORKERS` overrides the worker count).
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin ablation_prealloc [S|W|A]`
 
+use lpomp::prelude::*;
 use lpomp_bench::class_from_args;
-use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, PopulatePolicy, RunOpts};
-use lpomp_machine::opteron_2x2;
-use lpomp_npb::AppKind;
-use lpomp_prof::table::fnum;
-use lpomp_prof::{Event, TextTable};
 
 fn main() {
     let class = class_from_args();
@@ -43,18 +39,11 @@ fn main() {
         .collect();
     let pairs = par_map(&grid, default_workers(), |_, &(app, policy)| {
         let run = |populate| {
-            run_sim(
-                app,
-                class,
-                opteron_2x2(),
-                policy,
-                4,
-                RunOpts {
-                    verify: false,
-                    populate,
-                    ..RunOpts::default()
-                },
-            )
+            let b = System::builder(opteron_2x2())
+                .policy(policy)
+                .threads(4)
+                .populate(populate);
+            run_system(app, class, &b, RunOpts::default())
         };
         (run(PopulatePolicy::Prefault), run(PopulatePolicy::OnDemand))
     });

@@ -14,12 +14,8 @@
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin ablation_pwc [S|W|A]`
 
+use lpomp::prelude::*;
 use lpomp_bench::class_from_args;
-use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, RunOpts};
-use lpomp_machine::opteron_2x2;
-use lpomp_npb::AppKind;
-use lpomp_prof::table::fnum;
-use lpomp_prof::TextTable;
 
 fn main() {
     let class = class_from_args();

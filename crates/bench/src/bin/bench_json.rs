@@ -17,9 +17,8 @@
 
 use std::time::Instant;
 
+use lpomp::prelude::*;
 use lpomp_bench::class_from_args;
-use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, RunOpts, SweepSpec};
-use lpomp_npb::AppKind;
 
 /// Minimal JSON string escaping for the identifiers we emit.
 fn esc(s: &str) -> String {

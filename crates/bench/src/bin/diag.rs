@@ -3,11 +3,8 @@
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin diag [class] [APP]`
 
+use lpomp::prelude::*;
 use lpomp_bench::run_pair;
-use lpomp_machine::opteron_2x2;
-use lpomp_npb::{AppKind, Class};
-use lpomp_prof::table::fnum;
-use lpomp_prof::{Event, TextTable};
 
 fn main() {
     let class = match std::env::args().nth(1).as_deref() {

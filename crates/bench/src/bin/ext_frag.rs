@@ -19,14 +19,8 @@
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin ext_frag [S|W|A]`
 
+use lpomp::prelude::*;
 use lpomp_bench::class_from_args;
-use lpomp_core::{
-    default_workers, par_map, run_sim, PagePolicy, RunOpts, RunRecord, System, SystemConfig,
-};
-use lpomp_machine::opteron_2x2;
-use lpomp_npb::{AppKind, Class, Kernel};
-use lpomp_prof::table::fnum;
-use lpomp_prof::{Event, TextTable};
 use lpomp_vm::{age_heap, PageSize};
 
 const SEVERITIES: [f64; 3] = [0.0, 0.5, 1.0];
@@ -46,8 +40,8 @@ struct Aged {
 
 /// Build a THP system, age its free memory, and return the system plus
 /// the post-aging fragmentation index at order 9.
-fn aged_system(cfg: &SystemConfig, kernel: &mut dyn Kernel, severity: f64) -> (System, f64) {
-    let mut sys = System::build(cfg, kernel).unwrap();
+fn aged_system(builder: &SystemBuilder, kernel: &mut dyn Kernel, severity: f64) -> (System, f64) {
+    let mut sys = builder.build(kernel).unwrap();
     let e = sys.team.engine_mut().unwrap();
     age_heap(&mut e.machine.frames, &mut e.aspace, severity).unwrap();
     let frag_index = e
@@ -60,8 +54,8 @@ fn aged_system(cfg: &SystemConfig, kernel: &mut dyn Kernel, severity: f64) -> (S
 /// Scenario 2: one-shot stop-the-world collapse on an aged heap.
 fn one_shot(app: AppKind, class: Class, severity: f64) -> Aged {
     let mut kernel = app.build(class);
-    let cfg = SystemConfig::thp(opteron_2x2(), 4);
-    let (mut sys, frag_index) = aged_system(&cfg, kernel.as_mut(), severity);
+    let b = System::builder(opteron_2x2()).threads(4).thp();
+    let (mut sys, frag_index) = aged_system(&b, kernel.as_mut(), severity);
     kernel.run(&mut sys.team);
     let run1 = sys.team.elapsed_seconds();
     let report = sys.promote_heap().unwrap();
@@ -84,8 +78,8 @@ fn one_shot(app: AppKind, class: Class, severity: f64) -> Aged {
 /// Scenario 3: the incremental khugepaged daemon with compaction.
 fn daemon(app: AppKind, class: Class, severity: f64) -> Aged {
     let mut kernel = app.build(class);
-    let cfg = SystemConfig::thp_daemon(opteron_2x2(), 4);
-    let (mut sys, frag_index) = aged_system(&cfg, kernel.as_mut(), severity);
+    let b = System::builder(opteron_2x2()).threads(4).thp_daemon(true);
+    let (mut sys, frag_index) = aged_system(&b, kernel.as_mut(), severity);
     kernel.run(&mut sys.team);
     let run1 = sys.team.elapsed_seconds();
     let agg1 = sys.team.aggregate_counters();

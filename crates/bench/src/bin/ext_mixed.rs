@@ -13,12 +13,8 @@
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin ext_mixed [S|W|A]`
 
+use lpomp::prelude::*;
 use lpomp_bench::class_from_args;
-use lpomp_core::{PagePolicy, RunOpts, SweepSpec};
-use lpomp_machine::opteron_2x2;
-use lpomp_npb::AppKind;
-use lpomp_prof::table::fnum;
-use lpomp_prof::TextTable;
 
 fn main() {
     let class = class_from_args();

@@ -32,14 +32,8 @@
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin ext_numa [S|W|A]`
 
+use lpomp::prelude::*;
 use lpomp_bench::{class_from_args, maybe_write_csv};
-use lpomp_core::{
-    default_workers, par_map, run_sim, PagePolicy, PopulatePolicy, RunOpts, RunRecord,
-};
-use lpomp_machine::{opteron_2x2, NumaConfig, NumaPlacement};
-use lpomp_npb::AppKind;
-use lpomp_prof::table::fnum;
-use lpomp_prof::{Event, TextTable};
 use lpomp_vm::NumaDaemonConfig;
 
 /// One cell of the run grid.
@@ -108,21 +102,22 @@ fn main() {
         }
     }
     let records = par_map(&grid, default_workers(), |_, c| {
-        let mut machine = opteron_2x2();
-        machine.numa = c.placement.map(|p| {
+        let mut b = System::builder(opteron_2x2())
+            .policy(c.policy)
+            .threads(4)
+            .populate(PopulatePolicy::OnDemand);
+        if let Some(p) = c.placement {
             let n = NumaConfig::opteron(p);
-            if c.replicate {
+            b = b.numa(if c.replicate {
                 n.with_replicated_pt()
             } else {
                 n
-            }
-        });
-        let opts = RunOpts {
-            populate: PopulatePolicy::OnDemand,
-            numa_daemon: c.daemon.then(NumaDaemonConfig::default),
-            ..RunOpts::default()
-        };
-        run_sim(c.app, class, machine, c.policy, 4, opts)
+            });
+        }
+        if c.daemon {
+            b = b.numa_daemon(NumaDaemonConfig::default());
+        }
+        run_system(c.app, class, &b, RunOpts::default())
     });
     let find = |cfg: Cfg| -> &RunRecord {
         let i = grid.iter().position(|c| *c == cfg).expect("cell in grid");

@@ -15,10 +15,9 @@
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin ext_reach`
 
-use lpomp_machine::{opteron_2x2, AccessMode, DataKind, Machine};
+use lpomp::prelude::*;
+use lpomp_machine::{AccessMode, DataKind, Machine};
 use lpomp_npb::Nprng;
-use lpomp_prof::table::fnum;
-use lpomp_prof::{Counters, Event, TextTable};
 use lpomp_vm::{AddressSpace, Backing, PageSize, Populate, PteFlags};
 
 const ACCESSES: u64 = 200_000;

@@ -14,12 +14,8 @@
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin ext_thp [S|W|A]`
 
+use lpomp::prelude::*;
 use lpomp_bench::class_from_args;
-use lpomp_core::{default_workers, par_map, run_sim, PagePolicy, RunOpts, System, SystemConfig};
-use lpomp_machine::opteron_2x2;
-use lpomp_npb::AppKind;
-use lpomp_prof::table::fnum;
-use lpomp_prof::{Event, TextTable};
 
 fn main() {
     let class = class_from_args();
@@ -37,8 +33,11 @@ fn main() {
 
     // THP scenario: private 4 KB heap, promote after the first run.
     let mut kernel = app.build(class);
-    let cfg = SystemConfig::thp(opteron_2x2(), 4);
-    let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+    let mut sys = System::builder(opteron_2x2())
+        .threads(4)
+        .thp()
+        .build(kernel.as_mut())
+        .unwrap();
     kernel.run(&mut sys.team);
     let first_run = sys.team.elapsed_seconds();
     let misses_first = sys.team.aggregate_counters().get(Event::DtlbMisses);

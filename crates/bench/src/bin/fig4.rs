@@ -8,12 +8,8 @@
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin fig4 [S|W|A]`
 
+use lpomp::prelude::*;
 use lpomp_bench::{class_from_args, improvement_pct};
-use lpomp_core::{figure4_thread_counts, PagePolicy, SweepSpec};
-use lpomp_machine::{opteron_2x2, xeon_2x2_ht};
-use lpomp_npb::AppKind;
-use lpomp_prof::table::fnum;
-use lpomp_prof::TextTable;
 
 fn main() {
     let class = class_from_args();

@@ -34,6 +34,7 @@ fn main() {
         ("ext_numa", true),
         ("ext_reach", false),
         ("ext_frag", true),
+        ("profile", true),
         ("diag", true),
     ];
     let mut failures = 0;

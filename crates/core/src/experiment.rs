@@ -5,12 +5,17 @@
 //! thread count. The returned [`RunRecord`] carries the simulated run
 //! time, the full aggregate counter sheet (the OProfile measurements of
 //! Figs. 3 and 5), and the checksum/verification status.
+//!
+//! [`run_system`] is the general form: it takes a [`SystemBuilder`], so
+//! any configuration axis (daemons, NUMA, profiling) can drive a run —
+//! and a profiling builder additionally fills the record's per-region
+//! sheet and trace.
 
-use crate::policy::{PagePolicy, PopulatePolicy};
-use crate::system::{System, SystemConfig};
+use crate::policy::PagePolicy;
+use crate::system::SystemBuilder;
 use lpomp_machine::MachineConfig;
 use lpomp_npb::{AppKind, Class};
-use lpomp_prof::{Counters, Event};
+use lpomp_prof::{Counters, Event, ProfileSheet};
 
 /// The result of one simulated benchmark run.
 ///
@@ -40,6 +45,12 @@ pub struct RunRecord {
     /// Whether the checksum matched the serial reference (only evaluated
     /// when verification was requested).
     pub verified: Option<bool>,
+    /// Per-region × per-thread attribution (builders with
+    /// [`lpomp_prof::ProfileSpec::Regions`] or `Trace`).
+    pub regions: Option<ProfileSheet>,
+    /// Chrome `trace_event` JSON of the run (builders with
+    /// [`lpomp_prof::ProfileSpec::Trace`]).
+    pub trace: Option<String>,
 }
 
 impl RunRecord {
@@ -63,30 +74,52 @@ impl RunRecord {
     }
 }
 
-/// Options for [`run_sim`].
-#[derive(Clone, Copy, Debug)]
+/// Run-scoped options for [`run_sim`] / [`run_system`] — what to do
+/// *around* the run, not how to configure the system (that is the
+/// [`SystemBuilder`]'s job).
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RunOpts {
     /// Verify the checksum against the serial reference (costs one
     /// native serial execution of the kernel).
     pub verify: bool,
-    /// Populate policy (the paper's default is prefault).
-    pub populate: PopulatePolicy,
-    /// Attach the AutoNUMA-style balancing daemon (extension E3; only
-    /// meaningful on a machine with a NUMA configuration).
-    pub numa_daemon: Option<lpomp_vm::NumaDaemonConfig>,
 }
 
-impl Default for RunOpts {
-    fn default() -> Self {
-        RunOpts {
-            verify: false,
-            populate: PopulatePolicy::Prefault,
-            numa_daemon: None,
-        }
+/// Run one simulated benchmark on a fully configured system builder —
+/// the general runner behind [`run_sim`]. Page policy, population,
+/// daemons, NUMA and profiling all come from the builder; the record's
+/// `regions`/`trace` fields are filled when the builder enables
+/// profiling.
+pub fn run_system(app: AppKind, class: Class, builder: &SystemBuilder, opts: RunOpts) -> RunRecord {
+    let cfg = builder.config();
+    let machine_name = cfg.machine.name;
+    let policy = cfg.policy;
+    let threads = cfg.threads;
+    let mut kernel = app.build(class);
+    let mut sys = builder
+        .build(kernel.as_mut())
+        .unwrap_or_else(|e| panic!("{app} {class} system build failed: {e}"));
+    let checksum = kernel.run(&mut sys.team);
+    let verified = opts.verify.then(|| kernel.verify(checksum));
+    let cycles = sys.team.elapsed_cycles();
+    let seconds = sys.team.engine().unwrap().machine.cost().seconds(cycles);
+    RunRecord {
+        app,
+        class,
+        machine: machine_name,
+        policy,
+        threads,
+        seconds,
+        cycles,
+        counters: sys.team.aggregate_counters(),
+        checksum,
+        verified,
+        regions: sys.team.region_sheet(),
+        trace: sys.team.trace_json(),
     }
 }
 
-/// Run one simulated benchmark configuration.
+/// Run one simulated benchmark configuration (the paper's shape: a
+/// platform, a page policy, a thread count, startup prefaulting).
 pub fn run_sim(
     app: AppKind,
     class: Class,
@@ -95,35 +128,8 @@ pub fn run_sim(
     threads: usize,
     opts: RunOpts,
 ) -> RunRecord {
-    let machine_name = machine.name;
-    let mut kernel = app.build(class);
-    let cfg = SystemConfig {
-        machine,
-        policy,
-        populate: opts.populate,
-        threads,
-        quantum: lpomp_runtime::DEFAULT_QUANTUM,
-        private_heap: false,
-        khugepaged: None,
-        numa_daemon: opts.numa_daemon,
-    };
-    let mut sys = System::build(&cfg, kernel.as_mut())
-        .unwrap_or_else(|e| panic!("{app} {class} system build failed: {e}"));
-    let checksum = kernel.run(&mut sys.team);
-    let verified = opts.verify.then(|| kernel.verify(checksum));
-    let cycles = sys.team.elapsed_cycles();
-    RunRecord {
-        app,
-        class,
-        machine: machine_name,
-        policy,
-        threads,
-        seconds: sys.team.engine().unwrap().machine.cost().seconds(cycles),
-        cycles,
-        counters: sys.team.aggregate_counters(),
-        checksum,
-        verified,
-    }
+    let builder = SystemBuilder::new(machine).policy(policy).threads(threads);
+    run_system(app, class, &builder, opts)
 }
 
 /// The thread counts of the paper's Fig. 4 for a platform: 1, 2, 4 on the
@@ -149,16 +155,40 @@ mod tests {
             opteron_2x2(),
             PagePolicy::Small4K,
             2,
-            RunOpts {
-                verify: true,
-                ..Default::default()
-            },
+            RunOpts { verify: true },
         );
         assert_eq!(r.machine, "Opteron");
         assert_eq!(r.verified, Some(true));
         assert!(r.seconds > 0.0);
         assert!(r.cycles > 0);
         assert!(r.dtlb_misses() > 0);
+    }
+
+    #[test]
+    fn run_system_fills_regions_and_trace_when_profiling() {
+        use crate::system::System;
+        use lpomp_prof::ProfileSpec;
+        let base = System::builder(opteron_2x2())
+            .policy(PagePolicy::Small4K)
+            .threads(2);
+        let plain = run_system(AppKind::Cg, Class::S, &base, RunOpts::default());
+        assert!(plain.regions.is_none() && plain.trace.is_none());
+        let traced = run_system(
+            AppKind::Cg,
+            Class::S,
+            &base.clone().profile(ProfileSpec::Trace),
+            RunOpts::default(),
+        );
+        // Profiling observes without perturbing: identical run otherwise.
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.counters, traced.counters);
+        assert_eq!(plain.checksum, traced.checksum);
+        let sheet = traced.regions.expect("regions requested");
+        assert_eq!(sheet.total(), traced.counters, "conservation");
+        assert!(sheet.by_name("rt:barrier").is_some());
+        let json = traced.trace.expect("trace requested");
+        let doc = lpomp_prof::parse_json(&json).unwrap();
+        assert!(doc.get("traceEvents").is_some());
     }
 
     #[test]

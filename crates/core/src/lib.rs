@@ -8,10 +8,12 @@
 //!
 //! * [`policy`] — [`PagePolicy`] (4 KB / 2 MB / mixed) and the
 //!   preallocation-vs-demand choice;
-//! * [`system`] — [`System::build`]: code segment, hugetlbfs pool, shared
-//!   map file, mailbox file, region allocator, simulated team;
-//! * [`experiment`] — [`run_sim`]: one call per figure bar, returning run
-//!   time plus the full counter sheet.
+//! * [`system`] — [`System::builder`]: one fluent front door to the code
+//!   segment, hugetlbfs pool, shared map file, mailbox file, region
+//!   allocator, daemons, NUMA, profiling and the simulated team;
+//! * [`experiment`] — [`run_sim`] / [`run_system`]: one call per figure
+//!   bar, returning run time plus the full counter sheet (and, when the
+//!   builder enables profiling, the per-region attribution and trace).
 //!
 //! ## Quickstart
 //!
@@ -26,6 +28,25 @@
 //!                     PagePolicy::Large2M, 4, RunOpts::default());
 //! assert!(large.dtlb_misses() < small.dtlb_misses());
 //! ```
+//!
+//! Per-region attribution (the paper's OProfile-per-loop view):
+//!
+//! ```
+//! use lpomp_core::{run_system, PagePolicy, ProfileSpec, RunOpts, System};
+//! use lpomp_npb::{AppKind, Class};
+//! use lpomp_machine::opteron_2x2;
+//! use lpomp_prof::Event;
+//!
+//! let b = System::builder(opteron_2x2())
+//!     .threads(4)
+//!     .policy(PagePolicy::Small4K)
+//!     .profile(ProfileSpec::Regions);
+//! let r = run_system(AppKind::Cg, Class::S, &b, RunOpts::default());
+//! let sheet = r.regions.unwrap();
+//! for (region, misses) in sheet.top_by(Event::DtlbMisses) {
+//!     println!("{:>12}  {}", misses, sheet.name(region));
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -35,8 +56,9 @@ pub mod policy;
 pub mod sweep;
 pub mod system;
 
-pub use experiment::{figure4_thread_counts, run_sim, RunOpts, RunRecord};
+pub use experiment::{figure4_thread_counts, run_sim, run_system, RunOpts, RunRecord};
+pub use lpomp_prof::ProfileSpec;
 pub use parallel::{default_workers, par_map};
 pub use policy::{PagePolicy, PopulatePolicy};
 pub use sweep::{SweepResults, SweepSpec};
-pub use system::{SetupStats, System, SystemConfig, CODE_BASE};
+pub use system::{SetupStats, System, SystemBuilder, SystemConfig, CODE_BASE};

@@ -17,8 +17,9 @@
 //!    transformation target) and build the simulated fork-join team.
 
 use crate::policy::{PagePolicy, PopulatePolicy};
-use lpomp_machine::{CodeWalker, Machine, MachineConfig, NumaPlacement};
+use lpomp_machine::{CodeWalker, Machine, MachineConfig, NumaConfig, NumaPlacement};
 use lpomp_npb::{CodeProfile, Kernel};
+use lpomp_prof::ProfileSpec;
 use lpomp_runtime::{BumpAllocator, SimEngine, Team, DEFAULT_QUANTUM};
 use lpomp_vm::{
     promote_region, AddressSpace, Backing, HugePool, KhugepagedConfig, NodePolicy,
@@ -62,47 +63,186 @@ pub struct SystemConfig {
     /// accessors are migrated at barriers. Only meaningful when the
     /// machine has a NUMA configuration.
     pub numa_daemon: Option<NumaDaemonConfig>,
+    /// Attach the region-attribution profiler (and, for
+    /// [`ProfileSpec::Trace`], the timeline recorder). Observational
+    /// only: profiled runs are cycle-identical to unprofiled ones.
+    pub profile: ProfileSpec,
 }
 
 impl SystemConfig {
     /// The paper's configuration: given machine/policy/threads, with
     /// startup preallocation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `System::builder(machine).policy(..).threads(..)`"
+    )]
     pub fn paper(machine: MachineConfig, policy: PagePolicy, threads: usize) -> Self {
-        SystemConfig {
-            machine,
-            policy,
-            populate: PopulatePolicy::Prefault,
-            threads,
-            quantum: DEFAULT_QUANTUM,
-            private_heap: false,
-            khugepaged: None,
-            numa_daemon: None,
-        }
+        SystemBuilder::new(machine)
+            .policy(policy)
+            .threads(threads)
+            .into_config()
     }
 
     /// A THP-experiment configuration: 4 KB pages over a private
     /// anonymous heap that [`System::promote_heap`] can collapse later.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `System::builder(machine).thp().threads(..)`"
+    )]
     pub fn thp(machine: MachineConfig, threads: usize) -> Self {
-        SystemConfig {
-            machine,
-            policy: PagePolicy::Small4K,
-            populate: PopulatePolicy::Prefault,
-            threads,
-            quantum: DEFAULT_QUANTUM,
-            private_heap: true,
-            khugepaged: None,
-            numa_daemon: None,
-        }
+        SystemBuilder::new(machine)
+            .thp()
+            .threads(threads)
+            .into_config()
     }
 
     /// Like [`SystemConfig::thp`], but with the incremental khugepaged
     /// daemon attached: the heap is collapsed a budgeted chunk at a time
     /// at barriers, with compaction when the buddy heap is fragmented.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `System::builder(machine).thp_daemon(true).threads(..)`"
+    )]
     pub fn thp_daemon(machine: MachineConfig, threads: usize) -> Self {
-        SystemConfig {
-            khugepaged: Some(KhugepagedConfig::default()),
-            ..SystemConfig::thp(machine, threads)
+        SystemBuilder::new(machine)
+            .thp_daemon(true)
+            .threads(threads)
+            .into_config()
+    }
+}
+
+/// Fluent assembly of a simulated system — the one front door to every
+/// configuration axis (page policy, population, daemons, NUMA,
+/// profiling). Start from [`System::builder`]:
+///
+/// ```
+/// use lpomp_core::{PagePolicy, System};
+/// use lpomp_machine::opteron_2x2;
+/// use lpomp_npb::{AppKind, Class};
+///
+/// let mut kernel = AppKind::Cg.build(Class::S);
+/// let mut sys = System::builder(opteron_2x2())
+///     .threads(4)
+///     .policy(PagePolicy::Large2M)
+///     .build(kernel.as_mut())
+///     .unwrap();
+/// let checksum = kernel.run(&mut sys.team);
+/// assert!(kernel.verify(checksum));
+/// ```
+///
+/// Defaults: 1 thread, 4 KB pages, startup prefaulting, no daemons, no
+/// profiling — each method overrides one axis and returns the builder.
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemBuilder {
+    /// A builder with the defaults above on the given platform.
+    pub fn new(machine: MachineConfig) -> Self {
+        SystemBuilder {
+            cfg: SystemConfig {
+                machine,
+                policy: PagePolicy::Small4K,
+                populate: PopulatePolicy::Prefault,
+                threads: 1,
+                quantum: DEFAULT_QUANTUM,
+                private_heap: false,
+                khugepaged: None,
+                numa_daemon: None,
+                profile: ProfileSpec::Off,
+            },
         }
+    }
+
+    /// Number of logical threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Page-size policy for the shared heap.
+    pub fn policy(mut self, policy: PagePolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Startup preallocation vs demand faulting.
+    pub fn populate(mut self, populate: PopulatePolicy) -> Self {
+        self.cfg.populate = populate;
+        self
+    }
+
+    /// Simulated-engine interleaving quantum (iterations).
+    pub fn quantum(mut self, quantum: usize) -> Self {
+        self.cfg.quantum = quantum;
+        self
+    }
+
+    /// Back the heap with private anonymous memory (required for
+    /// [`System::promote_heap`]; implied by [`Self::thp`]).
+    pub fn private_heap(mut self, private: bool) -> Self {
+        self.cfg.private_heap = private;
+        self
+    }
+
+    /// The THP scenario: a 4 KB private anonymous heap that
+    /// [`System::promote_heap`] (or the khugepaged daemon) can collapse.
+    pub fn thp(self) -> Self {
+        self.policy(PagePolicy::Small4K).private_heap(true)
+    }
+
+    /// `on`: the THP scenario plus the incremental khugepaged daemon
+    /// (default [`KhugepagedConfig`]). `false` detaches the daemon.
+    pub fn thp_daemon(mut self, on: bool) -> Self {
+        if on {
+            self.cfg.khugepaged = Some(KhugepagedConfig::default());
+            self.thp()
+        } else {
+            self.cfg.khugepaged = None;
+            self
+        }
+    }
+
+    /// Attach an incremental khugepaged daemon with an explicit config.
+    pub fn khugepaged(mut self, cfg: KhugepagedConfig) -> Self {
+        self.cfg.khugepaged = Some(cfg);
+        self
+    }
+
+    /// Make the platform NUMA (placement policy, node count, PT
+    /// replication — see [`NumaConfig`]).
+    pub fn numa(mut self, numa: NumaConfig) -> Self {
+        self.cfg.machine.numa = Some(numa);
+        self
+    }
+
+    /// Attach the AutoNUMA-style balancing daemon.
+    pub fn numa_daemon(mut self, cfg: NumaDaemonConfig) -> Self {
+        self.cfg.numa_daemon = Some(cfg);
+        self
+    }
+
+    /// Attach the region-attribution profiler ([`ProfileSpec::Regions`])
+    /// or the profiler plus timeline ([`ProfileSpec::Trace`]).
+    pub fn profile(mut self, spec: ProfileSpec) -> Self {
+        self.cfg.profile = spec;
+        self
+    }
+
+    /// The accumulated configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Unwrap into the plain [`SystemConfig`].
+    pub fn into_config(self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Assemble the system and run the kernel's `setup` in its heap.
+    pub fn build(&self, kernel: &mut dyn Kernel) -> VmResult<System> {
+        System::build(&self.cfg, kernel)
     }
 }
 
@@ -127,6 +267,12 @@ pub struct System {
 }
 
 impl System {
+    /// Start a [`SystemBuilder`] on the given platform — the preferred
+    /// way to configure a system.
+    pub fn builder(machine: MachineConfig) -> SystemBuilder {
+        SystemBuilder::new(machine)
+    }
+
     /// Assemble a system and run the kernel's `setup` inside its shared
     /// region. After this, `run` on the kernel with `self.team` executes
     /// the measured benchmark.
@@ -342,6 +488,7 @@ impl System {
         if let Some(nd) = cfg.numa_daemon {
             engine.enable_numa_daemon(nd);
         }
+        engine.enable_profiling(cfg.profile);
         Ok(System {
             team: Team::simulated(engine),
             setup,
@@ -398,6 +545,7 @@ impl System {
         // and edit 513 PTEs (512 unmaps + 1 large map) under the PT lock.
         let c = engine.machine.cost();
         let cycles = report.promoted * (512 * c.migrate_page + 513 * c.pt_edit);
+        engine.region_enter("os:promote");
         engine.charge_all(cycles);
         if report.promoted > 0 {
             // IPI shootdown: stale 4 KB translations must go everywhere,
@@ -414,6 +562,7 @@ impl System {
                 "stale TLB entries survived the post-collapse shootdown"
             );
         }
+        engine.region_exit();
         Ok(report)
     }
 }
@@ -426,17 +575,12 @@ mod tests {
 
     fn build(policy: PagePolicy, populate: PopulatePolicy) -> (System, Box<dyn Kernel>) {
         let mut kernel = AppKind::Cg.build(Class::S);
-        let cfg = SystemConfig {
-            machine: opteron_2x2(),
-            policy,
-            populate,
-            threads: 4,
-            quantum: DEFAULT_QUANTUM,
-            private_heap: false,
-            khugepaged: None,
-            numa_daemon: None,
-        };
-        let sys = System::build(&cfg, kernel.as_mut()).unwrap();
+        let sys = System::builder(opteron_2x2())
+            .threads(4)
+            .policy(policy)
+            .populate(populate)
+            .build(kernel.as_mut())
+            .unwrap();
         (sys, kernel)
     }
 
@@ -486,8 +630,11 @@ mod tests {
     #[test]
     fn thp_promotion_collapses_the_heap_and_speeds_reruns() {
         let mut kernel = AppKind::Cg.build(Class::S);
-        let cfg = SystemConfig::thp(opteron_2x2(), 4);
-        let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+        let mut sys = System::builder(opteron_2x2())
+            .threads(4)
+            .thp()
+            .build(kernel.as_mut())
+            .unwrap();
         let cs_before = kernel.run(&mut sys.team);
         let misses_before = sys
             .team
@@ -512,8 +659,11 @@ mod tests {
     #[test]
     fn daemon_system_collapses_heap_incrementally() {
         let mut kernel = AppKind::Cg.build(Class::S);
-        let cfg = SystemConfig::thp_daemon(opteron_2x2(), 4);
-        let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+        let mut sys = System::builder(opteron_2x2())
+            .threads(4)
+            .thp_daemon(true)
+            .build(kernel.as_mut())
+            .unwrap();
         let cs = kernel.run(&mut sys.team);
         assert!(kernel.verify(cs), "checksum {cs}");
         let agg = sys.team.aggregate_counters();
@@ -549,5 +699,42 @@ mod tests {
         );
         let cs = kernel.run(&mut sys.team);
         assert!(kernel.verify(cs));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_are_builder_shims() {
+        let paper = SystemConfig::paper(opteron_2x2(), PagePolicy::Large2M, 4);
+        let b = System::builder(opteron_2x2())
+            .policy(PagePolicy::Large2M)
+            .threads(4);
+        assert_eq!(paper.policy, b.config().policy);
+        assert_eq!(paper.threads, b.config().threads);
+        assert!(!paper.private_heap && paper.khugepaged.is_none());
+        let thp = SystemConfig::thp(opteron_2x2(), 2);
+        assert!(thp.private_heap && thp.khugepaged.is_none());
+        assert_eq!(thp.policy, PagePolicy::Small4K);
+        let thp_d = SystemConfig::thp_daemon(opteron_2x2(), 2);
+        assert!(thp_d.private_heap && thp_d.khugepaged.is_some());
+    }
+
+    #[test]
+    fn builder_profiling_attributes_the_promote_pause() {
+        let mut kernel = AppKind::Cg.build(Class::S);
+        let mut sys = System::builder(opteron_2x2())
+            .threads(4)
+            .thp()
+            .profile(lpomp_prof::ProfileSpec::Regions)
+            .build(kernel.as_mut())
+            .unwrap();
+        kernel.run(&mut sys.team);
+        let report = sys.promote_heap().unwrap();
+        assert!(report.promoted > 0);
+        let sheet = sys.team.region_sheet().unwrap();
+        let os = sheet.by_name("os:promote").unwrap();
+        let total = sheet.region_total(os);
+        assert!(total.get(lpomp_prof::Event::Cycles) > 0);
+        assert_eq!(total.get(lpomp_prof::Event::TlbShootdowns), 1);
+        assert_eq!(sheet.total(), sys.team.aggregate_counters());
     }
 }

@@ -117,48 +117,52 @@ impl Cg {
     /// One parallel sparse mat-vec `q = A·p` with instrumentation.
     fn matvec(team: &mut Team, d: &Data, flops_per_nz: u64) {
         let n = d.rowstr.len() - 1;
-        team.parallel_for(0..n, Schedule::Static, &|ctx, rows| {
-            let mut nz = 0u64;
-            for i in rows {
-                let start = d.rowstr.get_raw(i) as usize;
-                let end = d.rowstr.get_raw(i + 1) as usize;
-                nz += (end - start) as u64;
-                let mut sum = 0.0;
-                for k in start..end {
-                    // a[] and colidx[] stream sequentially; sample one
-                    // instrumented access per cache line of each.
-                    if k % LINE_ELEMS == 0 {
-                        ctx.read_streamed(d.a.va(k));
-                        ctx.read_streamed(d.colidx.va(k));
+        team.region("cg:matvec", |team| {
+            team.parallel_for(0..n, Schedule::Static, &|ctx, rows| {
+                let mut nz = 0u64;
+                for i in rows {
+                    let start = d.rowstr.get_raw(i) as usize;
+                    let end = d.rowstr.get_raw(i + 1) as usize;
+                    nz += (end - start) as u64;
+                    let mut sum = 0.0;
+                    for k in start..end {
+                        // a[] and colidx[] stream sequentially; sample one
+                        // instrumented access per cache line of each.
+                        if k % LINE_ELEMS == 0 {
+                            ctx.read_streamed(d.a.va(k));
+                            ctx.read_streamed(d.colidx.va(k));
+                        }
+                        let col = d.colidx.get_raw(k) as usize;
+                        // The gather the whole paper turns on.
+                        let pj = d.p.get(ctx, col);
+                        sum += d.a.get_raw(k) * pj;
                     }
-                    let col = d.colidx.get_raw(k) as usize;
-                    // The gather the whole paper turns on.
-                    let pj = d.p.get(ctx, col);
-                    sum += d.a.get_raw(k) * pj;
+                    d.q.set_raw(i, sum);
+                    if i % LINE_ELEMS == 0 {
+                        ctx.write_streamed(d.q.va(i));
+                    }
                 }
-                d.q.set_raw(i, sum);
-                if i % LINE_ELEMS == 0 {
-                    ctx.write_streamed(d.q.va(i));
-                }
-            }
-            ctx.compute(flops_per_nz * nz);
+                ctx.compute(flops_per_nz * nz);
+            });
         });
     }
 
     /// Parallel instrumented dot product.
     fn dot(team: &mut Team, u: &ShVec<f64>, v: &ShVec<f64>) -> f64 {
         let n = u.len();
-        team.parallel_for_reduce(0..n, Schedule::Static, Reduction::Sum, &|ctx, rr| {
-            let mut s = 0.0;
-            ctx.compute(2 * rr.len() as u64);
-            for i in rr {
-                if i % LINE_ELEMS == 0 {
-                    ctx.read_streamed(u.va(i));
-                    ctx.read_streamed(v.va(i));
+        team.region("cg:dot", |team| {
+            team.parallel_for_reduce(0..n, Schedule::Static, Reduction::Sum, &|ctx, rr| {
+                let mut s = 0.0;
+                ctx.compute(2 * rr.len() as u64);
+                for i in rr {
+                    if i % LINE_ELEMS == 0 {
+                        ctx.read_streamed(u.va(i));
+                        ctx.read_streamed(v.va(i));
+                    }
+                    s += u.get_raw(i) * v.get_raw(i);
                 }
-                s += u.get_raw(i) * v.get_raw(i);
-            }
-            s
+                s
+            })
         })
     }
 
@@ -168,21 +172,23 @@ impl Cg {
         let d = self.data();
         let n = self.prm.n;
         // z = 0, r = x, p = r.
-        team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
-            let nlen = rr.len() as u64;
-            for i in rr {
-                if i % LINE_ELEMS == 0 {
-                    ctx.read_streamed(d.x.va(i));
-                    ctx.write_streamed(d.z.va(i));
-                    ctx.write_streamed(d.r.va(i));
-                    ctx.write_streamed(d.p.va(i));
+        team.region("cg:init", |team| {
+            team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
+                let nlen = rr.len() as u64;
+                for i in rr {
+                    if i % LINE_ELEMS == 0 {
+                        ctx.read_streamed(d.x.va(i));
+                        ctx.write_streamed(d.z.va(i));
+                        ctx.write_streamed(d.r.va(i));
+                        ctx.write_streamed(d.p.va(i));
+                    }
+                    let xi = d.x.get_raw(i);
+                    d.z.set_raw(i, 0.0);
+                    d.r.set_raw(i, xi);
+                    d.p.set_raw(i, xi);
                 }
-                let xi = d.x.get_raw(i);
-                d.z.set_raw(i, 0.0);
-                d.r.set_raw(i, xi);
-                d.p.set_raw(i, xi);
-            }
-            ctx.compute(nlen);
+                ctx.compute(nlen);
+            });
         });
         let mut rho = Self::dot(team, &d.r, &d.r);
         for _ in 0..self.prm.inner {
@@ -190,34 +196,38 @@ impl Cg {
             let pq = Self::dot(team, &d.p, &d.q);
             let alpha = rho / pq;
             // z += alpha p ; r -= alpha q
-            team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
-                let nlen = rr.len() as u64;
-                for i in rr {
-                    if i % LINE_ELEMS == 0 {
-                        ctx.read_streamed(d.p.va(i));
-                        ctx.read_streamed(d.q.va(i));
-                        ctx.write_streamed(d.z.va(i));
-                        ctx.write_streamed(d.r.va(i));
+            team.region("cg:axpy", |team| {
+                team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
+                    let nlen = rr.len() as u64;
+                    for i in rr {
+                        if i % LINE_ELEMS == 0 {
+                            ctx.read_streamed(d.p.va(i));
+                            ctx.read_streamed(d.q.va(i));
+                            ctx.write_streamed(d.z.va(i));
+                            ctx.write_streamed(d.r.va(i));
+                        }
+                        d.z.set_raw(i, d.z.get_raw(i) + alpha * d.p.get_raw(i));
+                        d.r.set_raw(i, d.r.get_raw(i) - alpha * d.q.get_raw(i));
                     }
-                    d.z.set_raw(i, d.z.get_raw(i) + alpha * d.p.get_raw(i));
-                    d.r.set_raw(i, d.r.get_raw(i) - alpha * d.q.get_raw(i));
-                }
-                ctx.compute(4 * nlen);
+                    ctx.compute(4 * nlen);
+                });
             });
             let rho_new = Self::dot(team, &d.r, &d.r);
             let beta = rho_new / rho;
             rho = rho_new;
             // p = r + beta p
-            team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
-                let nlen = rr.len() as u64;
-                for i in rr {
-                    if i % LINE_ELEMS == 0 {
-                        ctx.read_streamed(d.r.va(i));
-                        ctx.write_streamed(d.p.va(i));
+            team.region("cg:p-update", |team| {
+                team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
+                    let nlen = rr.len() as u64;
+                    for i in rr {
+                        if i % LINE_ELEMS == 0 {
+                            ctx.read_streamed(d.r.va(i));
+                            ctx.write_streamed(d.p.va(i));
+                        }
+                        d.p.set_raw(i, d.r.get_raw(i) + beta * d.p.get_raw(i));
                     }
-                    d.p.set_raw(i, d.r.get_raw(i) + beta * d.p.get_raw(i));
-                }
-                ctx.compute(2 * nlen);
+                    ctx.compute(2 * nlen);
+                });
             });
         }
         Self::dot(team, &d.x, &d.z)
@@ -352,7 +362,7 @@ impl Kernel for Cg {
             let xz = self.conj_grad(team);
             zeta = p.shift + 1.0 / xz;
             let d = self.data();
-            let znorm2 =
+            let znorm2 = team.region("cg:norm", |team| {
                 team.parallel_for_reduce(0..n, Schedule::Static, Reduction::Sum, &|ctx, rr| {
                     let mut s = 0.0;
                     let nlen = rr.len() as u64;
@@ -365,18 +375,21 @@ impl Kernel for Cg {
                     }
                     ctx.compute(2 * nlen);
                     s
-                });
+                })
+            });
             let znorm = znorm2.sqrt();
-            team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
-                let nlen = rr.len() as u64;
-                for i in rr {
-                    if i % LINE_ELEMS == 0 {
-                        ctx.read_streamed(d.z.va(i));
-                        ctx.write_streamed(d.x.va(i));
+            team.region("cg:x-update", |team| {
+                team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
+                    let nlen = rr.len() as u64;
+                    for i in rr {
+                        if i % LINE_ELEMS == 0 {
+                            ctx.read_streamed(d.z.va(i));
+                            ctx.write_streamed(d.x.va(i));
+                        }
+                        d.x.set_raw(i, d.z.get_raw(i) / znorm);
                     }
-                    d.x.set_raw(i, d.z.get_raw(i) / znorm);
-                }
-                ctx.compute(nlen);
+                    ctx.compute(nlen);
+                });
             });
         }
         zeta

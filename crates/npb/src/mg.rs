@@ -302,23 +302,29 @@ impl Mg {
         // Downstroke: restrict residuals to the coarsest level.
         for l in 0..nl - 1 {
             let (f, c) = (&self.levels[l], &self.levels[l + 1]);
-            Self::rprj3(team, f.n, &f.r, c.n, &c.r);
+            team.region("mg:rprj3", |team| Self::rprj3(team, f.n, &f.r, c.n, &c.r));
         }
         // Coarsest solve: one smoothing application into u.
         let bottom = &self.levels[nl - 1];
         bottom.u.fill_raw(0.0);
-        Self::stencil(team, bottom.n, &bottom.r, None, &bottom.u, S0, S1, false);
+        team.region("mg:coarse-solve", |team| {
+            Self::stencil(team, bottom.n, &bottom.r, None, &bottom.u, S0, S1, false)
+        });
         // Upstroke: interpolate and smooth.
         for l in (0..nl - 1).rev() {
             let (f, c) = (&self.levels[l], &self.levels[l + 1]);
             if l > 0 {
                 f.u.fill_raw(0.0);
             }
-            Self::interp(team, c.n, &c.u, f.n, &f.u);
+            team.region("mg:interp", |team| Self::interp(team, c.n, &c.u, f.n, &f.u));
             // r_l = (l == 0 ? v : r_l) - A u_l, then smooth u_l += S r_l.
             let rhs = if l == 0 { v } else { &f.r };
-            Self::stencil(team, f.n, &f.u, Some(rhs), &f.r, A0, A1, false);
-            Self::stencil(team, f.n, &f.r, None, &f.u, S0, S1, true);
+            team.region("mg:resid", |team| {
+                Self::stencil(team, f.n, &f.u, Some(rhs), &f.r, A0, A1, false)
+            });
+            team.region("mg:psinv", |team| {
+                Self::stencil(team, f.n, &f.r, None, &f.u, S0, S1, true)
+            });
         }
     }
 
@@ -333,9 +339,12 @@ impl Mg {
         for _ in 0..self.prm.iters {
             self.vcycle(team);
             // Final residual r = v - A u on the fine grid.
-            Self::stencil(team, fine.n, &fine.u, Some(v), &fine.r, A0, A1, false);
+            team.region("mg:resid", |team| {
+                Self::stencil(team, fine.n, &fine.u, Some(v), &fine.r, A0, A1, false)
+            });
         }
-        Self::norm2(team, fine.n, &fine.r).sqrt()
+        team.region("mg:norm2", |team| Self::norm2(team, fine.n, &fine.r))
+            .sqrt()
     }
 }
 

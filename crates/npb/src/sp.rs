@@ -297,11 +297,13 @@ impl Sp {
         }
         let mut checksum = 0.0;
         for _ in 0..p.iters {
-            Self::compute_rhs(team, n, d);
-            Self::x_solve(team, n, d);
-            Self::strided_solve(team, n, d, false); // y
-            Self::strided_solve(team, n, d, true); // z
-            checksum = Self::add(team, n, d, p.tau).sqrt();
+            team.region("sp:rhs", |team| Self::compute_rhs(team, n, d));
+            team.region("sp:x-solve", |team| Self::x_solve(team, n, d));
+            team.region("sp:y-solve", |team| Self::strided_solve(team, n, d, false));
+            team.region("sp:z-solve", |team| Self::strided_solve(team, n, d, true));
+            checksum = team
+                .region("sp:add", |team| Self::add(team, n, d, p.tau))
+                .sqrt();
         }
         checksum
     }

@@ -192,6 +192,40 @@ impl Counters {
         }
     }
 
+    /// Element-wise difference against an earlier snapshot of the same
+    /// counter bank: what happened *since* `baseline`.
+    ///
+    /// Counters are monotone within a run (they only ever `add`/`bump`;
+    /// resets replace the whole bank), so a negative delta means the
+    /// baseline is not actually earlier — debug-asserted.
+    pub fn diff(&self, baseline: &Counters) -> Counters {
+        let mut d = Counters::new();
+        for i in 0..Event::COUNT {
+            debug_assert!(
+                self.vals[i] >= baseline.vals[i],
+                "counter {} went backwards: {} -> {}",
+                Event::ALL[i],
+                baseline.vals[i],
+                self.vals[i]
+            );
+            d.vals[i] = self.vals[i].wrapping_sub(baseline.vals[i]);
+        }
+        d
+    }
+
+    /// Add `n` to an event, returning `false` (and leaving the counter
+    /// unchanged) on overflow instead of panicking or wrapping.
+    #[inline]
+    pub fn checked_add(&mut self, e: Event, n: u64) -> bool {
+        match self.vals[e as usize].checked_add(n) {
+            Some(v) => {
+                self.vals[e as usize] = v;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Iterate `(event, count)` pairs with nonzero counts.
     pub fn nonzero(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
         Event::ALL
@@ -285,6 +319,35 @@ mod tests {
         c.bump(Event::DtlbMisses);
         assert_eq!(c.get(Event::DtlbMisses), 6);
         assert_eq!(c.get(Event::ItlbMisses), 0);
+    }
+
+    #[test]
+    fn diff_is_elementwise_since_baseline() {
+        let mut base = Counters::new();
+        base.add(Event::Loads, 10);
+        base.add(Event::Cycles, 100);
+        let mut now = base.clone();
+        now.add(Event::Loads, 5);
+        now.add(Event::Stores, 3);
+        let d = now.diff(&base);
+        assert_eq!(d.get(Event::Loads), 5);
+        assert_eq!(d.get(Event::Stores), 3);
+        assert_eq!(d.get(Event::Cycles), 0);
+        // diff against self is all-zero; merging the diff back restores.
+        assert_eq!(now.diff(&now), Counters::new());
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&d);
+        assert_eq!(rebuilt, now);
+    }
+
+    #[test]
+    fn checked_add_saturates_on_overflow() {
+        let mut c = Counters::new();
+        assert!(c.checked_add(Event::Loads, u64::MAX - 1));
+        assert!(!c.checked_add(Event::Loads, 2), "overflow must be refused");
+        assert_eq!(c.get(Event::Loads), u64::MAX - 1, "refused add is a no-op");
+        assert!(c.checked_add(Event::Loads, 1));
+        assert_eq!(c.get(Event::Loads), u64::MAX);
     }
 
     #[test]

@@ -10,13 +10,22 @@
 //!
 //! Counting is exact rather than sampled: the simulator observes every
 //! event, so there is no need for OProfile's statistical sampling.
+//!
+//! Beyond whole-run sheets, the [`region`] module attributes every
+//! counter increment to a named program phase (the paper's per-loop
+//! OProfile attribution, §4), and [`trace`] exports the timeline as
+//! Chrome `trace_event` JSON.
 
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod region;
 pub mod report;
 pub mod table;
+pub mod trace;
 
 pub use counters::{Counters, Event, Profile, ThreadSheet};
+pub use region::{ProfileSheet, ProfileSpec, RegionId, RegionProfiler, ROOT_REGION};
 pub use report::{imbalance, normalized, rate_per_second, NormalizedSeries};
 pub use table::TextTable;
+pub use trace::{parse_json, Json, TraceRecorder};

@@ -15,7 +15,7 @@
 
 use crate::schedule::{plan, Plan, Schedule};
 use lpomp_machine::{CodeWalker, Machine, MemoryCtx, NullCtx, SimCtx};
-use lpomp_prof::{Counters, Event, Profile};
+use lpomp_prof::{Counters, Event, Profile, ProfileSheet, ProfileSpec, RegionProfiler};
 use lpomp_vm::{
     AddressSpace, DaemonCosts, Khugepaged, KhugepagedConfig, NumaDaemon, NumaDaemonConfig,
 };
@@ -79,6 +79,7 @@ pub struct SimEngine {
     quantum: usize,
     daemon: Option<(Khugepaged, DaemonCosts)>,
     numa_daemon: Option<(NumaDaemon, DaemonCosts)>,
+    profiler: Option<Box<RegionProfiler>>,
 }
 
 impl SimEngine {
@@ -105,7 +106,64 @@ impl SimEngine {
             quantum: quantum.max(1),
             daemon: None,
             numa_daemon: None,
+            profiler: None,
         }
+    }
+
+    /// Attach the region-attribution profiler (and, for
+    /// [`ProfileSpec::Trace`], the timeline recorder). Profiling observes
+    /// the run without perturbing it: no clock or counter changes, so
+    /// profiled and unprofiled runs are cycle-identical.
+    pub fn enable_profiling(&mut self, spec: ProfileSpec) {
+        if spec.enabled() {
+            self.profiler = Some(Box::new(RegionProfiler::new(
+                self.placement.clone(),
+                spec.wants_trace(),
+            )));
+        }
+    }
+
+    /// Enter a named profiling region (no-op without a profiler). Prefer
+    /// the scoped [`Team::region`]; this is for callers that hold the
+    /// engine directly (e.g. stop-the-world OS operations).
+    pub fn region_enter(&mut self, name: &str) {
+        if let Some(p) = &mut self.profiler {
+            p.enter(name, &self.profile, &self.clocks);
+        }
+    }
+
+    /// Exit the innermost profiling region (no-op without a profiler).
+    pub fn region_exit(&mut self) {
+        if let Some(p) = &mut self.profiler {
+            p.exit(&self.profile, &self.clocks);
+        }
+    }
+
+    fn prof_enter(&mut self, name: &str) {
+        self.region_enter(name);
+    }
+
+    fn prof_exit(&mut self) {
+        self.region_exit();
+    }
+
+    fn prof_instant(&mut self, name: &str, thread: usize) {
+        if let Some(p) = &mut self.profiler {
+            p.instant(name, thread, self.clocks[thread]);
+        }
+    }
+
+    /// Settle and snapshot the per-region attribution (None unless
+    /// [`Self::enable_profiling`] was called).
+    pub fn region_sheet(&mut self) -> Option<ProfileSheet> {
+        let profile = &self.profile;
+        self.profiler.as_mut().map(|p| p.sheet(profile))
+    }
+
+    /// The recorded timeline as Chrome `trace_event` JSON (None unless
+    /// profiling with [`ProfileSpec::Trace`]).
+    pub fn trace_json(&self) -> Option<String> {
+        self.profiler.as_ref().and_then(|p| p.trace_json())
     }
 
     /// Attach an incremental khugepaged daemon. It runs at every barrier:
@@ -185,12 +243,16 @@ impl SimEngine {
         self.charge_all(self.machine.cost().shootdown_ipi);
         self.machine.flush_all_tlbs();
         self.profile.thread_mut(0).bump(Event::TlbShootdowns);
+        self.prof_instant("tlb-shootdown", 0);
     }
 
     /// Zero clocks and counters (keep TLB/cache state warm).
     pub fn reset_timing(&mut self) {
         self.clocks.iter_mut().for_each(|c| *c = 0);
         self.profile = Profile::new(self.threads);
+        if let Some(p) = &mut self.profiler {
+            p.reset();
+        }
     }
 
     /// Run `body` over `plan` event-driven, returning per-thread partials.
@@ -283,6 +345,7 @@ impl SimEngine {
     /// Join all threads at a barrier: everyone advances to the maximum
     /// clock plus the modelled barrier cost.
     fn barrier_sync(&mut self) {
+        self.prof_enter("rt:barrier");
         let max = self.elapsed_cycles();
         let cost = self.machine.cost().barrier_cycles(self.threads);
         for t in 0..self.threads {
@@ -293,7 +356,14 @@ impl SimEngine {
             c.add(Event::Cycles, wait);
             self.clocks[t] = max + cost;
         }
+        self.prof_exit();
         self.daemon_step();
+        // Attribution must never lose or invent an event: every region sum
+        // equals the global counter, checked at each join in debug builds.
+        #[cfg(debug_assertions)]
+        if let Some(p) = &mut self.profiler {
+            p.check_conservation(&self.profile);
+        }
     }
 
     /// Extra page-table edits per edit when per-node replication is on:
@@ -317,9 +387,24 @@ impl SimEngine {
             let out = daemon
                 .scan(&mut self.aspace, &mut self.machine.frames, &costs)
                 .expect("khugepaged scan failed");
-            let cycles = out.cycles + out.pt_edits * replica * costs.pt_edit;
-            if cycles > 0 {
-                self.charge_all(cycles);
+            // Split the charge into the scan/collapse share and the
+            // compaction share so each lands in its own region; the two
+            // sum exactly to the single pre-split charge.
+            let compact_share = out.compact_cycles + out.compact_pt_edits * replica * costs.pt_edit;
+            let scan_share = (out.cycles - out.compact_cycles)
+                + (out.pt_edits - out.compact_pt_edits) * replica * costs.pt_edit;
+            let cycles = scan_share + compact_share;
+            let active = cycles > 0 || out.shootdown;
+            if active {
+                self.prof_enter("os:khugepaged");
+            }
+            if scan_share > 0 {
+                self.charge_all(scan_share);
+            }
+            if compact_share > 0 {
+                self.prof_enter("os:compaction");
+                self.charge_all(compact_share);
+                self.prof_exit();
             }
             if out.shootdown {
                 self.tlb_shootdown();
@@ -330,6 +415,9 @@ impl SimEngine {
             c.add(Event::PagesCollapsed, out.collapsed);
             c.add(Event::PagesCompacted, out.compact_migrated);
             c.add(Event::PagesDemoted, out.demoted);
+            if active {
+                self.prof_exit();
+            }
             self.daemon = Some((daemon, costs));
         }
         if let Some((mut daemon, costs)) = self.numa_daemon.take() {
@@ -339,8 +427,15 @@ impl SimEngine {
                 .scan(&mut self.aspace, &mut self.machine.frames, &costs)
                 .expect("numa balancing scan failed");
             let cycles = out.cycles + out.pt_edits * replica * costs.pt_edit;
+            let active = cycles > 0 || out.shootdown;
+            if active {
+                self.prof_enter("os:numa");
+            }
             if cycles > 0 {
                 self.charge_all(cycles);
+            }
+            if out.migrated > 0 {
+                self.prof_instant("numa-migration", 0);
             }
             if out.shootdown {
                 self.tlb_shootdown();
@@ -348,6 +443,9 @@ impl SimEngine {
             let c = self.profile.thread_mut(0);
             c.add(Event::DaemonCycles, cycles);
             c.add(Event::PagesMigrated, out.migrated);
+            if active {
+                self.prof_exit();
+            }
             self.numa_daemon = Some((daemon, costs));
         }
     }
@@ -415,6 +513,39 @@ impl Team {
             Team::Sim(e) => Some(e),
             Team::Native { .. } => None,
         }
+    }
+
+    /// Run `f` inside a named profiling region: every counter increment
+    /// while `f` executes is attributed to `name` (innermost wins when
+    /// regions nest). A no-op without an attached profiler — kernels stay
+    /// annotated on both engines at zero cost.
+    ///
+    /// Regions are control-flow scoped, entered and exited between
+    /// parallel loops, so `f` receives the team back for its loops:
+    ///
+    /// ```ignore
+    /// team.region("cg:matvec", |team| Self::matvec(team, d, 2));
+    /// ```
+    pub fn region<R>(&mut self, name: &str, f: impl FnOnce(&mut Team) -> R) -> R {
+        if let Team::Sim(e) = self {
+            e.prof_enter(name);
+        }
+        let out = f(self);
+        if let Team::Sim(e) = self {
+            e.prof_exit();
+        }
+        out
+    }
+
+    /// Per-region attribution so far (simulated teams with profiling on).
+    pub fn region_sheet(&mut self) -> Option<ProfileSheet> {
+        self.engine_mut().and_then(SimEngine::region_sheet)
+    }
+
+    /// Chrome `trace_event` JSON of the run so far (simulated teams
+    /// profiling with [`ProfileSpec::Trace`]).
+    pub fn trace_json(&self) -> Option<String> {
+        self.engine().and_then(SimEngine::trace_json)
     }
 
     /// `#pragma omp parallel for schedule(...)` with an implicit barrier.
@@ -907,5 +1038,124 @@ mod tests {
         nat.parallel_for(10..10, Schedule::Static, &|_, _| panic!("no work"));
         let (mut sim, _) = sim_team(2);
         sim.parallel_for(10..10, Schedule::Dynamic(4), &|_, _| panic!("no work"));
+    }
+
+    #[test]
+    fn regions_attribute_work_and_conserve_counters() {
+        let (mut team, data) = sim_team(4);
+        team.engine_mut()
+            .unwrap()
+            .enable_profiling(ProfileSpec::Regions);
+        let v: ShVec<f64> = ShVec::new(10_000, data);
+        team.region("init", |team| {
+            team.parallel_for(0..10_000, Schedule::Static, &|ctx, r| {
+                for i in r {
+                    v.set(ctx, i, i as f64);
+                }
+            });
+        });
+        team.region("sum", |team| {
+            team.parallel_for_reduce(0..10_000, Schedule::Static, Reduction::Sum, &|ctx, r| {
+                r.map(|i| v.get(ctx, i)).sum()
+            })
+        });
+        let sheet = team.region_sheet().unwrap();
+        let init = sheet.by_name("init").unwrap();
+        let sum = sheet.by_name("sum").unwrap();
+        // Stores belong to init, loads to sum; barrier waits went to the
+        // automatic rt:barrier region nested inside each.
+        assert_eq!(sheet.region_total(init).get(Event::Stores), 10_000);
+        assert_eq!(sheet.region_total(init).get(Event::Loads), 0);
+        assert_eq!(sheet.region_total(sum).get(Event::Loads), 10_000);
+        let barrier = sheet.by_name("rt:barrier").unwrap();
+        assert_eq!(sheet.region_total(barrier).get(Event::Barriers), 8);
+        // Exact conservation against the global profile.
+        assert_eq!(sheet.total(), team.aggregate_counters());
+    }
+
+    #[test]
+    fn profiling_never_perturbs_the_run() {
+        let run = |spec: Option<ProfileSpec>| {
+            let (mut team, data) = sim_team(4);
+            if let Some(s) = spec {
+                team.engine_mut().unwrap().enable_profiling(s);
+            }
+            let v: ShVec<f64> = ShVec::new(5000, data);
+            team.region("work", |team| {
+                team.parallel_for(0..5000, Schedule::Dynamic(64), &|ctx, r| {
+                    for i in r {
+                        v.set(ctx, i, 1.0);
+                        ctx.compute(3);
+                    }
+                });
+            });
+            (team.elapsed_cycles(), team.aggregate_counters())
+        };
+        let bare = run(None);
+        assert_eq!(bare, run(Some(ProfileSpec::Regions)));
+        assert_eq!(bare, run(Some(ProfileSpec::Trace)));
+    }
+
+    #[test]
+    fn daemon_episodes_get_their_own_regions() {
+        use lpomp_vm::KhugepagedConfig;
+        let (mut team, data) = sim_team(4);
+        let e = team.engine_mut().unwrap();
+        e.enable_khugepaged(KhugepagedConfig::default());
+        e.enable_profiling(ProfileSpec::Trace);
+        let v: ShVec<f64> = ShVec::new(10_000, data);
+        for _ in 0..8 {
+            team.region("loop", |team| {
+                team.parallel_for(0..10_000, Schedule::Static, &|ctx, r| {
+                    for i in r {
+                        v.set(ctx, i, i as f64);
+                    }
+                });
+            });
+        }
+        let sheet = team.region_sheet().unwrap();
+        let os = sheet.by_name("os:khugepaged").unwrap();
+        let os_total = sheet.region_total(os);
+        assert!(os_total.get(Event::Cycles) > 0, "daemon work attributed");
+        assert!(os_total.get(Event::TlbShootdowns) >= 1);
+        assert_eq!(sheet.total(), team.aggregate_counters());
+        // The timeline saw the collapse episodes and their shootdowns.
+        let json = team.trace_json().unwrap();
+        let doc = lpomp_prof::parse_json(&json).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(lpomp_prof::Json::as_arr)
+            .unwrap();
+        let named = |n: &str, ph: &str| {
+            events.iter().any(|e| {
+                e.get("name").and_then(lpomp_prof::Json::as_str) == Some(n)
+                    && e.get("ph").and_then(lpomp_prof::Json::as_str) == Some(ph)
+            })
+        };
+        assert!(named("os:khugepaged", "B"));
+        assert!(named("rt:barrier", "B"));
+        assert!(named("loop", "B"));
+        assert!(named("tlb-shootdown", "i"));
+        assert!(named("core 0 thread 0", "M") || named("thread_name", "M"));
+    }
+
+    #[test]
+    fn reset_timing_clears_attribution_too() {
+        let (mut team, data) = sim_team(2);
+        team.engine_mut()
+            .unwrap()
+            .enable_profiling(ProfileSpec::Regions);
+        let v: ShVec<f64> = ShVec::new(100, data);
+        team.region("warmup", |team| {
+            team.parallel_for(0..100, Schedule::Static, &|ctx, r| {
+                for i in r {
+                    v.set(ctx, i, 0.0);
+                }
+            });
+        });
+        team.engine_mut().unwrap().reset_timing();
+        let sheet = team.region_sheet().unwrap();
+        assert_eq!(sheet.total(), Counters::new());
+        assert_eq!(sheet.total(), team.aggregate_counters());
     }
 }

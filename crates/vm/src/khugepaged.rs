@@ -92,6 +92,12 @@ pub struct ScanOutcome {
     /// Simulated cycles of daemon work (the caller charges these to the
     /// cores' clocks).
     pub cycles: u64,
+    /// The share of `cycles` spent in the compaction fallback (a subset,
+    /// so callers can attribute scan vs compaction separately).
+    pub compact_cycles: u64,
+    /// The share of `pt_edits` made by the compaction fallback (a subset
+    /// of `pt_edits`, like `compact_cycles`).
+    pub compact_pt_edits: u64,
     /// Whether any translation changed — the caller must broadcast a TLB
     /// shootdown (IPI + full flush on every core).
     pub shootdown: bool,
@@ -105,6 +111,8 @@ impl ScanOutcome {
         self.demoted += o.demoted;
         self.pt_edits += o.pt_edits;
         self.cycles += o.cycles;
+        self.compact_cycles += o.compact_cycles;
+        self.compact_pt_edits += o.compact_pt_edits;
         self.shootdown |= o.shootdown;
     }
 }
@@ -248,9 +256,13 @@ impl Khugepaged {
                     out.cycles += 512 * costs.scan_page;
                     if self.cfg.compaction {
                         let rep = compact(aspace, frames, 1)?;
+                        let compact_cycles =
+                            rep.migrated * (costs.migrate_page + 2 * costs.pt_edit);
                         out.compact_migrated += rep.migrated;
                         out.pt_edits += rep.pt_edits;
-                        out.cycles += rep.migrated * (costs.migrate_page + 2 * costs.pt_edit);
+                        out.cycles += compact_cycles;
+                        out.compact_cycles += compact_cycles;
+                        out.compact_pt_edits += rep.pt_edits;
                         if rep.migrated > 0 {
                             out.shootdown = true;
                             progress = true;
@@ -410,6 +422,14 @@ mod tests {
         assert_eq!(out.collapsed, 2);
         assert!(out.compact_migrated > 0, "compaction had to migrate");
         assert!(out.shootdown);
+        // The compaction shares are strict subsets of the totals.
+        assert!(out.compact_cycles > 0 && out.compact_cycles < out.cycles);
+        assert!(out.compact_pt_edits > 0 && out.compact_pt_edits < out.pt_edits);
+        assert_eq!(
+            out.compact_cycles,
+            out.compact_migrated * (COSTS.migrate_page + 2 * COSTS.pt_edit)
+        );
+        assert_eq!(out.compact_pt_edits, 2 * out.compact_migrated);
         for c in 0..2u64 {
             let t = asp.page_table().probe(base.add(c * chunk_bytes)).unwrap();
             assert_eq!(t.size, PageSize::Large2M, "chunk {c}");

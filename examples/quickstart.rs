@@ -14,10 +14,7 @@ fn main() {
 
     // One call per configuration: application, class, platform, page
     // policy, thread count.
-    let opts = RunOpts {
-        verify: true,
-        ..Default::default()
-    };
+    let opts = RunOpts { verify: true };
     let small = run_sim(
         AppKind::Cg,
         Class::S,

@@ -6,3 +6,32 @@ pub use lpomp_prof as prof;
 pub use lpomp_runtime as runtime;
 pub use lpomp_tlb as tlb;
 pub use lpomp_vm as vm;
+
+/// The types nearly every experiment binary and example needs, in one
+/// import: `use lpomp::prelude::*;`.
+///
+/// Covers configuring a system ([`System`](prelude::System) /
+/// [`SystemBuilder`](prelude::SystemBuilder),
+/// [`PagePolicy`](prelude::PagePolicy),
+/// [`ProfileSpec`](prelude::ProfileSpec)), running it
+/// ([`run_sim`](prelude::run_sim), [`run_system`](prelude::run_system),
+/// [`SweepSpec`](prelude::SweepSpec), [`par_map`](prelude::par_map)),
+/// the platforms ([`opteron_2x2`](prelude::opteron_2x2),
+/// [`xeon_2x2_ht`](prelude::xeon_2x2_ht)), the workloads
+/// ([`AppKind`](prelude::AppKind), [`Class`](prelude::Class)) and
+/// reading the results ([`Event`](prelude::Event),
+/// [`Counters`](prelude::Counters),
+/// [`ProfileSheet`](prelude::ProfileSheet),
+/// [`TextTable`](prelude::TextTable), [`fnum`](prelude::fnum)).
+pub mod prelude {
+    pub use lpomp_core::{
+        default_workers, figure4_thread_counts, par_map, run_sim, run_system, PagePolicy,
+        PopulatePolicy, ProfileSpec, RunOpts, RunRecord, SetupStats, SweepResults, SweepSpec,
+        System, SystemBuilder, SystemConfig,
+    };
+    pub use lpomp_machine::{opteron_2x2, xeon_2x2_ht, MachineConfig, NumaConfig, NumaPlacement};
+    pub use lpomp_npb::{AppKind, Class, Kernel};
+    pub use lpomp_prof::table::fnum;
+    pub use lpomp_prof::{normalized, Counters, Event, ProfileSheet, TextTable};
+    pub use lpomp_runtime::{Schedule, Team};
+}

@@ -160,19 +160,12 @@ fn numa_counters_partition_dram_accesses() {
         NumaPlacement::FirstTouch,
     ] {
         for policy in [PagePolicy::Small4K, PagePolicy::Large2M] {
-            let mut machine = opteron_2x2();
-            machine.numa = Some(NumaConfig::opteron(placement));
-            let r = run_sim(
-                AppKind::Mg,
-                Class::S,
-                machine,
-                policy,
-                4,
-                RunOpts {
-                    populate: lpomp::core::PopulatePolicy::OnDemand,
-                    ..RunOpts::default()
-                },
-            );
+            let b = lpomp::core::System::builder(opteron_2x2())
+                .numa(NumaConfig::opteron(placement))
+                .policy(policy)
+                .threads(4)
+                .populate(lpomp::core::PopulatePolicy::OnDemand);
+            let r = lpomp::core::run_system(AppKind::Mg, Class::S, &b, RunOpts::default());
             let c = &r.counters;
             let local = c.get(Event::LocalDramAccesses);
             let remote = c.get(Event::RemoteDramAccesses);

@@ -2,7 +2,7 @@
 //! work, built in this repo): THP promotion, NUMA placement, the mixed
 //! policy and the page-walk-cache ablation switch.
 
-use lpomp::core::{run_sim, PagePolicy, RunOpts, System, SystemConfig};
+use lpomp::core::{run_sim, PagePolicy, RunOpts, System};
 use lpomp::machine::{opteron_2x2, NumaConfig, NumaPlacement};
 use lpomp::npb::{AppKind, Class};
 use lpomp::prof::Event;
@@ -20,8 +20,11 @@ fn thp_reaches_preallocated_performance() {
     );
     // THP: private 4 KB heap, run, collapse, run again.
     let mut kernel = AppKind::Cg.build(Class::S);
-    let cfg = SystemConfig::thp(opteron_2x2(), 4);
-    let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+    let mut sys = System::builder(opteron_2x2())
+        .threads(4)
+        .thp()
+        .build(kernel.as_mut())
+        .unwrap();
     let cs1 = kernel.run(&mut sys.team);
     let first_run = sys.team.elapsed_seconds();
     let misses_first = sys.team.aggregate_counters().get(Event::DtlbMisses);
@@ -47,8 +50,11 @@ fn thp_reaches_preallocated_performance() {
 #[test]
 fn thp_promotion_charges_migration_time() {
     let mut kernel = AppKind::Cg.build(Class::S);
-    let cfg = SystemConfig::thp(opteron_2x2(), 4);
-    let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+    let mut sys = System::builder(opteron_2x2())
+        .threads(4)
+        .thp()
+        .build(kernel.as_mut())
+        .unwrap();
     kernel.run(&mut sys.team);
     let before = sys.team.elapsed_cycles();
     let report = sys.promote_heap().unwrap();
@@ -176,7 +182,11 @@ fn daemon_recovers_preallocated_speed_on_a_fragmented_heap() {
     // One-shot collapse on a fully aged heap: blocked for lack of
     // order-9 blocks, so the rerun stays at 4 KB speed.
     let mut k1 = AppKind::Cg.build(Class::S);
-    let mut s1 = System::build(&SystemConfig::thp(opteron_2x2(), 4), k1.as_mut()).unwrap();
+    let mut s1 = System::builder(opteron_2x2())
+        .threads(4)
+        .thp()
+        .build(k1.as_mut())
+        .unwrap();
     {
         let e = s1.team.engine_mut().unwrap();
         age_heap(&mut e.machine.frames, &mut e.aspace, 1.0).unwrap();
@@ -193,7 +203,11 @@ fn daemon_recovers_preallocated_speed_on_a_fragmented_heap() {
 
     // The khugepaged daemon with compaction on the same aged heap.
     let mut k2 = AppKind::Cg.build(Class::S);
-    let mut s2 = System::build(&SystemConfig::thp_daemon(opteron_2x2(), 4), k2.as_mut()).unwrap();
+    let mut s2 = System::builder(opteron_2x2())
+        .threads(4)
+        .thp_daemon(true)
+        .build(k2.as_mut())
+        .unwrap();
     {
         let e = s2.team.engine_mut().unwrap();
         age_heap(&mut e.machine.frames, &mut e.aspace, 1.0).unwrap();
@@ -236,10 +250,7 @@ fn is_extension_behaves_like_a_gather_code() {
         opteron_2x2(),
         PagePolicy::Small4K,
         4,
-        RunOpts {
-            verify: true,
-            ..Default::default()
-        },
+        RunOpts { verify: true },
     );
     let large = run_sim(
         AppKind::Is,

@@ -2,7 +2,7 @@
 //! (class S): the qualitative results of §4 must hold in the assembled
 //! system, not just in unit tests of its parts.
 
-use lpomp::core::{run_sim, PagePolicy, PopulatePolicy, RunOpts};
+use lpomp::core::{run_sim, run_system, PagePolicy, PopulatePolicy, RunOpts, System};
 use lpomp::machine::{opteron_2x2, xeon_2x2_ht};
 use lpomp::npb::{AppKind, Class};
 use lpomp::prof::Event;
@@ -86,10 +86,7 @@ fn all_apps_verify_on_the_simulated_system() {
             opteron_2x2(),
             PagePolicy::Large2M,
             4,
-            RunOpts {
-                verify: true,
-                ..Default::default()
-            },
+            RunOpts { verify: true },
         );
         assert_eq!(r.verified, Some(true), "{app} failed verification");
     }
@@ -180,29 +177,20 @@ fn smt_contexts_share_the_tlb() {
 
 #[test]
 fn preallocation_moves_faults_out_of_the_run() {
-    let pre = run_sim(
+    let base = System::builder(opteron_2x2())
+        .policy(PagePolicy::Large2M)
+        .threads(4);
+    let pre = run_system(
         AppKind::Cg,
         Class::S,
-        opteron_2x2(),
-        PagePolicy::Large2M,
-        4,
-        RunOpts {
-            verify: false,
-            populate: PopulatePolicy::Prefault,
-            ..RunOpts::default()
-        },
+        &base.clone().populate(PopulatePolicy::Prefault),
+        RunOpts::default(),
     );
-    let lazy = run_sim(
+    let lazy = run_system(
         AppKind::Cg,
         Class::S,
-        opteron_2x2(),
-        PagePolicy::Large2M,
-        4,
-        RunOpts {
-            verify: false,
-            populate: PopulatePolicy::OnDemand,
-            ..RunOpts::default()
-        },
+        &base.populate(PopulatePolicy::OnDemand),
+        RunOpts::default(),
     );
     assert_eq!(pre.counters.get(Event::PageFaults), 0);
     assert!(lazy.counters.get(Event::PageFaults) > 0);

@@ -353,19 +353,20 @@ fn numa_nodes_in_range_and_blocks_node_uniform() {
 /// across a chunk by design.)
 #[test]
 fn khugepaged_twin_systems_are_semantically_identical() {
-    use lpomp::core::{System, SystemConfig};
+    use lpomp::core::System;
     use lpomp::machine::opteron_2x2;
     use lpomp::npb::{AppKind, Class};
 
     for (app, threads) in [(AppKind::Cg, 4), (AppKind::Mg, 2)] {
         let run_twin = |daemon: bool| {
             let mut kernel = app.build(Class::S);
-            let cfg = if daemon {
-                SystemConfig::thp_daemon(opteron_2x2(), threads)
+            let builder = System::builder(opteron_2x2()).threads(threads);
+            let builder = if daemon {
+                builder.thp_daemon(true)
             } else {
-                SystemConfig::thp(opteron_2x2(), threads)
+                builder.thp()
             };
-            let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+            let mut sys = builder.build(kernel.as_mut()).unwrap();
             let checksum = kernel.run(&mut sys.team);
             (checksum, sys)
         };
@@ -413,7 +414,7 @@ fn khugepaged_twin_systems_are_semantically_identical() {
 /// permissions. Only cycle counts may differ.
 #[test]
 fn numa_daemon_twin_systems_are_semantically_identical() {
-    use lpomp::core::{PagePolicy, PopulatePolicy, System, SystemConfig};
+    use lpomp::core::{PagePolicy, PopulatePolicy, System};
     use lpomp::machine::{opteron_2x2, NumaConfig, NumaPlacement};
     use lpomp::npb::{AppKind, Class};
     use lpomp::vm::NumaDaemonConfig;
@@ -433,11 +434,15 @@ fn numa_daemon_twin_systems_are_semantically_identical() {
             } else {
                 numa
             });
-            let mut cfg = SystemConfig::paper(machine, PagePolicy::Small4K, threads);
-            cfg.populate = PopulatePolicy::OnDemand;
-            cfg.numa_daemon = daemon.then(NumaDaemonConfig::default);
+            let mut builder = System::builder(machine)
+                .policy(PagePolicy::Small4K)
+                .threads(threads)
+                .populate(PopulatePolicy::OnDemand);
+            if daemon {
+                builder = builder.numa_daemon(NumaDaemonConfig::default());
+            }
             let mut kernel = app.build(Class::S);
-            let mut sys = System::build(&cfg, kernel.as_mut()).unwrap();
+            let mut sys = builder.build(kernel.as_mut()).unwrap();
             let checksum = kernel.run(&mut sys.team);
             (checksum, sys)
         };

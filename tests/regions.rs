@@ -1,0 +1,158 @@
+//! Properties of the region-attribution profiler at the system level:
+//! conservation of every counter across randomized configurations and
+//! worker counts, and a round-trip of the Chrome trace export through
+//! the in-tree JSON parser.
+
+use lpomp::core::{run_system, PagePolicy, ProfileSpec, RunOpts, System};
+use lpomp::machine::opteron_2x2;
+use lpomp::npb::{AppKind, Class};
+use lpomp::prof::{parse_json, Json};
+
+/// SplitMix64 (same idiom as `tests/properties.rs`): reproducible
+/// test-input generation with no external dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+fn profiled(
+    app: AppKind,
+    policy: PagePolicy,
+    threads: usize,
+    spec: ProfileSpec,
+) -> lpomp::core::RunRecord {
+    let b = System::builder(opteron_2x2())
+        .policy(policy)
+        .threads(threads)
+        .profile(spec);
+    run_system(app, Class::S, &b, RunOpts::default())
+}
+
+/// The tentpole invariant, as a property: for randomized (app, policy)
+/// configurations at 1, 2 and 4 workers, the per-region counters sum
+/// *exactly* to the run's aggregate counters — every event, no slack.
+#[test]
+fn region_sums_equal_global_counters() {
+    let apps = [AppKind::Cg, AppKind::Mg, AppKind::Sp, AppKind::Ep];
+    let policies = [PagePolicy::Small4K, PagePolicy::Large2M];
+    let mut rng = Rng::new(0x4e91_7a2f);
+    for threads in [1usize, 2, 4] {
+        for case in 0..3u64 {
+            let app = apps[rng.below(apps.len() as u64) as usize];
+            let policy = policies[rng.below(2) as usize];
+            let r = profiled(app, policy, threads, ProfileSpec::Regions);
+            let sheet = r.regions.as_ref().expect("profiled run returns a sheet");
+            assert_eq!(
+                sheet.total(),
+                r.counters,
+                "{app} {policy} threads={threads} case={case}: attribution leaked"
+            );
+            // The run actually exercised attribution: barriers always run,
+            // and the annotated kernels contribute their own regions.
+            assert!(sheet.by_name("rt:barrier").is_some());
+            if matches!(app, AppKind::Cg | AppKind::Mg | AppKind::Sp) {
+                let prefix = format!("{}:", app.to_string().to_lowercase());
+                let named = (0..sheet.region_count())
+                    .filter(|&r| sheet.name(r).starts_with(&prefix))
+                    .count();
+                assert!(named >= 4, "{app}: only {named} app regions");
+            }
+        }
+    }
+}
+
+/// Profiling is observational: the same run with profiling off, on, and
+/// tracing produces identical cycles, counters and checksum.
+#[test]
+fn profiling_is_free_at_every_worker_count() {
+    for threads in [1usize, 2, 4] {
+        let bare = profiled(AppKind::Cg, PagePolicy::Small4K, threads, ProfileSpec::Off);
+        let reg = profiled(
+            AppKind::Cg,
+            PagePolicy::Small4K,
+            threads,
+            ProfileSpec::Regions,
+        );
+        let tr = profiled(
+            AppKind::Cg,
+            PagePolicy::Small4K,
+            threads,
+            ProfileSpec::Trace,
+        );
+        for r in [&reg, &tr] {
+            assert_eq!(bare.cycles, r.cycles, "threads={threads}");
+            assert_eq!(bare.counters, r.counters, "threads={threads}");
+            assert_eq!(bare.checksum, r.checksum, "threads={threads}");
+        }
+        assert!(bare.regions.is_none() && bare.trace.is_none());
+        assert!(reg.trace.is_none());
+        assert!(tr.trace.is_some());
+    }
+}
+
+/// The Chrome trace export round-trips through the in-tree parser and is
+/// well-formed: B/E events balance per thread, timestamps are monotone
+/// per thread, and every thread carries a `thread_name` metadata record.
+#[test]
+fn trace_json_round_trips_and_is_well_formed() {
+    let r = profiled(AppKind::Sp, PagePolicy::Small4K, 4, ProfileSpec::Trace);
+    let text = r.trace.as_ref().expect("tracing run returns JSON");
+    let doc = parse_json(text).expect("trace JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut depth = std::collections::HashMap::new();
+    let mut last_ts = std::collections::HashMap::new();
+    let mut named_threads = std::collections::HashSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let tid = ev.get("tid").and_then(Json::as_num).expect("tid") as i64;
+        match ph {
+            "M" => {
+                assert_eq!(ev.get("name").and_then(Json::as_str), Some("thread_name"));
+                named_threads.insert(tid);
+            }
+            "B" | "E" | "i" => {
+                let ts = ev.get("ts").and_then(Json::as_num).expect("ts");
+                let last = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+                assert!(ts >= *last, "tid {tid}: ts went backwards");
+                *last = ts;
+                let d = depth.entry(tid).or_insert(0i64);
+                match ph {
+                    "B" => *d += 1,
+                    "E" => {
+                        *d -= 1;
+                        assert!(*d >= 0, "tid {tid}: E without B");
+                    }
+                    _ => {}
+                }
+                // Region names survive the escape/parse round trip.
+                let name = ev.get("name").and_then(Json::as_str).expect("name");
+                assert!(!name.is_empty());
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, d) in depth {
+        assert_eq!(d, 0, "tid {tid}: unbalanced B/E");
+        assert!(named_threads.contains(&tid), "tid {tid} has no thread_name");
+    }
+}
