@@ -1,16 +1,20 @@
 //! Harness benchmark: host wall-clock of the paper's Figure 4 sweep,
 //! emitted as machine-readable JSON (`BENCH_sweep.json`).
 //!
-//! Runs the full Figure 4 grid twice — once on a single worker (the
-//! serial baseline) and once on [`default_workers`] workers
-//! (`LPOMP_WORKERS` overrides) — and records per-configuration and total
-//! host seconds plus the parallel speedup. Because every configuration is
-//! an independent, deterministic simulation, the two sweeps produce
-//! byte-identical records (asserted here); only host time differs.
+//! Three timed passes over the same grid:
 //!
-//! On hosts with a single CPU the speedup is necessarily ~1.0; the JSON
-//! carries `host_cpus` so readers can interpret the number. On a 4-core
-//! host the class-W sweep is expected to run ≥2× faster in parallel.
+//! 1. the cycle engine on a single worker (the serial baseline);
+//! 2. the cycle engine on [`default_workers`] workers (`LPOMP_WORKERS`
+//!    overrides) — byte-identical records, asserted here;
+//! 3. the analytic backend, after a separately-timed one-time capture
+//!    pass — each config entry records its `host_seconds` under both
+//!    backends and the per-config `speedup` of analytic evaluation over
+//!    cycle simulation (the ISSUE's ≥50× bar at class W).
+//!
+//! On hosts with a single CPU the parallel speedup is necessarily ~1.0;
+//! the JSON carries `host_cpus` so readers can interpret the number. On
+//! a 4-core host the class-W sweep is expected to run ≥2× faster in
+//! parallel.
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin bench_json [S|W|A]`
 //! (writes `BENCH_sweep.json` in the current directory).
@@ -19,6 +23,7 @@ use std::time::Instant;
 
 use lpomp::prelude::*;
 use lpomp_bench::class_from_args;
+use lpomp_core::cached_profile;
 
 /// Minimal JSON string escaping for the identifiers we emit.
 fn esc(s: &str) -> String {
@@ -73,6 +78,37 @@ fn main() {
         "parallel sweep records must be byte-identical to the serial run"
     );
 
+    // Analytic backend: capture once per (app, threads), timed apart so
+    // the per-config numbers measure steady-state evaluation.
+    let t0 = Instant::now();
+    let mut seen = std::collections::BTreeSet::new();
+    for (_, app, _, threads) in &grid {
+        if seen.insert((app.name(), *threads)) {
+            cached_profile(*app, class, *threads);
+        }
+    }
+    let capture_total = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let analytic: Vec<(RunRecord, f64)> = grid
+        .iter()
+        .map(|(machine, app, policy, threads)| {
+            let r0 = Instant::now();
+            let rec = run_backend(
+                BackendKind::Analytic,
+                *app,
+                class,
+                machine.clone(),
+                *policy,
+                *threads,
+                RunOpts::default(),
+            );
+            (rec, r0.elapsed().as_secs_f64())
+        })
+        .collect();
+    let analytic_total = t0.elapsed().as_secs_f64();
+    eprintln!("analytic: capture {capture_total:.2}s, evaluate {analytic_total:.3}s");
+
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -92,25 +128,51 @@ fn main() {
         "  \"parallel_speedup\": {:.3},\n",
         serial_total / parallel_total
     ));
+    // Per-config backend speedup: serial cycle host time over analytic
+    // host time, the like-for-like single-worker comparison.
+    let serial_timed = &sweeps[0].2;
+    let speedups: Vec<f64> = serial_timed
+        .iter()
+        .zip(&analytic)
+        .map(|((_, cyc_s), (_, ana_s))| cyc_s / ana_s.max(1e-9))
+        .collect();
+    let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "  \"analytic_capture_seconds\": {capture_total:.3},\n  \
+         \"analytic_total_seconds\": {analytic_total:.6},\n  \
+         \"analytic_mean_config_speedup\": {mean_speedup:.1},\n  \
+         \"analytic_min_config_speedup\": {min_speedup:.1},\n"
+    ));
     out.push_str(&format!(
         "  \"records_identical\": true,\n  \"note\": \"each config is an independent deterministic simulation; \
          worker count changes host time only. Speedup is bounded by host_cpus ({host_cpus} here); \
-         a >=2x class-W speedup is expected on >=4 cores.\",\n"
+         a >=2x class-W speedup is expected on >=4 cores. Analytic speedups compare one config's serial \
+         cycle simulation against its analytic evaluation, after the one-time capture pass.\",\n"
     ));
     out.push_str("  \"configs\": [\n");
     let (_, _, timed) = &sweeps[1];
     for (i, ((machine, app, policy, threads), (rec, host_s))) in
         grid.iter().zip(timed.iter()).enumerate()
     {
-        out.push_str(&format!(
-            "    {{\"machine\": \"{}\", \"app\": \"{}\", \"policy\": \"{}\", \"threads\": {}, \
-             \"host_seconds\": {:.3}, \"sim_seconds\": {:.6}}}{}\n",
+        let (ana_rec, ana_s) = &analytic[i];
+        let head = format!(
+            "\"machine\": \"{}\", \"app\": \"{}\", \"policy\": \"{}\", \"threads\": {}",
             esc(machine.name),
             esc(app.name()),
             esc(policy.label()),
             threads,
-            host_s,
-            rec.seconds,
+        );
+        out.push_str(&format!(
+            "    {{{head}, \"backend\": \"cycle\", \"host_seconds\": {:.3}, \"sim_seconds\": {:.6}}},\n",
+            host_s, rec.seconds,
+        ));
+        out.push_str(&format!(
+            "    {{{head}, \"backend\": \"analytic\", \"host_seconds\": {:.6}, \"sim_seconds\": {:.6}, \
+             \"speedup\": {:.1}}}{}\n",
+            ana_s,
+            ana_rec.seconds,
+            speedups[i],
             if i + 1 == grid.len() { "" } else { "," }
         ));
     }

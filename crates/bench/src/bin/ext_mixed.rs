@@ -29,6 +29,7 @@ fn main() {
         policies: vec![PagePolicy::Small4K, PagePolicy::Large2M, mixed],
         threads: vec![4],
         opts: RunOpts::default(),
+        backend: BackendKind::CycleExact,
     }
     .run();
     let mut t = TextTable::new(vec![

@@ -29,6 +29,7 @@ fn main() {
         policies: vec![PagePolicy::Small4K],
         threads: vec![4],
         opts: RunOpts::default(),
+        backend: BackendKind::CycleExact,
     }
     .run();
     let mut t = TextTable::new(vec![

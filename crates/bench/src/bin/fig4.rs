@@ -6,15 +6,23 @@
 //! (`LPOMP_WORKERS` overrides the worker count), then rendered in the
 //! original order — the tables are byte-identical to the serial runner.
 //!
-//! Usage: `cargo run --release -p lpomp-bench --bin fig4 [S|W|A]`
+//! Usage: `cargo run --release -p lpomp-bench --bin fig4 [S|W|A]
+//! [--backend=cycle|analytic]` — the analytic backend replays cached
+//! reuse profiles (one capture per app × thread count) instead of
+//! simulating every cell; golden output is the cycle-exact default.
 
 use lpomp::prelude::*;
-use lpomp_bench::{class_from_args, improvement_pct};
+use lpomp_bench::{backend_from_args, class_from_args, improvement_pct};
 
 fn main() {
     let class = class_from_args();
-    println!("Figure 4: scalability with 4KB vs 2MB pages (class {class})\n");
-    let results = SweepSpec::figure4(class).run();
+    let backend = backend_from_args();
+    let tag = match backend {
+        BackendKind::CycleExact => String::new(),
+        other => format!(", backend {other}"),
+    };
+    println!("Figure 4: scalability with 4KB vs 2MB pages (class {class}{tag})\n");
+    let results = SweepSpec::figure4(class).with_backend(backend).run();
     for machine in [opteron_2x2(), xeon_2x2_ht()] {
         let threads = figure4_thread_counts(&machine);
         for app in AppKind::PAPER_FIVE {

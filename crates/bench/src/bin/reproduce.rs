@@ -36,6 +36,7 @@ fn main() {
         ("ext_frag", true),
         ("profile", true),
         ("diag", true),
+        ("xval", true),
     ];
     let mut failures = 0;
     for (target, takes_class) in targets {

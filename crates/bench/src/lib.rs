@@ -21,16 +21,17 @@
 //! accept an optional class argument (`S`, `W`, `A`) — default `W`, the
 //! simulated-evaluation class.
 
-use lpomp_core::{run_sim, PagePolicy, RunOpts, RunRecord};
+use lpomp_core::{run_sim, BackendKind, PagePolicy, RunOpts, RunRecord};
 use lpomp_machine::MachineConfig;
 use lpomp_npb::{AppKind, Class};
 
 #[cfg(feature = "bench")]
 pub mod harness;
 
-/// Parse the class argument (first CLI arg), defaulting to `W`.
+/// Parse the class argument (first non-flag CLI arg), defaulting to `W`.
 pub fn class_from_args() -> Class {
-    match std::env::args().nth(1).as_deref() {
+    let positional = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+    match positional.as_deref() {
         Some("S") | Some("s") => Class::S,
         Some("A") | Some("a") => Class::A,
         Some("B") | Some("b") => Class::B,
@@ -40,6 +41,22 @@ pub fn class_from_args() -> Class {
             Class::W
         }
     }
+}
+
+/// Parse the `--backend=cycle|analytic` flag, defaulting to cycle-exact
+/// (the golden outputs are cycle-exact; the flag is the fast path).
+pub fn backend_from_args() -> BackendKind {
+    for arg in std::env::args().skip(1) {
+        if let Some(name) = arg.strip_prefix("--backend=") {
+            match BackendKind::parse(name) {
+                Some(kind) => return kind,
+                None => {
+                    eprintln!("unknown backend {name:?}; expected cycle or analytic — using cycle")
+                }
+            }
+        }
+    }
+    BackendKind::CycleExact
 }
 
 /// Run one app under both page policies at a thread count.

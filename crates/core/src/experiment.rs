@@ -51,6 +51,9 @@ pub struct RunRecord {
     /// Chrome `trace_event` JSON of the run (builders with
     /// [`lpomp_prof::ProfileSpec::Trace`]).
     pub trace: Option<String>,
+    /// Which backend produced the record ([`crate::BackendKind::label`]):
+    /// `"cycle"` or `"analytic"`.
+    pub backend: &'static str,
 }
 
 impl RunRecord {
@@ -115,6 +118,7 @@ pub fn run_system(app: AppKind, class: Class, builder: &SystemBuilder, opts: Run
         verified,
         regions: sys.team.region_sheet(),
         trace: sys.team.trace_json(),
+        backend: crate::backend::BackendKind::CycleExact.label(),
     }
 }
 

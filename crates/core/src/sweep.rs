@@ -1,12 +1,13 @@
 //! Experiment grids: run a cartesian sweep of (application × machine ×
 //! policy × thread count) and query the results.
 //!
-//! The figure binaries are thin wrappers over [`run_sim`]; downstream
+//! The figure binaries are thin wrappers over [`run_backend`]; downstream
 //! users studying their own questions ("what does a 512-entry L2 TLB do
 //! to SP?") want the sweep as a *library*: build a [`SweepSpec`], run it,
 //! and slice the [`SweepResults`] by any axis.
 
-use crate::experiment::{run_sim, RunOpts, RunRecord};
+use crate::backend::{run_backend, BackendKind};
+use crate::experiment::{RunOpts, RunRecord};
 use crate::parallel::{default_workers, par_map};
 use crate::policy::PagePolicy;
 use lpomp_machine::MachineConfig;
@@ -29,6 +30,11 @@ pub struct SweepSpec {
     pub threads: Vec<usize>,
     /// Per-run options.
     pub opts: RunOpts,
+    /// Which engine evaluates each grid point. `CycleExact` (the
+    /// default) simulates; `Analytic` evaluates captured reuse profiles
+    /// — one capture per `(app, threads)`, then every (machine × policy)
+    /// point is closed-form. See [`crate::backend`].
+    pub backend: BackendKind,
 }
 
 impl SweepSpec {
@@ -41,7 +47,14 @@ impl SweepSpec {
             policies: vec![PagePolicy::Small4K, PagePolicy::Large2M],
             threads: vec![1, 2, 4, 8],
             opts: RunOpts::default(),
+            backend: BackendKind::CycleExact,
         }
+    }
+
+    /// The same grid evaluated by a different backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Number of runs the sweep will execute.
@@ -94,8 +107,24 @@ impl SweepSpec {
     /// the same (grid) order.
     pub fn run_parallel(&self, workers: usize) -> SweepResults {
         let grid = self.grid();
+        if self.backend == BackendKind::Analytic {
+            // Warm the profile cache serially: captures are the expensive
+            // step and `get_or_capture` holds the cache lock across one,
+            // so letting workers race to it would serialize them anyway.
+            for &(_, app, _, threads) in &grid {
+                crate::backend::cached_profile(app, self.class, threads);
+            }
+        }
         let records = par_map(&grid, workers, |_, &(machine, app, policy, threads)| {
-            run_sim(app, self.class, machine.clone(), policy, threads, self.opts)
+            run_backend(
+                self.backend,
+                app,
+                self.class,
+                machine.clone(),
+                policy,
+                threads,
+                self.opts,
+            )
         });
         SweepResults { records }
     }
@@ -113,7 +142,8 @@ impl SweepSpec {
         let mut records = Vec::with_capacity(total);
         for (done, &(machine, app, policy, threads)) in grid.iter().enumerate() {
             progress(done, total);
-            records.push(run_sim(
+            records.push(run_backend(
+                self.backend,
                 app,
                 self.class,
                 machine.clone(),
@@ -193,6 +223,7 @@ mod tests {
             policies: vec![PagePolicy::Small4K, PagePolicy::Large2M],
             threads: vec![1, 4],
             opts: RunOpts::default(),
+            backend: BackendKind::CycleExact,
         }
     }
 
@@ -251,6 +282,18 @@ mod tests {
         let parallel = spec.run_parallel(8);
         assert_eq!(serial.records().len(), 8);
         assert_eq!(serial.records(), parallel.records());
+    }
+
+    #[test]
+    fn analytic_sweep_is_deterministic_and_ordered() {
+        let spec = small_spec().with_backend(BackendKind::Analytic);
+        let serial = spec.run_parallel(1);
+        let parallel = spec.run_parallel(8);
+        assert_eq!(serial.records(), parallel.records());
+        assert!(serial.records().iter().all(|r| r.backend == "analytic"));
+        // The paper's effect survives the model at sweep level too.
+        let red = serial.miss_reduction(AppKind::Cg, "Opteron", 4).unwrap();
+        assert!(red > 1.0, "CG analytic reduction {red}");
     }
 
     #[test]

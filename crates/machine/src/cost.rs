@@ -158,6 +158,23 @@ impl CostModel {
     pub fn smt_scale(&self, cycles: u64) -> u64 {
         cycles * self.smt_share_num / self.smt_share_den
     }
+
+    /// DRAM access latency by access mode — the one charging table both
+    /// the cycle engine's cache hierarchy and the analytic backend read.
+    pub fn dram_cycles(&self, mode: crate::machine::AccessMode) -> u64 {
+        match mode {
+            crate::machine::AccessMode::Latency => self.dram,
+            crate::machine::AccessMode::Pipelined => self.dram_pipelined,
+            crate::machine::AccessMode::Stream => self.dram_stream,
+        }
+    }
+
+    /// Cycles of a DTLB/ITLB miss whose walk finds every upper level in
+    /// the page-walk cache and the leaf PTE in the L2 — the common case
+    /// both backends charge.
+    pub fn walk_cached_cycles(&self) -> u64 {
+        self.walk_base + self.l2_hit
+    }
 }
 
 #[cfg(test)]

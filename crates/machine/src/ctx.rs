@@ -157,7 +157,7 @@ impl CodeWalker {
     /// Addresses to fetch for a quantum of `instructions` (~4 bytes each):
     /// one fetch per 4 KB page crossed in the hot region, plus the
     /// occasional cold page.
-    fn fetch_addrs(&mut self, instructions: u64, out: &mut Vec<VirtAddr>) {
+    pub(crate) fn fetch_addrs(&mut self, instructions: u64, out: &mut Vec<VirtAddr>) {
         out.clear();
         self.calls += 1;
         let advance = instructions.saturating_mul(4);

@@ -20,14 +20,18 @@
 
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod cache;
+pub mod capture;
 pub mod config;
 pub mod cost;
 pub mod ctx;
 pub mod machine;
 pub mod numa;
 
+pub use analytic::{evaluate, AnalyticPoint, AnalyticResult};
 pub use cache::{Cache, CacheConfig, CacheStats, LINE_BYTES};
+pub use capture::{CaptureCtx, CaptureState};
 pub use config::{opteron_2x2, xeon_2x2_ht, L2Scope, MachineConfig};
 pub use cost::CostModel;
 pub use ctx::{CodeWalker, MemoryCtx, NullCtx, SimCtx};

@@ -260,11 +260,9 @@ impl Machine {
             (cost.l2_hit, false, false)
         } else {
             counters.bump(Event::L2Misses);
-            match mode {
-                AccessMode::Latency => (cost.dram, true, true),
-                AccessMode::Pipelined => (cost.dram_pipelined, true, true),
-                AccessMode::Stream => (cost.dram_stream, true, false),
-            }
+            // A streamed miss is covered by the prefetcher: no stall.
+            let stalled = mode != AccessMode::Stream;
+            (cost.dram_cycles(mode), true, stalled)
         }
     }
 

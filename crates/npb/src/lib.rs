@@ -32,10 +32,12 @@ pub mod ft;
 pub mod is;
 pub mod lu;
 pub mod mg;
+pub mod profile_cache;
 pub mod rng;
 pub mod sp;
 
 pub use common::{
     init_field, run_native, verify_close, AppKind, Class, CodeProfile, Footprint, Kernel,
 };
+pub use profile_cache::{ProfileCache, ProfileKey};
 pub use rng::Nprng;

@@ -1,0 +1,179 @@
+//! Cache of captured reference-stream profiles, keyed by
+//! `(application, class, thread count)`.
+//!
+//! The analytic backend needs one cycle-exact capture run per key; every
+//! (machine × page policy × placement) evaluation after that is a pure
+//! function of the cached [`StreamProfile`]. The cache is in-memory and
+//! process-wide by default; set `LPOMP_PROFILE_DIR` to also persist
+//! profiles as JSON across processes (stale or mismatched files are
+//! ignored and recaptured, never trusted).
+
+use crate::common::{AppKind, Class};
+use lpomp_prof::reuse::StreamProfile;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Cache key.
+pub type ProfileKey = (AppKind, Class, usize);
+
+/// See the [module docs](self).
+pub struct ProfileCache {
+    mem: Mutex<HashMap<ProfileKey, Arc<StreamProfile>>>,
+    dir: Option<PathBuf>,
+}
+
+impl Default for ProfileCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProfileCache {
+    /// Empty cache; the disk layer activates when `LPOMP_PROFILE_DIR`
+    /// is set to a non-empty path.
+    pub fn new() -> Self {
+        let dir = std::env::var("LPOMP_PROFILE_DIR")
+            .ok()
+            .filter(|d| !d.is_empty())
+            .map(PathBuf::from);
+        Self::with_dir(dir)
+    }
+
+    /// Empty cache with an explicit on-disk directory (`None` = memory
+    /// only).
+    pub fn with_dir(dir: Option<PathBuf>) -> Self {
+        ProfileCache {
+            mem: Mutex::new(HashMap::new()),
+            dir,
+        }
+    }
+
+    /// Canonical file name of a key's profile.
+    pub fn file_name(app: AppKind, class: Class, threads: usize) -> String {
+        format!("{app}_{class}_t{threads}.json")
+    }
+
+    /// Number of profiles resident in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the profile for a key, running `capture` on a miss. The
+    /// cache lock is held across `capture`, serializing concurrent
+    /// capture runs so parallel sweep workers never duplicate one.
+    pub fn get_or_capture(
+        &self,
+        app: AppKind,
+        class: Class,
+        threads: usize,
+        capture: impl FnOnce() -> StreamProfile,
+    ) -> Arc<StreamProfile> {
+        let mut mem = self.mem.lock().unwrap();
+        if let Some(p) = mem.get(&(app, class, threads)) {
+            return Arc::clone(p);
+        }
+        let profile = self.try_load(app, class, threads).unwrap_or_else(|| {
+            let p = capture();
+            self.try_store(app, class, threads, &p);
+            p
+        });
+        let arc = Arc::new(profile);
+        mem.insert((app, class, threads), Arc::clone(&arc));
+        arc
+    }
+
+    fn path(&self, app: AppKind, class: Class, threads: usize) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(Self::file_name(app, class, threads)))
+    }
+
+    fn try_load(&self, app: AppKind, class: Class, threads: usize) -> Option<StreamProfile> {
+        let path = self.path(app, class, threads)?;
+        let src = std::fs::read_to_string(path).ok()?;
+        let p = StreamProfile::from_json(&src).ok()?;
+        // Never trust a stale or renamed file.
+        let matches =
+            p.app == app.to_string() && p.class == class.to_string() && p.threads == threads;
+        matches.then_some(p)
+    }
+
+    fn try_store(&self, app: AppKind, class: Class, threads: usize, p: &StreamProfile) {
+        let Some(path) = self.path(app, class, threads) else {
+            return;
+        };
+        // Best effort: an unwritable directory only costs recapture.
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let _ = std::fs::write(path, p.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_profile(app: AppKind, class: Class, threads: usize) -> StreamProfile {
+        StreamProfile {
+            app: app.to_string(),
+            class: class.to_string(),
+            threads,
+            checksum: 1.5,
+            phases: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn memory_cache_captures_once() {
+        let cache = ProfileCache::with_dir(None);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let p = cache.get_or_capture(AppKind::Cg, Class::S, 2, || {
+                calls += 1;
+                tiny_profile(AppKind::Cg, Class::S, 2)
+            });
+            assert_eq!(p.threads, 2);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_layer_round_trips_and_rejects_mismatches() {
+        let dir = std::env::temp_dir().join(format!("lpomp-pc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ProfileCache::with_dir(Some(dir.clone()));
+        cache.get_or_capture(AppKind::Mg, Class::S, 4, || {
+            tiny_profile(AppKind::Mg, Class::S, 4)
+        });
+        assert!(dir
+            .join(ProfileCache::file_name(AppKind::Mg, Class::S, 4))
+            .exists());
+
+        // A second cache instance loads from disk without capturing.
+        let cache2 = ProfileCache::with_dir(Some(dir.clone()));
+        let p = cache2.get_or_capture(AppKind::Mg, Class::S, 4, || panic!("should load from disk"));
+        assert_eq!(p.checksum, 1.5);
+
+        // A mismatched file (wrong thread count inside) is recaptured.
+        std::fs::write(
+            dir.join(ProfileCache::file_name(AppKind::Mg, Class::S, 8)),
+            tiny_profile(AppKind::Mg, Class::S, 4).to_json(),
+        )
+        .unwrap();
+        let mut recaptured = false;
+        cache2.get_or_capture(AppKind::Mg, Class::S, 8, || {
+            recaptured = true;
+            tiny_profile(AppKind::Mg, Class::S, 8)
+        });
+        assert!(recaptured);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -14,18 +14,22 @@
 //! Beyond whole-run sheets, the [`region`] module attributes every
 //! counter increment to a named program phase (the paper's per-loop
 //! OProfile attribution, §4), and [`trace`] exports the timeline as
-//! Chrome `trace_event` JSON.
+//! Chrome `trace_event` JSON. The [`reuse`] module captures per-thread
+//! reuse-distance histograms into the compact [`StreamProfile`] the
+//! analytic backend evaluates.
 
 #![warn(missing_docs)]
 
 pub mod counters;
 pub mod region;
 pub mod report;
+pub mod reuse;
 pub mod table;
 pub mod trace;
 
 pub use counters::{Counters, Event, Profile, ThreadSheet};
 pub use region::{ProfileSheet, ProfileSpec, RegionId, RegionProfiler, ROOT_REGION};
 pub use report::{imbalance, normalized, rate_per_second, NormalizedSeries};
+pub use reuse::{PhaseAggregator, ReuseHistogram, ReuseTracker, StreamProfile, ThreadRecorder};
 pub use table::TextTable;
 pub use trace::{parse_json, Json, TraceRecorder};

@@ -1,0 +1,1307 @@
+//! Reuse-distance capture and the compact stream profile the analytic
+//! backend evaluates.
+//!
+//! A one-time cycle-exact run records, per logical thread, the LRU stack
+//! distance of every data access at three granularities — 64 B cache
+//! lines, 4 KB pages, 2 MB pages — plus the instruction-fetch page
+//! stream. Distances are binned into sparse sub-logarithmic histograms
+//! and aggregated per *phase* (the innermost `cg:matvec`-style region
+//! annotation), so iterative kernels collapse thousands of barrier
+//! episodes into a few dozen phases. The result, [`StreamProfile`], is a
+//! few-MB machine-independent summary: because the runtime schedules
+//! loops statically, each thread's access *sequence* is a property of the
+//! program, not of the machine preset it was captured on — which is what
+//! lets one profile answer any (machine × page policy × placement) point
+//! analytically.
+//!
+//! Everything here is dependency-free; serialization round-trips through
+//! [`crate::trace::parse_json`].
+
+use crate::trace::{parse_json, Json};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Access-mode index: demand (latency-bound) accesses.
+pub const MODE_LATENCY: usize = 0;
+/// Access-mode index: pipelined (overlapped-miss) accesses.
+pub const MODE_PIPELINED: usize = 1;
+/// Access-mode index: streamed (prefetcher-covered) accesses.
+pub const MODE_STREAM: usize = 2;
+/// Number of access modes tracked.
+pub const MODES: usize = 3;
+
+/// Number of histogram buckets. Distances below 16 get exact buckets;
+/// above, 8 sub-buckets per power of two — enough to resolve capacities
+/// up to ~2^33 distinct keys with <12.5% bucket width.
+pub const NUM_BUCKETS: usize = 256;
+
+const SMALL: u64 = 16;
+
+// ---------------------------------------------------------------------
+// Set-associative (conflict) capture.
+
+/// Conflict-shape key granularity: 64 B cache lines.
+pub const GRAN_LINE: u8 = 0;
+/// Conflict-shape key granularity: 4 KB pages.
+pub const GRAN_PAGE4K: u8 = 1;
+
+/// A set-associative geometry the capture tracks *per set*, so the
+/// analytic backend can see conflict misses a fully-associative model
+/// hides (power-of-two strides hammering a few sets — SP's pencil
+/// walks). Keys are indexed by their low bits (`key & (sets-1)`),
+/// exactly like the simulated caches and TLB arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictShape {
+    /// Key granularity (`GRAN_LINE` or `GRAN_PAGE4K`).
+    pub granularity: u8,
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Native associativity of the structure this shape mirrors (only
+    /// informational here; queries may probe any way count up to
+    /// [`CONFLICT_DEPTH`]).
+    pub ways: u32,
+}
+
+/// The geometries of both platform presets' set-associative structures:
+/// Opteron L1D (64 KB / 2-way), Opteron L2 (1 MB / 16-way), Xeon L1D
+/// (16 KB / 8-way), Xeon L2 (2 MB / 8-way), and the Opteron's 4-way
+/// 1024-entry L2 DTLB. Other geometries fall back to the
+/// fully-associative histograms.
+pub const CONFLICT_SHAPES: &[ConflictShape] = &[
+    ConflictShape {
+        granularity: GRAN_LINE,
+        sets: 512,
+        ways: 2,
+    },
+    ConflictShape {
+        granularity: GRAN_LINE,
+        sets: 1024,
+        ways: 16,
+    },
+    ConflictShape {
+        granularity: GRAN_LINE,
+        sets: 32,
+        ways: 8,
+    },
+    ConflictShape {
+        granularity: GRAN_LINE,
+        sets: 4096,
+        ways: 8,
+    },
+    ConflictShape {
+        granularity: GRAN_PAGE4K,
+        sets: 256,
+        ways: 4,
+    },
+];
+
+/// Per-set LRU depth tracked exactly; deeper reuse lands in the `far`
+/// bin, which misses at every realistic associativity (≤ 16 ways).
+pub const CONFLICT_DEPTH: usize = 32;
+
+/// Index into [`CONFLICT_SHAPES`] for a geometry, if captured.
+pub fn conflict_shape_index(granularity: u8, sets: u32, ways: u32) -> Option<usize> {
+    CONFLICT_SHAPES
+        .iter()
+        .position(|s| s.granularity == granularity && s.sets == sets && s.ways == ways)
+}
+
+/// Per-set true-LRU stack distances for one [`ConflictShape`].
+struct SetTracker {
+    mask: u64,
+    /// Per-set MRU-first key lists, truncated at [`CONFLICT_DEPTH`].
+    sets: Vec<Vec<u64>>,
+}
+
+impl SetTracker {
+    fn new(shape: &ConflictShape) -> Self {
+        SetTracker {
+            mask: u64::from(shape.sets - 1),
+            sets: vec![Vec::new(); shape.sets as usize],
+        }
+    }
+
+    /// Distance = distinct keys of the same set touched since this key's
+    /// previous access; `None` when cold or deeper than the tracked LRU
+    /// depth (either way a miss at any associativity ≤ the depth).
+    #[inline]
+    fn access(&mut self, key: u64) -> Option<usize> {
+        let set = &mut self.sets[(key & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&k| k == key) {
+            let k = set.remove(pos);
+            set.insert(0, k);
+            Some(pos)
+        } else {
+            if set.len() == CONFLICT_DEPTH {
+                set.pop();
+            }
+            set.insert(0, key);
+            None
+        }
+    }
+}
+
+/// Sparse per-set-distance histogram for one conflict shape: a `w`-way
+/// structure of this geometry misses exactly the accesses with per-set
+/// distance ≥ `w`, plus all of `far`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConflictHist {
+    /// Cold accesses and reuses deeper than [`CONFLICT_DEPTH`].
+    pub far: u64,
+    /// `(per-set distance, count)` pairs, distance < depth, sorted.
+    pub d: Vec<(u32, u64)>,
+}
+
+impl ConflictHist {
+    /// Misses of a `ways`-associative structure of this shape.
+    pub fn misses_beyond(&self, ways: u64) -> f64 {
+        let mut m = self.far as f64;
+        for &(dist, n) in &self.d {
+            if u64::from(dist) >= ways {
+                m += n as f64;
+            }
+        }
+        m
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.far + self.d.iter().map(|&(_, n)| n).sum::<u64>()
+    }
+
+    /// Add another histogram into this one.
+    pub fn merge(&mut self, other: &ConflictHist) {
+        self.far += other.far;
+        for &(dist, n) in &other.d {
+            match self.d.binary_search_by_key(&dist, |&(x, _)| x) {
+                Ok(i) => self.d[i].1 += n,
+                Err(i) => self.d.insert(i, (dist, n)),
+            }
+        }
+    }
+}
+
+/// Dense capture-side counterpart of [`ConflictHist`].
+#[derive(Clone, Debug)]
+struct DenseConflict {
+    counts: [u64; CONFLICT_DEPTH],
+    far: u64,
+}
+
+impl DenseConflict {
+    fn new() -> Self {
+        DenseConflict {
+            counts: [0; CONFLICT_DEPTH],
+            far: 0,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, dist: Option<usize>) {
+        match dist {
+            Some(d) => self.counts[d] += 1,
+            None => self.far += 1,
+        }
+    }
+
+    fn drain(&mut self) -> ConflictHist {
+        let d = self
+            .counts
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, n)| **n != 0)
+            .map(|(i, n)| (i as u32, std::mem::take(n)))
+            .collect();
+        ConflictHist {
+            far: std::mem::take(&mut self.far),
+            d,
+        }
+    }
+}
+
+/// Histogram bucket index for a reuse distance.
+#[inline]
+pub fn bucket_of(d: u64) -> usize {
+    if d < SMALL {
+        d as usize
+    } else {
+        let k = 63 - u64::from(d.leading_zeros());
+        let sub = (d >> (k - 3)) & 7;
+        ((16 + (k - 4) * 8 + sub) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive `(lo, hi)` distance range a bucket covers.
+#[inline]
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < 16 {
+        (idx as u64, idx as u64)
+    } else {
+        let k = 4 + ((idx - 16) / 8) as u64;
+        let sub = ((idx - 16) % 8) as u64;
+        let w = 1u64 << (k - 3);
+        let lo = (1u64 << k) + sub * w;
+        (lo, lo + w - 1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast hashing (multiply-mix; the std SipHash would dominate capture).
+
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut v = [0u8; 8];
+            v[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(v));
+        }
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+// ---------------------------------------------------------------------
+// Exact LRU stack-distance tracking.
+
+/// Exact per-thread LRU stack distances over a key stream (keys are
+/// line/page numbers). `access` returns the number of *distinct other*
+/// keys touched since the key's previous access (`None` on first touch),
+/// so a fully-associative LRU structure of capacity `C` hits iff the
+/// distance is `< C`.
+///
+/// Implementation: each key's latest access occupies one time slot; a
+/// Fenwick tree over slots counts, in `O(log n)`, how many keys were
+/// last accessed after a given slot. Slots are renumbered (compacted)
+/// when exhausted, amortizing to near-constant per access.
+pub struct ReuseTracker {
+    last: FxMap<u64, u32>,
+    tree: Vec<u32>,
+    cap: u32,
+    time: u32,
+}
+
+impl Default for ReuseTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReuseTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        let cap = 1 << 16;
+        ReuseTracker {
+            last: FxMap::default(),
+            tree: vec![0; cap as usize + 1],
+            cap,
+            time: 0,
+        }
+    }
+
+    #[inline]
+    fn inc(&mut self, mut i: u32) {
+        while i <= self.cap {
+            self.tree[i as usize] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    #[inline]
+    fn dec(&mut self, mut i: u32) {
+        while i <= self.cap {
+            self.tree[i as usize] -= 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    #[inline]
+    fn prefix(&self, mut i: u32) -> u32 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i as usize];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Record an access; returns the reuse distance, `None` when cold.
+    pub fn access(&mut self, key: u64) -> Option<u64> {
+        if self.time == self.cap {
+            self.compact();
+        }
+        let dist = self.last.get(&key).copied().map(|s| {
+            let d = self.prefix(self.time) - self.prefix(s);
+            self.dec(s);
+            u64::from(d)
+        });
+        self.time += 1;
+        let t = self.time;
+        self.inc(t);
+        self.last.insert(key, t);
+        dist
+    }
+
+    /// Number of distinct keys seen so far.
+    pub fn distinct(&self) -> usize {
+        self.last.len()
+    }
+
+    fn compact(&mut self) {
+        let mut pairs: Vec<(u32, u64)> = self.last.iter().map(|(&k, &s)| (s, k)).collect();
+        pairs.sort_unstable();
+        let live = pairs.len() as u32;
+        self.cap = live.saturating_mul(2).max(1 << 16).next_power_of_two();
+        self.tree = vec![0; self.cap as usize + 1];
+        self.time = live;
+        for (i, &(_, key)) in pairs.iter().enumerate() {
+            let slot = i as u32 + 1;
+            self.inc(slot);
+            self.last.insert(key, slot);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histograms.
+
+/// Sparse reuse-distance histogram: cold (first-touch) count plus
+/// `(bucket, count)` pairs sorted by bucket index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReuseHistogram {
+    /// First-touch accesses (always miss, at any capacity).
+    pub cold: u64,
+    /// `(bucket index, access count)` pairs, sorted, counts nonzero.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl ReuseHistogram {
+    /// Total accesses recorded, including cold.
+    pub fn total(&self) -> u64 {
+        self.cold + self.buckets.iter().map(|&(_, n)| n).sum::<u64>()
+    }
+
+    /// Expected misses in a fully-associative LRU structure holding
+    /// `capacity` keys (hit iff distance < capacity). Buckets straddling
+    /// the capacity contribute fractionally; cold accesses always miss.
+    pub fn misses_beyond(&self, capacity: u64) -> f64 {
+        let mut m = self.cold as f64;
+        if capacity == 0 {
+            return self.total() as f64;
+        }
+        for &(idx, n) in &self.buckets {
+            let (lo, hi) = bucket_bounds(idx as usize);
+            if lo >= capacity {
+                m += n as f64;
+            } else if hi >= capacity {
+                let width = (hi - lo + 1) as f64;
+                m += n as f64 * ((hi - capacity + 1) as f64 / width);
+            }
+        }
+        m
+    }
+
+    /// Add another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        self.cold += other.cold;
+        if other.buckets.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(a, na)), Some(&(b, nb))) if a == b => {
+                    out.push((a, na + nb));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(a, na)), Some(&(b, _))) if a < b => {
+                    out.push((a, na));
+                    i += 1;
+                }
+                (Some(_), Some(&(b, nb))) => {
+                    out.push((b, nb));
+                    j += 1;
+                }
+                (Some(&(a, na)), None) => {
+                    out.push((a, na));
+                    i += 1;
+                }
+                (None, Some(&(b, nb))) => {
+                    out.push((b, nb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = out;
+    }
+}
+
+/// Dense histogram used during capture (fixed-size counts, zeroed on
+/// drain); converted to the sparse form when a phase closes.
+#[derive(Clone, Debug)]
+struct DenseHist {
+    counts: Vec<u64>,
+    cold: u64,
+}
+
+impl DenseHist {
+    fn new() -> Self {
+        DenseHist {
+            counts: vec![0; NUM_BUCKETS],
+            cold: 0,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, dist: Option<u64>) {
+        match dist {
+            Some(d) => self.counts[bucket_of(d)] += 1,
+            None => self.cold += 1,
+        }
+    }
+
+    fn drain(&mut self) -> ReuseHistogram {
+        let buckets = self
+            .counts
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, n)| **n != 0)
+            .map(|(i, n)| (i as u32, std::mem::take(n)))
+            .collect();
+        ReuseHistogram {
+            cold: std::mem::take(&mut self.cold),
+            buckets,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread capture state.
+
+/// One logical thread's capture state: three global reuse trackers (the
+/// distances span phase boundaries, so caches stay warm across phases)
+/// plus the dense accumulators of the phase in progress.
+pub struct ThreadRecorder {
+    line: ReuseTracker,
+    p4k: ReuseTracker,
+    p2m: ReuseTracker,
+    code: ReuseTracker,
+    events: u64,
+    acc: [u64; MODES],
+    loads: u64,
+    stores: u64,
+    instructions: u64,
+    ifetches: u64,
+    stream_pages_4k: u64,
+    stream_pages_2m: u64,
+    line_h: [DenseHist; MODES],
+    p4k_h: [DenseHist; MODES],
+    p2m_h: [DenseHist; MODES],
+    code_h: DenseHist,
+    /// One per-set tracker per [`CONFLICT_SHAPES`] entry (global, like
+    /// the reuse trackers: sets stay warm across phases).
+    shapes: Vec<SetTracker>,
+    conflict_h: Vec<[DenseConflict; MODES]>,
+}
+
+impl Default for ThreadRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadRecorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        let h3 = || [DenseHist::new(), DenseHist::new(), DenseHist::new()];
+        ThreadRecorder {
+            line: ReuseTracker::new(),
+            p4k: ReuseTracker::new(),
+            p2m: ReuseTracker::new(),
+            code: ReuseTracker::new(),
+            events: 0,
+            acc: [0; MODES],
+            loads: 0,
+            stores: 0,
+            instructions: 0,
+            ifetches: 0,
+            stream_pages_4k: 0,
+            stream_pages_2m: 0,
+            line_h: h3(),
+            p4k_h: h3(),
+            p2m_h: h3(),
+            code_h: DenseHist::new(),
+            shapes: CONFLICT_SHAPES.iter().map(SetTracker::new).collect(),
+            conflict_h: CONFLICT_SHAPES
+                .iter()
+                .map(|_| {
+                    [
+                        DenseConflict::new(),
+                        DenseConflict::new(),
+                        DenseConflict::new(),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    /// Record one data access at raw virtual address `va`.
+    #[inline]
+    pub fn data(&mut self, va: u64, is_store: bool, mode: usize) {
+        self.events += 1;
+        self.acc[mode] += 1;
+        if is_store {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+        let d = self.line.access(va >> 6);
+        self.line_h[mode].add(d);
+        let d = self.p4k.access(va >> 12);
+        self.p4k_h[mode].add(d);
+        let d = self.p2m.access(va >> 21);
+        self.p2m_h[mode].add(d);
+        for (i, shape) in CONFLICT_SHAPES.iter().enumerate() {
+            let key = if shape.granularity == GRAN_LINE {
+                va >> 6
+            } else {
+                va >> 12
+            };
+            let d = self.shapes[i].access(key);
+            self.conflict_h[i][mode].add(d);
+        }
+        if mode == MODE_STREAM {
+            // The cycle engine restarts the prefetcher only on TLB misses
+            // within the first two lines of a page: count the stream
+            // accesses eligible at each mapping granularity.
+            if va & 0xFFF < 128 {
+                self.stream_pages_4k += 1;
+            }
+            if va & 0x1F_FFFF < 128 {
+                self.stream_pages_2m += 1;
+            }
+        }
+    }
+
+    /// Record a compute charge of `n` instructions.
+    #[inline]
+    pub fn compute(&mut self, n: u64) {
+        self.events += 1;
+        self.instructions += n;
+    }
+
+    /// Record one instruction fetch at raw virtual address `va`.
+    #[inline]
+    pub fn ifetch(&mut self, va: u64) {
+        self.events += 1;
+        self.ifetches += 1;
+        let d = self.code.access(va >> 12);
+        self.code_h.add(d);
+    }
+
+    fn drain(&mut self) -> PhaseThread {
+        self.events = 0;
+        PhaseThread {
+            acc: std::mem::take(&mut self.acc),
+            loads: std::mem::take(&mut self.loads),
+            stores: std::mem::take(&mut self.stores),
+            instructions: std::mem::take(&mut self.instructions),
+            ifetches: std::mem::take(&mut self.ifetches),
+            stream_pages_4k: std::mem::take(&mut self.stream_pages_4k),
+            stream_pages_2m: std::mem::take(&mut self.stream_pages_2m),
+            line: [
+                self.line_h[0].drain(),
+                self.line_h[1].drain(),
+                self.line_h[2].drain(),
+            ],
+            p4k: [
+                self.p4k_h[0].drain(),
+                self.p4k_h[1].drain(),
+                self.p4k_h[2].drain(),
+            ],
+            p2m: [
+                self.p2m_h[0].drain(),
+                self.p2m_h[1].drain(),
+                self.p2m_h[2].drain(),
+            ],
+            code4k: self.code_h.drain(),
+            conflict: self
+                .conflict_h
+                .iter_mut()
+                .map(|ms| [ms[0].drain(), ms[1].drain(), ms[2].drain()])
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The profile data model.
+
+/// One thread's aggregate within a phase.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseThread {
+    /// Data accesses per mode (`MODE_*` indices).
+    pub acc: [u64; MODES],
+    /// Data loads (any mode).
+    pub loads: u64,
+    /// Data stores (any mode).
+    pub stores: u64,
+    /// Compute instructions charged.
+    pub instructions: u64,
+    /// Instruction fetches issued by the code walker.
+    pub ifetches: u64,
+    /// Streamed accesses in the first two lines of a 4 KB page
+    /// (prefetch-restart candidates under 4 KB mappings).
+    pub stream_pages_4k: u64,
+    /// Streamed accesses in the first two lines of a 2 MB page.
+    pub stream_pages_2m: u64,
+    /// Per-mode reuse-distance histograms at 64 B line granularity.
+    pub line: [ReuseHistogram; MODES],
+    /// Per-mode histograms at 4 KB page granularity.
+    pub p4k: [ReuseHistogram; MODES],
+    /// Per-mode histograms at 2 MB page granularity.
+    pub p2m: [ReuseHistogram; MODES],
+    /// Instruction-fetch histogram at 4 KB page granularity.
+    pub code4k: ReuseHistogram,
+    /// Per-mode set-conflict histograms, one entry per
+    /// [`CONFLICT_SHAPES`] geometry (same order).
+    pub conflict: Vec<[ConflictHist; MODES]>,
+}
+
+impl PhaseThread {
+    fn merge(&mut self, other: &PhaseThread) {
+        for m in 0..MODES {
+            self.acc[m] += other.acc[m];
+            self.line[m].merge(&other.line[m]);
+            self.p4k[m].merge(&other.p4k[m]);
+            self.p2m[m].merge(&other.p2m[m]);
+        }
+        if self.conflict.len() < other.conflict.len() {
+            self.conflict
+                .resize_with(other.conflict.len(), Default::default);
+        }
+        for (s, o) in self.conflict.iter_mut().zip(&other.conflict) {
+            for m in 0..MODES {
+                s[m].merge(&o[m]);
+            }
+        }
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.instructions += other.instructions;
+        self.ifetches += other.ifetches;
+        self.stream_pages_4k += other.stream_pages_4k;
+        self.stream_pages_2m += other.stream_pages_2m;
+        self.code4k.merge(&other.code4k);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.acc == [0; MODES] && self.instructions == 0 && self.ifetches == 0
+    }
+}
+
+/// One phase: everything captured under one region label, across all of
+/// that label's barrier episodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Innermost region annotation active when the work ran (`""` for
+    /// work outside any region).
+    pub label: String,
+    /// Barrier synchronizations closed under this label.
+    pub barriers: u64,
+    /// Per-thread aggregates (index = logical thread id).
+    pub threads: Vec<PhaseThread>,
+}
+
+/// A captured kernel reference stream, compacted: the machine-independent
+/// input the analytic backend evaluates against any machine preset, page
+/// policy and NUMA placement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamProfile {
+    /// Application name (e.g. `"cg"`).
+    pub app: String,
+    /// Problem class letter (e.g. `"W"`).
+    pub class: String,
+    /// Logical thread count the stream was captured at.
+    pub threads: usize,
+    /// Kernel checksum produced by the capture run.
+    pub checksum: f64,
+    /// Phases in first-appearance order.
+    pub phases: Vec<Phase>,
+}
+
+/// Accumulates [`ThreadRecorder`] contents into phases as the capture
+/// run crosses region and barrier boundaries.
+pub struct PhaseAggregator {
+    phases: Vec<Phase>,
+    index: HashMap<String, usize>,
+    stack: Vec<String>,
+}
+
+impl Default for PhaseAggregator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseAggregator {
+    /// Empty aggregator.
+    pub fn new() -> Self {
+        PhaseAggregator {
+            phases: Vec::new(),
+            index: HashMap::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        self.stack.last().map(String::as_str).unwrap_or("")
+    }
+
+    fn phase_mut(&mut self, threads: usize) -> &mut Phase {
+        let label = self.label().to_owned();
+        let idx = *self.index.entry(label.clone()).or_insert_with(|| {
+            self.phases.push(Phase {
+                label,
+                barriers: 0,
+                threads: vec![PhaseThread::default(); threads],
+            });
+            self.phases.len() - 1
+        });
+        &mut self.phases[idx]
+    }
+
+    /// Close the open episode: drain every recorder into the current
+    /// label's phase. `barrier` marks episodes ended by a barrier
+    /// synchronization (counted for barrier-cost prediction).
+    pub fn flush(&mut self, recorders: &mut [ThreadRecorder], barrier: bool) {
+        let dirty = recorders.iter().any(|r| r.events != 0);
+        if !dirty && !barrier {
+            return;
+        }
+        let phase = self.phase_mut(recorders.len());
+        if barrier {
+            phase.barriers += 1;
+        }
+        if dirty {
+            for (t, r) in recorders.iter_mut().enumerate() {
+                let pt = r.drain();
+                if !pt.is_empty() {
+                    phase.threads[t].merge(&pt);
+                }
+            }
+        }
+    }
+
+    /// A region annotation opened: flush pending work to the outer label.
+    pub fn region_enter(&mut self, name: &str, recorders: &mut [ThreadRecorder]) {
+        self.flush(recorders, false);
+        self.stack.push(name.to_owned());
+    }
+
+    /// A region annotation closed.
+    pub fn region_exit(&mut self, recorders: &mut [ThreadRecorder]) {
+        self.flush(recorders, false);
+        self.stack.pop();
+    }
+
+    /// Finish the capture into a [`StreamProfile`].
+    pub fn finish(
+        mut self,
+        recorders: &mut [ThreadRecorder],
+        app: &str,
+        class: &str,
+        checksum: f64,
+    ) -> StreamProfile {
+        self.flush(recorders, false);
+        StreamProfile {
+            app: app.to_owned(),
+            class: class.to_owned(),
+            threads: recorders.len(),
+            checksum,
+            phases: self.phases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization (writer below, reader via `parse_json`).
+
+fn write_hist(out: &mut String, h: &ReuseHistogram) {
+    out.push_str("{\"c\":");
+    let _ = write!(out, "{}", h.cold);
+    out.push_str(",\"b\":[");
+    for (i, &(idx, n)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{idx},{n}]");
+    }
+    out.push_str("]}");
+}
+
+fn write_hist3(out: &mut String, hs: &[ReuseHistogram; MODES]) {
+    out.push('[');
+    for (i, h) in hs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_hist(out, h);
+    }
+    out.push(']');
+}
+
+fn write_conflict(out: &mut String, h: &ConflictHist) {
+    let _ = write!(out, "{{\"f\":{},\"d\":[", h.far);
+    for (i, &(dist, n)) in h.d.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{dist},{n}]");
+    }
+    out.push_str("]}");
+}
+
+fn write_conflicts(out: &mut String, cs: &[[ConflictHist; MODES]]) {
+    out.push('[');
+    for (i, modes) in cs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (m, h) in modes.iter().enumerate() {
+            if m > 0 {
+                out.push(',');
+            }
+            write_conflict(out, h);
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl StreamProfile {
+    /// Serialize to JSON (compact, integers exact below 2^53).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1 << 16);
+        let _ = write!(
+            out,
+            "{{\"app\":\"{}\",\"class\":\"{}\",\"threads\":{},\"checksum\":{}",
+            escape(&self.app),
+            escape(&self.class),
+            self.threads,
+            self.checksum
+        );
+        out.push_str(",\"phases\":[");
+        for (pi, p) in self.phases.iter().enumerate() {
+            if pi > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"barriers\":{},\"threads\":[",
+                escape(&p.label),
+                p.barriers
+            );
+            for (ti, t) in p.threads.iter().enumerate() {
+                if ti > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"acc\":[{},{},{}],\"ld\":{},\"st\":{},\"ins\":{},\"if\":{},\"sp4\":{},\"sp2\":{}",
+                    t.acc[0],
+                    t.acc[1],
+                    t.acc[2],
+                    t.loads,
+                    t.stores,
+                    t.instructions,
+                    t.ifetches,
+                    t.stream_pages_4k,
+                    t.stream_pages_2m
+                );
+                out.push_str(",\"line\":");
+                write_hist3(&mut out, &t.line);
+                out.push_str(",\"p4\":");
+                write_hist3(&mut out, &t.p4k);
+                out.push_str(",\"p2\":");
+                write_hist3(&mut out, &t.p2m);
+                out.push_str(",\"code\":");
+                write_hist(&mut out, &t.code4k);
+                out.push_str(",\"cf\":");
+                write_conflicts(&mut out, &t.conflict);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a profile serialized by [`to_json`](Self::to_json).
+    pub fn from_json(src: &str) -> Result<StreamProfile, String> {
+        let j = parse_json(src)?;
+        let app = req_str(&j, "app")?;
+        let class = req_str(&j, "class")?;
+        let threads = req_u64(&j, "threads")? as usize;
+        let checksum = req_num(&j, "checksum")?;
+        let mut phases = Vec::new();
+        for p in req_arr(&j, "phases")? {
+            let label = req_str(p, "label")?;
+            let barriers = req_u64(p, "barriers")?;
+            let mut ts = Vec::new();
+            for t in req_arr(p, "threads")? {
+                ts.push(read_phase_thread(t)?);
+            }
+            if ts.len() != threads {
+                return Err(format!(
+                    "phase {label:?}: {} thread entries, expected {threads}",
+                    ts.len()
+                ));
+            }
+            phases.push(Phase {
+                label,
+                barriers,
+                threads: ts,
+            });
+        }
+        Ok(StreamProfile {
+            app,
+            class,
+            threads,
+            checksum,
+            phases,
+        })
+    }
+}
+
+fn req<'a>(j: &'a Json, key: &str) -> Result<&'a Json, String> {
+    j.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn req_num(j: &Json, key: &str) -> Result<f64, String> {
+    req(j, key)?
+        .as_num()
+        .ok_or_else(|| format!("key {key:?} is not a number"))
+}
+
+fn req_u64(j: &Json, key: &str) -> Result<u64, String> {
+    let n = req_num(j, key)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("key {key:?} is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn req_str(j: &Json, key: &str) -> Result<String, String> {
+    Ok(req(j, key)?
+        .as_str()
+        .ok_or_else(|| format!("key {key:?} is not a string"))?
+        .to_owned())
+}
+
+fn req_arr<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    req(j, key)?
+        .as_arr()
+        .ok_or_else(|| format!("key {key:?} is not an array"))
+}
+
+fn read_hist(j: &Json) -> Result<ReuseHistogram, String> {
+    let cold = req_u64(j, "c")?;
+    let mut buckets = Vec::new();
+    for pair in req_arr(j, "b")? {
+        let p = pair.as_arr().ok_or("histogram bucket is not a pair")?;
+        if p.len() != 2 {
+            return Err("histogram bucket is not a pair".into());
+        }
+        let idx = p[0].as_num().ok_or("bucket index not a number")? as u32;
+        let n = p[1].as_num().ok_or("bucket count not a number")? as u64;
+        buckets.push((idx, n));
+    }
+    Ok(ReuseHistogram { cold, buckets })
+}
+
+fn read_hist3(j: &Json, key: &str) -> Result<[ReuseHistogram; MODES], String> {
+    let arr = req_arr(j, key)?;
+    if arr.len() != MODES {
+        return Err(format!("key {key:?}: expected {MODES} histograms"));
+    }
+    Ok([
+        read_hist(&arr[0])?,
+        read_hist(&arr[1])?,
+        read_hist(&arr[2])?,
+    ])
+}
+
+fn read_conflict(j: &Json) -> Result<ConflictHist, String> {
+    let far = req_u64(j, "f")?;
+    let mut d = Vec::new();
+    for pair in req_arr(j, "d")? {
+        let p = pair.as_arr().ok_or("conflict bucket is not a pair")?;
+        if p.len() != 2 {
+            return Err("conflict bucket is not a pair".into());
+        }
+        let dist = p[0].as_num().ok_or("conflict distance not a number")? as u32;
+        let n = p[1].as_num().ok_or("conflict count not a number")? as u64;
+        d.push((dist, n));
+    }
+    Ok(ConflictHist { far, d })
+}
+
+fn read_conflicts(j: &Json) -> Result<Vec<[ConflictHist; MODES]>, String> {
+    let mut out = Vec::new();
+    for modes in req_arr(j, "cf")? {
+        let arr = modes.as_arr().ok_or("cf entry is not an array")?;
+        if arr.len() != MODES {
+            return Err(format!("cf entry: expected {MODES} histograms"));
+        }
+        out.push([
+            read_conflict(&arr[0])?,
+            read_conflict(&arr[1])?,
+            read_conflict(&arr[2])?,
+        ]);
+    }
+    if out.len() != CONFLICT_SHAPES.len() {
+        return Err(format!(
+            "cf: {} shapes, expected {} (profile from an older format?)",
+            out.len(),
+            CONFLICT_SHAPES.len()
+        ));
+    }
+    Ok(out)
+}
+
+fn read_phase_thread(j: &Json) -> Result<PhaseThread, String> {
+    let acc_arr = req_arr(j, "acc")?;
+    if acc_arr.len() != MODES {
+        return Err("acc: expected 3 entries".into());
+    }
+    let mut acc = [0u64; MODES];
+    for (i, a) in acc_arr.iter().enumerate() {
+        acc[i] = a.as_num().ok_or("acc entry not a number")? as u64;
+    }
+    Ok(PhaseThread {
+        acc,
+        loads: req_u64(j, "ld")?,
+        stores: req_u64(j, "st")?,
+        instructions: req_u64(j, "ins")?,
+        ifetches: req_u64(j, "if")?,
+        stream_pages_4k: req_u64(j, "sp4")?,
+        stream_pages_2m: req_u64(j, "sp2")?,
+        line: read_hist3(j, "line")?,
+        p4k: read_hist3(j, "p4")?,
+        p2m: read_hist3(j, "p2")?,
+        code4k: req(j, "code").and_then(read_hist)?,
+        conflict: read_conflicts(j)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: distinct keys since previous access.
+    fn naive_distances(keys: &[u64]) -> Vec<Option<u64>> {
+        let mut out = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let prev = keys[..i].iter().rposition(|&x| x == k);
+            out.push(prev.map(|p| {
+                let mut seen = std::collections::HashSet::new();
+                for &x in &keys[p + 1..i] {
+                    seen.insert(x);
+                }
+                seen.len() as u64
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn tracker_matches_naive_reference() {
+        // Deterministic pseudo-random key stream with heavy reuse.
+        let mut state = 0x1234_5678_u64;
+        let keys: Vec<u64> = (0..2000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) % 97
+            })
+            .collect();
+        let want = naive_distances(&keys);
+        let mut tr = ReuseTracker::new();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(tr.access(k), want[i], "access {i} key {k}");
+        }
+        assert_eq!(tr.distinct(), 97);
+    }
+
+    #[test]
+    fn tracker_survives_compaction() {
+        // Force several compactions with a small working set: distances
+        // stay exact across renumbering.
+        let mut tr = ReuseTracker::new();
+        for round in 0..3u64 {
+            for k in 0..40_000u64 {
+                let d = tr.access(k % 50);
+                if round > 0 || k >= 50 {
+                    assert_eq!(d, Some(49), "round {round} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_distance_axis() {
+        let mut expect = 0u64;
+        for idx in 0..NUM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expect, "bucket {idx} lower bound");
+            assert!(hi >= lo);
+            expect = hi + 1;
+        }
+        for d in [0, 1, 15, 16, 17, 100, 1 << 20, (1 << 30) + 12345] {
+            let idx = bucket_of(d);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= d && d <= hi, "distance {d} in bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn misses_beyond_interpolates() {
+        let mut h = ReuseHistogram {
+            cold: 5,
+            ..Default::default()
+        };
+        // 100 accesses at exact distance 8.
+        h.buckets.push((bucket_of(8) as u32, 100));
+        assert_eq!(h.misses_beyond(9), 5.0); // all hit
+        assert_eq!(h.misses_beyond(8), 105.0); // dist 8 >= cap 8: miss
+        assert_eq!(h.misses_beyond(0), 105.0);
+        assert_eq!(h.total(), 105);
+    }
+
+    #[test]
+    fn aggregator_merges_phases_by_label() {
+        let mut recs = vec![ThreadRecorder::new(), ThreadRecorder::new()];
+        let mut agg = PhaseAggregator::new();
+        agg.region_enter("k:sweep", &mut recs);
+        recs[0].data(0x1000, false, MODE_STREAM);
+        recs[1].data(0x2000, true, MODE_LATENCY);
+        agg.flush(&mut recs, true);
+        agg.region_exit(&mut recs);
+        agg.region_enter("k:sweep", &mut recs);
+        recs[0].data(0x1000, false, MODE_STREAM);
+        agg.flush(&mut recs, true);
+        agg.region_exit(&mut recs);
+        let p = agg.finish(&mut recs, "cg", "S", 1.25);
+        assert_eq!(p.phases.len(), 1);
+        let ph = &p.phases[0];
+        assert_eq!(ph.label, "k:sweep");
+        assert_eq!(ph.barriers, 2);
+        assert_eq!(ph.threads[0].acc[MODE_STREAM], 2);
+        assert_eq!(ph.threads[1].stores, 1);
+        // Second access of the same line is a repeat at distance 0.
+        assert_eq!(ph.threads[0].line[MODE_STREAM].cold, 1);
+        assert_eq!(ph.threads[0].line[MODE_STREAM].buckets, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut recs = vec![ThreadRecorder::new()];
+        let mut agg = PhaseAggregator::new();
+        agg.region_enter("a:b", &mut recs);
+        for i in 0..500u64 {
+            recs[0].data(0x40_0000 + i * 64, i % 3 == 0, (i % 3) as usize);
+        }
+        recs[0].compute(1234);
+        recs[0].ifetch(0x40_0000);
+        agg.flush(&mut recs, true);
+        agg.region_exit(&mut recs);
+        recs[0].data(0x40_0000, false, MODE_LATENCY);
+        let p = agg.finish(&mut recs, "mg", "W", -3.5e-2);
+        let json = p.to_json();
+        let back = StreamProfile::from_json(&json).expect("parses");
+        assert_eq!(p, back);
+        assert_eq!(back.checksum.to_bits(), p.checksum.to_bits());
+    }
+
+    #[test]
+    fn conflict_capture_sees_set_thrash_the_full_assoc_hists_hide() {
+        // Four lines 32 KB apart map to the same set of the 512-set
+        // 2-way shape (Opteron L1D) but are only 4 distinct lines to the
+        // fully-associative histogram.
+        let shape_2w = conflict_shape_index(GRAN_LINE, 512, 2).unwrap();
+        let shape_16w = conflict_shape_index(GRAN_LINE, 1024, 16).unwrap();
+        let mut recs = vec![ThreadRecorder::new()];
+        let mut agg = PhaseAggregator::new();
+        for _ in 0..100u32 {
+            for slot in 0..4u64 {
+                recs[0].data(slot * 512 * 64, false, MODE_LATENCY);
+            }
+        }
+        agg.flush(&mut recs, true);
+        let p = agg.finish(&mut recs, "t", "S", 0.0);
+        let t = &p.phases[0].threads[0];
+
+        // Full-assoc line view: working set of 4 lines, distance 3 — a
+        // 2-way cache looks clean at any capacity >= 4 lines.
+        assert_eq!(t.line[MODE_LATENCY].misses_beyond(4), 4.0); // cold only
+
+        // Per-set view: all four collide in one set, so 2 ways thrash on
+        // every access while 16 ways absorb the whole working set.
+        let two_way = &t.conflict[shape_2w][MODE_LATENCY];
+        assert_eq!(two_way.misses_beyond(2), 400.0);
+        // 1024-set shape: lines 32 KB apart also alias (period 64 KB)...
+        let sixteen_way = &t.conflict[shape_16w][MODE_LATENCY];
+        // ...but 16 ways hold all 4 residents: only the cold misses.
+        assert_eq!(sixteen_way.misses_beyond(16), 4.0);
+        assert_eq!(two_way.total(), 400);
+    }
+
+    #[test]
+    fn conflict_hist_merge_and_depth_cap() {
+        let mut a = ConflictHist {
+            far: 2,
+            d: vec![(0, 10), (3, 5)],
+        };
+        let b = ConflictHist {
+            far: 1,
+            d: vec![(1, 7), (3, 5)],
+        };
+        a.merge(&b);
+        assert_eq!(a.far, 3);
+        assert_eq!(a.d, vec![(0, 10), (1, 7), (3, 10)]);
+        assert_eq!(a.misses_beyond(2), 3.0 + 10.0);
+        assert_eq!(a.misses_beyond(1), 3.0 + 7.0 + 10.0);
+
+        // Reuse deeper than the tracked depth lands in `far`.
+        let shape = &CONFLICT_SHAPES[0];
+        let mut tr = SetTracker::new(shape);
+        let set_stride = u64::from(shape.sets); // same set every access
+        for k in 0..=CONFLICT_DEPTH as u64 {
+            assert_eq!(tr.access(k * set_stride), None);
+        }
+        // Key 0 was pushed out of the depth-32 window: still None.
+        assert_eq!(tr.access(0), None);
+        // Key at depth 1 survives and reports its exact distance.
+        assert_eq!(tr.access(CONFLICT_DEPTH as u64 * set_stride), Some(1));
+    }
+}

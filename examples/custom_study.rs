@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_study [S|W]
 //! ```
 
-use lpomp::core::{PagePolicy, RunOpts, SweepSpec};
+use lpomp::core::{BackendKind, PagePolicy, RunOpts, SweepSpec};
 use lpomp::machine::opteron_2x2;
 use lpomp::npb::{AppKind, Class};
 use lpomp::tlb::{Assoc, LevelConfig};
@@ -38,6 +38,7 @@ fn main() {
         policies: vec![PagePolicy::Small4K, PagePolicy::Large2M],
         threads: vec![4],
         opts: RunOpts::default(),
+        backend: BackendKind::CycleExact,
     };
     println!(
         "custom study: halving the Opteron L2 DTLB (class {class}, {} runs)\n",
