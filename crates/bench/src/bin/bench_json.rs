@@ -177,7 +177,10 @@ fn main() {
         ));
     }
     out.push_str("  ]\n}\n");
-    std::fs::write("BENCH_sweep.json", &out).expect("write BENCH_sweep.json");
+    if let Err(e) = std::fs::write("BENCH_sweep.json", &out) {
+        eprintln!("error: could not write BENCH_sweep.json: {e}");
+        std::process::exit(1);
+    }
     println!(
         "wrote BENCH_sweep.json: serial {serial_total:.2}s, {workers} workers {parallel_total:.2}s"
     );

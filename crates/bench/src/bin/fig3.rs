@@ -12,17 +12,22 @@
 //! (`LPOMP_WORKERS` overrides the worker count).
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin fig3 [S|W|A]`
+//!
+//! Sweep-store flags (see [`lpomp_bench::SweepCli`]): `--store DIR`,
+//! `--shard i/n`, `--merge n`, `--jsonl FILE`.
 
 use lpomp::prelude::*;
-use lpomp_bench::class_from_args;
+use lpomp_bench::{class_from_args, sweep_cli_from_args};
 
 fn main() {
     let class = class_from_args();
+    let cli = sweep_cli_from_args();
+    let sink = cli.sink();
     println!(
         "Figure 3: Aggregate ITLB misses/second, 4 threads, Opteron,\n\
          binary in 4KB pages (class {class})\n"
     );
-    let results = SweepSpec {
+    let spec = SweepSpec {
         apps: AppKind::PAPER_FIVE.to_vec(),
         class,
         machines: vec![opteron_2x2()],
@@ -30,8 +35,10 @@ fn main() {
         threads: vec![4],
         opts: RunOpts::default(),
         backend: BackendKind::CycleExact,
-    }
-    .run();
+    };
+    let Some(results) = cli.execute(&spec, sink.as_ref()) else {
+        return; // shard mode: this slice is in the store; nothing to render
+    };
     let mut t = TextTable::new(vec![
         "app",
         "itlb misses",

@@ -10,19 +10,31 @@
 //! [--backend=cycle|analytic]` — the analytic backend replays cached
 //! reuse profiles (one capture per app × thread count) instead of
 //! simulating every cell; golden output is the cycle-exact default.
+//!
+//! Sweep-store flags (see [`lpomp_bench::SweepCli`]): `--store DIR`
+//! runs incrementally against a content-addressed result store (a
+//! repeat run on unchanged code replays every record from disk),
+//! `--shard i/n` runs one slice of the grid into the shared store,
+//! `--merge n` assembles the shards, and `--jsonl FILE` streams one
+//! record line per configuration as it completes.
 
 use lpomp::prelude::*;
-use lpomp_bench::{backend_from_args, class_from_args, improvement_pct};
+use lpomp_bench::{backend_from_args, class_from_args, improvement_pct, sweep_cli_from_args};
 
 fn main() {
     let class = class_from_args();
     let backend = backend_from_args();
+    let cli = sweep_cli_from_args();
+    let sink = cli.sink();
     let tag = match backend {
         BackendKind::CycleExact => String::new(),
         other => format!(", backend {other}"),
     };
     println!("Figure 4: scalability with 4KB vs 2MB pages (class {class}{tag})\n");
-    let results = SweepSpec::figure4(class).with_backend(backend).run();
+    let spec = SweepSpec::figure4(class).with_backend(backend);
+    let Some(results) = cli.execute(&spec, sink.as_ref()) else {
+        return; // shard mode: this slice is in the store; nothing to render
+    };
     for machine in [opteron_2x2(), xeon_2x2_ht()] {
         let threads = figure4_thread_counts(&machine);
         for app in AppKind::PAPER_FIVE {

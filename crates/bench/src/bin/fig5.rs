@@ -11,14 +11,19 @@
 //! the serial loop.
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin fig5 [S|W|A]`
+//!
+//! Sweep-store flags (see [`lpomp_bench::SweepCli`]): `--store DIR`,
+//! `--shard i/n`, `--merge n`, `--jsonl FILE`.
 
 use lpomp::prelude::*;
-use lpomp_bench::class_from_args;
+use lpomp_bench::{class_from_args, sweep_cli_from_args};
 
 fn main() {
     let class = class_from_args();
+    let cli = sweep_cli_from_args();
+    let sink = cli.sink();
     println!("Figure 5: Normalized DTLB misses at 4 threads, Opteron (class {class})\n");
-    let results = SweepSpec {
+    let spec = SweepSpec {
         apps: AppKind::PAPER_FIVE.to_vec(),
         class,
         machines: vec![opteron_2x2()],
@@ -26,8 +31,10 @@ fn main() {
         threads: vec![4],
         opts: RunOpts::default(),
         backend: BackendKind::CycleExact,
-    }
-    .run();
+    };
+    let Some(results) = cli.execute(&spec, sink.as_ref()) else {
+        return; // shard mode: this slice is in the store; nothing to render
+    };
     let mut t = TextTable::new(vec![
         "app",
         "4KB misses",

@@ -56,7 +56,11 @@ fn main() {
                     String::new()
                 };
                 let path = out_dir.join(format!("{target}{suffix}.txt"));
-                std::fs::write(&path, &out.stdout).expect("write result");
+                if let Err(e) = std::fs::write(&path, &out.stdout) {
+                    println!("FAILED to write {}: {e}", path.display());
+                    failures += 1;
+                    continue;
+                }
                 println!(
                     "ok ({:.1}s) -> {}",
                     start.elapsed().as_secs_f64(),

@@ -11,19 +11,32 @@
 //! nonzero if any cell leaves its band.
 //!
 //! Usage: `cargo run --release -p lpomp-bench --bin xval [S|W|A]`
+//!
+//! Sweep-store flags (see [`lpomp_bench::SweepCli`]): `--store DIR`,
+//! `--shard i/n`, `--merge n`, `--jsonl FILE`. The binary runs *two*
+//! sweeps (cycle-exact and analytic) with distinct sweep ids; shard and
+//! merge handle both, sharing one store directory.
 
 use lpomp::prelude::*;
-use lpomp_bench::class_from_args;
+use lpomp_bench::{class_from_args, sweep_cli_from_args};
 use lpomp_core::{
     xval_dtlb_err_pct, xval_seconds_err_pct, XVAL_DTLB_BAND_PCT, XVAL_SECONDS_BAND_PCT,
 };
 
 fn main() {
     let class = class_from_args();
+    let cli = sweep_cli_from_args();
+    let sink = cli.sink();
     println!("Cross-validation: analytic backend vs cycle engine, Figure 4 grid (class {class})\n");
     let spec = SweepSpec::figure4(class);
-    let exact = spec.clone().run();
-    let fast = spec.with_backend(BackendKind::Analytic).run();
+    let exact = cli.execute(&spec, sink.as_ref());
+    let fast = cli.execute(
+        &spec.clone().with_backend(BackendKind::Analytic),
+        sink.as_ref(),
+    );
+    let (Some(exact), Some(fast)) = (exact, fast) else {
+        return; // shard mode: both sweeps' slices are in the store
+    };
 
     let mut t = TextTable::new(vec![
         "machine",

@@ -21,16 +21,44 @@
 //! accept an optional class argument (`S`, `W`, `A`) — default `W`, the
 //! simulated-evaluation class.
 
-use lpomp_core::{run_sim, BackendKind, PagePolicy, RunOpts, RunRecord};
+use lpomp_core::{
+    default_workers, run_sim, BackendKind, JsonlSink, PagePolicy, RunOpts, RunRecord, RunStore,
+    Shard, SweepResults, SweepSpec,
+};
 use lpomp_machine::MachineConfig;
 use lpomp_npb::{AppKind, Class};
+use std::path::PathBuf;
 
 #[cfg(feature = "bench")]
 pub mod harness;
 
+/// Flags that consume the following argument when not written `--flag=value`.
+const VALUE_FLAGS: [&str; 4] = ["--store", "--shard", "--merge", "--jsonl"];
+
+/// The positional (non-flag) CLI arguments, with value-taking flags'
+/// space-form values excluded (so `--shard 1/4` does not leave `1/4`
+/// looking like a class argument).
+fn positional_args() -> Vec<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            i += 2;
+            continue;
+        }
+        if !a.starts_with("--") {
+            out.push(a.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Parse the class argument (first non-flag CLI arg), defaulting to `W`.
 pub fn class_from_args() -> Class {
-    let positional = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+    let positional = positional_args().into_iter().next();
     match positional.as_deref() {
         Some("S") | Some("s") => Class::S,
         Some("A") | Some("a") => Class::A,
@@ -57,6 +85,170 @@ pub fn backend_from_args() -> BackendKind {
         }
     }
     BackendKind::CycleExact
+}
+
+/// The sweep-store flags shared by the `SweepSpec`-shaped binaries
+/// (`fig3`, `fig4`, `fig5`, `xval`):
+///
+/// * `--store DIR` — run incrementally against the content-addressed
+///   [`RunStore`] at `DIR`: cached configs replay from disk, misses run
+///   the engine and are persisted (hit/miss counts go to stderr);
+/// * `--shard i/n` — run only this process's slice of the grid into the
+///   shared store and write a coverage manifest (requires `--store`);
+/// * `--merge n` — assemble a previously sharded sweep from the store,
+///   validating coverage and key collisions (requires `--store`);
+/// * `--jsonl FILE` — stream one JSON record line per configuration as
+///   it completes.
+///
+/// Both `--flag value` and `--flag=value` spellings are accepted.
+#[derive(Clone, Debug, Default)]
+pub struct SweepCli {
+    /// Store directory (`--store`).
+    pub store: Option<PathBuf>,
+    /// This process's shard (`--shard i/n`).
+    pub shard: Option<Shard>,
+    /// Merge a sweep previously run as this many shards (`--merge n`).
+    pub merge: Option<usize>,
+    /// JSON-lines output path (`--jsonl`).
+    pub jsonl: Option<PathBuf>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: [S|W|A|B] [--backend=cycle|analytic] [--store DIR] [--shard i/n | --merge n] [--jsonl FILE]");
+    std::process::exit(2)
+}
+
+/// Parse (and cross-validate) the sweep-store flags. Usage errors print
+/// a message plus the flag summary and exit with status 2.
+pub fn sweep_cli_from_args() -> SweepCli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = SweepCli::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let mut value = |name: &str| -> Option<String> {
+            let rest = arg.strip_prefix(name)?;
+            if let Some(v) = rest.strip_prefix('=') {
+                return Some(v.to_owned());
+            }
+            if rest.is_empty() {
+                i += 1;
+                return Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+                        .clone(),
+                );
+            }
+            None
+        };
+        if let Some(dir) = value("--store") {
+            cli.store = Some(PathBuf::from(dir));
+        } else if let Some(s) = value("--shard") {
+            cli.shard = Some(Shard::parse(&s).unwrap_or_else(|| {
+                usage_error(&format!("--shard {s:?}: expected i/n with 1 <= i <= n"))
+            }));
+        } else if let Some(n) = value("--merge") {
+            match n.parse::<usize>() {
+                Ok(n) if n >= 1 => cli.merge = Some(n),
+                _ => usage_error(&format!("--merge {n:?}: expected a shard count >= 1")),
+            }
+        } else if let Some(path) = value("--jsonl") {
+            cli.jsonl = Some(PathBuf::from(path));
+        }
+        i += 1;
+    }
+    if cli.shard.is_some() && cli.merge.is_some() {
+        usage_error("--shard and --merge are mutually exclusive");
+    }
+    if (cli.shard.is_some() || cli.merge.is_some()) && cli.store.is_none() {
+        usage_error("--shard/--merge need --store DIR (the shards share it)");
+    }
+    cli
+}
+
+impl SweepCli {
+    /// Open the `--jsonl` sink, if requested. Call once per process (a
+    /// second open would truncate the file) and pass the sink to every
+    /// [`execute`](SweepCli::execute).
+    pub fn sink(&self) -> Option<JsonlSink> {
+        let path = self.jsonl.as_ref()?;
+        match JsonlSink::create(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: could not create {}: {e}", path.display());
+                std::process::exit(1)
+            }
+        }
+    }
+
+    /// Run `spec` the way the flags ask: merge, shard, incremental, or a
+    /// plain in-memory sweep. Returns `None` in shard mode — the grid
+    /// slice and its manifest are on disk, and the caller has no full
+    /// results to render — and the results otherwise. Failures print an
+    /// error and exit nonzero (2 for usage, 1 for store/merge errors).
+    pub fn execute(&self, spec: &SweepSpec, sink: Option<&JsonlSink>) -> Option<SweepResults> {
+        let store = self.store.as_ref().map(|dir| {
+            RunStore::open(dir).unwrap_or_else(|e| {
+                eprintln!("error: could not open store {}: {e}", dir.display());
+                std::process::exit(1)
+            })
+        });
+        if let Some(count) = self.merge {
+            let results = spec
+                .merge_shards(store.as_ref().expect("validated at parse"), count)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1)
+                });
+            if let Some(sink) = sink {
+                for rec in results.records() {
+                    sink.emit(rec, true);
+                }
+            }
+            eprintln!(
+                "merged {} records from {count} shards of sweep {}",
+                results.records().len(),
+                spec.sweep_id()
+            );
+            return Some(results);
+        }
+        if let Some(shard) = self.shard {
+            let store = store.as_ref().expect("validated at parse");
+            let manifest = spec
+                .run_shard(shard, store, default_workers(), sink)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: shard {shard} failed: {e}");
+                    std::process::exit(1)
+                });
+            eprintln!(
+                "shard {shard} of sweep {} complete ({} configs); after all {} shards, \
+                 rerun with `--store {} --merge {}`",
+                manifest.sweep,
+                manifest.entries.len(),
+                shard.count,
+                store.dir().display(),
+                shard.count
+            );
+            return None;
+        }
+        if let Some(store) = store {
+            let inc = spec
+                .run_incremental_with(&store, default_workers(), sink)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: incremental sweep failed: {e}");
+                    std::process::exit(1)
+                });
+            return Some(inc.results);
+        }
+        let results = spec.run();
+        if let Some(sink) = sink {
+            for rec in results.records() {
+                sink.emit(rec, false);
+            }
+        }
+        Some(results)
+    }
 }
 
 /// Run one app under both page policies at a thread count.

@@ -54,6 +54,7 @@ pub mod backend;
 pub mod experiment;
 pub mod parallel;
 pub mod policy;
+pub mod store;
 pub mod sweep;
 pub mod system;
 
@@ -66,5 +67,6 @@ pub use experiment::{figure4_thread_counts, run_sim, run_system, RunOpts, RunRec
 pub use lpomp_prof::ProfileSpec;
 pub use parallel::{default_workers, par_map};
 pub use policy::{PagePolicy, PopulatePolicy};
-pub use sweep::{SweepResults, SweepSpec};
+pub use store::{sweep_id, JsonlSink, RunStore, Shard, ShardManifest, StoreKey};
+pub use sweep::{IncrementalSweep, SweepResults, SweepSpec};
 pub use system::{SetupStats, System, SystemBuilder, SystemConfig, CODE_BASE};

@@ -1,0 +1,815 @@
+//! Content-addressed, on-disk store of sweep [`RunRecord`]s — the
+//! serving-scale result cache behind [`SweepSpec::run_incremental`].
+//!
+//! Every grid point of a sweep is a pure function of its configuration:
+//! `(machine config, page policy, app, class, threads, run opts,
+//! backend, engine version)` fully determines the [`RunRecord`] the
+//! engine produces. The [`RunStore`] exploits that by addressing records
+//! with a [`StoreKey`] — a stable 128-bit hash of a canonical
+//! *fingerprint* string spelling out every one of those inputs — so an
+//! unchanged configuration is a file read instead of a simulation, and
+//! *any* change (a TLB geometry, a cost-model constant behind
+//! [`lpomp_prof::ENGINE_VERSION`], the backend, the verify flag) changes
+//! the key and forces a re-run. Loads re-validate the stored fingerprint
+//! against the requested one, so even a full 128-bit hash collision (or
+//! a renamed file) degrades to a cache miss, never a wrong record.
+//!
+//! Three layers build on the store:
+//!
+//! * **incremental sweeps** — [`SweepSpec::run_incremental`] consults
+//!   the store per key, re-runs only the misses, and merges cached and
+//!   fresh records into a [`SweepResults`] byte-identical to a cold run;
+//! * **sharded execution** — [`SweepSpec::run_shard`] runs the
+//!   `index`-th of [`Shard::count`] interleaved slices of the grid into
+//!   a shared store and writes a per-shard [manifest](ShardManifest);
+//!   [`SweepSpec::merge_shards`] validates that the manifests cover the
+//!   whole grid exactly once (and that no key collided) before
+//!   assembling the merged results;
+//! * **JSON-lines streaming** — a [`JsonlSink`] receives one
+//!   self-describing record line per configuration *as it completes*,
+//!   so long sweeps are observable before they finish.
+//!
+//! Records carrying profiler attachments (`regions`/`trace`) are not
+//! cached — sweeps never produce them, and the store refuses to persist
+//! what it cannot round-trip byte-identically.
+//!
+//! [`SweepSpec::run_incremental`]: crate::SweepSpec::run_incremental
+//! [`SweepSpec::run_shard`]: crate::SweepSpec::run_shard
+//! [`SweepSpec::merge_shards`]: crate::SweepSpec::merge_shards
+//! [`SweepResults`]: crate::SweepResults
+
+use crate::backend::BackendKind;
+use crate::experiment::{RunOpts, RunRecord};
+use crate::policy::PagePolicy;
+use lpomp_machine::MachineConfig;
+use lpomp_npb::{AppKind, Class};
+use lpomp_prof::{parse_json, Counters, Event, Json, ENGINE_VERSION};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Schema version of the store's own file layout (bumped independently
+/// of [`ENGINE_VERSION`], which tracks engine *semantics*).
+const STORE_FORMAT: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Keys.
+
+/// The content address of one sweep configuration: a 128-bit FNV-1a
+/// hash over the canonical fingerprint, plus the typed fields needed to
+/// rebuild a [`RunRecord`] without parsing free-form enums back out of
+/// JSON. Two keys are interchangeable iff their fingerprints are equal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreKey {
+    hash: [u64; 2],
+    fingerprint: String,
+    app: AppKind,
+    class: Class,
+    machine: &'static str,
+    policy: PagePolicy,
+    threads: usize,
+    backend: BackendKind,
+}
+
+/// 64-bit FNV-1a over `bytes`, from an arbitrary offset basis.
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second lane's offset basis (golden-ratio perturbation) so the two
+/// 64-bit lanes are independent and the combined address is 128-bit.
+const FNV_OFFSET_2: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+impl StoreKey {
+    /// Key for one grid configuration.
+    ///
+    /// The fingerprint embeds the machine's full `Debug` rendering: every
+    /// field of [`MachineConfig`] (TLB and cache geometries, cost model,
+    /// NUMA layout, …) participates, and a *new* field invalidates old
+    /// keys automatically — deliberately conservative, because a silent
+    /// stale hit is the failure mode this store exists to eliminate.
+    pub fn new(
+        machine: &MachineConfig,
+        app: AppKind,
+        class: Class,
+        policy: PagePolicy,
+        threads: usize,
+        opts: RunOpts,
+        backend: BackendKind,
+    ) -> StoreKey {
+        let fingerprint = format!(
+            "engine={ENGINE_VERSION};backend={};app={app};class={class};threads={threads};\
+             policy={policy:?};verify={};machine={machine:?}",
+            backend.label(),
+            opts.verify,
+        );
+        let hash = [
+            fnv1a64(FNV_OFFSET, fingerprint.as_bytes()),
+            fnv1a64(FNV_OFFSET_2, fingerprint.as_bytes()),
+        ];
+        StoreKey {
+            hash,
+            fingerprint,
+            app,
+            class,
+            machine: machine.name,
+            policy,
+            threads,
+            backend,
+        }
+    }
+
+    /// The canonical fingerprint the hash addresses.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The 32-hex-digit content address (also the file stem).
+    pub fn address(&self) -> String {
+        format!("{:016x}{:016x}", self.hash[0], self.hash[1])
+    }
+
+    /// File name of this key's record inside a store directory.
+    pub fn file_name(&self) -> String {
+        format!("{}.json", self.address())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record (de)serialization.
+
+/// Serialize the cacheable payload of a record (everything but the
+/// profiler attachments) as a single-line JSON object. `f64` fields use
+/// Rust's shortest-round-trip formatting, so parsing them back with
+/// `str::parse::<f64>` is bit-exact — the property the byte-identical
+/// merge guarantee rests on.
+fn record_json(rec: &RunRecord) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"app\":\"{}\",\"class\":\"{}\",\"machine\":\"{}\",\"policy\":\"{}\"",
+        rec.app,
+        rec.class,
+        rec.machine,
+        rec.policy.label()
+    );
+    if let PagePolicy::Mixed { threshold_bytes } = rec.policy {
+        let _ = write!(out, ",\"mixed_threshold\":{threshold_bytes}");
+    }
+    let _ = write!(
+        out,
+        ",\"threads\":{},\"backend\":\"{}\",\"seconds\":{},\"cycles\":{},\"checksum\":{}",
+        rec.threads, rec.backend, rec.seconds, rec.cycles, rec.checksum
+    );
+    out.push_str(",\"verified\":");
+    match rec.verified {
+        None => out.push_str("null"),
+        Some(true) => out.push_str("true"),
+        Some(false) => out.push_str("false"),
+    }
+    out.push_str(",\"counters\":{");
+    for (i, e) in Event::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", e.mnemonic(), rec.counters.get(*e));
+    }
+    out.push_str("}}");
+    out
+}
+
+fn opt_u64(j: &Json, key: &str) -> Result<u64, String> {
+    let n = j
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing number {key:?}"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{key:?} is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn opt_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string {key:?}"))
+}
+
+/// Rebuild a record from [`record_json`] output, cross-checking every
+/// identity field against the key it was loaded under. The typed fields
+/// come from the *key* (so e.g. `machine` stays the preset's `'static`
+/// string), the measured fields from the JSON.
+fn record_from_json(j: &Json, key: &StoreKey) -> Result<RunRecord, String> {
+    let check = |field: &str, got: &str, want: &str| -> Result<(), String> {
+        if got != want {
+            return Err(format!("{field}: stored {got:?} != requested {want:?}"));
+        }
+        Ok(())
+    };
+    check("app", opt_str(j, "app")?, key.app.name())?;
+    check("class", opt_str(j, "class")?, &key.class.to_string())?;
+    check("machine", opt_str(j, "machine")?, key.machine)?;
+    check("policy", opt_str(j, "policy")?, key.policy.label())?;
+    check("backend", opt_str(j, "backend")?, key.backend.label())?;
+    if opt_u64(j, "threads")? as usize != key.threads {
+        return Err("threads mismatch".into());
+    }
+    if let PagePolicy::Mixed { threshold_bytes } = key.policy {
+        if opt_u64(j, "mixed_threshold")? != threshold_bytes {
+            return Err("mixed_threshold mismatch".into());
+        }
+    }
+    let seconds = j
+        .get("seconds")
+        .and_then(Json::as_num)
+        .ok_or("missing seconds")?;
+    let checksum = j
+        .get("checksum")
+        .and_then(Json::as_num)
+        .ok_or("missing checksum")?;
+    let cycles = opt_u64(j, "cycles")?;
+    let verified = match j.get("verified") {
+        Some(Json::Null) => None,
+        Some(Json::Bool(b)) => Some(*b),
+        _ => return Err("missing verified".into()),
+    };
+    let cj = j.get("counters").ok_or("missing counters")?;
+    let mut counters = Counters::new();
+    for e in Event::ALL {
+        // Strict: a counter the current engine knows but the file lacks
+        // means the file predates the event — reject, never default to 0.
+        counters.set(e, opt_u64(cj, e.mnemonic())?);
+    }
+    Ok(RunRecord {
+        app: key.app,
+        class: key.class,
+        machine: key.machine,
+        policy: key.policy,
+        threads: key.threads,
+        seconds,
+        cycles,
+        counters,
+        checksum,
+        verified,
+        regions: None,
+        trace: None,
+        backend: key.backend.label(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// The store.
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+}
+
+impl RunStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<RunStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Load the record addressed by `key`, or `None` on any of: absent
+    /// file, unparsable or truncated JSON, store-format or engine-version
+    /// mismatch, fingerprint mismatch (hash collision or renamed file),
+    /// or identity-field drift. A miss is always safe — the caller
+    /// re-runs — so every failure maps to a miss, never a panic.
+    pub fn load(&self, key: &StoreKey) -> Option<RunRecord> {
+        let src = std::fs::read_to_string(self.dir.join(key.file_name())).ok()?;
+        let j = parse_json(&src).ok()?;
+        (opt_u64(&j, "v").ok()? == STORE_FORMAT).then_some(())?;
+        (opt_u64(&j, "engine").ok()? == u64::from(ENGINE_VERSION)).then_some(())?;
+        (opt_str(&j, "fp").ok()? == key.fingerprint()).then_some(())?;
+        record_from_json(j.get("record")?, key).ok()
+    }
+
+    /// Persist `rec` under `key`. Returns `Ok(false)` — without writing —
+    /// when the record carries profiler attachments the store cannot
+    /// round-trip. The write goes through a temp file + rename, so
+    /// concurrent shard writers racing on one key land a complete file
+    /// (both would write identical bytes).
+    pub fn save(&self, key: &StoreKey, rec: &RunRecord) -> std::io::Result<bool> {
+        if rec.regions.is_some() || rec.trace.is_some() {
+            return Ok(false);
+        }
+        let mut out = String::with_capacity(1536);
+        let _ = writeln!(
+            out,
+            "{{\"v\":{STORE_FORMAT},\"engine\":{ENGINE_VERSION},\"fp\":\"{}\",\"record\":{}}}",
+            escape(key.fingerprint()),
+            record_json(rec)
+        );
+        self.write_atomic(&key.file_name(), out.as_bytes())?;
+        Ok(true)
+    }
+
+    /// Number of record files resident in the store (manifests excluded).
+    pub fn len(&self) -> usize {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        rd.flatten()
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.ends_with(".json") && !name.starts_with("manifest_")
+            })
+            .count()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp{}", name, std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, self.dir.join(name))
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+// ---------------------------------------------------------------------
+// Sharding.
+
+/// One interleaved slice of a sweep grid: configuration `i` belongs to
+/// shard `i % count`. Interleaving (rather than contiguous ranges)
+/// balances the order-of-magnitude spread in per-config run time across
+/// shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index, `< count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parse the CLI spelling `i/n` with 1-based `i` (so `--shard 1/4 …
+    /// 4/4` covers a grid). Returns `None` unless `1 <= i <= n`.
+    pub fn parse(s: &str) -> Option<Shard> {
+        let (i, n) = s.split_once('/')?;
+        let i: usize = i.trim().parse().ok()?;
+        let n: usize = n.trim().parse().ok()?;
+        (i >= 1 && i <= n).then(|| Shard {
+            index: i - 1,
+            count: n,
+        })
+    }
+
+    /// Whether this shard owns grid index `i`.
+    pub fn covers(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index + 1, self.count)
+    }
+}
+
+/// The coverage proof one [`SweepSpec::run_shard`] invocation leaves in
+/// the store: which grid indices the shard ran (or found cached) and
+/// the addresses of their records. [`SweepSpec::merge_shards`] refuses
+/// to assemble results until every shard's manifest is present and
+/// their union covers the grid exactly once.
+///
+/// [`SweepSpec::run_shard`]: crate::SweepSpec::run_shard
+/// [`SweepSpec::merge_shards`]: crate::SweepSpec::merge_shards
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardManifest {
+    /// The sweep this shard belongs to ([`sweep_id`] of the spec).
+    pub sweep: String,
+    /// The shard.
+    pub shard: Shard,
+    /// `(grid index, record address)` pairs, in grid order.
+    pub entries: Vec<(usize, String)>,
+}
+
+/// Identity of a whole sweep grid: a hash over every key's fingerprint
+/// in canonical grid order (so it covers the engine version, backend,
+/// opts, and each machine's full configuration).
+pub fn sweep_id(keys: &[StoreKey]) -> String {
+    let mut a = FNV_OFFSET;
+    let mut b = FNV_OFFSET_2;
+    for k in keys {
+        a = fnv1a64(a, k.fingerprint().as_bytes());
+        b = fnv1a64(b, k.fingerprint().as_bytes());
+    }
+    format!("{a:016x}{b:016x}")
+}
+
+impl ShardManifest {
+    /// Manifest file name for a (sweep, shard) pair.
+    pub fn file_name(sweep: &str, shard: Shard) -> String {
+        format!("manifest_{sweep}_{}of{}.json", shard.index + 1, shard.count)
+    }
+
+    /// Write the manifest into the store (atomically, like records).
+    pub fn write(&self, store: &RunStore) -> std::io::Result<PathBuf> {
+        let mut out = String::with_capacity(256 + self.entries.len() * 48);
+        let _ = write!(
+            out,
+            "{{\"v\":{STORE_FORMAT},\"engine\":{ENGINE_VERSION},\"sweep\":\"{}\",\
+             \"shard\":{},\"of\":{},\"entries\":[",
+            escape(&self.sweep),
+            self.shard.index + 1,
+            self.shard.count
+        );
+        for (i, (idx, addr)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{idx},\"{addr}\"]");
+        }
+        out.push_str("]}\n");
+        let name = Self::file_name(&self.sweep, self.shard);
+        store.write_atomic(&name, out.as_bytes())?;
+        Ok(store.dir().join(name))
+    }
+
+    /// Read a manifest file; errors describe what failed for merge
+    /// diagnostics.
+    pub fn read(path: &Path) -> Result<ShardManifest, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let j = parse_json(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+        if opt_u64(&j, "v")? != STORE_FORMAT {
+            return Err(format!("{}: unknown store format", path.display()));
+        }
+        if opt_u64(&j, "engine")? != u64::from(ENGINE_VERSION) {
+            return Err(format!(
+                "{}: engine version {} != current {ENGINE_VERSION}",
+                path.display(),
+                opt_u64(&j, "engine")?
+            ));
+        }
+        let sweep = opt_str(&j, "sweep")?.to_owned();
+        let shard_1 = opt_u64(&j, "shard")? as usize;
+        let count = opt_u64(&j, "of")? as usize;
+        if shard_1 < 1 || shard_1 > count {
+            return Err(format!(
+                "{}: shard {shard_1}/{count} invalid",
+                path.display()
+            ));
+        }
+        let mut entries = Vec::new();
+        for pair in j
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing entries")?
+        {
+            let p = pair.as_arr().ok_or("manifest entry is not a pair")?;
+            let idx = p
+                .first()
+                .and_then(Json::as_num)
+                .ok_or("manifest entry index")? as usize;
+            let addr = p
+                .get(1)
+                .and_then(Json::as_str)
+                .ok_or("manifest entry address")?
+                .to_owned();
+            entries.push((idx, addr));
+        }
+        Ok(ShardManifest {
+            sweep,
+            shard: Shard {
+                index: shard_1 - 1,
+                count,
+            },
+            entries,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON-lines streaming.
+
+/// A line-buffered JSON-lines sink: one object per completed
+/// configuration, in *completion* order (workers race, so lines are not
+/// grid-ordered — each line carries its full identity). Lines add
+/// `"cached":true|false` to the stored-record payload so consumers can
+/// separate replayed results from fresh engine runs.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Stream to (truncating) a file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        Ok(Self::from_writer(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// Stream to an arbitrary writer.
+    pub fn from_writer(w: Box<dyn std::io::Write + Send>) -> JsonlSink {
+        JsonlSink { out: Mutex::new(w) }
+    }
+
+    /// Emit one record line; flushes so tail-readers see it immediately.
+    /// Write errors are reported to stderr, not fatal — streaming is
+    /// observability, the sweep's results do not depend on it.
+    pub fn emit(&self, rec: &RunRecord, cached: bool) {
+        let mut line = record_json(rec);
+        let closer = line.pop();
+        debug_assert_eq!(closer, Some('}'));
+        let _ = writeln!(line, ",\"cached\":{cached}}}");
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = out.write_all(line.as_bytes()).and_then(|()| out.flush()) {
+            eprintln!("jsonl sink: dropped a record line: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpomp_machine::{opteron_2x2, xeon_2x2_ht};
+
+    fn dummy_record(key: &StoreKey) -> RunRecord {
+        let mut counters = Counters::new();
+        counters.add(Event::Cycles, 123_456_789);
+        counters.add(Event::DtlbMisses, 42);
+        RunRecord {
+            app: key.app,
+            class: key.class,
+            machine: key.machine,
+            policy: key.policy,
+            threads: key.threads,
+            seconds: 0.1 + 1.0 / 3.0,
+            cycles: 123_456_789,
+            counters,
+            checksum: -2.444_260_326_430_914_5e1,
+            verified: None,
+            regions: None,
+            trace: None,
+            backend: key.backend.label(),
+        }
+    }
+
+    fn key(policy: PagePolicy, threads: usize) -> StoreKey {
+        StoreKey::new(
+            &opteron_2x2(),
+            AppKind::Cg,
+            Class::S,
+            policy,
+            threads,
+            RunOpts::default(),
+            BackendKind::CycleExact,
+        )
+    }
+
+    fn temp_store(tag: &str) -> RunStore {
+        let dir = std::env::temp_dir().join(format!("lpomp-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        RunStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive_to_every_axis() {
+        let base = key(PagePolicy::Small4K, 4);
+        assert_eq!(base, key(PagePolicy::Small4K, 4), "same inputs, same key");
+        assert_eq!(base.address().len(), 32);
+        // Each configuration axis moves the address.
+        let variants = [
+            key(PagePolicy::Large2M, 4),
+            key(PagePolicy::Small4K, 2),
+            StoreKey::new(
+                &xeon_2x2_ht(),
+                AppKind::Cg,
+                Class::S,
+                PagePolicy::Small4K,
+                4,
+                RunOpts::default(),
+                BackendKind::CycleExact,
+            ),
+            StoreKey::new(
+                &opteron_2x2(),
+                AppKind::Mg,
+                Class::S,
+                PagePolicy::Small4K,
+                4,
+                RunOpts::default(),
+                BackendKind::CycleExact,
+            ),
+            StoreKey::new(
+                &opteron_2x2(),
+                AppKind::Cg,
+                Class::W,
+                PagePolicy::Small4K,
+                4,
+                RunOpts::default(),
+                BackendKind::CycleExact,
+            ),
+            StoreKey::new(
+                &opteron_2x2(),
+                AppKind::Cg,
+                Class::S,
+                PagePolicy::Small4K,
+                4,
+                RunOpts { verify: true },
+                BackendKind::CycleExact,
+            ),
+            StoreKey::new(
+                &opteron_2x2(),
+                AppKind::Cg,
+                Class::S,
+                PagePolicy::Small4K,
+                4,
+                RunOpts::default(),
+                BackendKind::Analytic,
+            ),
+        ];
+        for v in &variants {
+            assert_ne!(base.address(), v.address(), "{}", v.fingerprint());
+        }
+        // A machine-config detail (not just the name) moves the address.
+        let mut tweaked = opteron_2x2();
+        tweaked.ram_bytes += 1;
+        let t = StoreKey::new(
+            &tweaked,
+            AppKind::Cg,
+            Class::S,
+            PagePolicy::Small4K,
+            4,
+            RunOpts::default(),
+            BackendKind::CycleExact,
+        );
+        assert_ne!(base.address(), t.address());
+        assert!(base
+            .fingerprint()
+            .contains(&format!("engine={ENGINE_VERSION}")));
+    }
+
+    #[test]
+    fn save_load_round_trips_byte_identically() {
+        let store = temp_store("roundtrip");
+        let k = key(PagePolicy::Large2M, 2);
+        let mut rec = dummy_record(&k);
+        rec.verified = Some(true);
+        assert!(store.load(&k).is_none(), "cold store misses");
+        assert!(store.save(&k, &rec).unwrap());
+        let back = store.load(&k).expect("hit after save");
+        // RunRecord's PartialEq compares f64 bits via ==; equality here is
+        // the byte-identical guarantee the incremental sweep relies on.
+        assert_eq!(back, rec);
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn mixed_policy_round_trips_with_threshold() {
+        let store = temp_store("mixed");
+        let k = key(
+            PagePolicy::Mixed {
+                threshold_bytes: 256 * 1024,
+            },
+            4,
+        );
+        let rec = dummy_record(&k);
+        assert!(store.save(&k, &rec).unwrap());
+        assert_eq!(store.load(&k).unwrap(), rec);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_stale_or_colliding_files_miss_instead_of_panicking() {
+        let store = temp_store("corrupt");
+        let k = key(PagePolicy::Small4K, 1);
+        let rec = dummy_record(&k);
+        store.save(&k, &rec).unwrap();
+        let path = store.dir().join(k.file_name());
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // Truncated, garbage, and wrong-typed files: all miss.
+        for bad in [
+            &good[..good.len() / 2],
+            "not json at all",
+            "",
+            "{\"v\":1}",
+            "[1,2,3]",
+        ] {
+            std::fs::write(&path, bad).unwrap();
+            assert!(store.load(&k).is_none(), "{bad:?} must miss");
+        }
+
+        // Engine-version drift: stale analytic semantics must re-run.
+        let stale = good.replace(
+            &format!("\"engine\":{ENGINE_VERSION}"),
+            &format!("\"engine\":{}", ENGINE_VERSION - 1),
+        );
+        assert_ne!(stale, good);
+        std::fs::write(&path, &stale).unwrap();
+        assert!(store.load(&k).is_none(), "stale engine must miss");
+
+        // Fingerprint drift under the right file name (a collision or a
+        // renamed file): miss, never a wrong record.
+        let collided = good.replace("policy=Small4K", "policy=Large2M");
+        assert_ne!(collided, good);
+        std::fs::write(&path, &collided).unwrap();
+        assert!(store.load(&k).is_none(), "collision must miss");
+
+        // Restoring the good bytes restores the hit.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(store.load(&k).unwrap(), rec);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn records_with_attachments_are_not_cached() {
+        let store = temp_store("attach");
+        let k = key(PagePolicy::Small4K, 1);
+        let mut rec = dummy_record(&k);
+        rec.trace = Some("{}".to_owned());
+        assert!(!store.save(&k, &rec).unwrap());
+        assert!(store.load(&k).is_none());
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn shard_parse_and_coverage_partition() {
+        assert_eq!(Shard::parse("1/4"), Some(Shard { index: 0, count: 4 }));
+        assert_eq!(Shard::parse("4/4"), Some(Shard { index: 3, count: 4 }));
+        assert_eq!(Shard::parse("0/4"), None, "1-based");
+        assert_eq!(Shard::parse("5/4"), None);
+        assert_eq!(Shard::parse("x/4"), None);
+        assert_eq!(Shard::parse("2"), None);
+        assert_eq!(Shard { index: 1, count: 3 }.to_string(), "2/3");
+        // Shards partition any index range exactly once.
+        for n in 1..=5 {
+            for i in 0..100 {
+                let owners = (0..n)
+                    .filter(|&s| Shard { index: s, count: n }.covers(i))
+                    .count();
+                assert_eq!(owners, 1, "index {i} with {n} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let store = temp_store("manifest");
+        let m = ShardManifest {
+            sweep: "deadbeef".to_owned(),
+            shard: Shard { index: 1, count: 2 },
+            entries: vec![(1, "aa".into()), (3, "bb".into())],
+        };
+        let path = m.write(&store).unwrap();
+        assert_eq!(ShardManifest::read(&path).unwrap(), m);
+        assert_eq!(store.len(), 0, "manifests are not records");
+        // Corrupt manifests produce errors, not panics.
+        std::fs::write(&path, "{\"v\":1,").unwrap();
+        assert!(ShardManifest::read(&path).is_err());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn jsonl_sink_emits_self_describing_lines() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::from_writer(Box::new(Shared(buf.clone())));
+        let k = key(PagePolicy::Small4K, 2);
+        sink.emit(&dummy_record(&k), true);
+        sink.emit(&dummy_record(&k), false);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = parse_json(lines[0]).unwrap();
+        assert_eq!(first.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("app").and_then(Json::as_str), Some("CG"));
+        let second = parse_json(lines[1]).unwrap();
+        assert_eq!(second.get("cached"), Some(&Json::Bool(false)));
+    }
+}

@@ -10,8 +10,10 @@ use crate::backend::{run_backend, BackendKind};
 use crate::experiment::{RunOpts, RunRecord};
 use crate::parallel::{default_workers, par_map};
 use crate::policy::PagePolicy;
+use crate::store::{sweep_id, JsonlSink, RunStore, Shard, ShardManifest, StoreKey};
 use lpomp_machine::MachineConfig;
 use lpomp_npb::{AppKind, Class};
+use std::sync::Mutex;
 
 /// The grid of configurations to run.
 #[derive(Clone, Debug)]
@@ -154,6 +156,277 @@ impl SweepSpec {
         }
         SweepResults { records }
     }
+
+    /// The [`StoreKey`] of every grid configuration, in canonical grid
+    /// order — index `i` here is "grid index `i`" everywhere in the
+    /// store/shard machinery.
+    pub fn store_keys(&self) -> Vec<StoreKey> {
+        self.grid()
+            .iter()
+            .map(|&(machine, app, policy, threads)| {
+                StoreKey::new(
+                    machine,
+                    app,
+                    self.class,
+                    policy,
+                    threads,
+                    self.opts,
+                    self.backend,
+                )
+            })
+            .collect()
+    }
+
+    /// Content identity of the whole grid (see [`sweep_id`]); names the
+    /// shard manifests so different sweeps can share one store directory.
+    pub fn sweep_id(&self) -> String {
+        sweep_id(&self.store_keys())
+    }
+
+    /// Execute the sweep *incrementally* against `store`: configurations
+    /// whose [`StoreKey`] resolves to a valid stored record are replayed
+    /// from disk; only the misses run the engine (on [`default_workers`]
+    /// threads), and every fresh record is persisted for next time. The
+    /// merged results are byte-identical to [`run`](SweepSpec::run) —
+    /// same records, same grid order — so a second invocation on
+    /// unchanged code is zero engine runs.
+    ///
+    /// Hit/miss counts are logged to stderr and returned in the
+    /// [`IncrementalSweep`].
+    pub fn run_incremental(&self, store: &RunStore) -> std::io::Result<IncrementalSweep> {
+        self.run_incremental_with(store, default_workers(), None)
+    }
+
+    /// [`run_incremental`](SweepSpec::run_incremental) with an explicit
+    /// worker count and an optional JSON-lines sink. Cached records are
+    /// streamed first (in grid order, `"cached":true`), then fresh
+    /// records as they complete.
+    pub fn run_incremental_with(
+        &self,
+        store: &RunStore,
+        workers: usize,
+        sink: Option<&JsonlSink>,
+    ) -> std::io::Result<IncrementalSweep> {
+        let grid = self.grid();
+        let keys = self.store_keys();
+        let mut slots: Vec<Option<RunRecord>> = keys.iter().map(|k| store.load(k)).collect();
+        let miss_idx: Vec<usize> = (0..grid.len()).filter(|&i| slots[i].is_none()).collect();
+        let hits = grid.len() - miss_idx.len();
+        if let Some(sink) = sink {
+            for rec in slots.iter().flatten() {
+                sink.emit(rec, true);
+            }
+        }
+        let fresh = self.run_missing(&grid, &keys, &miss_idx, store, workers, sink)?;
+        for (&i, rec) in miss_idx.iter().zip(fresh) {
+            slots[i] = Some(rec);
+        }
+        eprintln!(
+            "sweep store [{}]: {hits} hits, {} misses / {} configs",
+            store.dir().display(),
+            miss_idx.len(),
+            grid.len()
+        );
+        Ok(IncrementalSweep {
+            results: SweepResults {
+                records: slots.into_iter().map(Option::unwrap).collect(),
+            },
+            hits,
+            misses: miss_idx.len(),
+        })
+    }
+
+    /// Run grid indices `miss_idx` (misses of some superset), saving and
+    /// streaming each record. Returns the fresh records in `miss_idx`
+    /// order. The first store-write error aborts (a sweep that cannot
+    /// persist would silently lose its resume guarantee).
+    fn run_missing(
+        &self,
+        grid: &[(&MachineConfig, AppKind, PagePolicy, usize)],
+        keys: &[StoreKey],
+        miss_idx: &[usize],
+        store: &RunStore,
+        workers: usize,
+        sink: Option<&JsonlSink>,
+    ) -> std::io::Result<Vec<RunRecord>> {
+        if self.backend == BackendKind::Analytic {
+            // Warm the profile cache serially over the *misses* only —
+            // hits never consult a profile (see `run_parallel` for why
+            // serial).
+            for &i in miss_idx {
+                let (_, app, _, threads) = grid[i];
+                crate::backend::cached_profile(app, self.class, threads);
+            }
+        }
+        let save_errors: Mutex<Vec<std::io::Error>> = Mutex::new(Vec::new());
+        let fresh = par_map(miss_idx, workers, |_, &gi| {
+            let (machine, app, policy, threads) = grid[gi];
+            let rec = run_backend(
+                self.backend,
+                app,
+                self.class,
+                machine.clone(),
+                policy,
+                threads,
+                self.opts,
+            );
+            if let Err(e) = store.save(&keys[gi], &rec) {
+                save_errors
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(e);
+            }
+            if let Some(sink) = sink {
+                sink.emit(&rec, false);
+            }
+            rec
+        });
+        let mut errors = save_errors.into_inner().unwrap_or_else(|p| p.into_inner());
+        match errors.pop() {
+            Some(e) => Err(e),
+            None => Ok(fresh),
+        }
+    }
+
+    /// Execute this process's slice of a sweep partitioned across
+    /// `shard.count` cooperating processes sharing `store`, incrementally
+    /// (cached configs are not re-run), and record a [`ShardManifest`]
+    /// proving which grid indices this shard covered. Once every shard
+    /// has run, [`merge_shards`](SweepSpec::merge_shards) assembles the
+    /// full results without touching the engine.
+    pub fn run_shard(
+        &self,
+        shard: Shard,
+        store: &RunStore,
+        workers: usize,
+        sink: Option<&JsonlSink>,
+    ) -> std::io::Result<ShardManifest> {
+        let grid = self.grid();
+        let keys = self.store_keys();
+        let owned: Vec<usize> = (0..grid.len()).filter(|&i| shard.covers(i)).collect();
+        let mut miss_idx = Vec::new();
+        for &i in &owned {
+            match store.load(&keys[i]) {
+                Some(rec) => {
+                    if let Some(sink) = sink {
+                        sink.emit(&rec, true);
+                    }
+                }
+                None => miss_idx.push(i),
+            }
+        }
+        let hits = owned.len() - miss_idx.len();
+        self.run_missing(&grid, &keys, &miss_idx, store, workers, sink)?;
+        let manifest = ShardManifest {
+            sweep: self.sweep_id(),
+            shard,
+            entries: owned.iter().map(|&i| (i, keys[i].address())).collect(),
+        };
+        manifest.write(store)?;
+        eprintln!(
+            "sweep store [{}] shard {shard}: {hits} hits, {} misses / {} configs",
+            store.dir().display(),
+            miss_idx.len(),
+            owned.len()
+        );
+        Ok(manifest)
+    }
+
+    /// Assemble the results of a sweep previously run as `count` shards
+    /// into `store` (in any order, on any mix of hosts sharing the
+    /// directory). Validates before trusting: every shard's manifest must
+    /// be present and belong to *this* sweep, their entries must cover
+    /// the grid exactly once, each entry's address must match the key
+    /// this spec derives (detecting hash collisions and spec drift), and
+    /// every record must still load. Any violation is a descriptive
+    /// error, never partial results.
+    ///
+    /// The merged records equal a single-process [`run`](SweepSpec::run)
+    /// byte-for-byte.
+    pub fn merge_shards(&self, store: &RunStore, count: usize) -> Result<SweepResults, String> {
+        if count == 0 {
+            return Err("merge: shard count must be >= 1".into());
+        }
+        let keys = self.store_keys();
+        let id = sweep_id(&keys);
+        let mut covered: Vec<Option<Shard>> = vec![None; keys.len()];
+        for index in 0..count {
+            let shard = Shard { index, count };
+            let path = store.dir().join(ShardManifest::file_name(&id, shard));
+            if !path.exists() {
+                return Err(format!(
+                    "merge: shard {shard} of sweep {id} has no manifest in {} — \
+                     did every `--shard i/{count}` run finish?",
+                    store.dir().display()
+                ));
+            }
+            let m = ShardManifest::read(&path)?;
+            if m.sweep != id {
+                return Err(format!(
+                    "merge: manifest {} names sweep {}, expected {id}",
+                    path.display(),
+                    m.sweep
+                ));
+            }
+            if m.shard != shard {
+                return Err(format!(
+                    "merge: manifest {} claims shard {}, expected {shard}",
+                    path.display(),
+                    m.shard
+                ));
+            }
+            for &(gi, ref addr) in &m.entries {
+                let key = keys.get(gi).ok_or_else(|| {
+                    format!(
+                        "merge: shard {shard} covers grid index {gi}, but the grid has {} configs",
+                        keys.len()
+                    )
+                })?;
+                if *addr != key.address() {
+                    return Err(format!(
+                        "merge: grid index {gi} stored as {addr} but this spec derives {} — \
+                         key collision or spec drift",
+                        key.address()
+                    ));
+                }
+                if let Some(prev) = covered[gi] {
+                    return Err(format!(
+                        "merge: grid index {gi} covered by both shard {prev} and shard {shard}"
+                    ));
+                }
+                covered[gi] = Some(shard);
+            }
+        }
+        if let Some(gi) = covered.iter().position(Option::is_none) {
+            return Err(format!(
+                "merge: grid index {gi} ({}) covered by no shard",
+                keys[gi].fingerprint()
+            ));
+        }
+        let mut records = Vec::with_capacity(keys.len());
+        for (gi, key) in keys.iter().enumerate() {
+            records.push(store.load(key).ok_or_else(|| {
+                format!(
+                    "merge: record for grid index {gi} ({}) missing or invalid in {}",
+                    key.fingerprint(),
+                    store.dir().display()
+                )
+            })?);
+        }
+        Ok(SweepResults { records })
+    }
+}
+
+/// What [`SweepSpec::run_incremental`] did: the merged results plus the
+/// cache observability counters (`hits + misses == results.records().len()`).
+#[derive(Clone, Debug)]
+pub struct IncrementalSweep {
+    /// The full sweep results, byte-identical to a cold [`SweepSpec::run`].
+    pub results: SweepResults,
+    /// Configurations replayed from the store.
+    pub hits: usize,
+    /// Configurations that ran the engine (and were then persisted).
+    pub misses: usize,
 }
 
 /// The outcome of a sweep: every [`RunRecord`], queryable by axis.

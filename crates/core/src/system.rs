@@ -69,48 +69,6 @@ pub struct SystemConfig {
     pub profile: ProfileSpec,
 }
 
-impl SystemConfig {
-    /// The paper's configuration: given machine/policy/threads, with
-    /// startup preallocation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `System::builder(machine).policy(..).threads(..)`"
-    )]
-    pub fn paper(machine: MachineConfig, policy: PagePolicy, threads: usize) -> Self {
-        SystemBuilder::new(machine)
-            .policy(policy)
-            .threads(threads)
-            .into_config()
-    }
-
-    /// A THP-experiment configuration: 4 KB pages over a private
-    /// anonymous heap that [`System::promote_heap`] can collapse later.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `System::builder(machine).thp().threads(..)`"
-    )]
-    pub fn thp(machine: MachineConfig, threads: usize) -> Self {
-        SystemBuilder::new(machine)
-            .thp()
-            .threads(threads)
-            .into_config()
-    }
-
-    /// Like [`SystemConfig::thp`], but with the incremental khugepaged
-    /// daemon attached: the heap is collapsed a budgeted chunk at a time
-    /// at barriers, with compaction when the buddy heap is fragmented.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `System::builder(machine).thp_daemon(true).threads(..)`"
-    )]
-    pub fn thp_daemon(machine: MachineConfig, threads: usize) -> Self {
-        SystemBuilder::new(machine)
-            .thp_daemon(true)
-            .threads(threads)
-            .into_config()
-    }
-}
-
 /// Fluent assembly of a simulated system — the one front door to every
 /// configuration axis (page policy, population, daemons, NUMA,
 /// profiling). Start from [`System::builder`]:
@@ -525,7 +483,7 @@ impl System {
     }
 
     /// Run a khugepaged-style collapse over the heap (requires a system
-    /// built with [`SystemConfig::thp`] — a private anonymous 4 KB heap).
+    /// built with [`SystemBuilder::thp`] — a private anonymous 4 KB heap).
     ///
     /// Charges every thread the full stop-the-world cost: copying each
     /// collapsed chunk's 512 pages, rewriting its 513 page-table entries,
@@ -699,23 +657,6 @@ mod tests {
         );
         let cs = kernel.run(&mut sys.team);
         assert!(kernel.verify(cs));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_are_builder_shims() {
-        let paper = SystemConfig::paper(opteron_2x2(), PagePolicy::Large2M, 4);
-        let b = System::builder(opteron_2x2())
-            .policy(PagePolicy::Large2M)
-            .threads(4);
-        assert_eq!(paper.policy, b.config().policy);
-        assert_eq!(paper.threads, b.config().threads);
-        assert!(!paper.private_heap && paper.khugepaged.is_none());
-        let thp = SystemConfig::thp(opteron_2x2(), 2);
-        assert!(thp.private_heap && thp.khugepaged.is_none());
-        assert_eq!(thp.policy, PagePolicy::Small4K);
-        let thp_d = SystemConfig::thp_daemon(opteron_2x2(), 2);
-        assert!(thp_d.private_heap && thp_d.khugepaged.is_some());
     }
 
     #[test]

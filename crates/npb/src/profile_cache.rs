@@ -5,14 +5,16 @@
 //! (machine × page policy × placement) evaluation after that is a pure
 //! function of the cached [`StreamProfile`]. The cache is in-memory and
 //! process-wide by default; set `LPOMP_PROFILE_DIR` to also persist
-//! profiles as JSON across processes (stale or mismatched files are
-//! ignored and recaptured, never trusted).
+//! profiles as JSON across processes. Disk files are never trusted:
+//! corrupt or truncated JSON, a key mismatch, or an
+//! [`ENGINE_VERSION`](lpomp_prof::ENGINE_VERSION) stamp from a
+//! different engine all fall back to recapture.
 
 use crate::common::{AppKind, Class};
 use lpomp_prof::reuse::StreamProfile;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cache key.
 pub type ProfileKey = (AppKind, Class, usize);
@@ -54,9 +56,20 @@ impl ProfileCache {
         format!("{app}_{class}_t{threads}.json")
     }
 
+    /// Lock the in-memory map, recovering from poisoning: the cache is a
+    /// plain `HashMap` of immutable `Arc`s with no multi-step invariants,
+    /// so a worker that panicked mid-`capture` leaves it consistent.
+    /// Recovering lets the original panic surface alone instead of
+    /// cascading `PoisonError` panics across every other sweep worker.
+    fn mem(&self) -> MutexGuard<'_, HashMap<ProfileKey, Arc<StreamProfile>>> {
+        self.mem
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Number of profiles resident in memory.
     pub fn len(&self) -> usize {
-        self.mem.lock().unwrap().len()
+        self.mem().len()
     }
 
     /// Whether the in-memory cache is empty.
@@ -74,7 +87,7 @@ impl ProfileCache {
         threads: usize,
         capture: impl FnOnce() -> StreamProfile,
     ) -> Arc<StreamProfile> {
-        let mut mem = self.mem.lock().unwrap();
+        let mut mem = self.mem();
         if let Some(p) = mem.get(&(app, class, threads)) {
             return Arc::clone(p);
         }
@@ -97,8 +110,12 @@ impl ProfileCache {
     fn try_load(&self, app: AppKind, class: Class, threads: usize) -> Option<StreamProfile> {
         let path = self.path(app, class, threads)?;
         let src = std::fs::read_to_string(path).ok()?;
+        // `from_json` rejects profiles stamped with a different
+        // `ENGINE_VERSION` (stale charge rules / capture pipeline) and
+        // errors on corrupt or truncated JSON; either way `.ok()?` turns
+        // the failure into a recapture, never a panic or a stale hit.
         let p = StreamProfile::from_json(&src).ok()?;
-        // Never trust a stale or renamed file.
+        // Never trust a renamed file.
         let matches =
             p.app == app.to_string() && p.class == class.to_string() && p.threads == threads;
         matches.then_some(p)
@@ -175,5 +192,82 @@ mod tests {
         });
         assert!(recaptured);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_fall_back_to_recapture() {
+        let dir = std::env::temp_dir().join(format!("lpomp-pc-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = tiny_profile(AppKind::Cg, Class::S, 2).to_json();
+        let path = dir.join(ProfileCache::file_name(AppKind::Cg, Class::S, 2));
+        for bad in [
+            "",
+            "not json",
+            "{\"engine\":",
+            &good[..good.len() / 2], // truncated mid-write
+        ] {
+            std::fs::write(&path, bad).unwrap();
+            let cache = ProfileCache::with_dir(Some(dir.clone()));
+            let mut recaptured = false;
+            cache.get_or_capture(AppKind::Cg, Class::S, 2, || {
+                recaptured = true;
+                tiny_profile(AppKind::Cg, Class::S, 2)
+            });
+            assert!(recaptured, "file {bad:?} must recapture, not panic");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_engine_version_is_recaptured() {
+        let dir = std::env::temp_dir().join(format!("lpomp-pc-engine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ProfileCache::with_dir(Some(dir.clone()));
+        cache.get_or_capture(AppKind::Ft, Class::S, 2, || {
+            tiny_profile(AppKind::Ft, Class::S, 2)
+        });
+
+        // Simulate an engine upgrade: rewrite the stored profile as if a
+        // previous engine version had captured it. The file is otherwise
+        // perfectly valid — only the stamp is stale.
+        let path = dir.join(ProfileCache::file_name(AppKind::Ft, Class::S, 2));
+        let cur = format!("\"engine\":{}", lpomp_prof::ENGINE_VERSION);
+        let old = format!("\"engine\":{}", lpomp_prof::ENGINE_VERSION - 1);
+        let src = std::fs::read_to_string(&path).unwrap();
+        assert!(src.contains(&cur), "profiles must carry the engine stamp");
+        std::fs::write(&path, src.replace(&cur, &old)).unwrap();
+
+        let cache2 = ProfileCache::with_dir(Some(dir.clone()));
+        let mut recaptured = false;
+        cache2.get_or_capture(AppKind::Ft, Class::S, 2, || {
+            recaptured = true;
+            tiny_profile(AppKind::Ft, Class::S, 2)
+        });
+        assert!(recaptured, "stale engine stamp must force recapture");
+        // The recapture refreshed the file back to the current stamp.
+        let refreshed = std::fs::read_to_string(&path).unwrap();
+        assert!(refreshed.contains(&cur));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let cache = std::sync::Arc::new(ProfileCache::with_dir(None));
+        // Poison the mutex: a worker panics while holding the lock
+        // (mid-capture, as a panicking engine run would).
+        let c = std::sync::Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            c.get_or_capture(AppKind::Cg, Class::S, 2, || panic!("engine run panicked"))
+        })
+        .join()
+        .expect_err("worker must panic");
+        // Other workers proceed with the original panic surfaced alone —
+        // no PoisonError cascade.
+        let p = cache.get_or_capture(AppKind::Cg, Class::S, 4, || {
+            tiny_profile(AppKind::Cg, Class::S, 4)
+        });
+        assert_eq!(p.threads, 4);
+        assert_eq!(cache.len(), 1);
     }
 }

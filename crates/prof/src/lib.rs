@@ -20,6 +20,18 @@
 
 #![warn(missing_docs)]
 
+/// Version stamp of the evaluation engine and its persisted artifacts.
+///
+/// Bump this whenever a change alters what a cached artifact *means*:
+/// charge rules or cost-model semantics, the capture pipeline behind
+/// [`StreamProfile`], the serialization schemas, or the set of counted
+/// [`Event`]s. Every on-disk cache in the workspace — the
+/// `LPOMP_PROFILE_DIR` profile cache and the `lpomp-core` sweep result
+/// store — stamps its files with this number and refuses (recaptures /
+/// re-runs) anything written under a different one, so stale artifacts
+/// can never silently feed predictions or figures.
+pub const ENGINE_VERSION: u32 = 7;
+
 pub mod counters;
 pub mod region;
 pub mod report;

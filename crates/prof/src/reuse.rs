@@ -898,12 +898,17 @@ fn escape(s: &str) -> String {
 }
 
 impl StreamProfile {
-    /// Serialize to JSON (compact, integers exact below 2^53).
+    /// Serialize to JSON (compact, integers exact below 2^53). The
+    /// output opens with an `"engine"` stamp ([`crate::ENGINE_VERSION`]);
+    /// [`from_json`](Self::from_json) rejects any other version, so a
+    /// profile captured under older charge rules can never silently feed
+    /// the analytic backend stale predictions.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1 << 16);
         let _ = write!(
             out,
-            "{{\"app\":\"{}\",\"class\":\"{}\",\"threads\":{},\"checksum\":{}",
+            "{{\"engine\":{},\"app\":\"{}\",\"class\":\"{}\",\"threads\":{},\"checksum\":{}",
+            crate::ENGINE_VERSION,
             escape(&self.app),
             escape(&self.class),
             self.threads,
@@ -956,8 +961,20 @@ impl StreamProfile {
     }
 
     /// Parse a profile serialized by [`to_json`](Self::to_json).
+    ///
+    /// Rejects profiles stamped with a different [`crate::ENGINE_VERSION`]
+    /// (including pre-stamp profiles, which lack the key entirely): their
+    /// histograms may encode semantics the current engine no longer
+    /// matches, and the only safe response is recapture.
     pub fn from_json(src: &str) -> Result<StreamProfile, String> {
         let j = parse_json(src)?;
+        let engine = req_u64(&j, "engine")?;
+        if engine != u64::from(crate::ENGINE_VERSION) {
+            return Err(format!(
+                "profile engine version {engine} != current {} — recapture required",
+                crate::ENGINE_VERSION
+            ));
+        }
         let app = req_str(&j, "app")?;
         let class = req_str(&j, "class")?;
         let threads = req_u64(&j, "threads")? as usize;
@@ -1241,6 +1258,32 @@ mod tests {
         let back = StreamProfile::from_json(&json).expect("parses");
         assert_eq!(p, back);
         assert_eq!(back.checksum.to_bits(), p.checksum.to_bits());
+    }
+
+    #[test]
+    fn engine_version_mismatch_is_rejected() {
+        let p = StreamProfile {
+            app: "cg".into(),
+            class: "S".into(),
+            threads: 1,
+            checksum: 0.5,
+            phases: Vec::new(),
+        };
+        let json = p.to_json();
+        assert!(StreamProfile::from_json(&json).is_ok());
+        // The same profile stamped by a past (or future) engine must be
+        // refused, whatever else it contains.
+        let cur = format!("\"engine\":{}", crate::ENGINE_VERSION);
+        for other in [0, crate::ENGINE_VERSION - 1, crate::ENGINE_VERSION + 1] {
+            let stale = json.replace(&cur, &format!("\"engine\":{other}"));
+            assert_ne!(stale, json, "patch must take");
+            let err = StreamProfile::from_json(&stale).unwrap_err();
+            assert!(err.contains("engine version"), "{err}");
+        }
+        // Pre-stamp profiles (no key at all) are equally stale.
+        let unstamped = json.replace(&format!("{cur},"), "");
+        let err = StreamProfile::from_json(&unstamped).unwrap_err();
+        assert!(err.contains("engine"), "{err}");
     }
 
     #[test]

@@ -26,8 +26,9 @@ pub use lpomp_vm as vm;
 pub mod prelude {
     pub use lpomp_core::{
         default_workers, figure4_thread_counts, par_map, run_backend, run_sim, run_system,
-        BackendKind, PagePolicy, PopulatePolicy, ProfileSpec, RunOpts, RunRecord, SetupStats,
-        SweepResults, SweepSpec, System, SystemBuilder, SystemConfig,
+        BackendKind, IncrementalSweep, JsonlSink, PagePolicy, PopulatePolicy, ProfileSpec, RunOpts,
+        RunRecord, RunStore, SetupStats, Shard, StoreKey, SweepResults, SweepSpec, System,
+        SystemBuilder, SystemConfig,
     };
     pub use lpomp_machine::{opteron_2x2, xeon_2x2_ht, MachineConfig, NumaConfig, NumaPlacement};
     pub use lpomp_npb::{AppKind, Class, Kernel};
