@@ -17,10 +17,17 @@
 //!    (compaction), collapses chunk by chunk within its cycle budget, and
 //!    reaches preallocated-class steady state with no reservation at all.
 //!
-//! Usage: `cargo run --release -p lpomp-bench --bin ext_frag [S|W|A]`
+//! The grid runs through a [`KeyedGrid`], so the sweep-store flags work
+//! here too: `--store DIR` replays cached cells, `--shard i/n` /
+//! `--merge n` split the grid across processes, `--jsonl FILE` streams
+//! cells as they complete.
+//!
+//! Usage: `cargo run --release -p lpomp-bench --bin ext_frag
+//!         [S|W|A] [--store DIR] [--shard i/n | --merge n] [--jsonl FILE]`
 
 use lpomp::prelude::*;
-use lpomp_bench::class_from_args;
+use lpomp_bench::{class_from_args, sweep_cli_from_args};
+use lpomp_prof::Json;
 use lpomp_vm::{age_heap, PageSize};
 
 const SEVERITIES: [f64; 3] = [0.0, 0.5, 1.0];
@@ -36,6 +43,69 @@ struct Aged {
     collapsed: u64,
     compacted: u64,
     shootdowns: u64,
+}
+
+/// One cell of the E5 grid: the unaged preallocated baseline or an aged
+/// scenario row.
+enum Cell {
+    Prealloc(Box<RunRecord>),
+    Aged(Aged),
+}
+
+impl GridCell for Cell {
+    fn to_store_json(&self) -> String {
+        match self {
+            Cell::Prealloc(r) => {
+                format!("{{\"kind\":\"prealloc\",\"record\":{}}}", r.to_store_json())
+            }
+            Cell::Aged(a) => format!(
+                "{{\"kind\":\"aged\",\"label\":\"{}\",\"severity\":{},\"frag_index\":{},\
+                 \"run1\":{},\"run2\":{},\"misses2\":{},\"blocked\":{},\"collapsed\":{},\
+                 \"compacted\":{},\"shootdowns\":{}}}",
+                a.label,
+                a.severity,
+                a.frag_index,
+                a.run1,
+                a.run2,
+                a.misses2,
+                a.blocked,
+                a.collapsed,
+                a.compacted,
+                a.shootdowns
+            ),
+        }
+    }
+
+    fn from_store_json(j: &Json, key: &StoreKey) -> Option<Self> {
+        let num = |k: &str| j.get(k).and_then(Json::as_num);
+        let int = |k: &str| num(k).map(|n| n as u64);
+        match j.get("kind").and_then(Json::as_str)? {
+            "prealloc" => Some(Cell::Prealloc(Box::new(RunRecord::from_store_json(
+                j.get("record")?,
+                key,
+            )?))),
+            "aged" => {
+                let label = match j.get("label").and_then(Json::as_str)? {
+                    "one-shot THP" => "one-shot THP",
+                    "daemon+compaction" => "daemon+compaction",
+                    _ => return None,
+                };
+                Some(Cell::Aged(Aged {
+                    label,
+                    severity: num("severity")?,
+                    frag_index: num("frag_index")?,
+                    run1: num("run1")?,
+                    run2: num("run2")?,
+                    misses2: int("misses2")?,
+                    blocked: int("blocked")?,
+                    collapsed: int("collapsed")?,
+                    compacted: int("compacted")?,
+                    shootdowns: int("shootdowns")?,
+                }))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Build a THP system, age its free memory, and return the system plus
@@ -101,6 +171,7 @@ fn daemon(app: AppKind, class: Class, severity: f64) -> Aged {
 
 fn main() {
     let class = class_from_args();
+    let cli = sweep_cli_from_args();
     let app = AppKind::Cg;
     println!(
         "Extension E5: fragmentation vs promotion strategy ({app}, class {class}, \
@@ -122,11 +193,29 @@ fn main() {
         jobs.push(Job::OneShot(s));
         jobs.push(Job::Daemon(s));
     }
-    enum Cell {
-        Prealloc(Box<RunRecord>),
-        Aged(Aged),
-    }
-    let cells = par_map(&jobs, default_workers(), |_, job| match job {
+    // The typed key axes cover (machine, app, class, policy, threads);
+    // the aging scenario rides in the variant descriptor.
+    let keys: Vec<StoreKey> = jobs
+        .iter()
+        .map(|job| {
+            let (policy, variant) = match job {
+                Job::Prealloc => (PagePolicy::Large2M, "frag=prealloc".to_owned()),
+                Job::OneShot(s) => (PagePolicy::Small4K, format!("frag=oneshot:severity={s}")),
+                Job::Daemon(s) => (PagePolicy::Small4K, format!("frag=daemon:severity={s}")),
+            };
+            StoreKey::new(
+                &opteron_2x2(),
+                app,
+                class,
+                policy,
+                4,
+                RunOpts::default(),
+                BackendKind::CycleExact,
+            )
+            .with_variant(&variant)
+        })
+        .collect();
+    let grid = KeyedGrid::new(keys, |i, _key| match jobs[i] {
         Job::Prealloc => Cell::Prealloc(Box::new(run_sim(
             app,
             class,
@@ -135,9 +224,13 @@ fn main() {
             4,
             RunOpts::default(),
         ))),
-        Job::OneShot(s) => Cell::Aged(one_shot(app, class, *s)),
-        Job::Daemon(s) => Cell::Aged(daemon(app, class, *s)),
+        Job::OneShot(s) => Cell::Aged(one_shot(app, class, s)),
+        Job::Daemon(s) => Cell::Aged(daemon(app, class, s)),
     });
+    let sink = cli.sink();
+    let Some(cells) = cli.execute_keyed(&grid, sink.as_ref()) else {
+        return; // shard mode: the slice and its manifest are in the store
+    };
 
     let mut prealloc = None;
     let mut aged: Vec<Aged> = Vec::new();

@@ -27,13 +27,17 @@
 //!
 //! Every row demand-faults (`OnDemand`): placement, not prefault cost,
 //! is under test — and first-touch is only meaningful when the touching
-//! thread takes the fault. Runs fan out with [`lpomp_core::par_map`]
-//! (`LPOMP_WORKERS` overrides the worker count).
+//! thread takes the fault. The grid runs through a [`KeyedGrid`]
+//! (`LPOMP_WORKERS` overrides the worker count), so the sweep-store
+//! flags work here too: `--store DIR` replays cached cells,
+//! `--shard i/n` / `--merge n` split the grid across processes,
+//! `--jsonl FILE` streams cells as they complete.
 //!
-//! Usage: `cargo run --release -p lpomp-bench --bin ext_numa [S|W|A]`
+//! Usage: `cargo run --release -p lpomp-bench --bin ext_numa
+//!         [S|W|A] [--store DIR] [--shard i/n | --merge n] [--jsonl FILE]`
 
 use lpomp::prelude::*;
-use lpomp_bench::{class_from_args, maybe_write_csv};
+use lpomp_bench::{class_from_args, maybe_write_csv, sweep_cli_from_args};
 use lpomp_vm::NumaDaemonConfig;
 
 /// One cell of the run grid.
@@ -68,8 +72,25 @@ fn remote_pct(r: &RunRecord) -> String {
     }
 }
 
+/// The `MachineConfig` a cell's builder ends up with: `.numa()` writes
+/// the placement (and replication) into the machine itself, so those
+/// axes land in the typed key via the machine fingerprint.
+fn cell_machine(c: &Cfg) -> MachineConfig {
+    let mut m = opteron_2x2();
+    if let Some(p) = c.placement {
+        let n = NumaConfig::opteron(p);
+        m.numa = Some(if c.replicate {
+            n.with_replicated_pt()
+        } else {
+            n
+        });
+    }
+    m
+}
+
 fn main() {
     let class = class_from_args();
+    let cli = sweep_cli_from_args();
     println!(
         "Extension E3v2: physical NUMA -- placement x page size x page tables\n\
          (class {class}, 4 threads, Opteron, demand faulting)\n"
@@ -101,24 +122,38 @@ fn main() {
             }
         }
     }
-    let records = par_map(&grid, default_workers(), |_, c| {
-        let mut b = System::builder(opteron_2x2())
+    // The daemon and demand-faulting knobs live outside the typed key
+    // axes, so they ride in the variant descriptor.
+    let keys: Vec<StoreKey> = grid
+        .iter()
+        .map(|c| {
+            StoreKey::new(
+                &cell_machine(c),
+                c.app,
+                class,
+                c.policy,
+                4,
+                RunOpts::default(),
+                BackendKind::CycleExact,
+            )
+            .with_variant(&format!("numa:daemon={},populate=ondemand", c.daemon))
+        })
+        .collect();
+    let kgrid = KeyedGrid::new(keys, |i, _key| {
+        let c = &grid[i];
+        let mut b = System::builder(cell_machine(c))
             .policy(c.policy)
             .threads(4)
             .populate(PopulatePolicy::OnDemand);
-        if let Some(p) = c.placement {
-            let n = NumaConfig::opteron(p);
-            b = b.numa(if c.replicate {
-                n.with_replicated_pt()
-            } else {
-                n
-            });
-        }
         if c.daemon {
             b = b.numa_daemon(NumaDaemonConfig::default());
         }
         run_system(c.app, class, &b, RunOpts::default())
     });
+    let sink = cli.sink();
+    let Some(records) = cli.execute_keyed(&kgrid, sink.as_ref()) else {
+        return; // shard mode: the slice and its manifest are in the store
+    };
     let find = |cfg: Cfg| -> &RunRecord {
         let i = grid.iter().position(|c| *c == cfg).expect("cell in grid");
         &records[i]

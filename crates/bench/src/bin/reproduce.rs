@@ -34,6 +34,7 @@ fn main() {
         ("ext_numa", true),
         ("ext_reach", false),
         ("ext_frag", true),
+        ("ext_tenant", true),
         ("profile", true),
         ("diag", true),
         ("xval", true),

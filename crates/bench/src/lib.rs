@@ -22,8 +22,8 @@
 //! simulated-evaluation class.
 
 use lpomp_core::{
-    default_workers, run_sim, BackendKind, JsonlSink, PagePolicy, RunOpts, RunRecord, RunStore,
-    Shard, SweepResults, SweepSpec,
+    default_workers, run_sim, BackendKind, GridCell, JsonlSink, KeyedGrid, PagePolicy, RunOpts,
+    RunRecord, RunStore, Shard, SweepResults, SweepSpec,
 };
 use lpomp_machine::MachineConfig;
 use lpomp_npb::{AppKind, Class};
@@ -248,6 +248,77 @@ impl SweepCli {
             }
         }
         Some(results)
+    }
+
+    /// [`execute`](SweepCli::execute) for a [`KeyedGrid`] — the same
+    /// merge / shard / incremental / plain dispatch for binaries whose
+    /// grids are not `SweepSpec`-shaped (`ext_frag`, `ext_numa`).
+    /// Returns `None` in shard mode, the cells in key order otherwise.
+    pub fn execute_keyed<T: GridCell>(
+        &self,
+        grid: &KeyedGrid<'_, T>,
+        sink: Option<&JsonlSink>,
+    ) -> Option<Vec<T>> {
+        let store = self.store.as_ref().map(|dir| {
+            RunStore::open(dir).unwrap_or_else(|e| {
+                eprintln!("error: could not open store {}: {e}", dir.display());
+                std::process::exit(1)
+            })
+        });
+        if let Some(count) = self.merge {
+            let cells = grid
+                .merge_shards(store.as_ref().expect("validated at parse"), count)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1)
+                });
+            if let Some(sink) = sink {
+                for cell in &cells {
+                    sink.emit_line(&cell.to_store_json(), true);
+                }
+            }
+            eprintln!(
+                "merged {} cells from {count} shards of grid {}",
+                cells.len(),
+                grid.sweep_id()
+            );
+            return Some(cells);
+        }
+        if let Some(shard) = self.shard {
+            let store = store.as_ref().expect("validated at parse");
+            let manifest = grid
+                .run_shard(shard, store, default_workers(), sink)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: shard {shard} failed: {e}");
+                    std::process::exit(1)
+                });
+            eprintln!(
+                "shard {shard} of grid {} complete ({} cells); after all {} shards, \
+                 rerun with `--store {} --merge {}`",
+                manifest.sweep,
+                manifest.entries.len(),
+                shard.count,
+                store.dir().display(),
+                shard.count
+            );
+            return None;
+        }
+        if let Some(store) = store {
+            let (cells, _, _) = grid
+                .run_incremental(&store, default_workers(), sink)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: incremental grid failed: {e}");
+                    std::process::exit(1)
+                });
+            return Some(cells);
+        }
+        let cells = grid.run_all(default_workers());
+        if let Some(sink) = sink {
+            for cell in &cells {
+                sink.emit_line(&cell.to_store_json(), false);
+            }
+        }
+        Some(cells)
     }
 }
 

@@ -68,5 +68,8 @@ pub use lpomp_prof::ProfileSpec;
 pub use parallel::{default_workers, par_map};
 pub use policy::{PagePolicy, PopulatePolicy};
 pub use store::{sweep_id, JsonlSink, RunStore, Shard, ShardManifest, StoreKey};
-pub use sweep::{IncrementalSweep, SweepResults, SweepSpec};
-pub use system::{SetupStats, System, SystemBuilder, SystemConfig, CODE_BASE};
+pub use sweep::{GridCell, IncrementalSweep, KeyedGrid, SweepResults, SweepSpec};
+pub use system::{
+    MultiRunReport, MultiSystem, SetupStats, System, SystemBuilder, SystemConfig, TenancyConfig,
+    TenantReport, TenantSpec, CODE_BASE, DEFAULT_TIMESLICE,
+};

@@ -106,7 +106,7 @@ impl StoreKey {
     ) -> StoreKey {
         let fingerprint = format!(
             "engine={ENGINE_VERSION};backend={};app={app};class={class};threads={threads};\
-             policy={policy:?};verify={};machine={machine:?}",
+             policy={policy:?};verify={};machine={machine:?};tenancy=none",
             backend.label(),
             opts.verify,
         );
@@ -124,6 +124,45 @@ impl StoreKey {
             threads,
             backend,
         }
+    }
+
+    /// Key for the same configuration run as one tenant of a scheduled,
+    /// multi-tenant machine: replaces the `tenancy=none` marker with
+    /// `desc` (e.g. `"rr:slice=2000000:asid=tagged:n=4"`) and
+    /// re-addresses the key. Any change to the scheduler configuration
+    /// must land in `desc`, for the same reason the machine's full debug
+    /// rendering is in the base fingerprint.
+    ///
+    /// # Panics
+    /// Panics when a tenancy descriptor was already applied.
+    pub fn with_tenancy(mut self, desc: &str) -> StoreKey {
+        assert!(
+            self.fingerprint.contains(";tenancy=none"),
+            "tenancy descriptor applied twice"
+        );
+        self.fingerprint = self
+            .fingerprint
+            .replace(";tenancy=none", &format!(";tenancy={desc}"));
+        self.rehash();
+        self
+    }
+
+    /// Key for a *variant* of this configuration that the typed axes do
+    /// not capture — a fragmentation preconditioner, a NUMA placement
+    /// sweep cell, … Appends `;variant={desc}` to the fingerprint and
+    /// re-addresses the key. Composable: distinct descriptors give
+    /// distinct addresses.
+    pub fn with_variant(mut self, desc: &str) -> StoreKey {
+        let _ = write!(self.fingerprint, ";variant={desc}");
+        self.rehash();
+        self
+    }
+
+    fn rehash(&mut self) {
+        self.hash = [
+            fnv1a64(FNV_OFFSET, self.fingerprint.as_bytes()),
+            fnv1a64(FNV_OFFSET_2, self.fingerprint.as_bytes()),
+        ];
     }
 
     /// The canonical fingerprint the hash addresses.
@@ -150,7 +189,7 @@ impl StoreKey {
 /// Rust's shortest-round-trip formatting, so parsing them back with
 /// `str::parse::<f64>` is bit-exact — the property the byte-identical
 /// merge guarantee rests on.
-fn record_json(rec: &RunRecord) -> String {
+pub(crate) fn record_json(rec: &RunRecord) -> String {
     let mut out = String::with_capacity(1024);
     let _ = write!(
         out,
@@ -206,7 +245,7 @@ fn opt_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
 /// identity field against the key it was loaded under. The typed fields
 /// come from the *key* (so e.g. `machine` stays the preset's `'static`
 /// string), the measured fields from the JSON.
-fn record_from_json(j: &Json, key: &StoreKey) -> Result<RunRecord, String> {
+pub(crate) fn record_from_json(j: &Json, key: &StoreKey) -> Result<RunRecord, String> {
     let check = |field: &str, got: &str, want: &str| -> Result<(), String> {
         if got != want {
             return Err(format!("{field}: stored {got:?} != requested {want:?}"));
@@ -318,6 +357,37 @@ impl RunStore {
         );
         self.write_atomic(&key.file_name(), out.as_bytes())?;
         Ok(true)
+    }
+
+    /// Persist an arbitrary single-line JSON object `payload` under
+    /// `key`, inside the same versioned + fingerprinted envelope as
+    /// [`Self::save`]. This is the generic-cell path used by sweeps whose
+    /// grid points are not [`RunRecord`]s (e.g. the fragmentation and
+    /// NUMA extension tables).
+    pub fn save_cell(&self, key: &StoreKey, payload: &str) -> std::io::Result<()> {
+        debug_assert!(
+            !payload.contains('\n'),
+            "cell payloads must be single-line JSON"
+        );
+        let mut out = String::with_capacity(256 + payload.len());
+        let _ = writeln!(
+            out,
+            "{{\"v\":{STORE_FORMAT},\"engine\":{ENGINE_VERSION},\"fp\":\"{}\",\"record\":{payload}}}",
+            escape(key.fingerprint()),
+        );
+        self.write_atomic(&key.file_name(), out.as_bytes())
+    }
+
+    /// Load a cell saved by [`Self::save_cell`], returning the parsed
+    /// payload. Misses (on absence, corruption, version or fingerprint
+    /// drift) exactly like [`Self::load`].
+    pub fn load_cell(&self, key: &StoreKey) -> Option<Json> {
+        let src = std::fs::read_to_string(self.dir.join(key.file_name())).ok()?;
+        let j = parse_json(&src).ok()?;
+        (opt_u64(&j, "v").ok()? == STORE_FORMAT).then_some(())?;
+        (opt_u64(&j, "engine").ok()? == u64::from(ENGINE_VERSION)).then_some(())?;
+        (opt_str(&j, "fp").ok()? == key.fingerprint()).then_some(())?;
+        j.get("record").cloned()
     }
 
     /// Number of record files resident in the store (manifests excluded).
@@ -532,7 +602,14 @@ impl JsonlSink {
     /// Write errors are reported to stderr, not fatal — streaming is
     /// observability, the sweep's results do not depend on it.
     pub fn emit(&self, rec: &RunRecord, cached: bool) {
-        let mut line = record_json(rec);
+        self.emit_line(&record_json(rec), cached);
+    }
+
+    /// Emit one arbitrary single-line JSON object with the same
+    /// `"cached"` tag appended — the generic-cell counterpart of
+    /// [`Self::emit`].
+    pub fn emit_line(&self, payload: &str, cached: bool) {
+        let mut line = payload.to_owned();
         let closer = line.pop();
         debug_assert_eq!(closer, Some('}'));
         let _ = writeln!(line, ",\"cached\":{cached}}}");
@@ -661,6 +738,44 @@ mod tests {
         assert!(base
             .fingerprint()
             .contains(&format!("engine={ENGINE_VERSION}")));
+    }
+
+    #[test]
+    fn tenancy_and_variant_move_the_address() {
+        let base = key(PagePolicy::Small4K, 4);
+        assert!(base.fingerprint().ends_with(";tenancy=none"));
+        let ten = base
+            .clone()
+            .with_tenancy("rr:slice=2000000:asid=tagged:n=2");
+        assert_ne!(base.address(), ten.address());
+        assert!(ten
+            .fingerprint()
+            .contains("tenancy=rr:slice=2000000:asid=tagged:n=2"));
+        assert_eq!(ten.address().len(), 32);
+        let v1 = base.clone().with_variant("frag=0.5");
+        let v2 = base.clone().with_variant("frag=0.9");
+        assert_ne!(base.address(), v1.address());
+        assert_ne!(v1.address(), v2.address());
+        // Tenancy composes after a variant (the marker sits mid-string).
+        let both = v1.clone().with_tenancy("rr");
+        assert_ne!(both.address(), v1.address());
+    }
+
+    #[test]
+    fn generic_cells_round_trip_and_miss_on_drift() {
+        let store = temp_store("cells");
+        let k = key(PagePolicy::Small4K, 1).with_variant("cell");
+        assert!(store.load_cell(&k).is_none(), "cold store misses");
+        store.save_cell(&k, "{\"x\":1,\"y\":\"z\"}").unwrap();
+        let j = store.load_cell(&k).unwrap();
+        assert_eq!(j.get("x").and_then(Json::as_num), Some(1.0));
+        assert_eq!(j.get("y").and_then(Json::as_str), Some("z"));
+        // A different variant misses.
+        let other = key(PagePolicy::Small4K, 1).with_variant("other");
+        assert!(store.load_cell(&other).is_none());
+        // RunRecord loads reject cell files: miss, never a wrong record.
+        assert!(store.load(&k).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

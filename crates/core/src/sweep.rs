@@ -13,6 +13,7 @@ use crate::policy::PagePolicy;
 use crate::store::{sweep_id, JsonlSink, RunStore, Shard, ShardManifest, StoreKey};
 use lpomp_machine::MachineConfig;
 use lpomp_npb::{AppKind, Class};
+use lpomp_prof::Json;
 use std::sync::Mutex;
 
 /// The grid of configurations to run.
@@ -417,6 +418,272 @@ impl SweepSpec {
     }
 }
 
+// ---------------------------------------------------------------------
+// Generic keyed grids.
+
+/// A grid-cell payload a [`KeyedGrid`] can persist in a [`RunStore`] and
+/// replay. [`RunRecord`] implements it with the store's native record
+/// encoding; experiment binaries whose cells are *not* run records (the
+/// fragmentation and tenancy tables) implement it over their own row
+/// structs.
+pub trait GridCell: Sized + Send {
+    /// Single-line JSON object encoding of the cell. `f64` fields must
+    /// use Rust's default (shortest-round-trip) formatting so the decode
+    /// is bit-exact.
+    fn to_store_json(&self) -> String;
+
+    /// Rebuild a cell from parsed [`Self::to_store_json`] output. `None`
+    /// on any mismatch — the grid treats it as a cache miss and re-runs.
+    fn from_store_json(j: &Json, key: &StoreKey) -> Option<Self>;
+}
+
+impl GridCell for RunRecord {
+    fn to_store_json(&self) -> String {
+        crate::store::record_json(self)
+    }
+
+    fn from_store_json(j: &Json, key: &StoreKey) -> Option<Self> {
+        crate::store::record_from_json(j, key).ok()
+    }
+}
+
+/// An arbitrary keyed experiment grid with the same store machinery as
+/// [`SweepSpec`] — incremental re-runs, interleaved shards with coverage
+/// manifests, merge validation, JSON-lines streaming — but over *any*
+/// cell type and run closure, not just the (machine × app × policy ×
+/// threads) cartesian product. The keys carry the full configuration
+/// identity (use [`StoreKey::with_variant`] for axes the typed key does
+/// not model); cell `i` is produced by `run(i, &keys[i])` and must be a
+/// pure function of that key.
+pub struct KeyedGrid<'a, T> {
+    keys: Vec<StoreKey>,
+    run: CellFn<'a, T>,
+}
+
+/// The boxed cell-producing closure of a [`KeyedGrid`].
+type CellFn<'a, T> = Box<dyn Fn(usize, &StoreKey) -> T + Sync + 'a>;
+
+impl<'a, T: GridCell> KeyedGrid<'a, T> {
+    /// A grid over `keys`, with `run` producing cell `i` from key `i`.
+    pub fn new(keys: Vec<StoreKey>, run: impl Fn(usize, &StoreKey) -> T + Sync + 'a) -> Self {
+        KeyedGrid {
+            keys,
+            run: Box::new(run),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The grid's keys, in canonical order.
+    pub fn keys(&self) -> &[StoreKey] {
+        &self.keys
+    }
+
+    /// Content identity of the grid (see [`sweep_id`]).
+    pub fn sweep_id(&self) -> String {
+        sweep_id(&self.keys)
+    }
+
+    /// Run every cell on `workers` threads, no store involved. Results
+    /// are in key order regardless of worker count.
+    pub fn run_all(&self, workers: usize) -> Vec<T> {
+        let idx: Vec<usize> = (0..self.keys.len()).collect();
+        par_map(&idx, workers, |_, &i| (self.run)(i, &self.keys[i]))
+    }
+
+    /// Run the grid incrementally against `store` (cells whose key
+    /// resolves replay from disk; misses run and are persisted), exactly
+    /// like [`SweepSpec::run_incremental_with`]. Returns the cells in
+    /// key order plus `(hits, misses)`.
+    pub fn run_incremental(
+        &self,
+        store: &RunStore,
+        workers: usize,
+        sink: Option<&JsonlSink>,
+    ) -> std::io::Result<(Vec<T>, usize, usize)> {
+        let mut slots: Vec<Option<T>> = self.keys.iter().map(|k| self.load(store, k)).collect();
+        let miss_idx: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+        let hits = slots.len() - miss_idx.len();
+        if let Some(sink) = sink {
+            for cell in slots.iter().flatten() {
+                sink.emit_line(&cell.to_store_json(), true);
+            }
+        }
+        let fresh = self.run_missing(&miss_idx, store, workers, sink)?;
+        for (&i, cell) in miss_idx.iter().zip(fresh) {
+            slots[i] = Some(cell);
+        }
+        eprintln!(
+            "keyed grid store [{}]: {hits} hits, {} misses / {} cells",
+            store.dir().display(),
+            miss_idx.len(),
+            slots.len()
+        );
+        let misses = miss_idx.len();
+        Ok((
+            slots.into_iter().map(Option::unwrap).collect(),
+            hits,
+            misses,
+        ))
+    }
+
+    /// Run this process's interleaved slice of the grid into the shared
+    /// store and write its coverage manifest — the keyed counterpart of
+    /// [`SweepSpec::run_shard`].
+    pub fn run_shard(
+        &self,
+        shard: Shard,
+        store: &RunStore,
+        workers: usize,
+        sink: Option<&JsonlSink>,
+    ) -> std::io::Result<ShardManifest> {
+        let owned: Vec<usize> = (0..self.keys.len()).filter(|&i| shard.covers(i)).collect();
+        let mut miss_idx = Vec::new();
+        for &i in &owned {
+            match self.load(store, &self.keys[i]) {
+                Some(cell) => {
+                    if let Some(sink) = sink {
+                        sink.emit_line(&cell.to_store_json(), true);
+                    }
+                }
+                None => miss_idx.push(i),
+            }
+        }
+        let hits = owned.len() - miss_idx.len();
+        self.run_missing(&miss_idx, store, workers, sink)?;
+        let manifest = ShardManifest {
+            sweep: self.sweep_id(),
+            shard,
+            entries: owned.iter().map(|&i| (i, self.keys[i].address())).collect(),
+        };
+        manifest.write(store)?;
+        eprintln!(
+            "keyed grid store [{}] shard {shard}: {hits} hits, {} misses / {} cells",
+            store.dir().display(),
+            miss_idx.len(),
+            owned.len()
+        );
+        Ok(manifest)
+    }
+
+    /// Assemble a previously sharded grid from the store, with the same
+    /// coverage/collision validation as [`SweepSpec::merge_shards`].
+    pub fn merge_shards(&self, store: &RunStore, count: usize) -> Result<Vec<T>, String> {
+        if count == 0 {
+            return Err("merge: shard count must be >= 1".into());
+        }
+        let id = self.sweep_id();
+        let mut covered: Vec<Option<Shard>> = vec![None; self.keys.len()];
+        for index in 0..count {
+            let shard = Shard { index, count };
+            let path = store.dir().join(ShardManifest::file_name(&id, shard));
+            if !path.exists() {
+                return Err(format!(
+                    "merge: shard {shard} of grid {id} has no manifest in {} — \
+                     did every `--shard i/{count}` run finish?",
+                    store.dir().display()
+                ));
+            }
+            let m = ShardManifest::read(&path)?;
+            if m.sweep != id {
+                return Err(format!(
+                    "merge: manifest {} names grid {}, expected {id}",
+                    path.display(),
+                    m.sweep
+                ));
+            }
+            if m.shard != shard {
+                return Err(format!(
+                    "merge: manifest {} claims shard {}, expected {shard}",
+                    path.display(),
+                    m.shard
+                ));
+            }
+            for &(gi, ref addr) in &m.entries {
+                let key = self.keys.get(gi).ok_or_else(|| {
+                    format!(
+                        "merge: shard {shard} covers cell {gi}, but the grid has {} cells",
+                        self.keys.len()
+                    )
+                })?;
+                if *addr != key.address() {
+                    return Err(format!(
+                        "merge: cell {gi} stored as {addr} but this grid derives {} — \
+                         key collision or grid drift",
+                        key.address()
+                    ));
+                }
+                if let Some(prev) = covered[gi] {
+                    return Err(format!(
+                        "merge: cell {gi} covered by both shard {prev} and shard {shard}"
+                    ));
+                }
+                covered[gi] = Some(shard);
+            }
+        }
+        if let Some(gi) = covered.iter().position(Option::is_none) {
+            return Err(format!(
+                "merge: cell {gi} ({}) covered by no shard",
+                self.keys[gi].fingerprint()
+            ));
+        }
+        let mut cells = Vec::with_capacity(self.keys.len());
+        for (gi, key) in self.keys.iter().enumerate() {
+            cells.push(self.load(store, key).ok_or_else(|| {
+                format!(
+                    "merge: cell {gi} ({}) missing or invalid in {}",
+                    key.fingerprint(),
+                    store.dir().display()
+                )
+            })?);
+        }
+        Ok(cells)
+    }
+
+    fn load(&self, store: &RunStore, key: &StoreKey) -> Option<T> {
+        T::from_store_json(&store.load_cell(key)?, key)
+    }
+
+    /// Run cells `miss_idx`, saving and streaming each. The first
+    /// store-write error aborts, like [`SweepSpec`]'s `run_missing`.
+    fn run_missing(
+        &self,
+        miss_idx: &[usize],
+        store: &RunStore,
+        workers: usize,
+        sink: Option<&JsonlSink>,
+    ) -> std::io::Result<Vec<T>> {
+        let save_errors: Mutex<Vec<std::io::Error>> = Mutex::new(Vec::new());
+        let fresh = par_map(miss_idx, workers, |_, &gi| {
+            let cell = (self.run)(gi, &self.keys[gi]);
+            let json = cell.to_store_json();
+            if let Err(e) = store.save_cell(&self.keys[gi], &json) {
+                save_errors
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(e);
+            }
+            if let Some(sink) = sink {
+                sink.emit_line(&json, false);
+            }
+            cell
+        });
+        let mut errors = save_errors.into_inner().unwrap_or_else(|p| p.into_inner());
+        match errors.pop() {
+            Some(e) => Err(e),
+            None => Ok(fresh),
+        }
+    }
+}
+
 /// What [`SweepSpec::run_incremental`] did: the merged results plus the
 /// cache observability counters (`hits + misses == results.records().len()`).
 #[derive(Clone, Debug)]
@@ -574,5 +841,117 @@ mod tests {
         let s = SweepSpec::figure4(Class::S);
         // 5 apps x 2 policies x (3 opteron + 4 xeon thread counts).
         assert_eq!(s.len(), 5 * 2 * 7);
+    }
+
+    fn keyed_test_grid(variant: &str) -> KeyedGrid<'static, RunRecord> {
+        const THREADS: [usize; 2] = [1, 2];
+        let m = opteron_2x2();
+        let keys: Vec<StoreKey> = THREADS
+            .iter()
+            .map(|&t| {
+                StoreKey::new(
+                    &m,
+                    AppKind::Ep,
+                    Class::S,
+                    PagePolicy::Small4K,
+                    t,
+                    RunOpts::default(),
+                    BackendKind::CycleExact,
+                )
+                .with_variant(variant)
+            })
+            .collect();
+        KeyedGrid::new(keys, |i, _k| {
+            run_backend(
+                BackendKind::CycleExact,
+                AppKind::Ep,
+                Class::S,
+                opteron_2x2(),
+                PagePolicy::Small4K,
+                THREADS[i],
+                RunOpts::default(),
+            )
+        })
+    }
+
+    #[test]
+    fn keyed_grid_incremental_shard_merge_round_trip() {
+        let dir = std::env::temp_dir().join(format!("lpomp-keyed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::store::RunStore::open(&dir).unwrap();
+        let grid = keyed_test_grid("keyed-test");
+        let cold = grid.run_all(2);
+        let (inc, hits, misses) = grid.run_incremental(&store, 2, None).unwrap();
+        assert_eq!((hits, misses), (0, 2), "cold store misses everything");
+        assert_eq!(inc, cold);
+        let (warm, hits2, misses2) = grid.run_incremental(&store, 2, None).unwrap();
+        assert_eq!((hits2, misses2), (2, 0), "second pass is all hits");
+        assert_eq!(warm, cold, "replayed cells are byte-identical");
+        // Shard + merge over the same store.
+        assert!(
+            grid.merge_shards(&store, 2).is_err(),
+            "merge refuses before shards ran"
+        );
+        for index in 0..2 {
+            grid.run_shard(Shard { index, count: 2 }, &store, 1, None)
+                .unwrap();
+        }
+        let merged = grid.merge_shards(&store, 2).unwrap();
+        assert_eq!(merged, cold);
+        // A different variant shares the store without colliding.
+        let other = keyed_test_grid("keyed-test-2");
+        let (_, h, m) = other.run_incremental(&store, 2, None).unwrap();
+        assert_eq!((h, m), (0, 2), "variant keys never alias");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keyed_grid_supports_custom_cells() {
+        #[derive(Debug, PartialEq)]
+        struct Row {
+            x: u64,
+            y: f64,
+        }
+        impl GridCell for Row {
+            fn to_store_json(&self) -> String {
+                format!("{{\"x\":{},\"y\":{}}}", self.x, self.y)
+            }
+            fn from_store_json(j: &Json, _key: &StoreKey) -> Option<Self> {
+                Some(Row {
+                    x: j.get("x").and_then(Json::as_num)? as u64,
+                    y: j.get("y").and_then(Json::as_num)?,
+                })
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("lpomp-keyed-cell-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::store::RunStore::open(&dir).unwrap();
+        let m = opteron_2x2();
+        let keys: Vec<StoreKey> = (0..3)
+            .map(|i| {
+                StoreKey::new(
+                    &m,
+                    AppKind::Ep,
+                    Class::S,
+                    PagePolicy::Small4K,
+                    1,
+                    RunOpts::default(),
+                    BackendKind::CycleExact,
+                )
+                .with_variant(&format!("row={i}"))
+            })
+            .collect();
+        let grid = KeyedGrid::new(keys, |i, _k| Row {
+            x: i as u64,
+            y: 0.1 + i as f64 / 3.0,
+        });
+        let cold = grid.run_all(1);
+        let (_, h0, m0) = grid.run_incremental(&store, 1, None).unwrap();
+        assert_eq!((h0, m0), (0, 3));
+        let (warm, h1, m1) = grid.run_incremental(&store, 1, None).unwrap();
+        assert_eq!((h1, m1), (3, 0));
+        // f64 fields survive the round trip bit-exactly.
+        assert_eq!(warm, cold);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,14 +17,16 @@
 //!    transformation target) and build the simulated fork-join team.
 
 use crate::policy::{PagePolicy, PopulatePolicy};
-use lpomp_machine::{CodeWalker, Machine, MachineConfig, NumaConfig, NumaPlacement};
-use lpomp_npb::{CodeProfile, Kernel};
-use lpomp_prof::ProfileSpec;
-use lpomp_runtime::{BumpAllocator, SimEngine, Team, DEFAULT_QUANTUM};
+use lpomp_machine::{AsidMode, CodeWalker, Machine, MachineConfig, NumaConfig, NumaPlacement};
+use lpomp_npb::{verify_close, AppKind, Class, CodeProfile, Kernel};
+use lpomp_prof::{Counters, ProfileSpec};
+use lpomp_runtime::{run_tenants, BumpAllocator, SimEngine, Team, TenantTask, DEFAULT_QUANTUM};
 use lpomp_vm::{
     promote_region, AddressSpace, Backing, HugePool, KhugepagedConfig, NodePolicy,
-    NumaDaemonConfig, PageSize, PromotionReport, PteFlags, ShmFs, VirtAddr, VmResult,
+    NumaDaemonConfig, PageSize, PromotionReport, PteFlags, SharedSegment, ShmFs, VirtAddr,
+    VmResult,
 };
+use std::sync::Arc;
 
 /// Fixed base of the code segment (conventional ELF text base).
 pub const CODE_BASE: VirtAddr = VirtAddr(0x40_0000);
@@ -35,6 +37,64 @@ const HEAP_SLACK_DEN: u64 = 10;
 const MIXED_SMALL_REGION: u64 = 16 * 1024 * 1024;
 /// Mailbox file size (paper: 32 slots × 1 KB per channel, 8 processes).
 const MAILBOX_BYTES: u64 = 8 * 8 * 32 * 1024;
+/// Default tenant timeslice: 1 ms at the platforms' 2 GHz clock — the
+/// order of a CFS scheduling period for a busy runqueue.
+pub const DEFAULT_TIMESLICE: u64 = 2_000_000;
+
+/// One tenant of a multi-tenant machine: which kernel it runs and with
+/// how many threads.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Report label ("batch", "latency-0", ...).
+    pub name: String,
+    /// The NPB kernel this tenant runs.
+    pub app: AppKind,
+    /// Problem class.
+    pub class: Class,
+    /// Team size (gang-scheduled: all threads run together or not at
+    /// all).
+    pub threads: usize,
+}
+
+impl TenantSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, app: AppKind, class: Class, threads: usize) -> Self {
+        TenantSpec {
+            name: name.to_owned(),
+            app,
+            class,
+            threads,
+        }
+    }
+}
+
+/// Multi-tenant configuration: the tenants and how they are scheduled.
+#[derive(Clone, Debug)]
+pub struct TenancyConfig {
+    /// The colocated tenants, scheduled round-robin in spec order.
+    /// Tenant `i` gets ASID `i`.
+    pub tenants: Vec<TenantSpec>,
+    /// Slice length in cycles.
+    pub timeslice_cycles: u64,
+    /// TLB handling across context switches.
+    pub asid_mode: AsidMode,
+    /// When non-zero, a read-only "shared library" segment of this many
+    /// bytes (4 KB pages, one physical image) is mapped into every
+    /// tenant right after its code segment and included in its
+    /// instruction-fetch span.
+    pub shared_lib_bytes: u64,
+}
+
+impl Default for TenancyConfig {
+    fn default() -> Self {
+        TenancyConfig {
+            tenants: Vec::new(),
+            timeslice_cycles: DEFAULT_TIMESLICE,
+            asid_mode: AsidMode::Tagged,
+            shared_lib_bytes: 0,
+        }
+    }
+}
 
 /// Configuration of one simulated system instance.
 #[derive(Clone, Debug)]
@@ -67,6 +127,13 @@ pub struct SystemConfig {
     /// [`ProfileSpec::Trace`], the timeline recorder). Observational
     /// only: profiled runs are cycle-identical to unprofiled ones.
     pub profile: ProfileSpec,
+    /// Multi-tenant mode: colocate several processes on the one machine
+    /// under a timeslice scheduler (build with
+    /// [`SystemBuilder::build_tenants`]). `None` — the classic
+    /// single-process system. All other axes (policy, populate, daemons,
+    /// profile) apply to *every* tenant; `threads` is overridden
+    /// per-tenant by each [`TenantSpec`].
+    pub tenancy: Option<TenancyConfig>,
 }
 
 /// Fluent assembly of a simulated system — the one front door to every
@@ -109,6 +176,7 @@ impl SystemBuilder {
                 khugepaged: None,
                 numa_daemon: None,
                 profile: ProfileSpec::Off,
+                tenancy: None,
             },
         }
     }
@@ -188,6 +256,51 @@ impl SystemBuilder {
         self
     }
 
+    /// Colocate these tenants on the machine (round-robin, spec order;
+    /// tenant `i` gets ASID `i`). Build with [`Self::build_tenants`].
+    pub fn tenants(mut self, specs: Vec<TenantSpec>) -> Self {
+        self.cfg
+            .tenancy
+            .get_or_insert_with(TenancyConfig::default)
+            .tenants = specs;
+        self
+    }
+
+    /// Tenant timeslice in cycles (default [`DEFAULT_TIMESLICE`]).
+    pub fn timeslice(mut self, cycles: u64) -> Self {
+        self.cfg
+            .tenancy
+            .get_or_insert_with(TenancyConfig::default)
+            .timeslice_cycles = cycles;
+        self
+    }
+
+    /// How the TLBs treat a context switch: keep entries under ASID tags
+    /// ([`AsidMode::Tagged`], the default) or flush everything
+    /// ([`AsidMode::FlushOnSwitch`], the ablation).
+    pub fn asid_mode(mut self, mode: AsidMode) -> Self {
+        self.cfg
+            .tenancy
+            .get_or_insert_with(TenancyConfig::default)
+            .asid_mode = mode;
+        self
+    }
+
+    /// Map one read-only shared-library image of this many bytes into
+    /// every tenant (0 disables; see [`TenancyConfig::shared_lib_bytes`]).
+    pub fn shared_lib(mut self, bytes: u64) -> Self {
+        self.cfg
+            .tenancy
+            .get_or_insert_with(TenancyConfig::default)
+            .shared_lib_bytes = bytes;
+        self
+    }
+
+    /// Assemble the multi-tenant machine configured by [`Self::tenants`].
+    pub fn build_tenants(&self) -> VmResult<MultiSystem> {
+        MultiSystem::build(&self.cfg)
+    }
+
     /// The accumulated configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
@@ -236,6 +349,34 @@ impl System {
     /// the measured benchmark.
     pub fn build(cfg: &SystemConfig, kernel: &mut dyn Kernel) -> VmResult<System> {
         let mut machine = Machine::new(cfg.machine.clone());
+        let (aspace, setup, heap_base, walker) =
+            Self::build_parts(cfg, kernel, &mut machine, None)?;
+        let mut engine = SimEngine::new(machine, aspace, cfg.threads, walker, cfg.quantum);
+        if let Some(k) = cfg.khugepaged {
+            engine.enable_khugepaged(k);
+        }
+        if let Some(nd) = cfg.numa_daemon {
+            engine.enable_numa_daemon(nd);
+        }
+        engine.enable_profiling(cfg.profile);
+        Ok(System {
+            team: Team::simulated(engine),
+            setup,
+            heap_base,
+        })
+    }
+
+    /// Steps (2)–(6) of bring-up for one process: code segment (plus the
+    /// shared-library image when `lib` is given), heap, mailbox, kernel
+    /// `setup`, code walker. Frames come from `machine` — for colocated
+    /// tenants the *real* machine, so every process carves disjoint
+    /// physical memory out of the same per-node buddy pools.
+    fn build_parts(
+        cfg: &SystemConfig,
+        kernel: &mut dyn Kernel,
+        machine: &mut Machine,
+        lib: Option<&Arc<SharedSegment>>,
+    ) -> VmResult<(AddressSpace, SetupStats, VirtAddr, CodeWalker)> {
         let mut aspace = AddressSpace::new(&mut machine.frames)?;
         let mut setup = SetupStats::default();
 
@@ -252,6 +393,23 @@ impl System {
             lpomp_vm::Populate::Eager,
             "code",
         )?;
+
+        // Optional shared-library image: one physical segment mapped
+        // read-only into every tenant, directly after the code segment so
+        // the code walker sweeps both. 4 KB pages, eagerly mapped like
+        // the code itself.
+        if let Some(seg) = lib {
+            aspace.mmap_fixed(
+                &mut machine.frames,
+                CODE_BASE.add(PageSize::Small4K.round_up(code_prof.code_bytes)),
+                seg.len_bytes(),
+                PageSize::Small4K,
+                PteFlags::rx(),
+                Backing::Shared(Arc::clone(seg)),
+                lpomp_vm::Populate::Eager,
+                "shared-lib",
+            )?;
+        }
 
         // NUMA placement. The code segment above was mapped *before* the
         // node policy is installed, so code frames stay on node 0 (as does
@@ -433,25 +591,19 @@ impl System {
         };
         kernel.setup(&mut alloc);
 
+        // The fetch span covers the code plus the shared-library image
+        // when one is mapped; without one it is exactly the binary size.
+        let code_span = match lib {
+            Some(seg) => PageSize::Small4K.round_up(code_prof.code_bytes) + seg.len_bytes(),
+            None => code_prof.code_bytes,
+        };
         let walker = CodeWalker::new(
             CODE_BASE,
-            code_prof.code_bytes,
+            code_span,
             code_prof.hot_bytes,
             code_prof.cold_period,
         );
-        let mut engine = SimEngine::new(machine, aspace, cfg.threads, walker, cfg.quantum);
-        if let Some(k) = cfg.khugepaged {
-            engine.enable_khugepaged(k);
-        }
-        if let Some(nd) = cfg.numa_daemon {
-            engine.enable_numa_daemon(nd);
-        }
-        engine.enable_profiling(cfg.profile);
-        Ok(System {
-            team: Team::simulated(engine),
-            setup,
-            heap_base,
-        })
+        Ok((aspace, setup, heap_base, walker))
     }
 
     /// Create a 4 KB shm file, statically placed according to the NUMA
@@ -522,6 +674,161 @@ impl System {
         }
         engine.region_exit();
         Ok(report)
+    }
+}
+
+/// What one tenant of a [`MultiSystem`] run produced.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// The tenant's label.
+    pub name: String,
+    /// Which kernel it ran.
+    pub app: AppKind,
+    /// Problem class.
+    pub class: Class,
+    /// Team size.
+    pub threads: usize,
+    /// Verification checksum.
+    pub checksum: f64,
+    /// Whether the checksum matches the serial reference.
+    pub verified: bool,
+    /// Cycle at which the tenant finished — its colocated runtime,
+    /// including time spent descheduled.
+    pub finish_cycles: u64,
+    /// The tenant's aggregate counters (these partition the machine
+    /// totals exactly — asserted at every yield).
+    pub counters: Counters,
+}
+
+/// Result of one [`MultiSystem::run`].
+#[derive(Clone, Debug)]
+pub struct MultiRunReport {
+    /// Per-tenant outcomes, in spec order.
+    pub tenants: Vec<TenantReport>,
+    /// Timeslices granted.
+    pub slices: u64,
+    /// Grants that switched between different tenants.
+    pub switches: u64,
+    /// The cycle at which the last tenant finished.
+    pub makespan: u64,
+}
+
+/// A fully assembled multi-tenant machine: N processes, each with its own
+/// page tables and address space carved out of the one machine's buddy
+/// pools, ready to be gang-scheduled round-robin. Build with
+/// [`SystemBuilder::build_tenants`], consume with [`Self::run`].
+pub struct MultiSystem {
+    machine: Machine,
+    tasks: Vec<TenantTask>,
+    refs: Vec<f64>,
+    specs: Vec<TenantSpec>,
+    timeslice: u64,
+    mode: AsidMode,
+    lib: Option<Arc<SharedSegment>>,
+    /// Per-tenant bring-up statistics, in spec order.
+    pub setup: Vec<SetupStats>,
+}
+
+impl MultiSystem {
+    /// Assemble the machine and every tenant's process (address space,
+    /// heap, kernel `setup`). Daemon cycle budgets are divided evenly
+    /// across tenants so colocation does not multiply daemon throughput.
+    ///
+    /// # Panics
+    /// Panics if `cfg.tenancy` is absent or names no tenants.
+    pub fn build(cfg: &SystemConfig) -> VmResult<MultiSystem> {
+        let ten = cfg
+            .tenancy
+            .clone()
+            .expect("build_tenants requires .tenants(...)");
+        assert!(!ten.tenants.is_empty(), "no tenants configured");
+        let n = ten.tenants.len() as u64;
+        let mut machine = Machine::new(cfg.machine.clone());
+        let lib = if ten.shared_lib_bytes > 0 {
+            let mut shm = ShmFs::new();
+            Some(shm.create_file(&mut machine.frames, "shared-lib", ten.shared_lib_bytes)?)
+        } else {
+            None
+        };
+        let mut tasks = Vec::new();
+        let mut refs = Vec::new();
+        let mut setup = Vec::new();
+        for (i, spec) in ten.tenants.iter().enumerate() {
+            let mut tcfg = cfg.clone();
+            tcfg.threads = spec.threads;
+            tcfg.tenancy = None;
+            if let Some(k) = &mut tcfg.khugepaged {
+                k.cycle_budget = (k.cycle_budget / n).max(1);
+            }
+            if let Some(d) = &mut tcfg.numa_daemon {
+                d.cycle_budget = (d.cycle_budget / n).max(1);
+            }
+            let mut kernel = spec.app.build(spec.class);
+            let (aspace, s, _heap, walker) =
+                System::build_parts(&tcfg, kernel.as_mut(), &mut machine, lib.as_ref())?;
+            // The engine starts on a placeholder machine (same config);
+            // the real one arrives with its first timeslice grant.
+            let placeholder = Machine::new(cfg.machine.clone());
+            let mut engine =
+                SimEngine::new(placeholder, aspace, spec.threads, walker, tcfg.quantum);
+            if let Some(k) = tcfg.khugepaged {
+                engine.enable_khugepaged(k);
+            }
+            if let Some(nd) = tcfg.numa_daemon {
+                engine.enable_numa_daemon(nd);
+            }
+            engine.enable_profiling(tcfg.profile);
+            refs.push(kernel.reference());
+            setup.push(s);
+            tasks.push(TenantTask {
+                name: spec.name.clone(),
+                asid: i as u16,
+                threads: spec.threads,
+                engine: Box::new(engine),
+                work: Box::new(move |team| kernel.run(team)),
+            });
+        }
+        Ok(MultiSystem {
+            machine,
+            tasks,
+            refs,
+            specs: ten.tenants,
+            timeslice: ten.timeslice_cycles,
+            mode: ten.asid_mode,
+            lib,
+            setup,
+        })
+    }
+
+    /// The shared-library segment, when one was configured.
+    pub fn shared_lib(&self) -> Option<&Arc<SharedSegment>> {
+        self.lib.as_ref()
+    }
+
+    /// Run every tenant to completion under the timeslice scheduler.
+    pub fn run(self) -> MultiRunReport {
+        let (outcomes, stats) = run_tenants(self.machine, self.tasks, self.timeslice, self.mode);
+        let tenants = outcomes
+            .into_iter()
+            .zip(self.specs)
+            .zip(self.refs)
+            .map(|((o, spec), reference)| TenantReport {
+                name: o.name,
+                app: spec.app,
+                class: spec.class,
+                threads: spec.threads,
+                checksum: o.checksum,
+                verified: verify_close(o.checksum, reference),
+                finish_cycles: o.finish_clock,
+                counters: o.engine.profile().aggregate(),
+            })
+            .collect();
+        MultiRunReport {
+            tenants,
+            slices: stats.slices,
+            switches: stats.switches,
+            makespan: stats.makespan,
+        }
     }
 }
 
@@ -677,5 +984,93 @@ mod tests {
         assert!(total.get(lpomp_prof::Event::Cycles) > 0);
         assert_eq!(total.get(lpomp_prof::Event::TlbShootdowns), 1);
         assert_eq!(sheet.total(), sys.team.aggregate_counters());
+    }
+
+    #[test]
+    fn single_tenant_is_identical_to_plain_system() {
+        // The twin test: one tenant under the timeslice scheduler with
+        // ASID tagging must reproduce the unscheduled system exactly —
+        // same checksum, same counters (including zero switch charges),
+        // same clock.
+        let mut kernel = AppKind::Cg.build(Class::S);
+        let mut plain = System::builder(opteron_2x2())
+            .threads(2)
+            .policy(PagePolicy::Large2M)
+            .build(kernel.as_mut())
+            .unwrap();
+        let cs = kernel.run(&mut plain.team);
+        let plain_counters = plain.team.aggregate_counters();
+        let plain_cycles = plain.team.elapsed_cycles();
+
+        let report = System::builder(opteron_2x2())
+            .threads(2)
+            .policy(PagePolicy::Large2M)
+            .tenants(vec![TenantSpec::new("solo", AppKind::Cg, Class::S, 2)])
+            .timeslice(200_000)
+            .build_tenants()
+            .unwrap()
+            .run();
+        assert_eq!(report.tenants.len(), 1);
+        let t = &report.tenants[0];
+        assert!(t.verified);
+        assert_eq!(t.checksum, cs);
+        assert_eq!(t.counters, plain_counters);
+        assert_eq!(t.finish_cycles, plain_cycles);
+        assert_eq!(t.counters.get(lpomp_prof::Event::ContextSwitches), 0);
+        assert_eq!(t.counters.get(lpomp_prof::Event::DeschedCycles), 0);
+        assert_eq!(report.switches, 0);
+        assert!(report.slices > 1, "timeslicing never kicked in");
+    }
+
+    #[test]
+    fn colocated_tenants_all_verify_and_get_charged() {
+        let report = System::builder(opteron_2x2())
+            .tenants(vec![
+                TenantSpec::new("batch", AppKind::Cg, Class::S, 2),
+                TenantSpec::new("latency", AppKind::Ep, Class::S, 1),
+            ])
+            .timeslice(500_000)
+            .asid_mode(AsidMode::FlushOnSwitch)
+            .build_tenants()
+            .unwrap()
+            .run();
+        assert!(report.tenants.iter().all(|t| t.verified));
+        assert!(report.switches > 0, "tenants never alternated");
+        let max_finish = report
+            .tenants
+            .iter()
+            .map(|t| t.finish_cycles)
+            .max()
+            .unwrap();
+        assert!(report.makespan >= max_finish);
+        let switched: u64 = report
+            .tenants
+            .iter()
+            .map(|t| t.counters.get(lpomp_prof::Event::ContextSwitches))
+            .sum();
+        assert!(switched > 0, "no context-switch cost was charged");
+        let desched: u64 = report
+            .tenants
+            .iter()
+            .map(|t| t.counters.get(lpomp_prof::Event::DeschedCycles))
+            .sum();
+        assert!(desched > 0, "no tenant ever waited for the machine");
+    }
+
+    #[test]
+    fn shared_lib_is_one_image_mapped_into_every_tenant() {
+        let sys = System::builder(opteron_2x2())
+            .tenants(vec![
+                TenantSpec::new("a", AppKind::Ep, Class::S, 1),
+                TenantSpec::new("b", AppKind::Ep, Class::S, 1),
+                TenantSpec::new("c", AppKind::Ep, Class::S, 1),
+            ])
+            .shared_lib(64 * 1024)
+            .build_tenants()
+            .unwrap();
+        let seg = sys.shared_lib().expect("lib configured");
+        assert_eq!(seg.map_count(), 3, "one image, one mapping per tenant");
+        let report = sys.run();
+        assert!(report.tenants.iter().all(|t| t.verified));
     }
 }

@@ -72,6 +72,11 @@ pub struct CostModel {
     /// Per-core cost of a broadcast TLB-shootdown IPI round: send the
     /// interrupt, take it on the remote core, invalidate, acknowledge.
     pub shootdown_ipi: u64,
+    /// Direct cost of switching a core between tenant processes: trap
+    /// into the kernel, save/restore register state, switch CR3, return.
+    /// The *indirect* cost (cold TLBs and caches, or the full flush in
+    /// the untagged-hardware mode) emerges from the simulation itself.
+    pub context_switch: u64,
 }
 
 impl CostModel {
@@ -104,6 +109,9 @@ impl CostModel {
             migrate_page: 64 * 2 * 26,
             pt_edit: 80,
             shootdown_ipi: 1200,
+            // ~1.3 µs at 2 GHz: the classic lmbench-style direct cost of
+            // a kernel context switch on this era's hardware.
+            context_switch: 2600,
         }
     }
 
@@ -140,6 +148,9 @@ impl CostModel {
             // Interrupt delivery over the front-side bus is slower than
             // HyperTransport's.
             shootdown_ipi: 1500,
+            // Netburst's deep pipeline drains and refills around the
+            // kernel round-trip, so the switch costs more than the K8's.
+            context_switch: 3400,
         }
     }
 
@@ -246,6 +257,21 @@ mod tests {
             assert!(m.shootdown_ipi > m.dram);
             assert!(m.shootdown_ipi < m.page_fault);
         }
+    }
+
+    #[test]
+    fn context_switch_cost_is_sane() {
+        let o = CostModel::opteron();
+        let x = CostModel::xeon();
+        for m in [o, x] {
+            // A switch is kernel work: dearer than any single memory
+            // access, cheaper than servicing a page fault plus its I/O.
+            assert!(m.context_switch > m.dram);
+            assert!(m.context_switch > m.shootdown_ipi);
+            assert!(m.context_switch <= 2 * m.page_fault);
+        }
+        // The deep-pipeline Netburst pays more per switch.
+        assert!(x.context_switch > o.context_switch);
     }
 
     #[test]

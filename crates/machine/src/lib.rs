@@ -28,6 +28,7 @@ pub mod cost;
 pub mod ctx;
 pub mod machine;
 pub mod numa;
+pub mod sched;
 
 pub use analytic::{evaluate, AnalyticPoint, AnalyticResult};
 pub use cache::{Cache, CacheConfig, CacheStats, LINE_BYTES};
@@ -37,3 +38,4 @@ pub use cost::CostModel;
 pub use ctx::{CodeWalker, MemoryCtx, NullCtx, SimCtx};
 pub use machine::{AccessMode, DataKind, Machine};
 pub use numa::{NumaConfig, NumaPlacement};
+pub use sched::{AsidMode, SliceScheduler};

@@ -4,8 +4,9 @@
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use crate::cost::CostModel;
+use crate::sched::AsidMode;
 use lpomp_prof::{Counters, Event};
-use lpomp_tlb::{Tlb, TlbOutcome};
+use lpomp_tlb::{Tlb, TlbOutcome, TlbStats, ASID_SHIFT};
 use lpomp_vm::{
     AccessKind, AddressSpace, BuddyAllocator, HintSamples, PageSize, PhysAddr, VirtAddr, VmResult,
 };
@@ -77,18 +78,27 @@ struct MicroEntry {
     /// (collapse, demotion, migration), which bumps the generation and
     /// invalidates this entry — so the cached home can never go stale.
     home: usize,
+    /// ASID the entry was installed under. A *tagged* context switch
+    /// changes the current ASID without flushing (no generation bump),
+    /// so the generation check alone cannot detect that the core now
+    /// runs a different tenant — this field does.
+    asid: u16,
 }
 
 impl MicroEntry {
     #[inline]
-    fn covers(&self, tlb: &Tlb, va: VirtAddr) -> bool {
-        self.generation == tlb.generation() && self.page_base <= va.0 && va.0 < self.page_end
+    fn covers(&self, tlb: &Tlb, asid: u16, va: VirtAddr) -> bool {
+        self.asid == asid
+            && self.generation == tlb.generation()
+            && self.page_base <= va.0
+            && va.0 < self.page_end
     }
 
     #[inline]
     fn install(
         slot: &mut Option<MicroEntry>,
         tlb: &Tlb,
+        asid: u16,
         va: VirtAddr,
         size: PageSize,
         home: usize,
@@ -100,6 +110,7 @@ impl MicroEntry {
             size,
             generation: tlb.generation(),
             home,
+            asid,
         });
     }
 }
@@ -131,6 +142,11 @@ pub struct Machine {
     /// recorded on DTLB misses when sampling is enabled and drained by the
     /// balancing daemon at barriers.
     hint_samples: Option<HintSamples>,
+    /// ASID of the tenant currently holding the machine (0 when no
+    /// tenancy is in play). Tags cache keys — caches are physically
+    /// tagged in hardware, so two tenants at the same VA must *not*
+    /// share lines — and stamps micro-TLB entries.
+    current_asid: u16,
 }
 
 impl Machine {
@@ -155,6 +171,7 @@ impl Machine {
             micro_data: vec![None; cores],
             micro_code: vec![None; cores],
             hint_samples: None,
+            current_asid: 0,
             cfg,
         }
     }
@@ -213,6 +230,57 @@ impl Machine {
         &self.itlbs[core]
     }
 
+    /// Switch every core to the address space identified by `asid`.
+    ///
+    /// * [`AsidMode::Tagged`] — PCID-style hardware: the TLBs keep every
+    ///   tenant's entries resident and simply stop matching the old
+    ///   ASID's. Nothing is flushed; the outgoing tenant's translations
+    ///   survive until capacity evicts them.
+    /// * [`AsidMode::FlushOnSwitch`] — untagged hardware: every TLB is
+    ///   flushed (ASIDs stay 0), so the incoming tenant starts cold.
+    ///
+    /// Either way the machine's *cache* tag becomes `asid`: caches are
+    /// physically tagged in hardware, so distinct tenants at equal VAs
+    /// occupy distinct lines regardless of TLB mode.
+    pub fn context_switch(&mut self, asid: u16, mode: AsidMode) {
+        self.current_asid = asid;
+        match mode {
+            AsidMode::Tagged => {
+                for t in &mut self.dtlbs {
+                    t.set_asid(asid);
+                }
+                for t in &mut self.itlbs {
+                    t.set_asid(asid);
+                }
+            }
+            AsidMode::FlushOnSwitch => self.flush_all_tlbs(),
+        }
+    }
+
+    /// ASID of the tenant currently holding the machine.
+    #[inline]
+    pub fn current_asid(&self) -> u16 {
+        self.current_asid
+    }
+
+    /// Element-wise sums of all per-core (data, instruction) TLB stats —
+    /// the machine side of the per-tenant counter partition invariant.
+    pub fn tlb_totals(&self) -> (TlbStats, TlbStats) {
+        let sum = |tlbs: &[Tlb]| {
+            let mut t = TlbStats::default();
+            for s in tlbs.iter().map(Tlb::stats) {
+                t.l1_hits += s.l1_hits;
+                t.l2_hits += s.l2_hits;
+                t.misses += s.misses;
+                t.fills += s.fills;
+                t.flushes += s.flushes;
+                t.cross_asid_evictions += s.cross_asid_evictions;
+            }
+            t
+        };
+        (sum(&self.dtlbs), sum(&self.itlbs))
+    }
+
     /// Flush every core's TLBs only (a global shootdown; caches keep
     /// their data — migration copies through them).
     pub fn flush_all_tlbs(&mut self) {
@@ -250,6 +318,11 @@ impl Machine {
         mode: AccessMode,
         counters: &mut Counters,
     ) -> (u64, bool, bool) {
+        // Physically-tagged caches: tag the (virtual) key with the owning
+        // tenant so equal VAs in different address spaces are distinct
+        // lines. VAs stay far below 2^48 and the walk tag is bit 62, so
+        // the keyspaces remain disjoint; ASID 0 leaves keys unchanged.
+        let key = key | (u64::from(self.current_asid) << ASID_SHIFT);
         let cost = &self.cfg.cost;
         if self.l1ds[core].access(key) {
             return (cost.l1_hit, false, false);
@@ -398,7 +471,7 @@ impl Machine {
             DataKind::Write => Event::Stores,
         });
         if let Some(e) = self.micro_data[core] {
-            if e.covers(&self.dtlbs[core], va) {
+            if e.covers(&self.dtlbs[core], self.current_asid, va) {
                 counters.bump(Event::DtlbHits);
                 Self::debug_check_bypass(&self.dtlbs[core], va, e.size);
                 self.dtlbs[core].record_l1_hit_bypass(e.size);
@@ -408,6 +481,7 @@ impl Machine {
         let mut cycles = 0u64;
         let page_size;
         let home;
+        let cross_before = self.dtlbs[core].stats().cross_asid_evictions;
         match self.dtlbs[core].lookup(va) {
             TlbOutcome::L1Hit(s) => {
                 page_size = s;
@@ -474,6 +548,13 @@ impl Machine {
                 self.dtlbs[core].fill(va, page_size);
             }
         }
+        // Attribute cross-tenant evictions (promote-fills and walk fills
+        // landing on another ASID's entry) to the thread that caused
+        // them. Zero whenever a single ASID is in use.
+        counters.add(
+            Event::TlbCrossEvictions,
+            self.dtlbs[core].stats().cross_asid_evictions - cross_before,
+        );
         // NUMA hinting: every full DTLB lookup (the micro-TLB bypass
         // already folds same-page repeats into one episode) records which
         // node touched the page — the simulator's analogue of AutoNUMA's
@@ -489,6 +570,7 @@ impl Machine {
         MicroEntry::install(
             &mut self.micro_data[core],
             &self.dtlbs[core],
+            self.current_asid,
             va,
             page_size,
             home,
@@ -595,12 +677,13 @@ impl Machine {
     ) -> VmResult<u64> {
         counters.bump(Event::IFetches);
         if let Some(e) = self.micro_code[core] {
-            if e.covers(&self.itlbs[core], va) {
+            if e.covers(&self.itlbs[core], self.current_asid, va) {
                 Self::debug_check_bypass(&self.itlbs[core], va, e.size);
                 self.itlbs[core].record_l1_hit_bypass(e.size);
                 return Ok(0);
             }
         }
+        let cross_before = self.itlbs[core].stats().cross_asid_evictions;
         let (cycles, size) = match self.itlbs[core].lookup(va) {
             TlbOutcome::L1Hit(s) => (0, s),
             TlbOutcome::L2Hit(s) => (self.cfg.cost.tlb_l2_hit, s),
@@ -633,10 +716,21 @@ impl Machine {
                 (walk_cycles, size)
             }
         };
+        counters.add(
+            Event::TlbCrossEvictions,
+            self.itlbs[core].stats().cross_asid_evictions - cross_before,
+        );
         // The instruction side never classifies its line fetches (the L1I
         // is assumed to hit), so the cached home is unused; 0 keeps the
         // entry well-formed.
-        MicroEntry::install(&mut self.micro_code[core], &self.itlbs[core], va, size, 0);
+        MicroEntry::install(
+            &mut self.micro_code[core],
+            &self.itlbs[core],
+            self.current_asid,
+            va,
+            size,
+            0,
+        );
         Ok(cycles)
     }
 }

@@ -1,0 +1,143 @@
+//! Tenant scheduling primitives: ASID handling policy and the
+//! round-robin timeslice scheduler.
+//!
+//! The machine itself is tenant-agnostic — it tags TLB entries and cache
+//! lines with whatever ASID [`crate::Machine::context_switch`] installed.
+//! This module supplies the two policy knobs the multi-tenant runtime
+//! builds on:
+//!
+//! * [`AsidMode`] — whether the hardware preserves TLB entries across a
+//!   context switch (PCID/ASID-tagged parts) or flushes everything
+//!   (pre-PCID x86, the ablation baseline);
+//! * [`SliceScheduler`] — a deterministic round-robin picker that hands
+//!   the whole machine to one tenant for a fixed cycle quantum at a time
+//!   (gang scheduling: HPC tenants run all their threads together or not
+//!   at all).
+
+/// How translation state is handled when a core switches tenants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AsidMode {
+    /// TLB entries are tagged with the owning tenant's ASID and survive
+    /// context switches; lookups only match the current tenant's tag.
+    /// Models PCID-style hardware.
+    #[default]
+    Tagged,
+    /// Every TLB is flushed on each context switch, so a rescheduled
+    /// tenant restarts translation-cold. Models untagged hardware and
+    /// serves as the ablation baseline for the tagged mode.
+    FlushOnSwitch,
+}
+
+impl AsidMode {
+    /// Short lowercase label used in report tables and store keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            AsidMode::Tagged => "tagged",
+            AsidMode::FlushOnSwitch => "flush",
+        }
+    }
+}
+
+/// Deterministic round-robin timeslice scheduler over `tenants` gangs.
+///
+/// Each call to [`next_slice`](Self::next_slice) picks the next runnable
+/// tenant after the previously scheduled one and returns it together
+/// with the slice's end time. Fairness is positional, not load-based:
+/// a tenant that finishes early simply drops out of the rotation.
+#[derive(Debug)]
+pub struct SliceScheduler {
+    tenants: usize,
+    timeslice: u64,
+    /// Next rotation position to consider (index of the tenant after the
+    /// one most recently granted).
+    next: usize,
+}
+
+impl SliceScheduler {
+    /// A scheduler over `tenants` gangs with a fixed `timeslice` in
+    /// cycles. `timeslice` must be non-zero.
+    pub fn new(tenants: usize, timeslice: u64) -> Self {
+        assert!(tenants > 0, "scheduler needs at least one tenant");
+        assert!(timeslice > 0, "a zero timeslice would never progress");
+        SliceScheduler {
+            tenants,
+            timeslice,
+            next: 0,
+        }
+    }
+
+    /// The configured slice length in cycles.
+    pub fn timeslice(&self) -> u64 {
+        self.timeslice
+    }
+
+    /// Pick the next runnable tenant at time `now`. Returns the tenant
+    /// index and the cycle at which its slice expires, or `None` when no
+    /// tenant in `runnable` is still true (all finished).
+    ///
+    /// # Panics
+    /// Panics if `runnable.len()` differs from the tenant count.
+    pub fn next_slice(&mut self, now: u64, runnable: &[bool]) -> Option<(usize, u64)> {
+        assert_eq!(runnable.len(), self.tenants, "runnable mask size mismatch");
+        for off in 0..self.tenants {
+            let idx = (self.next + off) % self.tenants;
+            if runnable[idx] {
+                self.next = idx + 1;
+                return Some((idx, now + self.timeslice));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_tagged() {
+        assert_eq!(AsidMode::default(), AsidMode::Tagged);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AsidMode::Tagged.label(), "tagged");
+        assert_eq!(AsidMode::FlushOnSwitch.label(), "flush");
+    }
+
+    #[test]
+    fn round_robin_rotates_through_all_tenants() {
+        let mut s = SliceScheduler::new(3, 100);
+        let all = [true, true, true];
+        assert_eq!(s.next_slice(0, &all), Some((0, 100)));
+        assert_eq!(s.next_slice(100, &all), Some((1, 200)));
+        assert_eq!(s.next_slice(200, &all), Some((2, 300)));
+        assert_eq!(s.next_slice(300, &all), Some((0, 400)));
+    }
+
+    #[test]
+    fn finished_tenants_drop_out_of_the_rotation() {
+        let mut s = SliceScheduler::new(3, 50);
+        assert_eq!(s.next_slice(0, &[true, true, true]), Some((0, 50)));
+        // Tenant 1 finished during slice 0; the rotation skips it.
+        assert_eq!(s.next_slice(50, &[true, false, true]), Some((2, 100)));
+        assert_eq!(s.next_slice(100, &[true, false, true]), Some((0, 150)));
+        // Everyone done.
+        assert_eq!(s.next_slice(150, &[false, false, false]), None);
+    }
+
+    #[test]
+    fn slice_end_tracks_now_not_schedule_count() {
+        let mut s = SliceScheduler::new(2, 1000);
+        // A tenant yields late (barrier overrun); the next slice still
+        // starts from the actual clock.
+        assert_eq!(s.next_slice(0, &[true, true]), Some((0, 1000)));
+        assert_eq!(s.next_slice(1375, &[true, true]), Some((1, 2375)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn zero_tenants_is_rejected() {
+        SliceScheduler::new(0, 100);
+    }
+}

@@ -65,7 +65,10 @@ pub struct CodeProfile {
 /// arrays from the region allocator and build inputs) → one or more
 /// [`run`](Kernel::run) calls on a team → [`verify`](Kernel::verify)
 /// against the serial reference.
-pub trait Kernel {
+///
+/// `Send` because a multi-tenant machine runs each tenant's kernel on
+/// its own coroutine thread (see `lpomp-runtime`'s tenancy module).
+pub trait Kernel: Send {
     /// Benchmark name ("CG", "MG", ...).
     fn name(&self) -> &'static str;
 

@@ -68,11 +68,20 @@ pub enum Event {
     NumaHintFaults,
     /// Pages migrated between nodes by the NUMA daemon.
     PagesMigrated,
+    /// Context switches between tenants (charged on the scheduler's
+    /// behalf to logical thread 0 of the incoming tenant).
+    ContextSwitches,
+    /// Cycles a tenant's threads sat descheduled while other tenants
+    /// held the machine (wall-clock advanced, no work retired).
+    DeschedCycles,
+    /// TLB entries evicted by a fill whose ASID differed from the
+    /// evicted entry's — cross-tenant TLB interference.
+    TlbCrossEvictions,
 }
 
 impl Event {
     /// Number of distinct events.
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 32;
 
     /// All events in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -105,6 +114,9 @@ impl Event {
         Event::RemoteWalkCycles,
         Event::NumaHintFaults,
         Event::PagesMigrated,
+        Event::ContextSwitches,
+        Event::DeschedCycles,
+        Event::TlbCrossEvictions,
     ];
 
     /// Short mnemonic used in reports.
@@ -139,6 +151,9 @@ impl Event {
             Event::RemoteWalkCycles => "remote_walk_cyc",
             Event::NumaHintFaults => "hint_faults",
             Event::PagesMigrated => "migrated",
+            Event::ContextSwitches => "ctx_switch",
+            Event::DeschedCycles => "desched_cyc",
+            Event::TlbCrossEvictions => "tlb_cross_evict",
         }
     }
 }

@@ -23,6 +23,7 @@ pub mod mailbox;
 pub mod schedule;
 pub mod shared;
 pub mod team;
+pub mod tenancy;
 
 pub use alloc::{BumpAllocator, ALLOC_ALIGN};
 pub use barrier::{NativeBarrier, SenseBarrier, TreeBarrier};
@@ -30,4 +31,7 @@ pub use critical::{Critical, OmpLock};
 pub use mailbox::{allreduce_sum, Mailbox, MailboxError, MAX_MSG_BYTES, SLOTS_PER_CHANNEL};
 pub use schedule::{plan, Plan, Schedule};
 pub use shared::{ShVec, Word, ELEM_BYTES};
-pub use team::{Body, ReduceBody, Reduction, SimEngine, Team, DEFAULT_QUANTUM};
+pub use team::{
+    Body, ReduceBody, Reduction, SimEngine, SliceGrant, SliceYield, Team, DEFAULT_QUANTUM,
+};
+pub use tenancy::{run_tenants, ScheduleStats, TenantOutcome, TenantTask};

@@ -21,6 +21,53 @@ use lpomp_vm::{
 };
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+
+/// The machine, handed to a tenant engine for one scheduling slice.
+///
+/// Gang scheduling moves the whole [`Machine`] *by value* between the
+/// tenant coordinator and exactly one engine at a time, so there is
+/// never a moment where two tenants could race on hardware state — the
+/// rendezvous is the synchronization.
+pub struct SliceGrant {
+    /// The real machine (TLBs, caches, the one shared frame pool).
+    pub machine: Machine,
+    /// The global scheduler clock when the slice was granted. Tenant
+    /// clocks behind it were descheduled and catch up as
+    /// [`Event::DeschedCycles`].
+    pub now: u64,
+    /// Cycle at which the slice expires; the engine yields at the first
+    /// scheduling point past it.
+    pub slice_end: u64,
+    /// Direct context-switch cost to charge every thread (0 when the
+    /// same tenant continues).
+    pub switch_cost: u64,
+}
+
+/// The machine handed back to the coordinator when a slice ends.
+pub struct SliceYield {
+    /// The machine, returned by value.
+    pub machine: Machine,
+    /// True when the tenant's kernel has run to completion.
+    pub finished: bool,
+    /// The tenant's minimum thread clock at yield time — the cycle up to
+    /// which this tenant has simulated everything.
+    pub clock: u64,
+    /// Aggregate counter snapshot of the tenant so far, for the
+    /// coordinator's partition check (per-tenant sums must equal the
+    /// machine totals).
+    pub counters: Counters,
+}
+
+/// The engine side of the grant/yield rendezvous.
+struct SliceLink {
+    grants: Receiver<SliceGrant>,
+    yields: SyncSender<SliceYield>,
+    /// The placeholder machine parked while the real one is installed.
+    parked: Option<Machine>,
+    slice_end: u64,
+    granted: bool,
+}
 
 /// Loop body type: receives the thread's memory context and an iteration
 /// chunk. Must be `Sync` because the native engine calls it from many
@@ -81,6 +128,7 @@ pub struct SimEngine {
     numa_daemon: Option<(NumaDaemon, DaemonCosts)>,
     profiler: Option<Box<RegionProfiler>>,
     capture: Option<Box<CaptureState>>,
+    slice: Option<SliceLink>,
 }
 
 impl SimEngine {
@@ -109,7 +157,129 @@ impl SimEngine {
             numa_daemon: None,
             profiler: None,
             capture: None,
+            slice: None,
         }
+    }
+
+    /// Put the engine under timeslice scheduling: its `machine` becomes a
+    /// parked placeholder, and every scheduling point (loop step, barrier)
+    /// first makes sure a [`SliceGrant`] holding the real machine has
+    /// arrived, yielding it back when the slice expires. Without a link
+    /// attached none of the slice machinery runs.
+    pub fn attach_slice_link(
+        &mut self,
+        grants: Receiver<SliceGrant>,
+        yields: SyncSender<SliceYield>,
+    ) {
+        self.slice = Some(SliceLink {
+            grants,
+            yields,
+            parked: None,
+            slice_end: 0,
+            granted: false,
+        });
+    }
+
+    /// Block until the coordinator grants the machine (no-op when no
+    /// slice link is attached or the machine is already held).
+    fn ensure_granted(&mut self) {
+        if self.slice.as_ref().is_some_and(|l| !l.granted) {
+            self.wait_for_grant();
+        }
+    }
+
+    /// Receive the next grant, install the real machine, and charge the
+    /// time this tenant spent off-CPU plus the direct switch cost.
+    fn wait_for_grant(&mut self) {
+        let link = self.slice.as_mut().expect("no slice link attached");
+        let grant = link.grants.recv().expect("tenant coordinator hung up");
+        let parked = std::mem::replace(&mut self.machine, grant.machine);
+        let link = self.slice.as_mut().expect("no slice link attached");
+        link.parked = Some(parked);
+        link.slice_end = grant.slice_end;
+        link.granted = true;
+        // Hint sampling is a property of the (moving) real machine; the
+        // placeholder the daemon was enabled against never sees traffic.
+        if self.numa_daemon.is_some() {
+            self.machine.enable_hint_sampling();
+        }
+        let desched: Vec<u64> = self
+            .clocks
+            .iter()
+            .map(|&c| grant.now.saturating_sub(c))
+            .collect();
+        let active = grant.switch_cost > 0 || desched.iter().any(|&d| d > 0);
+        if active {
+            self.prof_enter("os:sched");
+            for (t, &wait) in desched.iter().enumerate() {
+                if wait > 0 {
+                    self.clocks[t] += wait;
+                    self.profile.thread_mut(t).add(Event::DeschedCycles, wait);
+                }
+            }
+            if grant.switch_cost > 0 {
+                self.charge_all(grant.switch_cost);
+                self.profile.thread_mut(0).bump(Event::ContextSwitches);
+            }
+            self.prof_exit();
+        }
+    }
+
+    /// Hand the machine back to the coordinator. Pending NUMA hint
+    /// samples are drained first — only this tenant ran since the grant,
+    /// so they belong to its own balancing daemon (and are discarded when
+    /// it has none, as the kernel does for an untracked process).
+    fn yield_machine(&mut self, finished: bool) {
+        let batch = self.machine.drain_hint_samples();
+        if let Some((d, _)) = &mut self.numa_daemon {
+            d.absorb(batch);
+        }
+        let clock = self.clocks.iter().copied().min().unwrap_or(0);
+        let counters = self.profile.aggregate();
+        let parked = self
+            .slice
+            .as_mut()
+            .and_then(|l| l.parked.take())
+            .expect("yield without a granted machine");
+        let machine = std::mem::replace(&mut self.machine, parked);
+        let link = self.slice.as_mut().expect("no slice link attached");
+        link.granted = false;
+        link.yields
+            .send(SliceYield {
+                machine,
+                finished,
+                clock,
+                counters,
+            })
+            .expect("tenant coordinator hung up");
+    }
+
+    /// At a scheduling point: if the slice has expired (every thread
+    /// clock is past its end), yield the machine and block until the next
+    /// grant.
+    fn maybe_slice_yield(&mut self) {
+        let Some(link) = &self.slice else { return };
+        if !link.granted {
+            return;
+        }
+        let end = link.slice_end;
+        if self.clocks.iter().copied().min().unwrap_or(0) < end {
+            return;
+        }
+        self.yield_machine(false);
+        self.wait_for_grant();
+    }
+
+    /// Yield the machine one final time, marking this tenant finished.
+    /// Called by the tenant thread after its kernel returns; the
+    /// coordinator drops the tenant from the rotation. No-op without a
+    /// slice link.
+    pub fn finish_slice(&mut self) {
+        if self.slice.is_none() {
+            return;
+        }
+        self.ensure_granted();
+        self.yield_machine(true);
     }
 
     /// Start recording the reference stream (see
@@ -280,12 +450,14 @@ impl SimEngine {
 
     /// Run `body` over `plan` event-driven, returning per-thread partials.
     fn run(&mut self, p: &Plan, body: ReduceBody<'_>, red: Reduction) -> Vec<f64> {
+        self.ensure_granted();
         let mut partials = vec![red.identity(); self.threads];
         match p {
             Plan::Fixed(per) => {
                 // Cursor per thread: (chunk index, offset within chunk).
                 let mut cursor: Vec<(usize, usize)> = vec![(0, 0); self.threads];
                 loop {
+                    self.maybe_slice_yield();
                     // Lowest-clock unfinished thread runs next.
                     let mut next: Option<usize> = None;
                     for t in 0..self.threads {
@@ -316,6 +488,7 @@ impl SimEngine {
                 let mut qi = 0usize;
                 let mut current: Vec<Option<(Range<usize>, usize)>> = vec![None; self.threads];
                 loop {
+                    self.maybe_slice_yield();
                     let mut next: Option<usize> = None;
                     #[allow(clippy::needless_range_loop)] // t indexes three arrays
                     for t in 0..self.threads {
@@ -377,6 +550,7 @@ impl SimEngine {
     /// Join all threads at a barrier: everyone advances to the maximum
     /// clock plus the modelled barrier cost.
     fn barrier_sync(&mut self) {
+        self.ensure_granted();
         if let Some(c) = &mut self.capture {
             c.barrier();
         }
@@ -399,6 +573,10 @@ impl SimEngine {
         if let Some(p) = &mut self.profiler {
             p.check_conservation(&self.profile);
         }
+        // The barrier (and the daemon work it hosts) is the natural
+        // scheduling point for gang-scheduled tenants: the machine is
+        // still held here, so khugepaged above operated on real frames.
+        self.maybe_slice_yield();
     }
 
     /// Extra page-table edits per edit when per-node replication is on:
@@ -487,6 +665,7 @@ impl SimEngine {
 
     /// Run a master-only (OpenMP `single`) section on thread 0, then join.
     fn single(&mut self, body: &mut dyn FnMut(&mut dyn MemoryCtx)) {
+        self.ensure_granted();
         let core = self.placement[0];
         let ctx = SimCtx::new(
             &mut self.machine,

@@ -102,6 +102,10 @@ pub struct TlbStats {
     pub fills: u64,
     /// Whole-TLB flushes.
     pub flushes: u64,
+    /// Fills that evicted an entry belonging to a *different* ASID —
+    /// the cross-tenant interference signal. Always zero while only one
+    /// ASID is in use.
+    pub cross_asid_evictions: u64,
 }
 
 impl TlbStats {
@@ -152,10 +156,10 @@ impl Level {
 
     /// Non-mutating twin of [`Level::lookup`]: same probe order, no LRU
     /// movement, no stats.
-    fn peek(&self, va: VirtAddr) -> Option<PageSize> {
-        if self.small.probe(va.vpn(PageSize::Small4K)) {
+    fn peek(&self, va: VirtAddr, tag: u64) -> Option<PageSize> {
+        if self.small.probe(va.vpn(PageSize::Small4K) | tag) {
             Some(PageSize::Small4K)
-        } else if self.large.probe(va.vpn(PageSize::Large2M)) {
+        } else if self.large.probe(va.vpn(PageSize::Large2M) | tag) {
             Some(PageSize::Large2M)
         } else {
             None
@@ -163,20 +167,20 @@ impl Level {
     }
 
     /// Probe both size arrays for the address; returns the hitting size.
-    fn lookup(&mut self, va: VirtAddr) -> Option<PageSize> {
+    fn lookup(&mut self, va: VirtAddr, tag: u64) -> Option<PageSize> {
         // Hardware probes both arrays concurrently; to keep the LRU state of
         // the miss path realistic we only update the array that hits, so
         // probe first and promote second.
-        if self.small.probe(va.vpn(PageSize::Small4K)) {
-            self.small.lookup(va.vpn(PageSize::Small4K));
+        if self.small.probe(va.vpn(PageSize::Small4K) | tag) {
+            self.small.lookup(va.vpn(PageSize::Small4K) | tag);
             Some(PageSize::Small4K)
-        } else if self.large.probe(va.vpn(PageSize::Large2M)) {
-            self.large.lookup(va.vpn(PageSize::Large2M));
+        } else if self.large.probe(va.vpn(PageSize::Large2M) | tag) {
+            self.large.lookup(va.vpn(PageSize::Large2M) | tag);
             Some(PageSize::Large2M)
         } else {
             // Record the miss in both arrays' local stats.
-            self.small.lookup(va.vpn(PageSize::Small4K));
-            self.large.lookup(va.vpn(PageSize::Large2M));
+            self.small.lookup(va.vpn(PageSize::Small4K) | tag);
+            self.large.lookup(va.vpn(PageSize::Large2M) | tag);
             None
         }
     }
@@ -187,13 +191,29 @@ impl Level {
     }
 }
 
+/// Bit position where the ASID tag joins the VPN in an entry key.
+/// Simulated virtual addresses stay far below 2^48 (the mmap region
+/// starts at 2^32 and heaps are megabytes), so VPNs never reach bit 48
+/// for either page size and the tag cannot collide with address bits.
+pub const ASID_SHIFT: u32 = 48;
+const TAG_MASK: u64 = !0u64 << ASID_SHIFT;
+
 /// A complete one- or two-level TLB.
+///
+/// Entries are tagged with the [ASID](Tlb::set_asid) that was current
+/// when they were filled, PCID-style: lookups only match entries of the
+/// current ASID, so a context switch that *changes* the ASID hides (but
+/// preserves) the previous tenant's translations, while untagged
+/// hardware is modelled by keeping ASID 0 and [flushing](Tlb::flush) on
+/// every switch.
 #[derive(Debug)]
 pub struct Tlb {
     config: TlbConfig,
     l1: Level,
     l2: Option<Level>,
     stats: TlbStats,
+    /// Current ASID, pre-shifted to the tag position.
+    tag: u64,
     /// Bumped by every operation that removes entries ([`flush`] /
     /// [`invalidate`]). Callers caching "this translation is resident"
     /// facts outside the TLB (the machine's last-translation micro-TLB)
@@ -212,7 +232,33 @@ impl Tlb {
             l2: config.l2.as_ref().map(Level::new),
             config,
             stats: TlbStats::default(),
+            tag: 0,
             generation: 0,
+        }
+    }
+
+    /// Set the current address-space identifier. Entries filled under
+    /// other ASIDs stay resident (occupying capacity, visible to
+    /// [`TlbStats::cross_asid_evictions`]) but stop matching lookups.
+    #[inline]
+    pub fn set_asid(&mut self, asid: u16) {
+        self.tag = u64::from(asid) << ASID_SHIFT;
+    }
+
+    /// The current ASID.
+    #[inline]
+    pub fn asid(&self) -> u16 {
+        (self.tag >> ASID_SHIFT) as u16
+    }
+
+    /// Count a fill's eviction against the interference stat when the
+    /// victim belonged to a different ASID.
+    #[inline]
+    fn note_eviction(stats: &mut TlbStats, tag: u64, evicted: Option<u64>) {
+        if let Some(key) = evicted {
+            if key & TAG_MASK != tag {
+                stats.cross_asid_evictions += 1;
+            }
         }
     }
 
@@ -252,14 +298,15 @@ impl Tlb {
     /// Translate-lookup for `va`. On an L2 hit the entry is promoted into
     /// L1 (possibly evicting an L1 entry).
     pub fn lookup(&mut self, va: VirtAddr) -> TlbOutcome {
-        if let Some(size) = self.l1.lookup(va) {
+        if let Some(size) = self.l1.lookup(va, self.tag) {
             self.stats.l1_hits += 1;
             return TlbOutcome::L1Hit(size);
         }
         if let Some(l2) = &mut self.l2 {
-            if let Some(size) = l2.lookup(va) {
+            if let Some(size) = l2.lookup(va, self.tag) {
                 self.stats.l2_hits += 1;
-                self.l1.array_mut(size).fill(va.vpn(size));
+                let evicted = self.l1.array_mut(size).fill(va.vpn(size) | self.tag);
+                Self::note_eviction(&mut self.stats, self.tag, evicted);
                 return TlbOutcome::L2Hit(size);
             }
         }
@@ -274,11 +321,11 @@ impl Tlb {
     ///
     /// [`lookup`]: Tlb::lookup
     pub fn peek(&self, va: VirtAddr) -> TlbOutcome {
-        if let Some(size) = self.l1.peek(va) {
+        if let Some(size) = self.l1.peek(va, self.tag) {
             return TlbOutcome::L1Hit(size);
         }
         if let Some(l2) = &self.l2 {
-            if let Some(size) = l2.peek(va) {
+            if let Some(size) = l2.peek(va, self.tag) {
                 return TlbOutcome::L2Hit(size);
             }
         }
@@ -292,7 +339,7 @@ impl Tlb {
     /// [`record_l1_hit_bypass`]: Tlb::record_l1_hit_bypass
     #[inline]
     pub fn l1_is_mru(&self, va: VirtAddr, size: PageSize) -> bool {
-        self.l1.array(size).is_mru(va.vpn(size))
+        self.l1.array(size).is_mru(va.vpn(size) | self.tag)
     }
 
     /// Record an L1 hit of `size` without performing the lookup.
@@ -318,10 +365,12 @@ impl Tlb {
     /// Fills L1 and, when the level has entries for the size, L2.
     pub fn fill(&mut self, va: VirtAddr, size: PageSize) {
         self.stats.fills += 1;
-        let vpn = va.vpn(size);
-        self.l1.array_mut(size).fill(vpn);
+        let key = va.vpn(size) | self.tag;
+        let evicted = self.l1.array_mut(size).fill(key);
+        Self::note_eviction(&mut self.stats, self.tag, evicted);
         if let Some(l2) = &mut self.l2 {
-            l2.array_mut(size).fill(vpn);
+            let evicted = l2.array_mut(size).fill(key);
+            Self::note_eviction(&mut self.stats, self.tag, evicted);
         }
     }
 
@@ -335,12 +384,13 @@ impl Tlb {
         self.generation += 1;
     }
 
-    /// Invalidate one translation (munmap / protection change).
+    /// Invalidate one translation of the *current* ASID (munmap /
+    /// protection change; invlpg is ASID-scoped on PCID hardware).
     pub fn invalidate(&mut self, va: VirtAddr, size: PageSize) {
-        let vpn = va.vpn(size);
-        self.l1.array_mut(size).invalidate(vpn);
+        let key = va.vpn(size) | self.tag;
+        self.l1.array_mut(size).invalidate(key);
         if let Some(l2) = &mut self.l2 {
-            l2.array_mut(size).invalidate(vpn);
+            l2.array_mut(size).invalidate(key);
         }
         self.generation += 1;
     }
@@ -563,6 +613,93 @@ mod tests {
         assert_ne!(g1, g0);
         t.flush();
         assert_ne!(t.generation(), g1);
+    }
+
+    #[test]
+    fn asid_switch_hides_but_preserves_entries() {
+        let mut t = two_level();
+        let va = VirtAddr(0x5000);
+        t.lookup(va);
+        t.fill(va, PageSize::Small4K);
+        assert_eq!(t.lookup(va), TlbOutcome::L1Hit(PageSize::Small4K));
+        // Another tenant's ASID: same VA must not match.
+        t.set_asid(7);
+        assert_eq!(t.asid(), 7);
+        assert_eq!(t.peek(va), TlbOutcome::Miss);
+        assert_eq!(t.lookup(va), TlbOutcome::Miss);
+        // Switching back finds the original entry still resident.
+        t.set_asid(0);
+        assert_eq!(t.lookup(va), TlbOutcome::L1Hit(PageSize::Small4K));
+    }
+
+    #[test]
+    fn flush_clears_every_asid() {
+        let mut t = two_level();
+        let va = VirtAddr(0x5000);
+        t.lookup(va);
+        t.fill(va, PageSize::Small4K);
+        t.set_asid(3);
+        t.lookup(va);
+        t.fill(va, PageSize::Small4K);
+        t.flush(); // non-PCID global flush: both tenants' entries go
+        assert_eq!(t.lookup(va), TlbOutcome::Miss);
+        t.set_asid(0);
+        assert_eq!(t.lookup(va), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn cross_asid_evictions_are_counted() {
+        // L1 small capacity is 2 and L2 has 8 entries; two tenants
+        // fighting over L1 slots must trip the interference stat.
+        let mut t = two_level();
+        for p in 0..2u64 {
+            let va = VirtAddr(p * 4096);
+            t.lookup(va);
+            t.fill(va, PageSize::Small4K);
+        }
+        assert_eq!(t.stats().cross_asid_evictions, 0);
+        t.set_asid(1);
+        for p in 0..2u64 {
+            let va = VirtAddr(p * 4096);
+            t.lookup(va);
+            t.fill(va, PageSize::Small4K);
+        }
+        assert!(
+            t.stats().cross_asid_evictions > 0,
+            "tenant 1 filled over tenant 0's entries: {:?}",
+            t.stats()
+        );
+        // Same-ASID capacity pressure never counts.
+        let before = t.stats().cross_asid_evictions;
+        for p in 2..6u64 {
+            let va = VirtAddr(p * 4096);
+            t.lookup(va);
+            t.fill(va, PageSize::Small4K);
+        }
+        let evictions_now = t.stats().cross_asid_evictions;
+        // Later same-ASID fills may still evict tenant 0 leftovers, but
+        // re-filling tenant 1's own working set repeatedly must not add.
+        for _ in 0..3 {
+            for p in 2..6u64 {
+                let va = VirtAddr(p * 4096);
+                t.lookup(va);
+                t.fill(va, PageSize::Small4K);
+            }
+        }
+        assert_eq!(t.stats().cross_asid_evictions, evictions_now);
+        assert!(evictions_now >= before);
+    }
+
+    #[test]
+    fn asid_zero_behaviour_matches_untagged() {
+        // Driving a TLB without ever touching set_asid must behave as
+        // before tagging existed: keys are plain VPNs (tag 0).
+        let mut t = two_level();
+        let va = VirtAddr(0x1234);
+        assert_eq!(t.lookup(va), TlbOutcome::Miss);
+        t.fill(va, PageSize::Small4K);
+        assert_eq!(t.lookup(va), TlbOutcome::L1Hit(PageSize::Small4K));
+        assert_eq!(t.stats().cross_asid_evictions, 0);
     }
 
     #[test]

@@ -22,5 +22,5 @@ pub mod hierarchy;
 pub mod presets;
 
 pub use array::{ArrayStats, Assoc, TlbArray};
-pub use hierarchy::{LevelConfig, SplitTlb, Tlb, TlbConfig, TlbOutcome, TlbStats};
+pub use hierarchy::{LevelConfig, SplitTlb, Tlb, TlbConfig, TlbOutcome, TlbStats, ASID_SHIFT};
 pub use presets::{table1, Table1Row, OPTERON_DTLB, OPTERON_ITLB, XEON_DTLB, XEON_ITLB};

@@ -17,17 +17,23 @@ use crate::addr::{PageSize, PhysAddr};
 use crate::error::{VmError, VmResult};
 use crate::frame::BuddyAllocator;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A shared, named segment of preallocated frames of a single page size.
 ///
 /// Cloned `Arc`s of a segment are handed to [`crate::vma::Backing::Shared`]
-/// so that multiple address spaces resolve faults to the same frames.
+/// so that multiple address spaces resolve faults to the same frames. The
+/// segment keeps a map count — the number of VMAs currently mapping it,
+/// across all address spaces — so tenant-aware policy (migration pinning,
+/// teardown accounting) can distinguish a private file from one visible
+/// to several processes.
 #[derive(Debug)]
 pub struct SharedSegment {
     name: String,
     page_size: PageSize,
     frames: Vec<PhysAddr>,
+    map_count: AtomicUsize,
 }
 
 impl SharedSegment {
@@ -49,6 +55,23 @@ impl SharedSegment {
     /// Number of pages in the segment.
     pub fn page_count(&self) -> u64 {
         self.frames.len() as u64
+    }
+
+    /// Number of VMAs (across all address spaces) currently mapping this
+    /// segment. Zero for a created-but-unmapped file.
+    pub fn map_count(&self) -> usize {
+        self.map_count.load(Ordering::Relaxed)
+    }
+
+    /// Record one more mapping. Called by the VMA layer on `mmap`.
+    pub(crate) fn note_mapped(&self) {
+        self.map_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one mapping gone. Called by the VMA layer on `munmap`.
+    pub(crate) fn note_unmapped(&self) {
+        let prev = self.map_count.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "unmapped a segment that was never mapped");
     }
 
     /// Physical frame backing page `index` of the file.
@@ -212,6 +235,7 @@ impl HugePool {
             name: name.to_owned(),
             page_size: PageSize::Large2M,
             frames,
+            map_count: AtomicUsize::new(0),
         });
         self.files.insert(name.to_owned(), seg.clone());
         Ok(seg)
@@ -268,6 +292,7 @@ impl HugePool {
             name: name.to_owned(),
             page_size: PageSize::Large2M,
             frames,
+            map_count: AtomicUsize::new(0),
         });
         self.files.insert(name.to_owned(), seg.clone());
         Ok(seg)
@@ -385,6 +410,7 @@ impl ShmFs {
             name: name.to_owned(),
             page_size: PageSize::Small4K,
             frames: fr,
+            map_count: AtomicUsize::new(0),
         });
         self.files.insert(name.to_owned(), seg.clone());
         Ok(seg)

@@ -31,6 +31,7 @@ pub mod hugetlbfs;
 pub mod khugepaged;
 pub mod migrate;
 pub mod page_table;
+pub mod process;
 pub mod promote;
 pub mod vma;
 
@@ -46,5 +47,6 @@ pub use migrate::{
     NumaScanOutcome,
 };
 pub use page_table::{AccessKind, PageTable, PteFlags, Translation, WalkTrace};
+pub use process::Process;
 pub use promote::{promote_region, PromotionReport};
 pub use vma::{AccessOutcome, AddressSpace, Backing, NodePolicy, Populate, Vma};

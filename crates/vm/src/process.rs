@@ -1,0 +1,174 @@
+//! Processes: an address space plus the identity the hardware tags it by.
+//!
+//! A [`Process`] is the OS-level face of a tenant — its own page tables
+//! and VMA list (an [`AddressSpace`]) over the *shared* physical frame
+//! pools, plus the ASID the TLBs and caches tag its entries with. Two
+//! processes mapping the same [`crate::hugetlbfs::SharedSegment`] resolve
+//! faults to the same physical frames (one memory image, the §3.3 shared
+//! heap design), while their anonymous regions stay disjoint because each
+//! allocation comes from the one buddy allocator.
+//!
+//! ASID 0 is reserved for the classic single-process configuration: with
+//! one process and ASID 0, every tagged key is bit-identical to the
+//! untagged key, so the multi-tenant machinery is exactly free when
+//! unused.
+
+use crate::error::VmResult;
+use crate::frame::BuddyAllocator;
+use crate::vma::AddressSpace;
+
+/// One simulated process: a named address space with a hardware ASID.
+#[derive(Debug)]
+pub struct Process {
+    asid: u16,
+    name: String,
+    aspace: AddressSpace,
+}
+
+impl Process {
+    /// Create a process with a fresh, empty address space. The page-table
+    /// root is drawn from `frames` — the same shared buddy allocator all
+    /// tenants carve their anonymous memory from.
+    pub fn new(frames: &mut BuddyAllocator, asid: u16, name: &str) -> VmResult<Self> {
+        Ok(Process {
+            asid,
+            name: name.to_owned(),
+            aspace: AddressSpace::new(frames)?,
+        })
+    }
+
+    /// Wrap an already-built address space (the single-tenant `System`
+    /// construction path, adopted into a tenant slot).
+    pub fn from_parts(asid: u16, name: &str, aspace: AddressSpace) -> Self {
+        Process {
+            asid,
+            name: name.to_owned(),
+            aspace,
+        }
+    }
+
+    /// The ASID the hardware tags this process's TLB entries with.
+    pub fn asid(&self) -> u16 {
+        self.asid
+    }
+
+    /// Human-readable tenant name (report labels).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The process's address space.
+    pub fn aspace(&self) -> &AddressSpace {
+        &self.aspace
+    }
+
+    /// Mutable access to the address space (fault handling, mmap).
+    pub fn aspace_mut(&mut self) -> &mut AddressSpace {
+        &mut self.aspace
+    }
+
+    /// Consume the process, yielding its address space.
+    pub fn into_aspace(self) -> AddressSpace {
+        self.aspace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PageSize;
+    use crate::hugetlbfs::HugePool;
+    use crate::page_table::{AccessKind, PteFlags};
+    use crate::vma::{Backing, Populate};
+
+    #[test]
+    fn processes_share_segment_frames_but_not_anonymous_ones() {
+        let mut f = BuddyAllocator::new(256 * 1024 * 1024);
+        let mut pool = HugePool::reserve(&mut f, 4).unwrap();
+        let seg = pool.create_file("heap", PageSize::Large2M.bytes()).unwrap();
+
+        let mut a = Process::new(&mut f, 1, "latency-0").unwrap();
+        let mut b = Process::new(&mut f, 2, "batch").unwrap();
+        assert_eq!(a.asid(), 1);
+        assert_eq!(b.name(), "batch");
+
+        let map_shared = |p: &mut Process, f: &mut BuddyAllocator| {
+            p.aspace_mut()
+                .mmap(
+                    f,
+                    seg.len_bytes(),
+                    PageSize::Large2M,
+                    PteFlags::rw(),
+                    Backing::Shared(seg.clone()),
+                    Populate::Eager,
+                    "shared-heap",
+                )
+                .unwrap()
+        };
+        let va_a = map_shared(&mut a, &mut f);
+        let va_b = map_shared(&mut b, &mut f);
+        assert_eq!(seg.map_count(), 2, "both processes map the segment");
+
+        let pa_a = a
+            .aspace_mut()
+            .access(&mut f, va_a.add(64), AccessKind::Read)
+            .unwrap()
+            .translation()
+            .pa;
+        let pa_b = b
+            .aspace_mut()
+            .access(&mut f, va_b.add(64), AccessKind::Read)
+            .unwrap()
+            .translation()
+            .pa;
+        assert_eq!(pa_a, pa_b, "shared file: one physical image");
+
+        // Anonymous regions at the *same* virtual address stay physically
+        // disjoint — separate page tables over one frame pool.
+        let anon = |p: &mut Process, f: &mut BuddyAllocator| {
+            let va = p
+                .aspace_mut()
+                .mmap(
+                    f,
+                    4096,
+                    PageSize::Small4K,
+                    PteFlags::rw(),
+                    Backing::Anonymous,
+                    Populate::Eager,
+                    "private",
+                )
+                .unwrap();
+            p.aspace_mut()
+                .access(f, va, AccessKind::Write)
+                .unwrap()
+                .translation()
+                .pa
+        };
+        assert_ne!(anon(&mut a, &mut f), anon(&mut b, &mut f));
+    }
+
+    #[test]
+    fn map_count_tracks_mmap_and_munmap() {
+        let mut f = BuddyAllocator::new(64 * 1024 * 1024);
+        let mut pool = HugePool::reserve(&mut f, 2).unwrap();
+        let seg = pool.create_file("lib", PageSize::Large2M.bytes()).unwrap();
+        assert_eq!(seg.map_count(), 0);
+
+        let mut p = Process::new(&mut f, 3, "t").unwrap();
+        let va = p
+            .aspace_mut()
+            .mmap(
+                &mut f,
+                seg.len_bytes(),
+                PageSize::Large2M,
+                PteFlags::ro(),
+                Backing::Shared(seg.clone()),
+                Populate::OnDemand,
+                "lib",
+            )
+            .unwrap();
+        assert_eq!(seg.map_count(), 1);
+        p.aspace_mut().munmap(&mut f, va).unwrap();
+        assert_eq!(seg.map_count(), 0);
+    }
+}

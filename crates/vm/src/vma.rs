@@ -305,6 +305,9 @@ impl AddressSpace {
                 });
             }
         }
+        if let Backing::Shared(seg) = &backing {
+            seg.note_mapped();
+        }
         let vma = Vma {
             start,
             len,
@@ -524,6 +527,9 @@ impl AddressSpace {
     pub fn munmap(&mut self, frames: &mut BuddyAllocator, start: VirtAddr) -> VmResult<()> {
         let idx = self.find_vma_idx(start).ok_or(VmError::NotMapped(start))?;
         let v = self.vmas.remove(idx);
+        if let Backing::Shared(seg) = &v.backing {
+            seg.note_unmapped();
+        }
         // Promotion can leave a region with mixed page sizes; probe each
         // position and unmap at the size actually installed.
         let mut off = 0;

@@ -26,11 +26,14 @@ pub use lpomp_vm as vm;
 pub mod prelude {
     pub use lpomp_core::{
         default_workers, figure4_thread_counts, par_map, run_backend, run_sim, run_system,
-        BackendKind, IncrementalSweep, JsonlSink, PagePolicy, PopulatePolicy, ProfileSpec, RunOpts,
-        RunRecord, RunStore, SetupStats, Shard, StoreKey, SweepResults, SweepSpec, System,
-        SystemBuilder, SystemConfig,
+        BackendKind, GridCell, IncrementalSweep, JsonlSink, KeyedGrid, MultiRunReport, MultiSystem,
+        PagePolicy, PopulatePolicy, ProfileSpec, RunOpts, RunRecord, RunStore, SetupStats, Shard,
+        StoreKey, SweepResults, SweepSpec, System, SystemBuilder, SystemConfig, TenancyConfig,
+        TenantReport, TenantSpec,
     };
-    pub use lpomp_machine::{opteron_2x2, xeon_2x2_ht, MachineConfig, NumaConfig, NumaPlacement};
+    pub use lpomp_machine::{
+        opteron_2x2, xeon_2x2_ht, AsidMode, MachineConfig, NumaConfig, NumaPlacement,
+    };
     pub use lpomp_npb::{AppKind, Class, Kernel};
     pub use lpomp_prof::table::fnum;
     pub use lpomp_prof::{normalized, Counters, Event, ProfileSheet, TextTable};
