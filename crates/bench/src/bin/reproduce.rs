@@ -35,6 +35,7 @@ fn main() {
         ("ext_reach", false),
         ("ext_frag", true),
         ("ext_tenant", true),
+        ("ext_arch", true),
         ("profile", true),
         ("diag", true),
         ("xval", true),

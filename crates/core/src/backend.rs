@@ -122,7 +122,7 @@ impl Backend for Analytic {
         let point = AnalyticPoint {
             profile: &profile,
             config: &cfg.machine,
-            page_size: cfg.policy.heap_page_size(),
+            page_size: cfg.policy.heap_page_size_on(cfg.machine.arch()),
             demand_faults: cfg.populate == PopulatePolicy::OnDemand,
         };
         let res = evaluate(&point);

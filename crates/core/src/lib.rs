@@ -65,6 +65,7 @@ pub use backend::{
 };
 pub use experiment::{figure4_thread_counts, run_sim, run_system, RunOpts, RunRecord};
 pub use lpomp_prof::ProfileSpec;
+pub use lpomp_vm::{Arch, MMArch};
 pub use parallel::{default_workers, par_map};
 pub use policy::{PagePolicy, PopulatePolicy};
 pub use store::{sweep_id, JsonlSink, RunStore, Shard, ShardManifest, StoreKey};

@@ -105,9 +105,10 @@ impl StoreKey {
         backend: BackendKind,
     ) -> StoreKey {
         let fingerprint = format!(
-            "engine={ENGINE_VERSION};backend={};app={app};class={class};threads={threads};\
-             policy={policy:?};verify={};machine={machine:?};tenancy=none",
+            "engine={ENGINE_VERSION};backend={};arch={};app={app};class={class};\
+             threads={threads};policy={policy:?};verify={};machine={machine:?};tenancy=none",
             backend.label(),
+            machine.arch().descriptor(),
             opts.verify,
         );
         let hash = [

@@ -22,7 +22,7 @@ use lpomp_npb::{verify_close, AppKind, Class, CodeProfile, Kernel};
 use lpomp_prof::{Counters, ProfileSpec};
 use lpomp_runtime::{run_tenants, BumpAllocator, SimEngine, Team, TenantTask, DEFAULT_QUANTUM};
 use lpomp_vm::{
-    promote_region, AddressSpace, Backing, HugePool, KhugepagedConfig, NodePolicy,
+    promote_region, AddressSpace, Arch, Backing, HugePool, KhugepagedConfig, MMArch, NodePolicy,
     NumaDaemonConfig, PageSize, PromotionReport, PteFlags, SharedSegment, ShmFs, VirtAddr,
     VmResult,
 };
@@ -191,6 +191,32 @@ impl SystemBuilder {
     pub fn policy(mut self, policy: PagePolicy) -> Self {
         self.cfg.policy = policy;
         self
+    }
+
+    /// Re-equip the platform with a different translation architecture:
+    /// the machine's data and instruction TLBs are swapped for the
+    /// canonical geometry of `arch` ([`lpomp_tlb::default_tlbs`]), which
+    /// also changes the page-table shape, the page-size ladder and the
+    /// walk costs. A no-op when the machine already runs `arch`, so
+    /// `.arch(Arch::X86_64_2007)` on a paper preset preserves its exact
+    /// platform TLBs.
+    pub fn arch(mut self, arch: Arch) -> Self {
+        if self.cfg.machine.arch() != arch {
+            let (dtlb, itlb) = lpomp_tlb::default_tlbs(arch);
+            self.cfg.machine.dtlb = dtlb;
+            self.cfg.machine.itlb = itlb;
+        }
+        self
+    }
+
+    /// Back the shared heap with ladder rank `rank` of the machine's
+    /// translation architecture — the rank-addressed replacement for the
+    /// implicit 4 KB/2 MB policy plumbing. `page_size(0)` is the
+    /// base-granule baseline, `page_size(1)` the paper's large-page
+    /// system; higher ranks select 1 GB pages or ARM64 block sizes where
+    /// the architecture has them.
+    pub fn page_size(self, rank: u8) -> Self {
+        self.policy(PagePolicy::Rung(rank))
     }
 
     /// Startup preallocation vs demand faulting.
@@ -377,17 +403,20 @@ impl System {
         machine: &mut Machine,
         lib: Option<&Arc<SharedSegment>>,
     ) -> VmResult<(AddressSpace, SetupStats, VirtAddr, CodeWalker)> {
-        let mut aspace = AddressSpace::new(&mut machine.frames)?;
+        let arch = cfg.machine.arch();
+        let base = arch.base();
+        let mut aspace = AddressSpace::new_for(&mut machine.frames, arch)?;
         let mut setup = SetupStats::default();
 
-        // (2) Code segment: 4 KB pages, always prefaulted (the loader maps
-        // the binary up front).
+        // (2) Code segment: base-granule pages (4 KB on the paper's
+        // platforms), always prefaulted (the loader maps the binary up
+        // front).
         let code_prof: CodeProfile = kernel.code_profile();
         aspace.mmap_fixed(
             &mut machine.frames,
             CODE_BASE,
             code_prof.code_bytes,
-            PageSize::Small4K,
+            base,
             PteFlags::rx(),
             Backing::Anonymous,
             lpomp_vm::Populate::Eager,
@@ -396,14 +425,14 @@ impl System {
 
         // Optional shared-library image: one physical segment mapped
         // read-only into every tenant, directly after the code segment so
-        // the code walker sweeps both. 4 KB pages, eagerly mapped like
-        // the code itself.
+        // the code walker sweeps both. Base-granule pages, eagerly mapped
+        // like the code itself.
         if let Some(seg) = lib {
             aspace.mmap_fixed(
                 &mut machine.frames,
-                CODE_BASE.add(PageSize::Small4K.round_up(code_prof.code_bytes)),
+                CODE_BASE.add(base.round_up(code_prof.code_bytes)),
                 seg.len_bytes(),
-                PageSize::Small4K,
+                base,
                 PteFlags::rx(),
                 Backing::Shared(Arc::clone(seg)),
                 lpomp_vm::Populate::Eager,
@@ -441,18 +470,25 @@ impl System {
 
         // (3)+(4) Shared heap.
         let heap_bytes = kernel.footprint().data_bytes * HEAP_SLACK_NUM / HEAP_SLACK_DEN;
-        // Round to whole 2 MB chunks regardless of policy, so a 4 KB heap
-        // can later be collapsed in full by the THP extension.
-        let heap_len = PageSize::Large2M.round_up(heap_bytes.max(PageSize::Large2M.bytes()));
+        // The heap's page size is the policy's rung resolved against the
+        // machine's translation architecture (2 MB on x86-64-2007 under
+        // the paper's policy; 1 GB / 64 KB / 32 MB under the extension
+        // presets).
+        let heap_page = cfg.policy.heap_page_size_on(arch);
+        // Round to whole chunks of the heap page — or, for base-granule
+        // heaps, of the *next* ladder rung — so a base-granule heap can
+        // later be collapsed in full by the THP extension.
+        let round = heap_page.max(arch.next_rung_above(base).map_or(base, |r| r.size));
+        let heap_len = round.round_up(heap_bytes.max(round.bytes()));
         setup.heap_bytes = heap_len;
         let populate = cfg.populate.as_vm();
         let (heap_base, small_base) = if cfg.policy.needs_huge_pool() && first_touch {
-            // First-touch large pages: a private anonymous 2 MB heap whose
-            // pages land on the faulting thread's node.
+            // First-touch large pages: a private anonymous large-paged
+            // heap whose pages land on the faulting thread's node.
             let heap_base = aspace.mmap(
                 &mut machine.frames,
                 heap_len,
-                PageSize::Large2M,
+                heap_page,
                 PteFlags::rw(),
                 Backing::Anonymous,
                 populate,
@@ -462,7 +498,7 @@ impl System {
                 Some(aspace.mmap(
                     &mut machine.frames,
                     MIXED_SMALL_REGION,
-                    PageSize::Small4K,
+                    base,
                     PteFlags::rw(),
                     Backing::Anonymous,
                     populate,
@@ -473,9 +509,15 @@ impl System {
             };
             (heap_base, small_base)
         } else if cfg.policy.needs_huge_pool() {
-            let pages = PageSize::Large2M.pages_for(heap_len);
+            let pages = heap_page.pages_for(heap_len);
             let seg = match &numa {
-                Some(n) => {
+                // Static per-node reservation mirrors Linux's per-node
+                // `nr_hugepages`, which the model implements only for the
+                // default 2 MB huge page; other rungs fall through to the
+                // single-pool path below (placement of non-2 MB hugetlbfs
+                // heaps across nodes is future work — the extension
+                // sweeps run NUMA studies on the paper's x86 ladder only).
+                Some(n) if heap_page == PageSize::Large2M => {
                     // Static placement: decide each 2 MB page's node up
                     // front, mirror the split in per-node `nr_hugepages`
                     // reservations, then deal pages out accordingly.
@@ -490,8 +532,8 @@ impl System {
                     let mut pool = HugePool::reserve_per_node(&mut machine.frames, &per_node)?;
                     pool.create_file_on("omni-shared-heap", heap_len, node_for)?
                 }
-                None => {
-                    let mut pool = HugePool::reserve(&mut machine.frames, pages)?;
+                _ => {
+                    let mut pool = HugePool::reserve_sized(&mut machine.frames, pages, heap_page)?;
                     pool.create_file("omni-shared-heap", heap_len)?
                 }
             };
@@ -499,15 +541,15 @@ impl System {
             let heap_base = aspace.mmap(
                 &mut machine.frames,
                 heap_len,
-                PageSize::Large2M,
+                heap_page,
                 PteFlags::rw(),
                 Backing::Shared(seg),
                 populate,
                 "shared-heap",
             )?;
-            // Under Mixed, add a 4 KB-paged region for small allocations.
+            // Under Mixed, add a base-granule region for small allocations.
             let small_base = if matches!(cfg.policy, PagePolicy::Mixed { .. }) {
-                let mut shm = ShmFs::new();
+                let mut shm = ShmFs::with_granule(base);
                 let sseg = Self::shm_file(
                     &mut shm,
                     &mut machine.frames,
@@ -518,7 +560,7 @@ impl System {
                 Some(aspace.mmap(
                     &mut machine.frames,
                     MIXED_SMALL_REGION,
-                    PageSize::Small4K,
+                    base,
                     PteFlags::rw(),
                     Backing::Shared(sseg),
                     populate,
@@ -530,20 +572,20 @@ impl System {
             (heap_base, small_base)
         } else if cfg.private_heap || first_touch {
             // THP scenario (collapsible later) or first-touch small pages:
-            // either way a private anonymous 4 KB heap.
+            // either way a private anonymous base-granule heap.
             let heap_base = aspace.mmap(
                 &mut machine.frames,
                 heap_len,
-                PageSize::Small4K,
+                base,
                 PteFlags::rw(),
                 Backing::Anonymous,
                 populate,
                 "private-heap",
             )?;
-            debug_assert!(heap_base.is_aligned(PageSize::Large2M));
+            debug_assert!(heap_base.is_aligned(round));
             (heap_base, None)
         } else {
-            let mut shm = ShmFs::new();
+            let mut shm = ShmFs::with_granule(base);
             let seg = Self::shm_file(
                 &mut shm,
                 &mut machine.frames,
@@ -554,7 +596,7 @@ impl System {
             let heap_base = aspace.mmap(
                 &mut machine.frames,
                 heap_len,
-                PageSize::Small4K,
+                base,
                 PteFlags::rw(),
                 Backing::Shared(seg),
                 populate,
@@ -563,13 +605,14 @@ impl System {
             (heap_base, None)
         };
 
-        // (5) Mailbox file: always 4 KB pages (paper §3.3).
-        let mut shm_mb = ShmFs::new();
+        // (5) Mailbox file: always base-granule pages (paper §3.3: the
+        // message-passing mailboxes stay in 4 KB pages).
+        let mut shm_mb = ShmFs::with_granule(base);
         let mb_seg = shm_mb.create_file(&mut machine.frames, "mailbox", MAILBOX_BYTES)?;
         aspace.mmap(
             &mut machine.frames,
             MAILBOX_BYTES,
-            PageSize::Small4K,
+            base,
             PteFlags::rw(),
             Backing::Shared(mb_seg),
             lpomp_vm::Populate::Eager,
@@ -594,7 +637,7 @@ impl System {
         // The fetch span covers the code plus the shared-library image
         // when one is mapped; without one it is exactly the binary size.
         let code_span = match lib {
-            Some(seg) => PageSize::Small4K.round_up(code_prof.code_bytes) + seg.len_bytes(),
+            Some(seg) => base.round_up(code_prof.code_bytes) + seg.len_bytes(),
             None => code_prof.code_bytes,
         };
         let walker = CodeWalker::new(
@@ -606,8 +649,8 @@ impl System {
         Ok((aspace, setup, heap_base, walker))
     }
 
-    /// Create a 4 KB shm file, statically placed according to the NUMA
-    /// placement (node 0 for master-node, round-robin chunks for
+    /// Create a base-granule shm file, statically placed according to the
+    /// NUMA placement (node 0 for master-node, round-robin chunks for
     /// interleave) when the machine has one.
     fn shm_file(
         shm: &mut ShmFs,
@@ -618,7 +661,7 @@ impl System {
     ) -> VmResult<std::sync::Arc<lpomp_vm::SharedSegment>> {
         match numa {
             Some(n) => {
-                let small = PageSize::Small4K.bytes();
+                let small = shm.granule().bytes();
                 let chunk = n.placement.granularity().max(small);
                 let nodes = n.nodes as u64;
                 shm.create_file_placed(frames, name, len, |i| {
@@ -635,12 +678,14 @@ impl System {
     }
 
     /// Run a khugepaged-style collapse over the heap (requires a system
-    /// built with [`SystemBuilder::thp`] — a private anonymous 4 KB heap).
+    /// built with [`SystemBuilder::thp`] — a private anonymous
+    /// base-granule heap).
     ///
     /// Charges every thread the full stop-the-world cost: copying each
-    /// collapsed chunk's 512 pages, rewriting its 513 page-table entries,
-    /// and — if anything collapsed — a broadcast shootdown IPI taken on
-    /// every core before the TLBs are flushed.
+    /// collapsed chunk's base pages (512 on the x86-64 ladder), rewriting
+    /// its base-page-count + 1 page-table entries, and — if anything
+    /// collapsed — a broadcast shootdown IPI taken on every core before
+    /// the TLBs are flushed.
     pub fn promote_heap(&mut self) -> VmResult<PromotionReport> {
         let engine = self
             .team
@@ -651,10 +696,12 @@ impl System {
             &mut engine.machine.frames,
             self.heap_base,
         )?;
-        // Per chunk: migrate 512 pages (one streamed read + write each)
-        // and edit 513 PTEs (512 unmaps + 1 large map) under the PT lock.
+        // Per chunk: migrate `per` base pages (one streamed read + write
+        // each) and edit `per + 1` PTEs (`per` unmaps + 1 large map)
+        // under the PT lock — 512 and 513 on the paper's x86-64 ladder.
+        let per = report.chunk_bytes / engine.aspace.page_table().arch().base().bytes();
         let c = engine.machine.cost();
-        let cycles = report.promoted * (512 * c.migrate_page + 513 * c.pt_edit);
+        let cycles = report.promoted * (per * c.migrate_page + (per + 1) * c.pt_edit);
         engine.region_enter("os:promote");
         engine.charge_all(cycles);
         if report.promoted > 0 {

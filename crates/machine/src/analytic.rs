@@ -57,7 +57,7 @@ use lpomp_prof::reuse::{
 };
 use lpomp_prof::{Counters, Event};
 use lpomp_tlb::Assoc;
-use lpomp_vm::PageSize;
+use lpomp_vm::{MMArch, PageSize};
 
 /// One evaluation point: a profile against a machine and page policy.
 pub struct AnalyticPoint<'a> {
@@ -124,12 +124,21 @@ pub fn evaluate(point: &AnalyticPoint) -> AnalyticResult {
     };
     let l1_shape = cache_shape(&cfg.l1d);
     let l2_shape = cache_shape(&cfg.l2);
-    let dtlb_l2_shape = cfg.dtlb.l2.and_then(|l| match l.small_assoc {
-        Assoc::Ways(w) if size == PageSize::Small4K && w > 0 && l.small_entries >= w => {
-            conflict_shape_index(GRAN_PAGE4K, u32::from(l.small_entries / w), u32::from(w))
-                .map(|i| (i, u64::from(w)))
+    let arch = cfg.arch();
+    let rank = arch
+        .rank_of(size)
+        .expect("policy page size is on the machine's ladder");
+    // The per-set conflict capture keys pages at 4 KB, so the conflict
+    // view of a set-associative L2 TLB applies only to 4 KB mappings.
+    let dtlb_l2_shape = cfg.dtlb.l2.and_then(|l| {
+        let slot = l.slot(0);
+        match slot.assoc {
+            Assoc::Ways(w) if size == PageSize::Small4K && w > 0 && slot.entries >= w => {
+                conflict_shape_index(GRAN_PAGE4K, u32::from(slot.entries / w), u32::from(w))
+                    .map(|i| (i, u64::from(w)))
+            }
+            _ => None,
         }
-        _ => None,
     });
 
     let envs: Vec<ThreadEnv> = (0..threads)
@@ -140,17 +149,18 @@ pub fn evaluate(point: &AnalyticPoint) -> AnalyticResult {
                 .filter(|&u| cfg.l2_of_core(placement[u]) == cfg.l2_of_core(core))
                 .count() as u64;
             let level = |entries: u16| -> u64 { u64::from(entries) };
-            let de1 = level(cfg.dtlb.l1.entries(size)).max(1);
+            let de1 = level(cfg.dtlb.l1.entries_at(rank)).max(1);
             let de2 = cfg
                 .dtlb
                 .l2
-                .map(|l| level(l.entries(size)))
+                .map(|l| level(l.entries_at(rank)))
                 .filter(|&e| e > 0);
-            let ie1 = level(cfg.itlb.l1.entries(PageSize::Small4K)).max(1);
+            // Code maps at the architecture's base granule: ladder rank 0.
+            let ie1 = level(cfg.itlb.l1.entries_at(0)).max(1);
             let ie2 = cfg
                 .itlb
                 .l2
-                .map(|l| level(l.entries(PageSize::Small4K)))
+                .map(|l| level(l.entries_at(0)))
                 .filter(|&e| e > 0);
             let remote_frac = match &cfg.numa {
                 None => 0.0,
@@ -338,10 +348,10 @@ fn eval_thread(
     }
 
     // DTLB at the mapping size.
-    let hist = match size {
-        PageSize::Small4K => &pt.p4k,
-        PageSize::Large2M => &pt.p2m,
-    };
+    let arch = cfg.arch();
+    let hist = pt
+        .page_hist(size.shift())
+        .expect("mapping size is a captured page granularity");
     let mut stream_full = 0.0f64;
     for (m, hm) in hist.iter().enumerate() {
         let n = pt.acc[m] as f64;
@@ -370,11 +380,10 @@ fn eval_thread(
         let walk_levels = if cfg.page_walk_cache {
             1.0
         } else {
-            // No page-walk cache: every radix level references memory.
-            match size {
-                PageSize::Small4K => 4.0,
-                PageSize::Large2M => 3.0,
-            }
+            // No page-walk cache: every radix level references memory —
+            // fewer for rungs whose leaf sits higher in the tree.
+            let rung = arch.rung_of(size).expect("mapping size is on the ladder");
+            f64::from(rung.walk_levels(&arch.walk_shape()))
         };
         let walk = cost.walk_base as f64 + leaf * walk_levels;
         let w = l2_hits * cost.tlb_l2_hit as f64 + full * walk;
@@ -389,10 +398,7 @@ fn eval_thread(
 
     // Prefetch restarts: a stream-mode TLB miss landing in a page's
     // first two lines.
-    let stream_pages = match size {
-        PageSize::Small4K => pt.stream_pages_4k,
-        PageSize::Large2M => pt.stream_pages_2m,
-    } as f64;
+    let stream_pages = pt.stream_pages_at(size.shift()) as f64;
     let restarts = stream_full.min(stream_pages);
     cyc += restarts * cost.stream_restart as f64;
     c.restarts += restarts;
@@ -406,12 +412,15 @@ fn eval_thread(
         c.faults += cold as f64;
     }
 
-    // ITLB over the fetch stream (code maps at 4 KB).
+    // ITLB over the fetch stream (code maps at the base granule).
     {
+        let code = pt
+            .code_hist(arch.base().shift())
+            .expect("base granule is a captured code granularity");
         let n = pt.ifetches as f64;
-        let miss1 = pt.code4k.misses_beyond(env.ie1).min(n);
+        let miss1 = code.misses_beyond(env.ie1).min(n);
         let full = match env.ie2 {
-            Some(e2) => pt.code4k.misses_beyond(env.ie1 + e2).min(miss1),
+            Some(e2) => code.misses_beyond(env.ie1 + e2).min(miss1),
             None => miss1,
         };
         cyc += (miss1 - full) * cost.tlb_l2_hit as f64 + full * cost.walk_cached_cycles() as f64;

@@ -5,6 +5,7 @@ use crate::cache::CacheConfig;
 use crate::cost::CostModel;
 use crate::numa::NumaConfig;
 use lpomp_tlb::TlbConfig;
+use lpomp_vm::Arch;
 
 /// Which cores share an L2 cache instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +56,13 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
+    /// The platform's translation architecture (page-size ladder and walk
+    /// shape). Carried by the TLB geometries; both TLBs of a machine must
+    /// agree, which [`crate::machine::Machine::new`] asserts.
+    pub fn arch(&self) -> Arch {
+        self.dtlb.arch
+    }
+
     /// Total cores.
     pub fn cores(&self) -> usize {
         self.chips * self.cores_per_chip
@@ -171,9 +179,64 @@ pub fn xeon_2x2_ht() -> MachineConfig {
     }
 }
 
+/// Extension platform: the paper's Opteron topology (2 × 2 cores, private
+/// L2, no SMT) re-equipped with a modern x86-64 translation architecture —
+/// 1 GB pages, split per-size L1 TLBs and a large set-associative L2 TLB.
+/// Topology, caches and cycle costs are held at the Opteron baseline so
+/// the only variable between this preset and [`opteron_2x2`] is the
+/// translation architecture itself.
+pub fn modern_x86_2x2() -> MachineConfig {
+    MachineConfig {
+        name: "ModernX86",
+        dtlb: lpomp_tlb::MODERN_X86_DTLB,
+        itlb: lpomp_tlb::MODERN_X86_ITLB,
+        ram_bytes: 16 * 1024 * 1024 * 1024,
+        ..opteron_2x2()
+    }
+}
+
+/// Extension platform: ARM64 with 4 KB granule (4 KB / 2 MB / 64 KB
+/// contiguous blocks), same topology/cache/cost baseline as
+/// [`opteron_2x2`].
+pub fn arm64_2x2_4k() -> MachineConfig {
+    MachineConfig {
+        name: "ARM64-4K",
+        dtlb: lpomp_tlb::ARM64_4K_DTLB,
+        itlb: lpomp_tlb::ARM64_4K_ITLB,
+        ram_bytes: 8 * 1024 * 1024 * 1024,
+        ..opteron_2x2()
+    }
+}
+
+/// Extension platform: ARM64 with 16 KB granule (16 KB base pages, 2 MB
+/// contiguous blocks, 32 MB table blocks), same baseline as
+/// [`opteron_2x2`].
+pub fn arm64_2x2_16k() -> MachineConfig {
+    MachineConfig {
+        name: "ARM64-16K",
+        dtlb: lpomp_tlb::ARM64_16K_DTLB,
+        itlb: lpomp_tlb::ARM64_16K_ITLB,
+        ram_bytes: 8 * 1024 * 1024 * 1024,
+        ..opteron_2x2()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extension_presets_carry_their_arch() {
+        assert_eq!(opteron_2x2().arch(), Arch::X86_64_2007);
+        assert_eq!(xeon_2x2_ht().arch(), Arch::X86_64_2007);
+        assert_eq!(modern_x86_2x2().arch(), Arch::X86_64_MODERN);
+        assert_eq!(arm64_2x2_4k().arch(), Arch::ARM64_4K);
+        assert_eq!(arm64_2x2_16k().arch(), Arch::ARM64_16K);
+        for cfg in [modern_x86_2x2(), arm64_2x2_4k(), arm64_2x2_16k()] {
+            assert_eq!(cfg.dtlb.arch, cfg.itlb.arch, "{}", cfg.name);
+            assert_eq!(cfg.cores(), 4, "{}", cfg.name);
+        }
+    }
 
     #[test]
     fn topology_counts() {

@@ -33,7 +33,9 @@ pub mod sched;
 pub use analytic::{evaluate, AnalyticPoint, AnalyticResult};
 pub use cache::{Cache, CacheConfig, CacheStats, LINE_BYTES};
 pub use capture::{CaptureCtx, CaptureState};
-pub use config::{opteron_2x2, xeon_2x2_ht, L2Scope, MachineConfig};
+pub use config::{
+    arm64_2x2_16k, arm64_2x2_4k, modern_x86_2x2, opteron_2x2, xeon_2x2_ht, L2Scope, MachineConfig,
+};
 pub use cost::CostModel;
 pub use ctx::{CodeWalker, MemoryCtx, NullCtx, SimCtx};
 pub use machine::{AccessMode, DataKind, Machine};

@@ -154,6 +154,10 @@ impl Machine {
     /// physical extent is split into per-node frame ranges; otherwise the
     /// whole extent is one node.
     pub fn new(cfg: MachineConfig) -> Self {
+        assert_eq!(
+            cfg.dtlb.arch, cfg.itlb.arch,
+            "a machine's data and instruction TLBs must share one translation architecture"
+        );
         let cores = cfg.cores();
         let frames = match &cfg.numa {
             Some(n) => BuddyAllocator::with_nodes(cfg.ram_bytes, n.nodes),
@@ -1176,30 +1180,17 @@ mod tests {
             let mut m = Machine::new(opteron_2x2());
             let mut asp = AddressSpace::new(&mut m.frames).unwrap();
             let span = 64 * 1024 * 1024u64;
-            let base = match size {
-                PageSize::Small4K => asp
-                    .mmap(
-                        &mut m.frames,
-                        span,
-                        size,
-                        PteFlags::rw(),
-                        Backing::Anonymous,
-                        Populate::Eager,
-                        "d",
-                    )
-                    .unwrap(),
-                PageSize::Large2M => asp
-                    .mmap(
-                        &mut m.frames,
-                        span,
-                        size,
-                        PteFlags::rw(),
-                        Backing::Anonymous,
-                        Populate::Eager,
-                        "d",
-                    )
-                    .unwrap(),
-            };
+            let base = asp
+                .mmap(
+                    &mut m.frames,
+                    span,
+                    size,
+                    PteFlags::rw(),
+                    Backing::Anonymous,
+                    Populate::Eager,
+                    "d",
+                )
+                .unwrap();
             let mut c = Counters::new();
             let mut off = 0;
             while off < span {

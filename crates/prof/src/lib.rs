@@ -30,7 +30,7 @@
 /// store — stamps its files with this number and refuses (recaptures /
 /// re-runs) anything written under a different one, so stale artifacts
 /// can never silently feed predictions or figures.
-pub const ENGINE_VERSION: u32 = 7;
+pub const ENGINE_VERSION: u32 = 8;
 
 pub mod counters;
 pub mod region;

@@ -2,8 +2,9 @@
 //! backend evaluates.
 //!
 //! A one-time cycle-exact run records, per logical thread, the LRU stack
-//! distance of every data access at three granularities — 64 B cache
-//! lines, 4 KB pages, 2 MB pages — plus the instruction-fetch page
+//! distance of every data access at 64 B cache-line granularity and at
+//! every page granularity in [`PAGE_SHIFTS`] — the union of all supported
+//! translation architectures' ladders — plus the instruction-fetch page
 //! stream. Distances are binned into sparse sub-logarithmic histograms
 //! and aggregated per *phase* (the innermost `cg:matvec`-style region
 //! annotation), so iterative kernels collapse thousands of barrier
@@ -30,6 +31,32 @@ pub const MODE_PIPELINED: usize = 1;
 pub const MODE_STREAM: usize = 2;
 /// Number of access modes tracked.
 pub const MODES: usize = 3;
+
+/// Page-granularity shifts the capture records reuse distances at: the
+/// union of every supported translation architecture's ladder rungs —
+/// 4 KB, 16 KB, 64 KB, 2 MB, 32 MB and 1 GB. One captured profile can
+/// therefore be evaluated under any architecture's page policy; the
+/// analytic backend selects the entry matching the mapping size by shift.
+pub const PAGE_SHIFTS: [u8; NUM_SHIFTS] = [12, 14, 16, 21, 25, 30];
+/// Number of page-granularity capture shifts.
+pub const NUM_SHIFTS: usize = 6;
+
+/// Index into [`PAGE_SHIFTS`] for a page shift, if captured.
+pub fn shift_index(shift: u32) -> Option<usize> {
+    PAGE_SHIFTS.iter().position(|&s| u32::from(s) == shift)
+}
+
+/// Instruction-fetch capture granularities: code maps at the base granule
+/// of the translation architecture, so the fetch stream is captured at
+/// every supported base-granule shift (4 KB and 16 KB).
+pub const CODE_SHIFTS: [u8; NUM_CODE_SHIFTS] = [12, 14];
+/// Number of code-granularity capture shifts.
+pub const NUM_CODE_SHIFTS: usize = 2;
+
+/// Index into [`CODE_SHIFTS`] for a base-granule shift, if captured.
+pub fn code_shift_index(shift: u32) -> Option<usize> {
+    CODE_SHIFTS.iter().position(|&s| u32::from(s) == shift)
+}
 
 /// Number of histogram buckets. Distances below 16 get exact buckets;
 /// above, 8 sub-buckets per power of two — enough to resolve capacities
@@ -497,21 +524,20 @@ impl DenseHist {
 /// plus the dense accumulators of the phase in progress.
 pub struct ThreadRecorder {
     line: ReuseTracker,
-    p4k: ReuseTracker,
-    p2m: ReuseTracker,
-    code: ReuseTracker,
+    /// One page tracker per [`PAGE_SHIFTS`] entry (same order).
+    pages: Vec<ReuseTracker>,
+    /// One fetch-stream tracker per [`CODE_SHIFTS`] entry (same order).
+    code: Vec<ReuseTracker>,
     events: u64,
     acc: [u64; MODES],
     loads: u64,
     stores: u64,
     instructions: u64,
     ifetches: u64,
-    stream_pages_4k: u64,
-    stream_pages_2m: u64,
+    stream_pages: [u64; NUM_SHIFTS],
     line_h: [DenseHist; MODES],
-    p4k_h: [DenseHist; MODES],
-    p2m_h: [DenseHist; MODES],
-    code_h: DenseHist,
+    page_h: Vec<[DenseHist; MODES]>,
+    code_h: Vec<DenseHist>,
     /// One per-set tracker per [`CONFLICT_SHAPES`] entry (global, like
     /// the reuse trackers: sets stay warm across phases).
     shapes: Vec<SetTracker>,
@@ -530,21 +556,18 @@ impl ThreadRecorder {
         let h3 = || [DenseHist::new(), DenseHist::new(), DenseHist::new()];
         ThreadRecorder {
             line: ReuseTracker::new(),
-            p4k: ReuseTracker::new(),
-            p2m: ReuseTracker::new(),
-            code: ReuseTracker::new(),
+            pages: PAGE_SHIFTS.iter().map(|_| ReuseTracker::new()).collect(),
+            code: CODE_SHIFTS.iter().map(|_| ReuseTracker::new()).collect(),
             events: 0,
             acc: [0; MODES],
             loads: 0,
             stores: 0,
             instructions: 0,
             ifetches: 0,
-            stream_pages_4k: 0,
-            stream_pages_2m: 0,
+            stream_pages: [0; NUM_SHIFTS],
             line_h: h3(),
-            p4k_h: h3(),
-            p2m_h: h3(),
-            code_h: DenseHist::new(),
+            page_h: PAGE_SHIFTS.iter().map(|_| h3()).collect(),
+            code_h: CODE_SHIFTS.iter().map(|_| DenseHist::new()).collect(),
             shapes: CONFLICT_SHAPES.iter().map(SetTracker::new).collect(),
             conflict_h: CONFLICT_SHAPES
                 .iter()
@@ -571,10 +594,10 @@ impl ThreadRecorder {
         }
         let d = self.line.access(va >> 6);
         self.line_h[mode].add(d);
-        let d = self.p4k.access(va >> 12);
-        self.p4k_h[mode].add(d);
-        let d = self.p2m.access(va >> 21);
-        self.p2m_h[mode].add(d);
+        for (i, &shift) in PAGE_SHIFTS.iter().enumerate() {
+            let d = self.pages[i].access(va >> shift);
+            self.page_h[i][mode].add(d);
+        }
         for (i, shape) in CONFLICT_SHAPES.iter().enumerate() {
             let key = if shape.granularity == GRAN_LINE {
                 va >> 6
@@ -588,11 +611,10 @@ impl ThreadRecorder {
             // The cycle engine restarts the prefetcher only on TLB misses
             // within the first two lines of a page: count the stream
             // accesses eligible at each mapping granularity.
-            if va & 0xFFF < 128 {
-                self.stream_pages_4k += 1;
-            }
-            if va & 0x1F_FFFF < 128 {
-                self.stream_pages_2m += 1;
+            for (i, &shift) in PAGE_SHIFTS.iter().enumerate() {
+                if va & ((1u64 << shift) - 1) < 128 {
+                    self.stream_pages[i] += 1;
+                }
             }
         }
     }
@@ -609,8 +631,10 @@ impl ThreadRecorder {
     pub fn ifetch(&mut self, va: u64) {
         self.events += 1;
         self.ifetches += 1;
-        let d = self.code.access(va >> 12);
-        self.code_h.add(d);
+        for (i, &shift) in CODE_SHIFTS.iter().enumerate() {
+            let d = self.code[i].access(va >> shift);
+            self.code_h[i].add(d);
+        }
     }
 
     fn drain(&mut self) -> PhaseThread {
@@ -621,24 +645,18 @@ impl ThreadRecorder {
             stores: std::mem::take(&mut self.stores),
             instructions: std::mem::take(&mut self.instructions),
             ifetches: std::mem::take(&mut self.ifetches),
-            stream_pages_4k: std::mem::take(&mut self.stream_pages_4k),
-            stream_pages_2m: std::mem::take(&mut self.stream_pages_2m),
+            stream_pages: std::mem::take(&mut self.stream_pages),
             line: [
                 self.line_h[0].drain(),
                 self.line_h[1].drain(),
                 self.line_h[2].drain(),
             ],
-            p4k: [
-                self.p4k_h[0].drain(),
-                self.p4k_h[1].drain(),
-                self.p4k_h[2].drain(),
-            ],
-            p2m: [
-                self.p2m_h[0].drain(),
-                self.p2m_h[1].drain(),
-                self.p2m_h[2].drain(),
-            ],
-            code4k: self.code_h.drain(),
+            pages: self
+                .page_h
+                .iter_mut()
+                .map(|hs| [hs[0].drain(), hs[1].drain(), hs[2].drain()])
+                .collect(),
+            code: self.code_h.iter_mut().map(DenseHist::drain).collect(),
             conflict: self
                 .conflict_h
                 .iter_mut()
@@ -652,7 +670,7 @@ impl ThreadRecorder {
 // The profile data model.
 
 /// One thread's aggregate within a phase.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PhaseThread {
     /// Data accesses per mode (`MODE_*` indices).
     pub acc: [u64; MODES],
@@ -664,31 +682,69 @@ pub struct PhaseThread {
     pub instructions: u64,
     /// Instruction fetches issued by the code walker.
     pub ifetches: u64,
-    /// Streamed accesses in the first two lines of a 4 KB page
-    /// (prefetch-restart candidates under 4 KB mappings).
-    pub stream_pages_4k: u64,
-    /// Streamed accesses in the first two lines of a 2 MB page.
-    pub stream_pages_2m: u64,
+    /// Streamed accesses in the first two lines of a page at each
+    /// [`PAGE_SHIFTS`] granularity (prefetch-restart candidates under a
+    /// mapping of that size).
+    pub stream_pages: [u64; NUM_SHIFTS],
     /// Per-mode reuse-distance histograms at 64 B line granularity.
     pub line: [ReuseHistogram; MODES],
-    /// Per-mode histograms at 4 KB page granularity.
-    pub p4k: [ReuseHistogram; MODES],
-    /// Per-mode histograms at 2 MB page granularity.
-    pub p2m: [ReuseHistogram; MODES],
-    /// Instruction-fetch histogram at 4 KB page granularity.
-    pub code4k: ReuseHistogram,
+    /// Per-mode histograms at each [`PAGE_SHIFTS`] page granularity
+    /// (same order, always [`NUM_SHIFTS`] entries).
+    pub pages: Vec<[ReuseHistogram; MODES]>,
+    /// Instruction-fetch histograms at each [`CODE_SHIFTS`] granularity
+    /// (same order, always [`NUM_CODE_SHIFTS`] entries).
+    pub code: Vec<ReuseHistogram>,
     /// Per-mode set-conflict histograms, one entry per
     /// [`CONFLICT_SHAPES`] geometry (same order).
     pub conflict: Vec<[ConflictHist; MODES]>,
 }
 
+impl Default for PhaseThread {
+    fn default() -> Self {
+        PhaseThread {
+            acc: [0; MODES],
+            loads: 0,
+            stores: 0,
+            instructions: 0,
+            ifetches: 0,
+            stream_pages: [0; NUM_SHIFTS],
+            line: Default::default(),
+            pages: vec![Default::default(); NUM_SHIFTS],
+            code: vec![ReuseHistogram::default(); NUM_CODE_SHIFTS],
+            conflict: Vec::new(),
+        }
+    }
+}
+
 impl PhaseThread {
+    /// Per-mode page-granularity histograms for a mapping whose page
+    /// shift is `shift`; `None` when the shift is not a capture
+    /// granularity.
+    pub fn page_hist(&self, shift: u32) -> Option<&[ReuseHistogram; MODES]> {
+        self.pages.get(shift_index(shift)?)
+    }
+
+    /// Prefetch-restart candidates for a mapping of page shift `shift`
+    /// (zero when the shift is not captured).
+    pub fn stream_pages_at(&self, shift: u32) -> u64 {
+        shift_index(shift).map_or(0, |i| self.stream_pages[i])
+    }
+
+    /// Instruction-fetch histogram for code mapped at base-granule
+    /// `shift`; `None` when the shift is not a capture granularity.
+    pub fn code_hist(&self, shift: u32) -> Option<&ReuseHistogram> {
+        self.code.get(code_shift_index(shift)?)
+    }
+
     fn merge(&mut self, other: &PhaseThread) {
         for m in 0..MODES {
             self.acc[m] += other.acc[m];
             self.line[m].merge(&other.line[m]);
-            self.p4k[m].merge(&other.p4k[m]);
-            self.p2m[m].merge(&other.p2m[m]);
+        }
+        for (s, o) in self.pages.iter_mut().zip(&other.pages) {
+            for m in 0..MODES {
+                s[m].merge(&o[m]);
+            }
         }
         if self.conflict.len() < other.conflict.len() {
             self.conflict
@@ -703,9 +759,12 @@ impl PhaseThread {
         self.stores += other.stores;
         self.instructions += other.instructions;
         self.ifetches += other.ifetches;
-        self.stream_pages_4k += other.stream_pages_4k;
-        self.stream_pages_2m += other.stream_pages_2m;
-        self.code4k.merge(&other.code4k);
+        for (s, o) in self.stream_pages.iter_mut().zip(&other.stream_pages) {
+            *s += o;
+        }
+        for (s, o) in self.code.iter_mut().zip(&other.code) {
+            s.merge(o);
+        }
     }
 
     fn is_empty(&self) -> bool {
@@ -931,25 +990,35 @@ impl StreamProfile {
                 }
                 let _ = write!(
                     out,
-                    "{{\"acc\":[{},{},{}],\"ld\":{},\"st\":{},\"ins\":{},\"if\":{},\"sp4\":{},\"sp2\":{}",
-                    t.acc[0],
-                    t.acc[1],
-                    t.acc[2],
-                    t.loads,
-                    t.stores,
-                    t.instructions,
-                    t.ifetches,
-                    t.stream_pages_4k,
-                    t.stream_pages_2m
+                    "{{\"acc\":[{},{},{}],\"ld\":{},\"st\":{},\"ins\":{},\"if\":{}",
+                    t.acc[0], t.acc[1], t.acc[2], t.loads, t.stores, t.instructions, t.ifetches,
                 );
+                out.push_str(",\"sp\":[");
+                for (i, n) in t.stream_pages.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{n}");
+                }
+                out.push(']');
                 out.push_str(",\"line\":");
                 write_hist3(&mut out, &t.line);
-                out.push_str(",\"p4\":");
-                write_hist3(&mut out, &t.p4k);
-                out.push_str(",\"p2\":");
-                write_hist3(&mut out, &t.p2m);
-                out.push_str(",\"code\":");
-                write_hist(&mut out, &t.code4k);
+                out.push_str(",\"pg\":[");
+                for (i, hs) in t.pages.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_hist3(&mut out, hs);
+                }
+                out.push(']');
+                out.push_str(",\"code\":[");
+                for (i, h) in t.code.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_hist(&mut out, h);
+                }
+                out.push(']');
                 out.push_str(",\"cf\":");
                 write_conflicts(&mut out, &t.conflict);
                 out.push('}');
@@ -1114,18 +1183,49 @@ fn read_phase_thread(j: &Json) -> Result<PhaseThread, String> {
     for (i, a) in acc_arr.iter().enumerate() {
         acc[i] = a.as_num().ok_or("acc entry not a number")? as u64;
     }
+    let sp_arr = req_arr(j, "sp")?;
+    if sp_arr.len() != NUM_SHIFTS {
+        return Err(format!("sp: expected {NUM_SHIFTS} entries"));
+    }
+    let mut stream_pages = [0u64; NUM_SHIFTS];
+    for (i, n) in sp_arr.iter().enumerate() {
+        stream_pages[i] = n.as_num().ok_or("sp entry not a number")? as u64;
+    }
+    let pg_arr = req_arr(j, "pg")?;
+    if pg_arr.len() != NUM_SHIFTS {
+        return Err(format!(
+            "pg: {} page granularities, expected {NUM_SHIFTS} (profile from an older format?)",
+            pg_arr.len()
+        ));
+    }
+    let mut pages = Vec::with_capacity(NUM_SHIFTS);
+    for hs in pg_arr {
+        let arr = hs.as_arr().ok_or("pg entry is not an array")?;
+        if arr.len() != MODES {
+            return Err(format!("pg entry: expected {MODES} histograms"));
+        }
+        pages.push([
+            read_hist(&arr[0])?,
+            read_hist(&arr[1])?,
+            read_hist(&arr[2])?,
+        ]);
+    }
     Ok(PhaseThread {
         acc,
         loads: req_u64(j, "ld")?,
         stores: req_u64(j, "st")?,
         instructions: req_u64(j, "ins")?,
         ifetches: req_u64(j, "if")?,
-        stream_pages_4k: req_u64(j, "sp4")?,
-        stream_pages_2m: req_u64(j, "sp2")?,
+        stream_pages,
         line: read_hist3(j, "line")?,
-        p4k: read_hist3(j, "p4")?,
-        p2m: read_hist3(j, "p2")?,
-        code4k: req(j, "code").and_then(read_hist)?,
+        pages,
+        code: {
+            let arr = req_arr(j, "code")?;
+            if arr.len() != NUM_CODE_SHIFTS {
+                return Err(format!("code: expected {NUM_CODE_SHIFTS} histograms"));
+            }
+            arr.iter().map(read_hist).collect::<Result<_, _>>()?
+        },
         conflict: read_conflicts(j)?,
     })
 }

@@ -1,59 +1,104 @@
 //! Multi-level TLB hierarchies and the split instruction/data TLB.
 //!
-//! A [`Tlb`] is one or two levels of [`TlbArray`] pairs (one array per page
-//! size per level). Lookups probe both page-size arrays of a level in
-//! parallel — hardware does not know the page size of an address until it
-//! hits or walks — then fall through to the next level; an L2 hit promotes
-//! the entry into L1. This mirrors the Opteron's two-level DTLB, whose L2
-//! notably has **no 2 MB entries** (paper §3.2), so large-page translations
-//! live only in the 8-entry L1 array.
+//! A [`Tlb`] is one or two levels of [`TlbArray`]s — one array per rung of
+//! the translation architecture's page-size ladder per level. Lookups probe
+//! every size array of a level in parallel — hardware does not know the
+//! page size of an address until it hits or walks — then fall through to
+//! the next level; an L2 hit promotes the entry into L1. This mirrors the
+//! Opteron's two-level DTLB, whose L2 notably has **no 2 MB entries**
+//! (paper §3.2), so large-page translations live only in the 8-entry L1
+//! array. On ladders with more rungs (modern x86-64 with 1 GB pages, ARM64
+//! granule/contiguous-block ladders) the same structure simply grows more
+//! arrays per level.
 
 use crate::array::{ArrayStats, Assoc, TlbArray};
-use lpomp_vm::{PageSize, VirtAddr};
+use lpomp_vm::{Arch, MMArch, PageSize, VirtAddr, MAX_LADDER};
 
-/// Geometry of one TLB level: entry counts and associativity per page size.
+/// Geometry of one TLB entry array: entry count and associativity for one
+/// ladder rung.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeSlot {
+    /// Entry count (may be zero: the rung has no array at this level).
+    pub entries: u16,
+    /// Associativity of the array.
+    pub assoc: Assoc,
+}
+
+impl SizeSlot {
+    /// No entries for this rung at this level.
+    pub const NONE: SizeSlot = SizeSlot {
+        entries: 0,
+        assoc: Assoc::Full,
+    };
+
+    /// Fully associative array of `entries` entries.
+    pub const fn full(entries: u16) -> Self {
+        SizeSlot {
+            entries,
+            assoc: Assoc::Full,
+        }
+    }
+
+    /// `ways`-way set-associative array of `entries` entries.
+    pub const fn ways(entries: u16, ways: u16) -> Self {
+        SizeSlot {
+            entries,
+            assoc: Assoc::Ways(ways),
+        }
+    }
+}
+
+/// Geometry of one TLB level: one [`SizeSlot`] per ladder rank. Ranks past
+/// the architecture's ladder length are ignored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LevelConfig {
-    /// Entries for 4 KB pages.
-    pub small_entries: u16,
-    /// Associativity of the 4 KB array.
-    pub small_assoc: Assoc,
-    /// Entries for 2 MB pages (may be zero).
-    pub large_entries: u16,
-    /// Associativity of the 2 MB array.
-    pub large_assoc: Assoc,
+    /// Per-rank geometry, indexed by ladder rank (rank 0 = base pages).
+    pub slots: [SizeSlot; MAX_LADDER],
 }
 
 impl LevelConfig {
-    /// Convenience: fully associative arrays of the given sizes.
+    /// Convenience for the classic two-size shape: fully associative
+    /// arrays for rank 0 (4 KB) and rank 1 (2 MB), nothing above.
     pub const fn full(small_entries: u16, large_entries: u16) -> Self {
         LevelConfig {
-            small_entries,
-            small_assoc: Assoc::Full,
-            large_entries,
-            large_assoc: Assoc::Full,
+            slots: [
+                SizeSlot::full(small_entries),
+                SizeSlot::full(large_entries),
+                SizeSlot::NONE,
+                SizeSlot::NONE,
+            ],
         }
     }
 
-    /// Entry count for a page size.
-    pub fn entries(&self, size: PageSize) -> u16 {
-        match size {
-            PageSize::Small4K => self.small_entries,
-            PageSize::Large2M => self.large_entries,
-        }
+    /// A level from explicit per-rank slots.
+    pub const fn per_rank(slots: [SizeSlot; MAX_LADDER]) -> Self {
+        LevelConfig { slots }
     }
 
-    /// Reach of this level for a page size (entries × page bytes).
-    pub fn coverage_bytes(&self, size: PageSize) -> u64 {
-        self.entries(size) as u64 * size.bytes()
+    /// Geometry for one ladder rank.
+    pub fn slot(&self, rank: usize) -> SizeSlot {
+        self.slots[rank]
+    }
+
+    /// Entry count for a ladder rank.
+    pub fn entries_at(&self, rank: usize) -> u16 {
+        self.slots[rank].entries
+    }
+
+    /// Reach of this level for the rung at `rank` (entries × page bytes).
+    pub fn coverage_at(&self, rank: usize, size: PageSize) -> u64 {
+        self.entries_at(rank) as u64 * size.bytes()
     }
 }
 
-/// Geometry of a complete (possibly multi-level) TLB.
+/// Geometry of a complete (possibly multi-level) TLB, tied to the
+/// translation architecture whose ladder indexes its per-rank slots.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Human-readable name ("Opteron DTLB").
     pub name: &'static str,
+    /// Translation architecture whose ladder this geometry is indexed by.
+    pub arch: Arch,
     /// L1 geometry.
     pub l1: LevelConfig,
     /// Optional L2 geometry.
@@ -61,12 +106,16 @@ pub struct TlbConfig {
 }
 
 impl TlbConfig {
-    /// Reach of the *last* level holding entries of `size`. This is the
-    /// "memory coverage" quantity of the paper's Table 1.
+    /// Reach of the *last* level holding entries of `size` — the "memory
+    /// coverage" quantity of the paper's Table 1, generalized to any rung
+    /// of the architecture's ladder. Zero for sizes outside the ladder.
     pub fn coverage_bytes(&self, size: PageSize) -> u64 {
+        let Some(rank) = self.arch.rank_of(size) else {
+            return 0;
+        };
         match self.l2 {
-            Some(l2) if l2.entries(size) > 0 => l2.coverage_bytes(size),
-            _ => self.l1.coverage_bytes(size),
+            Some(l2) if l2.entries_at(rank) > 0 => l2.coverage_at(rank, size),
+            _ => self.l1.coverage_at(rank, size),
         }
     }
 }
@@ -125,69 +174,79 @@ impl TlbStats {
     }
 }
 
-/// One level's pair of arrays.
+/// One level's per-rung arrays, indexed by ladder rank.
 #[derive(Debug)]
 struct Level {
-    small: TlbArray,
-    large: TlbArray,
+    arrays: Vec<TlbArray>,
 }
 
 impl Level {
-    fn new(cfg: &LevelConfig) -> Self {
+    fn new(cfg: &LevelConfig, arch: Arch) -> Self {
         Level {
-            small: TlbArray::new(PageSize::Small4K, cfg.small_entries, cfg.small_assoc),
-            large: TlbArray::new(PageSize::Large2M, cfg.large_entries, cfg.large_assoc),
+            arrays: arch
+                .ladder()
+                .iter()
+                .enumerate()
+                .map(|(rank, rung)| {
+                    let s = cfg.slot(rank);
+                    TlbArray::new(rung.size, s.entries, s.assoc)
+                })
+                .collect(),
         }
     }
 
     fn array(&self, size: PageSize) -> &TlbArray {
-        match size {
-            PageSize::Small4K => &self.small,
-            PageSize::Large2M => &self.large,
-        }
+        self.arrays
+            .iter()
+            .find(|a| a.page_size() == size)
+            .unwrap_or_else(|| panic!("page size {size} is not a rung of this TLB's ladder"))
     }
 
     fn array_mut(&mut self, size: PageSize) -> &mut TlbArray {
-        match size {
-            PageSize::Small4K => &mut self.small,
-            PageSize::Large2M => &mut self.large,
-        }
+        self.arrays
+            .iter_mut()
+            .find(|a| a.page_size() == size)
+            .unwrap_or_else(|| panic!("page size {size} is not a rung of this TLB's ladder"))
     }
 
-    /// Non-mutating twin of [`Level::lookup`]: same probe order, no LRU
-    /// movement, no stats.
+    /// Non-mutating twin of [`Level::lookup`]: same probe order
+    /// (ascending ladder rank), no LRU movement, no stats.
     fn peek(&self, va: VirtAddr, tag: u64) -> Option<PageSize> {
-        if self.small.probe(va.vpn(PageSize::Small4K) | tag) {
-            Some(PageSize::Small4K)
-        } else if self.large.probe(va.vpn(PageSize::Large2M) | tag) {
-            Some(PageSize::Large2M)
-        } else {
-            None
-        }
+        self.arrays
+            .iter()
+            .find(|a| a.probe(va.vpn(a.page_size()) | tag))
+            .map(|a| a.page_size())
     }
 
-    /// Probe both size arrays for the address; returns the hitting size.
+    /// Probe every size array for the address; returns the hitting size.
     fn lookup(&mut self, va: VirtAddr, tag: u64) -> Option<PageSize> {
-        // Hardware probes both arrays concurrently; to keep the LRU state of
+        // Hardware probes all arrays concurrently; to keep the LRU state of
         // the miss path realistic we only update the array that hits, so
-        // probe first and promote second.
-        if self.small.probe(va.vpn(PageSize::Small4K) | tag) {
-            self.small.lookup(va.vpn(PageSize::Small4K) | tag);
-            Some(PageSize::Small4K)
-        } else if self.large.probe(va.vpn(PageSize::Large2M) | tag) {
-            self.large.lookup(va.vpn(PageSize::Large2M) | tag);
-            Some(PageSize::Large2M)
-        } else {
-            // Record the miss in both arrays' local stats.
-            self.small.lookup(va.vpn(PageSize::Small4K) | tag);
-            self.large.lookup(va.vpn(PageSize::Large2M) | tag);
-            None
+        // probe first (ascending rank) and promote second.
+        match self
+            .arrays
+            .iter()
+            .position(|a| a.probe(va.vpn(a.page_size()) | tag))
+        {
+            Some(i) => {
+                let size = self.arrays[i].page_size();
+                self.arrays[i].lookup(va.vpn(size) | tag);
+                Some(size)
+            }
+            None => {
+                // Record the miss in every array's local stats.
+                for a in &mut self.arrays {
+                    a.lookup(va.vpn(a.page_size()) | tag);
+                }
+                None
+            }
         }
     }
 
     fn flush(&mut self) {
-        self.small.flush();
-        self.large.flush();
+        for a in &mut self.arrays {
+            a.flush();
+        }
     }
 }
 
@@ -225,11 +284,12 @@ pub struct Tlb {
 }
 
 impl Tlb {
-    /// Instantiate a TLB from its geometry.
+    /// Instantiate a TLB from its geometry (the geometry names its
+    /// translation architecture, which fixes the per-level array set).
     pub fn new(config: TlbConfig) -> Self {
         Tlb {
-            l1: Level::new(&config.l1),
-            l2: config.l2.as_ref().map(Level::new),
+            l1: Level::new(&config.l1, config.arch),
+            l2: config.l2.as_ref().map(|l| Level::new(l, config.arch)),
             config,
             stats: TlbStats::default(),
             tag: 0,
@@ -282,15 +342,17 @@ impl Tlb {
         self.stats
     }
 
-    /// Per-array statistics: `(level, page size, stats)` tuples.
+    /// Per-array statistics: `(level, page size, stats)` tuples, in
+    /// ascending ladder-rank order within each level.
     pub fn array_stats(&self) -> Vec<(u8, PageSize, ArrayStats)> {
-        let mut v = vec![
-            (1, PageSize::Small4K, self.l1.small.stats()),
-            (1, PageSize::Large2M, self.l1.large.stats()),
-        ];
+        let mut v: Vec<_> = self
+            .l1
+            .arrays
+            .iter()
+            .map(|a| (1, a.page_size(), a.stats()))
+            .collect();
         if let Some(l2) = &self.l2 {
-            v.push((2, PageSize::Small4K, l2.small.stats()));
-            v.push((2, PageSize::Large2M, l2.large.stats()));
+            v.extend(l2.arrays.iter().map(|a| (2, a.page_size(), a.stats())));
         }
         v
     }
@@ -428,6 +490,7 @@ mod tests {
     fn two_level() -> Tlb {
         Tlb::new(TlbConfig {
             name: "test",
+            arch: Arch::X86_64_2007,
             l1: LevelConfig::full(2, 1),
             l2: Some(LevelConfig::full(8, 0)),
         })
@@ -534,17 +597,83 @@ mod tests {
     fn coverage_uses_last_level_with_entries() {
         let cfg = TlbConfig {
             name: "opteron-ish",
+            arch: Arch::X86_64_2007,
             l1: LevelConfig::full(32, 8),
-            l2: Some(LevelConfig {
-                small_entries: 1024,
-                small_assoc: Assoc::Ways(4),
-                large_entries: 0,
-                large_assoc: Assoc::Full,
-            }),
+            l2: Some(LevelConfig::per_rank([
+                SizeSlot::ways(1024, 4),
+                SizeSlot::NONE,
+                SizeSlot::NONE,
+                SizeSlot::NONE,
+            ])),
         };
         assert_eq!(cfg.coverage_bytes(PageSize::Small4K), 1024 * 4096);
         // Large pages fall back to L1 coverage: 8 × 2 MB = 16 MB (Table 1).
         assert_eq!(cfg.coverage_bytes(PageSize::Large2M), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn per_size_coverage_generalizes_to_a_three_rung_ladder() {
+        // Satellite regression: a modern three-rung ladder (4 KB / 2 MB /
+        // 1 GB) must report per-size coverage from the right level and
+        // return zero for sizes outside the ladder.
+        let cfg = TlbConfig {
+            name: "modern-ish",
+            arch: Arch::X86_64_MODERN,
+            l1: LevelConfig::per_rank([
+                SizeSlot::full(64),
+                SizeSlot::full(32),
+                SizeSlot::full(4),
+                SizeSlot::NONE,
+            ]),
+            l2: Some(LevelConfig::per_rank([
+                SizeSlot::ways(1024, 8),
+                SizeSlot::ways(256, 8),
+                SizeSlot::NONE, // 1 GB entries live only in L1
+                SizeSlot::NONE,
+            ])),
+        };
+        assert_eq!(cfg.coverage_bytes(PageSize::Small4K), 1024 * 4096);
+        assert_eq!(cfg.coverage_bytes(PageSize::Large2M), 256 * 2 * 1024 * 1024);
+        assert_eq!(
+            cfg.coverage_bytes(PageSize::Page1G),
+            4 * 1024 * 1024 * 1024u64,
+            "1 GB rung falls back to its L1 array"
+        );
+        assert_eq!(
+            cfg.coverage_bytes(PageSize::Page64K),
+            0,
+            "64 KB is not an x86-64 rung"
+        );
+    }
+
+    #[test]
+    fn three_rung_tlb_hits_on_every_rung() {
+        let mut t = Tlb::new(TlbConfig {
+            name: "modern",
+            arch: Arch::X86_64_MODERN,
+            l1: LevelConfig::per_rank([
+                SizeSlot::full(2),
+                SizeSlot::full(2),
+                SizeSlot::full(2),
+                SizeSlot::NONE,
+            ]),
+            l2: None,
+        });
+        let cases = [
+            (VirtAddr(0x1000), PageSize::Small4K),
+            (VirtAddr(0x20_0000), PageSize::Large2M),
+            (VirtAddr(1u64 << 30), PageSize::Page1G),
+        ];
+        for (va, size) in cases {
+            assert_eq!(t.lookup(va), TlbOutcome::Miss);
+            t.fill(va, size);
+            assert_eq!(t.lookup(va), TlbOutcome::L1Hit(size));
+        }
+        // One 1 GB entry covers any offset inside the gigabyte.
+        assert_eq!(
+            t.lookup(VirtAddr((1u64 << 30) + 123 * 4096)),
+            TlbOutcome::L1Hit(PageSize::Page1G)
+        );
     }
 
     #[test]
@@ -706,6 +835,7 @@ mod tests {
     fn split_tlb_sides_are_independent() {
         let cfg = TlbConfig {
             name: "t",
+            arch: Arch::X86_64_2007,
             l1: LevelConfig::full(4, 2),
             l2: None,
         };

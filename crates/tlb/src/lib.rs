@@ -4,11 +4,13 @@
 //!
 //! * [`mod@array`] — a single entry array (one page size), fully or
 //!   set-associative, true LRU;
-//! * [`hierarchy`] — one- and two-level TLBs with split 4 KB / 2 MB entry
-//!   arrays, L2→L1 promotion, and a split I/D wrapper;
+//! * [`hierarchy`] — one- and two-level TLBs with one entry array per rung
+//!   of the translation architecture's page-size ladder, L2→L1 promotion,
+//!   and a split I/D wrapper;
 //! * [`presets`] — the Xeon and Opteron 270 geometries of the paper's
-//!   Table 1, including the reach ("coverage") computation and the table
-//!   regeneration used by `lpomp-bench --bin table1`.
+//!   Table 1 (including the reach/"coverage" computation and the table
+//!   regeneration used by `lpomp-bench --bin table1`), plus modern-x86 and
+//!   ARM64 extension geometries.
 //!
 //! The machine model (`lpomp-machine`) owns one [`SplitTlb`] per core; on
 //! the Xeon preset the *same* instance serves both SMT contexts, modelling
@@ -22,5 +24,10 @@ pub mod hierarchy;
 pub mod presets;
 
 pub use array::{ArrayStats, Assoc, TlbArray};
-pub use hierarchy::{LevelConfig, SplitTlb, Tlb, TlbConfig, TlbOutcome, TlbStats, ASID_SHIFT};
-pub use presets::{table1, Table1Row, OPTERON_DTLB, OPTERON_ITLB, XEON_DTLB, XEON_ITLB};
+pub use hierarchy::{
+    LevelConfig, SizeSlot, SplitTlb, Tlb, TlbConfig, TlbOutcome, TlbStats, ASID_SHIFT,
+};
+pub use presets::{
+    default_tlbs, table1, Table1Row, ARM64_16K_DTLB, ARM64_16K_ITLB, ARM64_4K_DTLB, ARM64_4K_ITLB,
+    MODERN_X86_DTLB, MODERN_X86_ITLB, OPTERON_DTLB, OPTERON_ITLB, XEON_DTLB, XEON_ITLB,
+};

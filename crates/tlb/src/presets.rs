@@ -1,7 +1,9 @@
-//! TLB geometries of the paper's two evaluation platforms (its Table 1).
+//! TLB geometries of the paper's two evaluation platforms (its Table 1),
+//! plus extension geometries for the modern-x86 and ARM64 translation
+//! architectures.
 //!
-//! The numbers follow the paper's prose, which is the most explicit source
-//! (§2.1 and §3.2):
+//! The 2007 numbers follow the paper's prose, which is the most explicit
+//! source (§2.1 and §3.2):
 //!
 //! * *"The Intel Xeon processor has 128 entries for 4KB pages and 32
 //!   entries for 2MB pages"* — a single-level DTLB (and ITLB, which the
@@ -16,22 +18,22 @@
 //! discrepancy in `EXPERIMENTS.md`. The derived coverage values reproduce
 //! the table's legible coverage rows exactly: Xeon 4 KB DTLB reach 512 KB
 //! and 2 MB reach 64 MB; Opteron 2 MB reach 16 MB.
+//!
+//! The extension geometries are Skylake-class (x86-64 with 1 GB pages and
+//! a large second-level TLB — modelled as per-size partitions, since this
+//! model keeps one array per rung) and Cortex-A76-class (ARM64, 4 KB and
+//! 16 KB granules with contiguous-bit blocks).
 
-use crate::array::Assoc;
-use crate::hierarchy::{LevelConfig, TlbConfig};
-use lpomp_vm::PageSize;
+use crate::hierarchy::{LevelConfig, SizeSlot, TlbConfig};
+use lpomp_vm::{Arch, PageSize};
 
 /// Intel Xeon (Netburst, HyperThreading) data TLB: single level,
 /// 128 × 4 KB + 32 × 2 MB, fully associative, **shared between the two SMT
 /// contexts of a core** (sharing is applied by the machine model).
 pub const XEON_DTLB: TlbConfig = TlbConfig {
     name: "Xeon DTLB",
-    l1: LevelConfig {
-        small_entries: 128,
-        small_assoc: Assoc::Full,
-        large_entries: 32,
-        large_assoc: Assoc::Full,
-    },
+    arch: Arch::X86_64_2007,
+    l1: LevelConfig::full(128, 32),
     l2: None,
 };
 
@@ -40,12 +42,8 @@ pub const XEON_DTLB: TlbConfig = TlbConfig {
 /// finds ITLB misses negligible either way.
 pub const XEON_ITLB: TlbConfig = TlbConfig {
     name: "Xeon ITLB",
-    l1: LevelConfig {
-        small_entries: 128,
-        small_assoc: Assoc::Full,
-        large_entries: 32,
-        large_assoc: Assoc::Full,
-    },
+    arch: Arch::X86_64_2007,
+    l1: LevelConfig::full(128, 32),
     l2: None,
 };
 
@@ -54,36 +52,157 @@ pub const XEON_ITLB: TlbConfig = TlbConfig {
 /// per core.
 pub const OPTERON_DTLB: TlbConfig = TlbConfig {
     name: "Opteron DTLB",
-    l1: LevelConfig {
-        small_entries: 32,
-        small_assoc: Assoc::Full,
-        large_entries: 8,
-        large_assoc: Assoc::Full,
-    },
-    l2: Some(LevelConfig {
-        small_entries: 1024,
-        small_assoc: Assoc::Ways(4),
-        large_entries: 0,
-        large_assoc: Assoc::Full,
-    }),
+    arch: Arch::X86_64_2007,
+    l1: LevelConfig::full(32, 8),
+    l2: Some(LevelConfig::per_rank([
+        SizeSlot::ways(1024, 4),
+        SizeSlot::NONE,
+        SizeSlot::NONE,
+        SizeSlot::NONE,
+    ])),
 };
 
 /// AMD Opteron 270 instruction TLB: L1 32 × 4 KB + 8 × 2 MB, L2 512 × 4 KB.
 pub const OPTERON_ITLB: TlbConfig = TlbConfig {
     name: "Opteron ITLB",
-    l1: LevelConfig {
-        small_entries: 32,
-        small_assoc: Assoc::Full,
-        large_entries: 8,
-        large_assoc: Assoc::Full,
-    },
-    l2: Some(LevelConfig {
-        small_entries: 512,
-        small_assoc: Assoc::Ways(4),
-        large_entries: 0,
-        large_assoc: Assoc::Full,
-    }),
+    arch: Arch::X86_64_2007,
+    l1: LevelConfig::full(32, 8),
+    l2: Some(LevelConfig::per_rank([
+        SizeSlot::ways(512, 4),
+        SizeSlot::NONE,
+        SizeSlot::NONE,
+        SizeSlot::NONE,
+    ])),
 };
+
+/// Modern (Skylake-class) x86-64 data TLB: three-rung ladder with 1 GB
+/// pages and a large second-level TLB. The hardware's STLB is shared
+/// across 4 KB/2 MB entries; with one array per rung we model it as
+/// per-size partitions of comparable reach.
+pub const MODERN_X86_DTLB: TlbConfig = TlbConfig {
+    name: "Modern x86-64 DTLB",
+    arch: Arch::X86_64_MODERN,
+    l1: LevelConfig::per_rank([
+        SizeSlot::ways(64, 4),
+        SizeSlot::ways(32, 4),
+        SizeSlot::full(4),
+        SizeSlot::NONE,
+    ]),
+    l2: Some(LevelConfig::per_rank([
+        SizeSlot::ways(1024, 8),
+        SizeSlot::ways(256, 8),
+        SizeSlot::ways(16, 4),
+        SizeSlot::NONE,
+    ])),
+};
+
+/// Modern x86-64 instruction TLB (code rarely uses 1 GB mappings, so the
+/// gigabyte rung gets no instruction entries).
+pub const MODERN_X86_ITLB: TlbConfig = TlbConfig {
+    name: "Modern x86-64 ITLB",
+    arch: Arch::X86_64_MODERN,
+    l1: LevelConfig::per_rank([
+        SizeSlot::ways(128, 8),
+        SizeSlot::full(8),
+        SizeSlot::NONE,
+        SizeSlot::NONE,
+    ]),
+    l2: Some(LevelConfig::per_rank([
+        SizeSlot::ways(1024, 8),
+        SizeSlot::ways(256, 8),
+        SizeSlot::NONE,
+        SizeSlot::NONE,
+    ])),
+};
+
+/// ARM64 (Cortex-A76-class) data TLB on the 4 KB granule: fully
+/// associative L1 micro-TLB backed by a large set-associative L2, with
+/// entries for the contiguous-bit 64 KB blocks on their own rung.
+pub const ARM64_4K_DTLB: TlbConfig = TlbConfig {
+    name: "ARM64-4K DTLB",
+    arch: Arch::ARM64_4K,
+    l1: LevelConfig::per_rank([
+        SizeSlot::full(32),
+        SizeSlot::full(8),
+        SizeSlot::full(8),
+        SizeSlot::NONE,
+    ]),
+    l2: Some(LevelConfig::per_rank([
+        SizeSlot::ways(1024, 4),
+        SizeSlot::ways(128, 4),
+        SizeSlot::ways(128, 4),
+        SizeSlot::NONE,
+    ])),
+};
+
+/// ARM64 instruction TLB on the 4 KB granule.
+pub const ARM64_4K_ITLB: TlbConfig = TlbConfig {
+    name: "ARM64-4K ITLB",
+    arch: Arch::ARM64_4K,
+    l1: LevelConfig::per_rank([
+        SizeSlot::full(32),
+        SizeSlot::full(8),
+        SizeSlot::full(8),
+        SizeSlot::NONE,
+    ]),
+    l2: Some(LevelConfig::per_rank([
+        SizeSlot::ways(512, 4),
+        SizeSlot::ways(64, 4),
+        SizeSlot::ways(64, 4),
+        SizeSlot::NONE,
+    ])),
+};
+
+/// ARM64 data TLB on the 16 KB granule (16 KB base, 2 MB contiguous
+/// blocks, 32 MB level-1 blocks).
+pub const ARM64_16K_DTLB: TlbConfig = TlbConfig {
+    name: "ARM64-16K DTLB",
+    arch: Arch::ARM64_16K,
+    l1: LevelConfig::per_rank([
+        SizeSlot::full(32),
+        SizeSlot::full(8),
+        SizeSlot::full(8),
+        SizeSlot::NONE,
+    ]),
+    l2: Some(LevelConfig::per_rank([
+        SizeSlot::ways(1024, 4),
+        SizeSlot::ways(128, 4),
+        SizeSlot::ways(64, 4),
+        SizeSlot::NONE,
+    ])),
+};
+
+/// ARM64 instruction TLB on the 16 KB granule.
+pub const ARM64_16K_ITLB: TlbConfig = TlbConfig {
+    name: "ARM64-16K ITLB",
+    arch: Arch::ARM64_16K,
+    l1: LevelConfig::per_rank([
+        SizeSlot::full(32),
+        SizeSlot::full(8),
+        SizeSlot::full(8),
+        SizeSlot::NONE,
+    ]),
+    l2: Some(LevelConfig::per_rank([
+        SizeSlot::ways(512, 4),
+        SizeSlot::ways(64, 4),
+        SizeSlot::ways(64, 4),
+        SizeSlot::NONE,
+    ])),
+};
+
+/// The canonical (data, instruction) TLB geometry for each translation
+/// architecture — what a builder swaps in when re-equipping a platform
+/// with a different architecture. The 2007 x86-64 pair is the Opteron's
+/// (the reproduction's reference platform; the Xeon keeps its own
+/// geometry by constructing its config directly).
+pub fn default_tlbs(arch: Arch) -> (TlbConfig, TlbConfig) {
+    match arch {
+        Arch::X86_64_2007 => (OPTERON_DTLB, OPTERON_ITLB),
+        Arch::X86_64_MODERN => (MODERN_X86_DTLB, MODERN_X86_ITLB),
+        Arch::ARM64_4K => (ARM64_4K_DTLB, ARM64_4K_ITLB),
+        Arch::ARM64_16K => (ARM64_16K_DTLB, ARM64_16K_ITLB),
+    }
+}
 
 /// One row of the reproduced Table 1.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -99,7 +218,8 @@ pub struct Table1Row {
 }
 
 /// Reproduce the paper's Table 1 ("Processor TLB Sizes and Coverage") from
-/// the preset geometries.
+/// the preset geometries. Ranks 0 and 1 of the x86-64-2007 ladder are the
+/// table's 4 KB and 2 MB rows.
 pub fn table1() -> Vec<Table1Row> {
     let x = &XEON_DTLB;
     let o = &OPTERON_DTLB;
@@ -108,32 +228,32 @@ pub fn table1() -> Vec<Table1Row> {
     vec![
         Table1Row {
             label: "ITLB (4KB) Size",
-            xeon: xi.l1.small_entries as u64,
-            opteron: oi.l1.small_entries as u64,
+            xeon: xi.l1.entries_at(0) as u64,
+            opteron: oi.l1.entries_at(0) as u64,
             is_bytes: false,
         },
         Table1Row {
             label: "L1DTLB (4KB) Size",
-            xeon: x.l1.small_entries as u64,
-            opteron: o.l1.small_entries as u64,
+            xeon: x.l1.entries_at(0) as u64,
+            opteron: o.l1.entries_at(0) as u64,
             is_bytes: false,
         },
         Table1Row {
             label: "L1DTLB (2MB) Size",
-            xeon: x.l1.large_entries as u64,
-            opteron: o.l1.large_entries as u64,
+            xeon: x.l1.entries_at(1) as u64,
+            opteron: o.l1.entries_at(1) as u64,
             is_bytes: false,
         },
         Table1Row {
             label: "L2DTLB (4KB) Size",
-            xeon: x.l2.map_or(0, |l| l.small_entries as u64),
-            opteron: o.l2.map_or(0, |l| l.small_entries as u64),
+            xeon: x.l2.map_or(0, |l| l.entries_at(0) as u64),
+            opteron: o.l2.map_or(0, |l| l.entries_at(0) as u64),
             is_bytes: false,
         },
         Table1Row {
             label: "L2DTLB (2MB) Size",
-            xeon: x.l2.map_or(0, |l| l.large_entries as u64),
-            opteron: o.l2.map_or(0, |l| l.large_entries as u64),
+            xeon: x.l2.map_or(0, |l| l.entries_at(1) as u64),
+            opteron: o.l2.map_or(0, |l| l.entries_at(1) as u64),
             is_bytes: false,
         },
         Table1Row {
@@ -195,8 +315,8 @@ mod tests {
 
     #[test]
     fn opteron_l2_has_no_large_entries() {
-        assert_eq!(OPTERON_DTLB.l2.unwrap().large_entries, 0);
-        assert_eq!(OPTERON_ITLB.l2.unwrap().large_entries, 0);
+        assert_eq!(OPTERON_DTLB.l2.unwrap().entries_at(1), 0);
+        assert_eq!(OPTERON_ITLB.l2.unwrap().entries_at(1), 0);
     }
 
     #[test]
@@ -218,9 +338,44 @@ mod tests {
     #[test]
     fn presets_instantiate() {
         use crate::hierarchy::Tlb;
-        for cfg in [XEON_DTLB, XEON_ITLB, OPTERON_DTLB, OPTERON_ITLB] {
+        for cfg in [
+            XEON_DTLB,
+            XEON_ITLB,
+            OPTERON_DTLB,
+            OPTERON_ITLB,
+            MODERN_X86_DTLB,
+            MODERN_X86_ITLB,
+            ARM64_4K_DTLB,
+            ARM64_4K_ITLB,
+            ARM64_16K_DTLB,
+            ARM64_16K_ITLB,
+        ] {
             let t = Tlb::new(cfg);
             assert!(!t.config().name.is_empty());
+        }
+    }
+
+    #[test]
+    fn extension_preset_slots_match_their_ladders() {
+        use lpomp_vm::MMArch;
+        // Every preset must leave slots past its ladder empty, and give
+        // the base rung entries at L1 (a TLB that can't cache base pages
+        // is nonsense).
+        for cfg in [
+            XEON_DTLB,
+            OPTERON_DTLB,
+            MODERN_X86_DTLB,
+            ARM64_4K_DTLB,
+            ARM64_16K_DTLB,
+        ] {
+            let rungs = cfg.arch.ladder().len();
+            assert!(cfg.l1.entries_at(0) > 0, "{}", cfg.name);
+            for rank in rungs..lpomp_vm::MAX_LADDER {
+                assert_eq!(cfg.l1.entries_at(rank), 0, "{} rank {rank}", cfg.name);
+                if let Some(l2) = cfg.l2 {
+                    assert_eq!(l2.entries_at(rank), 0, "{} L2 rank {rank}", cfg.name);
+                }
+            }
         }
     }
 }

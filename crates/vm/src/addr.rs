@@ -5,6 +5,12 @@
 //! arrays for each size). Everything above this module is generic over
 //! [`PageSize`], so the rest of the stack can ask "what changes when the
 //! leaf page grows by a factor of 512?" without special cases.
+//!
+//! A [`PageSize`] is an open value — any power-of-two size a translation
+//! architecture ([`crate::arch`]) declares in its ladder — rather than the
+//! closed 4 KB / 2 MB pair of the original model. `PageSize::Small4K` and
+//! `PageSize::Large2M` remain as aliases for the x86-64-2007 ladder's
+//! rungs 0 and 1 so existing call sites keep compiling.
 
 use core::fmt;
 
@@ -19,35 +25,51 @@ pub const LARGE_PAGE_BYTES: u64 = 1 << LARGE_PAGE_SHIFT;
 /// How many 4 KB pages fit in one 2 MB page (512).
 pub const SMALL_PER_LARGE: u64 = LARGE_PAGE_BYTES / SMALL_PAGE_BYTES;
 
-/// A page size supported by the simulated MMU.
+/// A page size supported by the simulated MMU: any power of two from 4 KB
+/// up, carried as its log2. Ordering and equality follow the size.
 ///
-/// `Small4K` is the traditional base page; `Large2M` is the large page the
-/// paper's modified Omni/SCASH runtime allocates shared data from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum PageSize {
-    /// Traditional 4 KB base page.
-    Small4K,
-    /// 2 MB large ("huge" / "super") page.
-    Large2M,
+/// The closed two-variant enum this used to be survives as the associated
+/// constants [`Small4K`](Self::Small4K) / [`Large2M`](Self::Large2M)
+/// (rungs 0 and 1 of [`crate::arch::Arch::X86_64_2007`]); new code should
+/// iterate an architecture's ladder instead of naming sizes directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageSize {
+    shift: u8,
 }
 
+#[allow(non_upper_case_globals)]
 impl PageSize {
+    /// Traditional 4 KB base page (x86-64-2007 ladder rung 0).
+    pub const Small4K: PageSize = PageSize::from_shift(SMALL_PAGE_SHIFT);
+    /// 2 MB large ("huge" / "super") page (x86-64-2007 ladder rung 1).
+    pub const Large2M: PageSize = PageSize::from_shift(LARGE_PAGE_SHIFT);
+    /// 16 KB base page (ARM64 16 KB granule).
+    pub const Page16K: PageSize = PageSize::from_shift(14);
+    /// 64 KB block (ARM64 4 KB granule, contiguous-bit run of 16 PTEs).
+    pub const Page64K: PageSize = PageSize::from_shift(16);
+    /// 32 MB block (ARM64 16 KB granule, level-1 leaf).
+    pub const Page32M: PageSize = PageSize::from_shift(25);
+    /// 1 GB gigantic page (x86-64 PDPT leaf).
+    pub const Page1G: PageSize = PageSize::from_shift(30);
+
+    /// The page size `2^shift` bytes. `shift` must be at least 12 (the
+    /// machine-wide base frame) and below 48 (the virtual address width).
+    #[inline]
+    pub const fn from_shift(shift: u32) -> PageSize {
+        assert!(shift >= SMALL_PAGE_SHIFT && shift < 48, "bad page shift");
+        PageSize { shift: shift as u8 }
+    }
+
     /// Size of the page in bytes.
     #[inline]
     pub const fn bytes(self) -> u64 {
-        match self {
-            PageSize::Small4K => SMALL_PAGE_BYTES,
-            PageSize::Large2M => LARGE_PAGE_BYTES,
-        }
+        1u64 << self.shift
     }
 
     /// log2 of the page size.
     #[inline]
     pub const fn shift(self) -> u32 {
-        match self {
-            PageSize::Small4K => SMALL_PAGE_SHIFT,
-            PageSize::Large2M => LARGE_PAGE_SHIFT,
-        }
+        self.shift as u32
     }
 
     /// Mask that extracts the in-page offset.
@@ -57,12 +79,11 @@ impl PageSize {
     }
 
     /// Buddy-allocator order of one page of this size (order 0 = 4 KB).
+    /// Physical frames are 4 KB machine-wide regardless of the base
+    /// granule, so a 16 KB base page is an order-2 allocation.
     #[inline]
     pub const fn buddy_order(self) -> u8 {
-        match self {
-            PageSize::Small4K => 0,
-            PageSize::Large2M => (LARGE_PAGE_SHIFT - SMALL_PAGE_SHIFT) as u8,
-        }
+        (self.shift() - SMALL_PAGE_SHIFT) as u8
     }
 
     /// Round `len` bytes up to a whole number of pages of this size.
@@ -78,16 +99,29 @@ impl PageSize {
         self.round_up(len) >> self.shift()
     }
 
-    /// Both supported sizes, small first.
+    /// The x86-64-2007 ladder, small first — kept for call sites written
+    /// against the original two-size model. New code should iterate
+    /// [`crate::arch::MMArch::ladder`] instead.
     pub const ALL: [PageSize; 2] = [PageSize::Small4K, PageSize::Large2M];
 }
 
 impl fmt::Display for PageSize {
+    /// Renders as the paper writes sizes: `4KB`, `2MB`, `1GB`, …
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PageSize::Small4K => write!(f, "4KB"),
-            PageSize::Large2M => write!(f, "2MB"),
+        let s = self.shift();
+        if s >= 30 {
+            write!(f, "{}GB", 1u64 << (s - 30))
+        } else if s >= 20 {
+            write!(f, "{}MB", 1u64 << (s - 20))
+        } else {
+            write!(f, "{}KB", 1u64 << (s - 10))
         }
+    }
+}
+
+impl fmt::Debug for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageSize({self})")
     }
 }
 
@@ -136,6 +170,8 @@ impl VirtAddr {
     /// Index into the page-table level `level` (0 = leaf PT, 3 = root).
     ///
     /// x86-64 long mode: 9 bits per level above the 12-bit page offset.
+    /// Other walk shapes index through
+    /// [`crate::arch::WalkShape::pt_index`].
     #[inline]
     pub const fn pt_index(self, level: u8) -> usize {
         ((self.0 >> (SMALL_PAGE_SHIFT + 9 * level as u32)) & 0x1ff) as usize
@@ -197,6 +233,32 @@ mod tests {
         assert_eq!(SMALL_PER_LARGE, 512);
         assert_eq!(PageSize::Small4K.buddy_order(), 0);
         assert_eq!(PageSize::Large2M.buddy_order(), 9);
+    }
+
+    #[test]
+    fn open_page_sizes_round_trip_shift() {
+        for shift in [12u32, 14, 16, 21, 25, 30] {
+            let s = PageSize::from_shift(shift);
+            assert_eq!(s.shift(), shift);
+            assert_eq!(s.bytes(), 1u64 << shift);
+            assert_eq!(s.buddy_order() as u32, shift - 12);
+        }
+        assert_eq!(PageSize::Page16K.bytes(), 16 * 1024);
+        assert_eq!(PageSize::Page64K.bytes(), 64 * 1024);
+        assert_eq!(PageSize::Page32M.bytes(), 32 * 1024 * 1024);
+        assert_eq!(PageSize::Page1G.bytes(), 1024 * 1024 * 1024);
+        assert!(PageSize::Small4K < PageSize::Page16K);
+        assert!(PageSize::Large2M < PageSize::Page1G);
+    }
+
+    #[test]
+    fn display_matches_paper_spelling() {
+        assert_eq!(PageSize::Small4K.to_string(), "4KB");
+        assert_eq!(PageSize::Large2M.to_string(), "2MB");
+        assert_eq!(PageSize::Page16K.to_string(), "16KB");
+        assert_eq!(PageSize::Page64K.to_string(), "64KB");
+        assert_eq!(PageSize::Page32M.to_string(), "32MB");
+        assert_eq!(PageSize::Page1G.to_string(), "1GB");
     }
 
     #[test]

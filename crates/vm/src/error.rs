@@ -38,6 +38,9 @@ pub enum VmError {
         /// Page size whose alignment was violated.
         size: PageSize,
     },
+    /// The page size is not a rung of the active translation
+    /// architecture's ladder.
+    UnsupportedPageSize(PageSize),
     /// Named shared file does not exist.
     NoSuchFile(String),
     /// Named shared file already exists.
@@ -74,6 +77,9 @@ impl fmt::Display for VmError {
             }
             VmError::Misaligned { addr, size } => {
                 write!(f, "address {addr} not aligned to {size} page")
+            }
+            VmError::UnsupportedPageSize(s) => {
+                write!(f, "page size {s} is not in the architecture's ladder")
             }
             VmError::NoSuchFile(n) => write!(f, "no shared file named {n:?}"),
             VmError::FileExists(n) => write!(f, "shared file {n:?} already exists"),

@@ -289,6 +289,71 @@ impl BuddyAllocator {
         self.stats.frees += 1;
     }
 
+    /// Allocate one naturally aligned block of order `order`, where the
+    /// order may exceed [`MAX_ORDER`]. Orders up to `MAX_ORDER` go through
+    /// the regular buddy path; larger requests are satisfied by carving an
+    /// aligned run of free `MAX_ORDER` blocks out of the ordered free set —
+    /// the moral equivalent of Linux's boot-time `alloc_bootmem`/CMA path
+    /// for gigantic (1 GB) pages, which the buddy system itself cannot
+    /// produce. Succeeds only while a fully free aligned run still exists,
+    /// which is why gigantic pools must be reserved before memory
+    /// fragments.
+    pub fn alloc_block(&mut self, order: u8) -> VmResult<PhysAddr> {
+        if order <= MAX_ORDER {
+            return self.alloc(order);
+        }
+        if self.injected_failure(order) {
+            return Err(VmError::OutOfMemory { order });
+        }
+        let span = 1u64 << order;
+        let chunk = 1u64 << MAX_ORDER;
+        let found = {
+            let top = &self.free[MAX_ORDER as usize];
+            top.iter().copied().find(|&base| {
+                base.is_multiple_of(span)
+                    && (1..span / chunk).all(|i| top.contains(&(base + i * chunk)))
+            })
+        };
+        let Some(base) = found else {
+            self.stats.failures += 1;
+            return Err(VmError::OutOfMemory { order });
+        };
+        for i in 0..span / chunk {
+            self.free[MAX_ORDER as usize].remove(&(base + i * chunk));
+        }
+        self.free_frames -= span;
+        self.stats.allocs += 1;
+        self.allocated.insert(base, order);
+        Ok(PhysAddr(base << SMALL_PAGE_SHIFT))
+    }
+
+    /// Free a block previously returned by [`alloc_block`](Self::alloc_block)
+    /// with the same order. Above-`MAX_ORDER` blocks decompose back into
+    /// their `MAX_ORDER` chunks (which need no further coalescing — the
+    /// chunks are already maximal).
+    pub fn free_block(&mut self, addr: PhysAddr, order: u8) {
+        if order <= MAX_ORDER {
+            return self.free(addr, order);
+        }
+        let pfn = addr.0 >> SMALL_PAGE_SHIFT;
+        assert_eq!(
+            pfn % (1 << order),
+            0,
+            "freed block {addr:?} not aligned to order {order}"
+        );
+        match self.allocated.remove(&pfn) {
+            Some(o) => assert_eq!(o, order, "block {addr:?} freed with wrong order"),
+            None => panic!("double free or foreign free of block at {addr:?}"),
+        }
+        let chunk = 1u64 << MAX_ORDER;
+        for i in 0..(1u64 << order) / chunk {
+            let inserted = self.free[MAX_ORDER as usize].insert(pfn + i * chunk);
+            debug_assert!(inserted, "free-list corruption at pfn {pfn:#x}");
+        }
+        self.free_frames += 1 << order;
+        self.stats.frees += 1;
+    }
+
     /// Allocate one naturally aligned block of order `order` from the
     /// *top* of physical memory (highest free address). This is the
     /// compaction free scanner's allocation path: migration targets are
@@ -591,6 +656,46 @@ mod tests {
         // The budget is spent; allocation works again.
         let p = a.alloc(o9).unwrap();
         a.free(p, o9);
+    }
+
+    #[test]
+    fn gigantic_blocks_carve_aligned_runs() {
+        let mut a = BuddyAllocator::new(mb(64));
+        // Order 13 = 32 MB, well above MAX_ORDER.
+        let p = a.alloc_block(13).unwrap();
+        assert_eq!(p.0 % mb(32), 0);
+        assert_eq!(a.free_bytes(), mb(32));
+        let q = a.alloc_block(13).unwrap();
+        assert_ne!(p, q);
+        assert_eq!(a.alloc_block(13), Err(VmError::OutOfMemory { order: 13 }));
+        a.free_block(p, 13);
+        a.free_block(q, 13);
+        assert_eq!(a.free_bytes(), mb(64));
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+    }
+
+    #[test]
+    fn gigantic_blocks_need_a_fully_free_aligned_run() {
+        let mut a = BuddyAllocator::new(mb(64));
+        // Pin one 4 KB frame in the first 32 MB half: only the second half
+        // can still serve an order-13 request.
+        let pin = a.alloc(0).unwrap();
+        let p = a.alloc_block(13).unwrap();
+        assert_eq!(p.0, mb(32), "must skip the fragmented first half");
+        assert_eq!(a.alloc_block(13), Err(VmError::OutOfMemory { order: 13 }));
+        a.free(pin, 0);
+        a.free_block(p, 13);
+        assert_eq!(a.free_bytes(), mb(64));
+    }
+
+    #[test]
+    fn alloc_block_delegates_small_orders_to_the_buddy_path() {
+        let mut a = BuddyAllocator::new(mb(8));
+        let p = a.alloc_block(0).unwrap();
+        let q = a.alloc_block(MAX_ORDER).unwrap();
+        a.free_block(p, 0);
+        a.free_block(q, MAX_ORDER);
+        assert_eq!(a.free_bytes(), mb(8));
     }
 
     #[test]

@@ -100,9 +100,14 @@ pub struct HugePoolStats {
     pub failed: u64,
 }
 
-/// Boot-time reserved pool of 2 MB pages (the `hugetlbfs` analogue).
+/// Boot-time reserved pool of huge pages (the `hugetlbfs` analogue).
+/// Classically 2 MB pages; [`reserve_sized`](Self::reserve_sized) builds
+/// pools of any rung size — including gigantic sizes (1 GB, 32 MB) that
+/// exceed the buddy allocator's `MAX_ORDER` and therefore *only* exist via
+/// this boot-time reservation, exactly as on Linux.
 #[derive(Debug)]
 pub struct HugePool {
+    page_size: PageSize,
     free: Vec<PhysAddr>,
     /// Per-node free buckets, populated only by
     /// [`reserve_per_node`](Self::reserve_per_node) — the analogue of a
@@ -120,21 +125,34 @@ impl HugePool {
     /// [`VmError::OutOfMemory`] if physical memory is too fragmented or
     /// small — exactly the condition boot-time reservation avoids.
     pub fn reserve(frames: &mut BuddyAllocator, pages: u64) -> VmResult<Self> {
-        let order = PageSize::Large2M.buddy_order();
+        Self::reserve_sized(frames, pages, PageSize::Large2M)
+    }
+
+    /// Reserve `pages` pages of `size` from the buddy allocator. Sizes
+    /// above the buddy `MAX_ORDER` (e.g. 1 GB) are carved as contiguous
+    /// aligned runs, so the reservation succeeds only on a largely
+    /// unfragmented machine — boot time, in practice.
+    pub fn reserve_sized(
+        frames: &mut BuddyAllocator,
+        pages: u64,
+        size: PageSize,
+    ) -> VmResult<Self> {
+        let order = size.buddy_order();
         let mut free = Vec::with_capacity(pages as usize);
         for _ in 0..pages {
-            match frames.alloc(order) {
+            match frames.alloc_block(order) {
                 Ok(pa) => free.push(pa),
                 Err(e) => {
                     // Roll back the partial reservation.
                     for pa in free {
-                        frames.free(pa, order);
+                        frames.free_block(pa, order);
                     }
                     return Err(e);
                 }
             }
         }
         Ok(HugePool {
+            page_size: size,
             free,
             node_free: Vec::new(),
             origin: HashMap::new(),
@@ -187,6 +205,7 @@ impl HugePool {
             }
         }
         Ok(HugePool {
+            page_size: PageSize::Large2M,
             free: Vec::new(),
             node_free,
             origin,
@@ -196,6 +215,11 @@ impl HugePool {
                 ..Default::default()
             },
         })
+    }
+
+    /// Page size of every page in the pool.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
     }
 
     /// Pages still available in the pool (all nodes combined).
@@ -213,13 +237,13 @@ impl HugePool {
         self.stats
     }
 
-    /// Create a named file of `len_bytes` (rounded up to whole 2 MB pages)
+    /// Create a named file of `len_bytes` (rounded up to whole pool pages)
     /// backed by pool pages.
     pub fn create_file(&mut self, name: &str, len_bytes: u64) -> VmResult<Arc<SharedSegment>> {
         if self.files.contains_key(name) {
             return Err(VmError::FileExists(name.to_owned()));
         }
-        let pages = PageSize::Large2M.pages_for(len_bytes);
+        let pages = self.page_size.pages_for(len_bytes);
         if pages > self.free.len() as u64 {
             self.stats.failed += 1;
             return Err(VmError::HugePoolExhausted {
@@ -233,7 +257,7 @@ impl HugePool {
         self.stats.peak = self.stats.peak.max(self.stats.in_use);
         let seg = Arc::new(SharedSegment {
             name: name.to_owned(),
-            page_size: PageSize::Large2M,
+            page_size: self.page_size,
             frames,
             map_count: AtomicUsize::new(0),
         });
@@ -261,7 +285,7 @@ impl HugePool {
         if self.files.contains_key(name) {
             return Err(VmError::FileExists(name.to_owned()));
         }
-        let pages = PageSize::Large2M.pages_for(len_bytes);
+        let pages = self.page_size.pages_for(len_bytes);
         if pages > self.available() {
             self.stats.failed += 1;
             return Err(VmError::HugePoolExhausted {
@@ -290,7 +314,7 @@ impl HugePool {
         self.stats.peak = self.stats.peak.max(self.stats.in_use);
         let seg = Arc::new(SharedSegment {
             name: name.to_owned(),
-            page_size: PageSize::Large2M,
+            page_size: self.page_size,
             frames,
             map_count: AtomicUsize::new(0),
         });
@@ -337,14 +361,14 @@ impl HugePool {
 
     /// Release the pool's unused pages back to the buddy allocator.
     pub fn shrink_to_fit(&mut self, frames: &mut BuddyAllocator) {
-        let order = PageSize::Large2M.buddy_order();
+        let order = self.page_size.buddy_order();
         for pa in self.free.drain(..) {
-            frames.free(pa, order);
+            frames.free_block(pa, order);
             self.stats.reserved -= 1;
         }
         for bucket in self.node_free.iter_mut() {
             for pa in bucket.drain(..) {
-                frames.free(pa, order);
+                frames.free_block(pa, order);
                 self.stats.reserved -= 1;
             }
         }
@@ -352,20 +376,43 @@ impl HugePool {
 }
 
 /// Small-page shared files (POSIX shm analogue) — used for the mailbox
-/// region the paper keeps in 4 KB pages.
-#[derive(Debug, Default)]
+/// region the paper keeps in 4 KB pages. Pages are the filesystem's
+/// granule: 4 KB by default, or an architecture's base granule via
+/// [`ShmFs::with_granule`].
+#[derive(Debug)]
 pub struct ShmFs {
     files: HashMap<String, Arc<SharedSegment>>,
+    granule: PageSize,
+}
+
+impl Default for ShmFs {
+    fn default() -> Self {
+        Self::with_granule(PageSize::Small4K)
+    }
 }
 
 impl ShmFs {
-    /// Create an empty shm filesystem.
+    /// Create an empty shm filesystem with the classic 4 KB granule.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Create a named small-page file of `len_bytes` (rounded up), drawing
-    /// frames from the buddy allocator immediately.
+    /// Create an empty shm filesystem whose files are built from pages of
+    /// `granule` (an architecture's base page size).
+    pub fn with_granule(granule: PageSize) -> Self {
+        ShmFs {
+            files: HashMap::new(),
+            granule,
+        }
+    }
+
+    /// Page size of this filesystem's files.
+    pub fn granule(&self) -> PageSize {
+        self.granule
+    }
+
+    /// Create a named granule-paged file of `len_bytes` (rounded up),
+    /// drawing frames from the buddy allocator immediately.
     pub fn create_file(
         &mut self,
         frames: &mut BuddyAllocator,
@@ -377,8 +424,8 @@ impl ShmFs {
 
     /// Like [`create_file`](Self::create_file), but page `i` is allocated
     /// on node `node_for(i)` when it returns `Some` — NUMA placement for
-    /// shared 4 KB segments. `None` keeps the allocator's default (lowest
-    /// address first).
+    /// shared small-page segments. `None` keeps the allocator's default
+    /// (lowest address first).
     pub fn create_file_placed(
         &mut self,
         frames: &mut BuddyAllocator,
@@ -389,18 +436,19 @@ impl ShmFs {
         if self.files.contains_key(name) {
             return Err(VmError::FileExists(name.to_owned()));
         }
-        let pages = PageSize::Small4K.pages_for(len_bytes);
+        let order = self.granule.buddy_order();
+        let pages = self.granule.pages_for(len_bytes);
         let mut fr = Vec::with_capacity(pages as usize);
         for i in 0..pages {
             let got = match node_for(i) {
-                Some(node) => frames.alloc_on_node(node.min(frames.nodes() - 1), 0),
-                None => frames.alloc(0),
+                Some(node) => frames.alloc_on_node(node.min(frames.nodes() - 1), order),
+                None => frames.alloc(order),
             };
             match got {
                 Ok(pa) => fr.push(pa),
                 Err(e) => {
                     for pa in fr {
-                        frames.free(pa, 0);
+                        frames.free(pa, order);
                     }
                     return Err(e);
                 }
@@ -408,7 +456,7 @@ impl ShmFs {
         }
         let seg = Arc::new(SharedSegment {
             name: name.to_owned(),
-            page_size: PageSize::Small4K,
+            page_size: self.granule,
             frames: fr,
             map_count: AtomicUsize::new(0),
         });
@@ -446,6 +494,25 @@ mod tests {
         for i in 0..3 {
             assert_eq!(seg.frame(i).unwrap().0 % PageSize::Large2M.bytes(), 0);
         }
+    }
+
+    #[test]
+    fn sized_pool_serves_gigabyte_pages() {
+        // 2 GB extent, pool of one 1 GB page — carved past the buddy
+        // MAX_ORDER via the contiguous-run path.
+        let mut f = BuddyAllocator::new(2u64 << 30);
+        let before = f.free_bytes();
+        let mut pool = HugePool::reserve_sized(&mut f, 1, PageSize::Page1G).unwrap();
+        assert_eq!(pool.page_size(), PageSize::Page1G);
+        assert_eq!(pool.available(), 1);
+        let seg = pool.create_file("heap", 123).unwrap();
+        assert_eq!(seg.page_size(), PageSize::Page1G);
+        assert_eq!(seg.page_count(), 1);
+        assert_eq!(seg.frame(0).unwrap().0 % PageSize::Page1G.bytes(), 0);
+        drop(seg);
+        pool.unlink("heap").unwrap();
+        pool.shrink_to_fit(&mut f);
+        assert_eq!(f.free_bytes(), before);
     }
 
     #[test]

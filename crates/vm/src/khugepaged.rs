@@ -30,7 +30,8 @@
 
 use std::collections::VecDeque;
 
-use crate::addr::{PageSize, PhysAddr, VirtAddr};
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::arch::MMArch;
 use crate::compact::compact;
 use crate::error::VmResult;
 use crate::frame::BuddyAllocator;
@@ -201,13 +202,23 @@ impl Khugepaged {
             return Ok(out);
         }
 
-        // Candidate chunks: every 2 MB-aligned, fully-contained chunk of
-        // every anonymous small-page region. Rebuilt per scan (regions
+        // The collapse target is the rung above the base granule; an
+        // architecture with a single-rung ladder has nothing to promote.
+        let arch = aspace.page_table().arch();
+        let Some(next) = arch.next_rung_above(arch.base()) else {
+            self.idle = true;
+            self.totals.merge(&out);
+            return Ok(out);
+        };
+        let large = next.size;
+        let per = large.bytes() / arch.base().bytes();
+
+        // Candidate chunks: every chunk-aligned, fully-contained piece of
+        // every anonymous base-granule region. Rebuilt per scan (regions
         // come and go); pure arithmetic, so not charged.
-        let large = PageSize::Large2M;
         let mut chunks: Vec<VirtAddr> = Vec::new();
         for vma in aspace.vmas() {
-            if vma.page_size != PageSize::Small4K || !matches!(vma.backing, Backing::Anonymous) {
+            if vma.page_size != arch.base() || !matches!(vma.backing, Backing::Anonymous) {
                 continue;
             }
             let mut c = VirtAddr(large.round_up(vma.start.0));
@@ -245,15 +256,15 @@ impl Khugepaged {
             let chunk = chunks[i];
             match try_collapse_chunk(aspace, frames, chunk)? {
                 ChunkCollapse::Promoted => {
-                    self.note_collapse(chunk, costs, &mut out);
+                    self.note_collapse(chunk, per, costs, &mut out);
                     progress = true;
                 }
                 ChunkCollapse::AlreadyLarge => out.cycles += costs.scan_page,
                 ChunkCollapse::Unpopulated | ChunkCollapse::MixedFlags => {
-                    out.cycles += 512 * costs.scan_page;
+                    out.cycles += per * costs.scan_page;
                 }
                 ChunkCollapse::NoMemory => {
-                    out.cycles += 512 * costs.scan_page;
+                    out.cycles += per * costs.scan_page;
                     if self.cfg.compaction {
                         let rep = compact(aspace, frames, 1)?;
                         let compact_cycles =
@@ -270,7 +281,7 @@ impl Khugepaged {
                         if rep.blocks_freed > 0
                             && try_collapse_chunk(aspace, frames, chunk)? == ChunkCollapse::Promoted
                         {
-                            self.note_collapse(chunk, costs, &mut out);
+                            self.note_collapse(chunk, per, costs, &mut out);
                             progress = true;
                         }
                     }
@@ -287,19 +298,25 @@ impl Khugepaged {
         Ok(out)
     }
 
-    /// Record and price one successful collapse.
-    fn note_collapse(&mut self, chunk: VirtAddr, costs: &DaemonCosts, out: &mut ScanOutcome) {
+    /// Record and price one successful collapse of `per` small pages.
+    fn note_collapse(
+        &mut self,
+        chunk: VirtAddr,
+        per: u64,
+        costs: &DaemonCosts,
+        out: &mut ScanOutcome,
+    ) {
         out.collapsed += 1;
-        out.pt_edits += 513; // 512 unmaps + 1 large map
-        out.cycles += 512 * (costs.scan_page + costs.migrate_page) + 513 * costs.pt_edit;
+        out.pt_edits += per + 1; // per unmaps + 1 block map
+        out.cycles += per * (costs.scan_page + costs.migrate_page) + (per + 1) * costs.pt_edit;
         out.shootdown = true;
         self.promoted.push_back(chunk);
     }
 
-    /// Split one daemon-promoted 2 MB leaf back into 512 × 4 KB PTEs so
-    /// the chunk is reclaimable page-by-page again. In-place: frames are
-    /// not copied, the order-9 buddy entry is split, the mapping keeps its
-    /// flags. Returns whether a demotion actually happened.
+    /// Split one daemon-promoted block leaf back into base-granule PTEs
+    /// so the chunk is reclaimable page-by-page again. In-place: frames
+    /// are not copied, the block-order buddy entry is split, the mapping
+    /// keeps its flags. Returns whether a demotion actually happened.
     fn demote(
         &mut self,
         aspace: &mut AddressSpace,
@@ -308,22 +325,27 @@ impl Khugepaged {
         costs: &DaemonCosts,
         out: &mut ScanOutcome,
     ) -> VmResult<bool> {
-        let small = PageSize::Small4K;
-        let large = PageSize::Large2M;
+        let arch = aspace.page_table().arch();
+        let small = arch.base();
+        let Some(next) = arch.next_rung_above(small) else {
+            return Ok(false);
+        };
+        let large = next.size;
+        let per = large.bytes() / small.bytes();
         // The chunk may have been unmapped or already split since we
-        // promoted it; demote only a live 2 MB leaf.
+        // promoted it; demote only a live block leaf.
         match aspace.page_table().probe(chunk) {
             Some(t) if t.size == large => {}
             _ => return Ok(false),
         }
         let t = aspace.unmap_page(chunk, large)?;
         let base = t.pa.frame_base(large);
-        for i in 0..512u64 {
+        for i in 0..per {
             let va = chunk.add(i * small.bytes());
             let pa = PhysAddr(base.0 + i * small.bytes());
             if aspace.map_page(frames, va, pa, small, t.flags).is_err() {
                 // No frame for the leaf page-table node — we are too far
-                // into pressure even for the valve. Restore the large leaf
+                // into pressure even for the valve. Restore the block leaf
                 // (its intermediate nodes still exist) and give up.
                 debug_assert_eq!(i, 0, "only the first map can allocate a node");
                 aspace.map_page(frames, chunk, base, large, t.flags)?;
@@ -332,8 +354,8 @@ impl Khugepaged {
         }
         frames.split_allocated(base, large.buddy_order());
         out.demoted += 1;
-        out.pt_edits += 513; // 1 large unmap + 512 small maps
-        out.cycles += 513 * costs.pt_edit;
+        out.pt_edits += per + 1; // 1 block unmap + per small maps
+        out.cycles += (per + 1) * costs.pt_edit;
         out.shootdown = true;
         Ok(true)
     }
@@ -342,6 +364,7 @@ impl Khugepaged {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::addr::PageSize;
     use crate::fragment::age_heap;
     use crate::page_table::{AccessKind, PteFlags};
     use crate::promote::promote_region;

@@ -4,8 +4,10 @@
 //! (Noronha & Panda, *Improving Scalability of OpenMP Applications on
 //! Multi-core Systems Using Large Page Support*, IPDPS 2007) relies on:
 //!
-//! * [`addr`] — virtual/physical addresses and the two page sizes (4 KB
-//!   base pages and 2 MB large pages);
+//! * [`addr`] — virtual/physical addresses and open-ended [`PageSize`]
+//!   arithmetic (4 KB base pages through 1 GB gigantic pages);
+//! * [`arch`] — translation architectures: the [`MMArch`] trait, radix
+//!   walk shapes, and each architecture's page-size ladder;
 //! * [`frame`] — a binary buddy allocator for physical frames, the reason
 //!   large pages must be *reserved early* before memory fragments;
 //! * [`page_table`] — x86-64-style 4-level radix tables where a 2 MB
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod arch;
 pub mod compact;
 pub mod error;
 pub mod fragment;
@@ -36,6 +39,7 @@ pub mod promote;
 pub mod vma;
 
 pub use addr::{PageSize, PhysAddr, VirtAddr};
+pub use arch::{Arch, MMArch, Rung, WalkShape, MAX_LADDER};
 pub use compact::{compact, CompactReport};
 pub use error::{VmError, VmResult};
 pub use fragment::{age_heap, AgeReport};

@@ -1,17 +1,20 @@
-//! Transparent promotion of 4 KB regions to 2 MB pages — the paper's §6
-//! future work (*"transparent native kernel support for large pages is
-//! still not present in the Linux kernel"*; Linux later grew exactly this
-//! as THP/khugepaged).
+//! Transparent promotion of base-granule regions to the next ladder rung
+//! — the paper's §6 future work (*"transparent native kernel support for
+//! large pages is still not present in the Linux kernel"*; Linux later
+//! grew exactly this as THP/khugepaged).
 //!
-//! [`promote_region`] collapses a 4 KB-backed anonymous region into 2 MB
-//! mappings the way khugepaged does: allocate an order-9 frame, migrate
-//! the 512 small pages into it, replace the 512 PTEs with one PMD-level
-//! leaf, and free the old frames. Promotion is *opportunistic*: it needs
-//! a free order-9 block, so on a fragmented buddy heap it degrades
-//! gracefully — the precise failure mode whose avoidance motivates the
-//! paper's boot-time reservation.
+//! [`promote_region`] collapses a base-granule anonymous region into
+//! next-rung mappings the way khugepaged does: allocate a block-sized
+//! frame, migrate the small pages into it, replace their PTEs with the
+//! block leaf, and free the old frames. On x86-64-2007 that is the
+//! classic 512 × 4 KB → one 2 MB PMD leaf; on an ARM64 granule the next
+//! rung is a contiguous-bit block. Promotion is *opportunistic*: it
+//! needs a free block-order frame, so on a fragmented buddy heap it
+//! degrades gracefully — the precise failure mode whose avoidance
+//! motivates the paper's boot-time reservation.
 
-use crate::addr::{PageSize, VirtAddr};
+use crate::addr::VirtAddr;
+use crate::arch::MMArch;
 use crate::error::{VmError, VmResult};
 use crate::frame::BuddyAllocator;
 use crate::vma::{AddressSpace, Backing};
@@ -19,11 +22,11 @@ use crate::vma::{AddressSpace, Backing};
 /// The result of a promotion attempt over a region.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PromotionReport {
-    /// 2 MB chunks successfully promoted.
+    /// Next-rung chunks successfully promoted.
     pub promoted: u64,
-    /// Chunks skipped because not all 512 small pages were populated.
+    /// Chunks skipped because not every small page was populated.
     pub skipped_unpopulated: u64,
-    /// Chunks skipped because no order-9 frame was available
+    /// Chunks skipped because no block-order frame was available
     /// (fragmentation).
     pub skipped_no_memory: u64,
     /// Chunks skipped because their pages carry *different* protection
@@ -32,26 +35,30 @@ pub struct PromotionReport {
     pub skipped_mixed_flags: u64,
     /// Small pages migrated (freed back to the allocator).
     pub small_pages_freed: u64,
+    /// Bytes of one promoted chunk — the target rung's size (zero until
+    /// a region has been examined).
+    pub chunk_bytes: u64,
 }
 
 impl PromotionReport {
-    /// Bytes now backed by large pages.
+    /// Bytes now backed by the promoted rung.
     pub fn promoted_bytes(&self) -> u64 {
-        self.promoted * PageSize::Large2M.bytes()
+        self.promoted * self.chunk_bytes
     }
 }
 
-/// Promote the anonymous 4 KB region containing `start`.
+/// Promote the anonymous base-granule region containing `start` to the
+/// architecture's next ladder rung.
 ///
-/// Every fully populated, 2 MB-aligned chunk of the region is migrated to
-/// a large page; partially populated or unaligned edges are left as 4 KB
-/// pages (as khugepaged does). The caller is responsible for shooting
-/// down stale TLB entries afterwards (the simulator flushes the TLBs of
-/// every core, modelling the IPI shootdown).
+/// Every fully populated, chunk-aligned piece of the region is migrated
+/// to the next rung; partially populated or unaligned edges are left at
+/// the base granule (as khugepaged does). The caller is responsible for
+/// shooting down stale TLB entries afterwards (the simulator flushes the
+/// TLBs of every core, modelling the IPI shootdown).
 ///
 /// # Errors
 /// * [`VmError::NotMapped`] if `start` is not in any region;
-/// * [`VmError::Misaligned`] if the region is already large-paged or not
+/// * [`VmError::Misaligned`] if the region is already block-mapped or not
 ///   anonymous (shared files belong to their filesystem and are never
 ///   collapsed).
 pub fn promote_region(
@@ -59,24 +66,32 @@ pub fn promote_region(
     frames: &mut BuddyAllocator,
     start: VirtAddr,
 ) -> VmResult<PromotionReport> {
+    let arch = aspace.page_table().arch();
     let vma = aspace.find_vma(start).ok_or(VmError::NotMapped(start))?;
-    if vma.page_size != PageSize::Small4K || !matches!(vma.backing, Backing::Anonymous) {
+    if vma.page_size != arch.base() || !matches!(vma.backing, Backing::Anonymous) {
         return Err(VmError::Misaligned {
             addr: vma.start,
             size: vma.page_size,
         });
     }
     let (region_start, region_len) = (vma.start, vma.len);
-    let large = PageSize::Large2M;
+    let large = arch
+        .next_rung_above(vma.page_size)
+        .ok_or(VmError::UnsupportedPageSize(vma.page_size))?
+        .size;
+    let per = large.bytes() / arch.base().bytes();
 
-    let mut report = PromotionReport::default();
-    // First fully-contained 2 MB-aligned chunk.
+    let mut report = PromotionReport {
+        chunk_bytes: large.bytes(),
+        ..PromotionReport::default()
+    };
+    // First fully-contained chunk-aligned piece.
     let mut chunk = VirtAddr(large.round_up(region_start.0));
     while chunk.0 + large.bytes() <= region_start.0 + region_len {
         match try_collapse_chunk(aspace, frames, chunk)? {
             ChunkCollapse::Promoted => {
                 report.promoted += 1;
-                report.small_pages_freed += 512;
+                report.small_pages_freed += per;
             }
             ChunkCollapse::AlreadyLarge | ChunkCollapse::Unpopulated => {
                 report.skipped_unpopulated += 1;
@@ -95,22 +110,22 @@ pub fn promote_region(
 /// Outcome of a single-chunk collapse attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum ChunkCollapse {
-    /// Collapsed into one 2 MB leaf; 512 small frames were freed.
+    /// Collapsed into one next-rung leaf; the small frames were freed.
     Promoted,
-    /// The chunk is already backed by a 2 MB leaf.
+    /// The chunk is already backed by a block leaf.
     AlreadyLarge,
-    /// Not all 512 small pages are present.
+    /// Not all small pages are present.
     Unpopulated,
     /// The pages disagree on protection bits; collapsing would change
     /// the permissions of some of them.
     MixedFlags,
-    /// No free order-9 block (fragmentation).
+    /// No free block-order frame (fragmentation).
     NoMemory,
 }
 
-/// Attempt to collapse the one 2 MB-aligned chunk at `chunk` (the shared
-/// engine of [`promote_region`] and the incremental
-/// [`crate::khugepaged::Khugepaged`] daemon).
+/// Attempt to collapse the one chunk-aligned piece at `chunk` to the
+/// rung above the base granule (the shared engine of [`promote_region`]
+/// and the incremental [`crate::khugepaged::Khugepaged`] daemon).
 ///
 /// The chunk is inspected *before* anything is touched: if its pages are
 /// incomplete or carry heterogeneous protection, the mapping is left
@@ -122,23 +137,28 @@ pub(crate) fn try_collapse_chunk(
     frames: &mut BuddyAllocator,
     chunk: VirtAddr,
 ) -> VmResult<ChunkCollapse> {
-    let small = PageSize::Small4K;
-    let large = PageSize::Large2M;
+    let arch = aspace.page_table().arch();
+    let small = arch.base();
+    let large = arch
+        .next_rung_above(small)
+        .ok_or(VmError::UnsupportedPageSize(small))?
+        .size;
+    let per = large.bytes() / small.bytes();
     debug_assert!(chunk.is_aligned(large));
 
-    // All 512 small pages must be present with uniform protection.
-    let mut old_frames = Vec::with_capacity(512);
+    // Every small page must be present with uniform protection.
+    let mut old_frames = Vec::with_capacity(per as usize);
     let mut flags = match aspace.page_table().probe(chunk) {
-        Some(t) if t.size == PageSize::Large2M => return Ok(ChunkCollapse::AlreadyLarge),
+        Some(t) if t.size != small => return Ok(ChunkCollapse::AlreadyLarge),
         Some(t) => {
             old_frames.push(t.pa.frame_base(small));
             t.flags
         }
         None => return Ok(ChunkCollapse::Unpopulated),
     };
-    for i in 1..512u64 {
+    for i in 1..per {
         match aspace.page_table().probe(chunk.add(i * small.bytes())) {
-            Some(t) if t.size == PageSize::Small4K => {
+            Some(t) if t.size == small => {
                 if (t.flags.writable, t.flags.executable) != (flags.writable, flags.executable) {
                     return Ok(ChunkCollapse::MixedFlags);
                 }
@@ -156,9 +176,9 @@ pub(crate) fn try_collapse_chunk(
         Err(_) => return Ok(ChunkCollapse::NoMemory),
     };
     // Migrate: unmap the small pages, free their frames, install the
-    // large leaf. (Data migration is implicit — the simulator's values
+    // block leaf. (Data migration is implicit — the simulator's values
     // live host-side; the cost is charged by the caller.)
-    for i in 0..512u64 {
+    for i in 0..per {
         aspace.unmap_page(chunk.add(i * small.bytes()), small)?;
     }
     for f in old_frames {
@@ -171,6 +191,7 @@ pub(crate) fn try_collapse_chunk(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::addr::PageSize;
     use crate::page_table::{AccessKind, PteFlags};
     use crate::vma::Populate;
 
@@ -306,6 +327,34 @@ mod tests {
         // 2 large frames allocated, 1024 small frames freed, and the two
         // now-empty leaf page-table nodes reclaimed: net +2 node frames.
         assert_eq!(frames.free_bytes(), before + 2 * 4096);
+    }
+
+    #[test]
+    fn promotion_targets_the_next_rung_on_arm64() {
+        // On the ARM64 4 KB granule the rung above 4 KB is the 64 KB
+        // contiguous block (16 PTEs, one TLB entry) — not 2 MB.
+        let mut frames = BuddyAllocator::new(64 * 1024 * 1024);
+        let mut asp = AddressSpace::new_for(&mut frames, crate::arch::Arch::ARM64_4K).unwrap();
+        let base = asp
+            .mmap(
+                &mut frames,
+                2 * PageSize::Page64K.bytes(),
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "heap",
+            )
+            .unwrap();
+        let r = promote_region(&mut asp, &mut frames, base).unwrap();
+        assert_eq!(r.promoted, 2);
+        assert_eq!(r.small_pages_freed, 2 * 16);
+        assert_eq!(r.chunk_bytes, PageSize::Page64K.bytes());
+        let t = asp
+            .access(&mut frames, base.add(0x5000), AccessKind::Read)
+            .unwrap()
+            .translation();
+        assert_eq!(t.size, PageSize::Page64K);
     }
 
     #[test]

@@ -159,11 +159,16 @@ pub struct AddressSpace {
 }
 
 impl AddressSpace {
-    /// Create an empty address space; the page-table root is drawn from
-    /// `frames`.
+    /// Create an empty x86-64-2007 address space; the page-table root is
+    /// drawn from `frames`.
     pub fn new(frames: &mut BuddyAllocator) -> VmResult<Self> {
+        Self::new_for(frames, crate::arch::Arch::X86_64_2007)
+    }
+
+    /// Create an empty address space whose page table is shaped for `arch`.
+    pub fn new_for(frames: &mut BuddyAllocator, arch: crate::arch::Arch) -> VmResult<Self> {
         Ok(AddressSpace {
-            pt: PageTable::new(frames)?,
+            pt: PageTable::new_for(frames, arch)?,
             vmas: Vec::new(),
             next_mmap: MMAP_BASE,
             faults: FaultStats::default(),

@@ -12,7 +12,7 @@
 use lpomp::core::{BackendKind, PagePolicy, RunOpts, SweepSpec};
 use lpomp::machine::opteron_2x2;
 use lpomp::npb::{AppKind, Class};
-use lpomp::tlb::{Assoc, LevelConfig};
+use lpomp::tlb::{LevelConfig, SizeSlot};
 
 fn main() {
     let class = match std::env::args().nth(1).as_deref() {
@@ -24,12 +24,12 @@ fn main() {
     let real = opteron_2x2();
     let mut small_l2 = opteron_2x2();
     small_l2.name = "Opteron-512";
-    small_l2.dtlb.l2 = Some(LevelConfig {
-        small_entries: 512,
-        small_assoc: Assoc::Ways(4),
-        large_entries: 0,
-        large_assoc: Assoc::Full,
-    });
+    small_l2.dtlb.l2 = Some(LevelConfig::per_rank([
+        SizeSlot::ways(512, 4),
+        SizeSlot::NONE,
+        SizeSlot::NONE,
+        SizeSlot::NONE,
+    ]));
 
     let spec = SweepSpec {
         apps: vec![AppKind::Cg, AppKind::Sp, AppKind::Mg],

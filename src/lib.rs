@@ -25,14 +25,15 @@ pub use lpomp_vm as vm;
 /// [`TextTable`](prelude::TextTable), [`fnum`](prelude::fnum)).
 pub mod prelude {
     pub use lpomp_core::{
-        default_workers, figure4_thread_counts, par_map, run_backend, run_sim, run_system,
-        BackendKind, GridCell, IncrementalSweep, JsonlSink, KeyedGrid, MultiRunReport, MultiSystem,
-        PagePolicy, PopulatePolicy, ProfileSpec, RunOpts, RunRecord, RunStore, SetupStats, Shard,
-        StoreKey, SweepResults, SweepSpec, System, SystemBuilder, SystemConfig, TenancyConfig,
-        TenantReport, TenantSpec,
+        default_workers, figure4_thread_counts, par_map, run_backend, run_sim, run_system, Arch,
+        BackendKind, GridCell, IncrementalSweep, JsonlSink, KeyedGrid, MMArch, MultiRunReport,
+        MultiSystem, PagePolicy, PopulatePolicy, ProfileSpec, RunOpts, RunRecord, RunStore,
+        SetupStats, Shard, StoreKey, SweepResults, SweepSpec, System, SystemBuilder, SystemConfig,
+        TenancyConfig, TenantReport, TenantSpec,
     };
     pub use lpomp_machine::{
-        opteron_2x2, xeon_2x2_ht, AsidMode, MachineConfig, NumaConfig, NumaPlacement,
+        arm64_2x2_16k, arm64_2x2_4k, modern_x86_2x2, opteron_2x2, xeon_2x2_ht, AsidMode,
+        MachineConfig, NumaConfig, NumaPlacement,
     };
     pub use lpomp_npb::{AppKind, Class, Kernel};
     pub use lpomp_prof::table::fnum;

@@ -1,0 +1,171 @@
+//! Twin-system property tests for the translation-architecture redesign:
+//! the `Arch::X86_64_2007` instantiation of the ladder machinery must be
+//! indistinguishable — counter for counter, cycle for cycle, checksum for
+//! checksum — from the classic two-size configuration it replaced, and
+//! the rank aliases (`PagePolicy::Rung(0)`/`Rung(1)`) must execute
+//! identically to `Small4K`/`Large2M`.
+
+use lpomp::prelude::*;
+
+/// The S-class smoke grid: every paper app at every Figure-4 thread
+/// count on the Opteron, both page policies.
+fn smoke_grid() -> Vec<(AppKind, PagePolicy, usize)> {
+    let mut grid = Vec::new();
+    for app in AppKind::PAPER_FIVE {
+        for policy in [PagePolicy::Small4K, PagePolicy::Large2M] {
+            for threads in [1usize, 2, 4] {
+                grid.push((app, policy, threads));
+            }
+        }
+    }
+    grid
+}
+
+fn assert_twin(a: &RunRecord, b: &RunRecord, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycle drift");
+    assert_eq!(
+        a.seconds.to_bits(),
+        b.seconds.to_bits(),
+        "{what}: run-time drift"
+    );
+    assert_eq!(
+        a.checksum.to_bits(),
+        b.checksum.to_bits(),
+        "{what}: checksum drift"
+    );
+    assert_eq!(a.counters, b.counters, "{what}: counter drift");
+}
+
+/// An explicit `.arch(Arch::X86_64_2007)` on the paper's Opteron is a
+/// no-op: the builder recognizes the machine already carries that
+/// translation architecture and leaves its platform TLBs untouched.
+#[test]
+fn explicit_x86_64_2007_is_identical_to_the_default() {
+    for (app, policy, threads) in smoke_grid() {
+        let default = System::builder(opteron_2x2())
+            .policy(policy)
+            .threads(threads);
+        let explicit = System::builder(opteron_2x2())
+            .arch(Arch::X86_64_2007)
+            .policy(policy)
+            .threads(threads);
+        let a = run_system(app, Class::S, &default, RunOpts::default());
+        let b = run_system(app, Class::S, &explicit, RunOpts::default());
+        assert_twin(&a, &b, &format!("{app} {policy} t{threads}"));
+    }
+}
+
+/// `Rung(0)`/`Rung(1)` are exact aliases of `Small4K`/`Large2M` on the
+/// x86-64-2007 ladder: the store keys differ (the policies render
+/// differently) but execution must be twin-identical.
+#[test]
+fn rank_aliases_execute_identically() {
+    for (app, policy, threads) in smoke_grid() {
+        let rung = PagePolicy::Rung(policy.rank() as u8);
+        let named = System::builder(opteron_2x2())
+            .policy(policy)
+            .threads(threads);
+        let ranked = System::builder(opteron_2x2())
+            .page_size(policy.rank() as u8)
+            .threads(threads);
+        let a = run_system(app, Class::S, &named, RunOpts::default());
+        let b = run_system(app, Class::S, &ranked, RunOpts::default());
+        assert_eq!(b.policy, rung);
+        assert_twin(
+            &a,
+            &b,
+            &format!("{app} {policy}=rung{} t{threads}", policy.rank()),
+        );
+    }
+}
+
+/// The translation architecture never touches the computation: every
+/// extension preset produces the same verified checksum as the Opteron,
+/// at every rung of its own ladder.
+#[test]
+fn checksums_are_arch_invariant() {
+    let opts = RunOpts { verify: true };
+    let reference = run_sim(
+        AppKind::Cg,
+        Class::S,
+        opteron_2x2(),
+        PagePolicy::Small4K,
+        4,
+        opts,
+    );
+    for machine in [modern_x86_2x2(), arm64_2x2_4k(), arm64_2x2_16k()] {
+        let rungs = machine.arch().ladder().len();
+        for rank in 0..rungs as u8 {
+            let rec = run_sim(
+                AppKind::Cg,
+                Class::S,
+                machine.clone(),
+                PagePolicy::Rung(rank),
+                4,
+                opts,
+            );
+            assert_eq!(
+                rec.checksum.to_bits(),
+                reference.checksum.to_bits(),
+                "{} rung{rank}: checksum depends on translation arch",
+                machine.name
+            );
+            assert_eq!(rec.verified, Some(true), "{} rung{rank}", machine.name);
+        }
+    }
+}
+
+/// The README's E7 snippet, verbatim: on the 16 KB-granule ARM64
+/// preset the 2 MB contiguous-bit rung still beats the base granule.
+#[test]
+fn readme_arch_snippet_holds() {
+    let base = run_system(
+        AppKind::Cg,
+        Class::W,
+        &System::builder(arm64_2x2_16k()).page_size(0).threads(4),
+        RunOpts::default(),
+    );
+    let block = run_system(
+        AppKind::Cg,
+        Class::W,
+        &System::builder(arm64_2x2_16k()).page_size(1).threads(4),
+        RunOpts::default(),
+    );
+    assert!(block.dtlb_misses() < base.dtlb_misses());
+}
+
+/// Store keys for the same configuration under different architectures
+/// can never alias: the fingerprint carries the arch descriptor.
+#[test]
+fn store_keys_separate_architectures() {
+    let opts = RunOpts::default();
+    let keys: Vec<StoreKey> = [
+        opteron_2x2(),
+        modern_x86_2x2(),
+        arm64_2x2_4k(),
+        arm64_2x2_16k(),
+    ]
+    .iter()
+    .map(|m| {
+        StoreKey::new(
+            m,
+            AppKind::Cg,
+            Class::S,
+            PagePolicy::Rung(1),
+            4,
+            opts,
+            BackendKind::CycleExact,
+        )
+    })
+    .collect();
+    for (i, a) in keys.iter().enumerate() {
+        assert!(
+            a.fingerprint().contains(";arch="),
+            "fingerprint lacks the arch descriptor: {}",
+            a.fingerprint()
+        );
+        for b in &keys[i + 1..] {
+            assert_ne!(a.address(), b.address(), "cross-arch store-key collision");
+        }
+    }
+}
