@@ -94,6 +94,38 @@ fn main() {
         }
         println!("{app}:\n{}", t.render());
         maybe_write_csv(&format!("profile_{app}").to_lowercase(), &t);
+
+        // Scheduler attribution: only work-stealing schedules
+        // (`Schedule::Hierarchical`) record steals, so for the default
+        // grid this section is silent; profile a stealing run and the
+        // steal machinery's time shows up next to the barrier wait.
+        for (rec, sheet, policy) in [
+            (small, ssheet, PagePolicy::Small4K),
+            (large, lsheet, PagePolicy::Large2M),
+        ] {
+            let local = rec.counters.get(Event::LocalSteals);
+            let remote = rec.counters.get(Event::RemoteSteals);
+            if local + remote == 0 {
+                continue;
+            }
+            let mut st = TextTable::new(vec!["region", "cycles", "steals l/r", "rehomes"]);
+            for name in ["rt:steal", "rt:barrier"] {
+                let cycles = sheet
+                    .by_name(name)
+                    .map(|r| sheet.region_total(r).get(Event::Cycles))
+                    .unwrap_or(0);
+                let (lr, rh) = if name == "rt:steal" {
+                    (
+                        format!("{local}/{remote}"),
+                        rec.counters.get(Event::ChunkRehomes).to_string(),
+                    )
+                } else {
+                    ("-".to_owned(), "-".to_owned())
+                };
+                st.row(vec![name.to_owned(), cycles.to_string(), lr, rh]);
+            }
+            println!("{app} steal attribution ({policy}):\n{}", st.render());
+        }
     }
 
     println!(

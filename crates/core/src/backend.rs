@@ -118,6 +118,15 @@ impl Backend for Analytic {
 
     fn run(&self, app: AppKind, class: Class, builder: &SystemBuilder, opts: RunOpts) -> RunRecord {
         let cfg = builder.config();
+        // The capture-once premise is static scheduling: a per-thread
+        // reference stream valid on every machine. A schedule override
+        // (the hierarchical work-stealer) makes thread↔iteration binding
+        // machine-dependent, so the model would be fed streams the run
+        // never executes. Fall back to the authoritative engine — the
+        // record says so via its backend label — and xval stays exact.
+        if cfg.schedule.is_some() {
+            return run_system(app, class, builder, opts);
+        }
         let profile = cached_profile(app, class, cfg.threads);
         let point = AnalyticPoint {
             profile: &profile,
@@ -351,6 +360,29 @@ mod tests {
         let b = cached_profile(AppKind::Ep, Class::S, 2);
         assert!(Arc::ptr_eq(&a, &b));
         assert!(!profiles().is_empty() && profiles().len() >= before);
+    }
+
+    #[test]
+    fn analytic_with_schedule_override_falls_back_to_cycle() {
+        use lpomp_runtime::Schedule;
+        let builder = SystemBuilder::new(lpomp_machine::opteron_2x2())
+            .policy(PagePolicy::Small4K)
+            .threads(2)
+            .schedule(Schedule::Hierarchical { chunk: 128 });
+        let rec = BackendKind::Analytic.backend().run(
+            AppKind::Cg,
+            Class::S,
+            &builder,
+            RunOpts::default(),
+        );
+        assert_eq!(rec.backend, "cycle", "override must force the exact engine");
+        let exact = BackendKind::CycleExact.backend().run(
+            AppKind::Cg,
+            Class::S,
+            &builder,
+            RunOpts::default(),
+        );
+        assert_eq!(rec, exact, "fallback is the cycle engine, verbatim");
     }
 
     #[test]

@@ -159,6 +159,17 @@ impl StoreKey {
         self
     }
 
+    /// Key for the same configuration run under a non-default loop
+    /// schedule (the E8 scheduler sweep's axis). Appends `;sched={desc}`
+    /// — e.g. `"hier:chunk=256:rb=2:wfp=1:pfw=1"` — and re-addresses the
+    /// key. The default-schedule key carries no marker, so every record
+    /// persisted before the scheduler existed keeps its address.
+    pub fn with_schedule(mut self, desc: &str) -> StoreKey {
+        let _ = write!(self.fingerprint, ";sched={desc}");
+        self.rehash();
+        self
+    }
+
     fn rehash(&mut self) {
         self.hash = [
             fnv1a64(FNV_OFFSET, self.fingerprint.as_bytes()),
@@ -760,6 +771,24 @@ mod tests {
         // Tenancy composes after a variant (the marker sits mid-string).
         let both = v1.clone().with_tenancy("rr");
         assert_ne!(both.address(), v1.address());
+    }
+
+    #[test]
+    fn schedule_descriptor_moves_the_address() {
+        let base = key(PagePolicy::Small4K, 4);
+        let hier = base
+            .clone()
+            .with_schedule("hier:chunk=256:rb=2:wfp=1:pfw=1");
+        assert_ne!(base.address(), hier.address());
+        assert!(hier.fingerprint().contains(";sched=hier:chunk=256"));
+        // Distinct knob settings give distinct addresses…
+        let ablated = base
+            .clone()
+            .with_schedule("hier:chunk=256:rb=2:wfp=0:pfw=1");
+        assert_ne!(hier.address(), ablated.address());
+        // …and the descriptor composes with a variant.
+        let v = base.clone().with_variant("place=ft").with_schedule("hier");
+        assert_ne!(v.address(), base.clone().with_variant("place=ft").address());
     }
 
     #[test]

@@ -20,11 +20,12 @@ use crate::policy::{PagePolicy, PopulatePolicy};
 use lpomp_machine::{AsidMode, CodeWalker, Machine, MachineConfig, NumaConfig, NumaPlacement};
 use lpomp_npb::{verify_close, AppKind, Class, CodeProfile, Kernel};
 use lpomp_prof::{Counters, ProfileSpec};
-use lpomp_runtime::{run_tenants, BumpAllocator, SimEngine, Team, TenantTask, DEFAULT_QUANTUM};
+use lpomp_runtime::{
+    run_tenants, BumpAllocator, Schedule, SimEngine, StealPolicy, Team, TenantTask, DEFAULT_QUANTUM,
+};
 use lpomp_vm::{
     promote_region, AddressSpace, Arch, Backing, HugePool, KhugepagedConfig, MMArch, NodePolicy,
-    NumaDaemonConfig, PageSize, PromotionReport, PteFlags, SharedSegment, ShmFs, VirtAddr,
-    VmResult,
+    NumaDaemonConfig, PromotionReport, PteFlags, SharedSegment, ShmFs, VirtAddr, VmResult,
 };
 use std::sync::Arc;
 
@@ -134,6 +135,14 @@ pub struct SystemConfig {
     /// profile) apply to *every* tenant; `threads` is overridden
     /// per-tenant by each [`TenantSpec`].
     pub tenancy: Option<TenancyConfig>,
+    /// Loop-schedule override consulted by kernels that schedule through
+    /// [`Team::schedule_or`] (the iterative phases of the scheduler-study
+    /// kernels). `None` leaves every loop on its kernel-chosen default,
+    /// so classic systems are bit-identical to pre-override builds.
+    pub schedule: Option<Schedule>,
+    /// Work-stealing knobs for [`Schedule::Hierarchical`] loops: remote
+    /// batch size and the two scheduler↔memory negotiation directions.
+    pub steal: StealPolicy,
 }
 
 /// Fluent assembly of a simulated system — the one front door to every
@@ -177,6 +186,8 @@ impl SystemBuilder {
                 numa_daemon: None,
                 profile: ProfileSpec::Off,
                 tenancy: None,
+                schedule: None,
+                steal: StealPolicy::default(),
             },
         }
     }
@@ -279,6 +290,22 @@ impl SystemBuilder {
     /// or the profiler plus timeline ([`ProfileSpec::Trace`]).
     pub fn profile(mut self, spec: ProfileSpec) -> Self {
         self.cfg.profile = spec;
+        self
+    }
+
+    /// Override the loop schedule of every loop that schedules through
+    /// [`Team::schedule_or`] — the front door of the E8 scheduler study
+    /// (`Schedule::Hierarchical` vs the topology-blind baselines).
+    /// Hardcoded-schedule loops are untouched.
+    pub fn schedule(mut self, sched: Schedule) -> Self {
+        self.cfg.schedule = Some(sched);
+        self
+    }
+
+    /// Work-stealing policy for [`Schedule::Hierarchical`] loops (remote
+    /// batch size, work-follows-pages, pages-follow-work).
+    pub fn steal_policy(mut self, steal: StealPolicy) -> Self {
+        self.cfg.steal = steal;
         self
     }
 
@@ -385,6 +412,8 @@ impl System {
             engine.enable_numa_daemon(nd);
         }
         engine.enable_profiling(cfg.profile);
+        engine.set_schedule_override(cfg.schedule);
+        engine.set_steal_policy(cfg.steal);
         Ok(System {
             team: Team::simulated(engine),
             setup,
@@ -512,27 +541,27 @@ impl System {
             let pages = heap_page.pages_for(heap_len);
             let seg = match &numa {
                 // Static per-node reservation mirrors Linux's per-node
-                // `nr_hugepages`, which the model implements only for the
-                // default 2 MB huge page; other rungs fall through to the
-                // single-pool path below (placement of non-2 MB hugetlbfs
-                // heaps across nodes is future work — the extension
-                // sweeps run NUMA studies on the paper's x86 ladder only).
-                Some(n) if heap_page == PageSize::Large2M => {
-                    // Static placement: decide each 2 MB page's node up
-                    // front, mirror the split in per-node `nr_hugepages`
-                    // reservations, then deal pages out accordingly.
-                    let chunk = n.placement.granularity().max(PageSize::Large2M.bytes());
+                // `nr_hugepages`, for *every* pooled rung: decide each
+                // page's node up front, mirror the split in per-node
+                // reservations (gigantic rungs carve aligned runs inside
+                // each node's frame range), then deal pages out
+                // accordingly.
+                Some(n) => {
+                    let chunk = n.placement.granularity().max(heap_page.bytes());
                     let nodes = n.nodes as u64;
-                    let node_for =
-                        |i: u64| ((i * PageSize::Large2M.bytes() / chunk) % nodes) as usize;
+                    let node_for = |i: u64| ((i * heap_page.bytes() / chunk) % nodes) as usize;
                     let mut per_node = vec![0u64; n.nodes];
                     for i in 0..pages {
                         per_node[node_for(i)] += 1;
                     }
-                    let mut pool = HugePool::reserve_per_node(&mut machine.frames, &per_node)?;
+                    let mut pool = HugePool::reserve_per_node_sized(
+                        &mut machine.frames,
+                        &per_node,
+                        heap_page,
+                    )?;
                     pool.create_file_on("omni-shared-heap", heap_len, node_for)?
                 }
-                _ => {
+                None => {
                     let mut pool = HugePool::reserve_sized(&mut machine.frames, pages, heap_page)?;
                     pool.create_file("omni-shared-heap", heap_len)?
                 }
@@ -825,6 +854,8 @@ impl MultiSystem {
                 engine.enable_numa_daemon(nd);
             }
             engine.enable_profiling(tcfg.profile);
+            engine.set_schedule_override(tcfg.schedule);
+            engine.set_steal_policy(tcfg.steal);
             refs.push(kernel.reference());
             setup.push(s);
             tasks.push(TenantTask {
@@ -1031,6 +1062,24 @@ mod tests {
         assert!(total.get(lpomp_prof::Event::Cycles) > 0);
         assert_eq!(total.get(lpomp_prof::Event::TlbShootdowns), 1);
         assert_eq!(sheet.total(), sys.team.aggregate_counters());
+    }
+
+    #[test]
+    fn numa_gigantic_heap_reserves_per_node_and_verifies() {
+        // The generalized per-node arm: a NUMA machine with a 1 GB heap
+        // rung reserves its pool per node instead of falling back to the
+        // single-pool path.
+        use lpomp_machine::{modern_x86_2x2, NumaConfig, NumaPlacement};
+        let mut kernel = AppKind::Cg.build(Class::S);
+        let mut sys = System::builder(modern_x86_2x2())
+            .threads(4)
+            .numa(NumaConfig::opteron(NumaPlacement::MasterNode))
+            .page_size(2)
+            .build(kernel.as_mut())
+            .unwrap();
+        assert!(sys.setup.huge_pages_reserved > 0);
+        let cs = kernel.run(&mut sys.team);
+        assert!(kernel.verify(cs), "checksum {cs}");
     }
 
     #[test]

@@ -77,6 +77,16 @@ pub struct CostModel {
     /// The *indirect* cost (cold TLBs and caches, or the full flush in
     /// the untagged-hardware mode) emerges from the simulation itself.
     pub context_switch: u64,
+    /// Cost of one local deque operation in the hierarchical scheduler
+    /// (pop a chunk from your own queue — an uncontended cached access).
+    pub queue_op: u64,
+    /// Cost of stealing a chunk from another core on the *same* node:
+    /// a compare-and-swap on a line in the shared on-chip domain.
+    pub steal_local: u64,
+    /// Cost of stealing from a core on a *remote* node: the CAS line
+    /// crosses the interconnect (and usually bounces back), so the
+    /// scheduler amortizes it by taking a larger chunk batch.
+    pub steal_remote: u64,
 }
 
 impl CostModel {
@@ -112,6 +122,13 @@ impl CostModel {
             // ~1.3 µs at 2 GHz: the classic lmbench-style direct cost of
             // a kernel context switch on this era's hardware.
             context_switch: 2600,
+            // A local deque pop stays in the owner's cache.
+            queue_op: 6,
+            // An intra-node steal CASes a line another core owns.
+            steal_local: 40,
+            // A cross-node steal bounces the line over HyperTransport
+            // both ways — roughly a remote DRAM round trip.
+            steal_remote: 220,
         }
     }
 
@@ -151,6 +168,10 @@ impl CostModel {
             // Netburst's deep pipeline drains and refills around the
             // kernel round-trip, so the switch costs more than the K8's.
             context_switch: 3400,
+            queue_op: 8,
+            steal_local: 55,
+            // Cross-socket line transfers ride the front-side bus.
+            steal_remote: 320,
         }
     }
 
@@ -272,6 +293,18 @@ mod tests {
         }
         // The deep-pipeline Netburst pays more per switch.
         assert!(x.context_switch > o.context_switch);
+    }
+
+    #[test]
+    fn steal_costs_follow_the_topology() {
+        for m in [CostModel::opteron(), CostModel::xeon()] {
+            // Own queue < same-node steal < cross-node steal; the remote
+            // steal is interconnect-bound, i.e. DRAM-latency scale.
+            assert!(m.queue_op < m.steal_local);
+            assert!(m.steal_local < m.steal_remote);
+            assert!(m.steal_remote >= m.dram / 2);
+            assert!(m.steal_remote < m.page_fault);
+        }
     }
 
     #[test]

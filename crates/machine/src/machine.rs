@@ -565,7 +565,7 @@ impl Machine {
         // periodic hinting faults, which fire regardless of TLB residency
         // because the kernel unmaps sampled ranges.
         if let Some(samples) = &mut self.hint_samples {
-            samples.record(va.page_base(page_size).0, self.cfg.node_of_core(core));
+            samples.record_from(va.page_base(page_size).0, self.cfg.node_of_core(core), core);
             counters.bump(Event::NumaHintFaults);
         }
         // Every outcome above leaves `va`'s entry MRU in its L1 array

@@ -34,6 +34,7 @@ pub mod lu;
 pub mod mg;
 pub mod profile_cache;
 pub mod rng;
+pub mod skew;
 pub mod sp;
 
 pub use common::{
@@ -41,3 +42,4 @@ pub use common::{
 };
 pub use profile_cache::{ProfileCache, ProfileKey};
 pub use rng::Nprng;
+pub use skew::Skew;

@@ -1,0 +1,409 @@
+//! Extension workload: skewed lower-triangular sparse mat-vec (SKEW).
+//!
+//! CG's matrix gives every row the same nonzero count, so a static
+//! contiguous partition is perfectly balanced and there is nothing for a
+//! work-stealing scheduler to win. SKEW is the complementary stressor: a
+//! *sawtooth* work profile with one tooth per socket-half — within each
+//! half of the rows the nonzero count ramps `1 → nzmax`, so under
+//! `Schedule::Static` on 4 threads each node's second thread carries
+//! almost twice its node-mate's work and every barrier waits for the
+//! heavy pair. Crucially the two halves carry *equal* totals: the
+//! imbalance is entirely *within* each node, so a locality-aware stealer
+//! can rebalance with node-local steals alone, while a topology-blind
+//! stealer hauls chunks (and their page traffic) across the die for no
+//! benefit. Self-scheduling off a shared queue fixes the imbalance but
+//! scatters rows across cores with no regard for where their pages
+//! landed at first touch; the hierarchical scheduler (E8) fixes the
+//! imbalance *and* keeps rows near their pages.
+//!
+//! Two properties the scheduling experiment depends on:
+//!
+//! - The first-touch init loop is hardcoded `Schedule::Static` in every
+//!   configuration, so page homes mirror the static partition and all
+//!   schedule cells start from identical placement.
+//! - The iterative phases pick their schedule via
+//!   [`Team::schedule_or`]`(Schedule::Static)`, so a default build is
+//!   bit-identical to the pre-override runtime while `ext_sched` swaps in
+//!   topology-blind `Dynamic` or `Hierarchical` per cell.
+//!
+//! Gathers hit a window near the diagonal (cubed-uniform offsets), so a
+//! chunk executed on the thread that first-touched its rows reads mostly
+//! node-local pages; a chunk stolen across the die pays `dram_remote` on
+//! nearly every line — the signal the E8 counters measure.
+//!
+//! SKEW is intentionally *not* an [`crate::AppKind`]: the paper's Figure 4
+//! sweeps iterate `AppKind::ALL`, and those goldens must not move.
+
+use crate::common::{Class, CodeProfile, Footprint, Kernel};
+use crate::rng::Nprng;
+use lpomp_runtime::{BumpAllocator, Reduction, Schedule, ShVec, Team};
+
+/// Elements per cache line (for stream sampling).
+const LINE_ELEMS: usize = 8;
+
+/// Problem parameters per class.
+#[derive(Clone, Copy, Debug)]
+struct Params {
+    /// Matrix dimension.
+    n: usize,
+    /// Nonzeros in the heaviest (last) row; row 0 has exactly one.
+    nzmax: usize,
+    /// Outer mat-vec + update iterations.
+    outer: usize,
+}
+
+fn params(class: Class) -> Params {
+    match class {
+        Class::S => Params {
+            n: 2048,
+            nzmax: 8,
+            outer: 2,
+        },
+        // Same regime as CG class W: the gather vector (512 KB) fits the
+        // L2 cache but its ~128 4 KB pages overwhelm the 32-entry L1
+        // DTLB, and the sawtooth matrix spans ~6 MB across both nodes.
+        Class::W => Params {
+            n: 64 * 1024,
+            nzmax: 12,
+            outer: 2,
+        },
+        Class::A => Params {
+            n: 112 * 1024,
+            nzmax: 13,
+            outer: 3,
+        },
+        Class::B => Params {
+            n: 1_500_000,
+            nzmax: 16,
+            outer: 6,
+        },
+    }
+}
+
+/// Nonzeros in row `i`: a sawtooth with one tooth per half. Within each
+/// half the weight ramps `1 → nzmax`; across halves the totals match,
+/// so on a two-node machine the static imbalance is intra-node only.
+fn row_nz(p: Params, i: usize) -> usize {
+    let half = p.n / 2;
+    let pos = i % half;
+    1 + pos * (p.nzmax - 1) / (half - 1)
+}
+
+/// Allocated state of a SKEW instance.
+struct Data {
+    rowstr: ShVec<u64>,
+    colidx: ShVec<u64>,
+    a: ShVec<f64>,
+    x: ShVec<f64>,
+    y: ShVec<f64>,
+    /// Fixed per-element checksum weights.
+    w: ShVec<f64>,
+}
+
+/// The skewed mat-vec benchmark.
+pub struct Skew {
+    class: Class,
+    prm: Params,
+    data: Option<Data>,
+}
+
+impl Skew {
+    /// New SKEW instance for `class` (call [`Kernel::setup`] before running).
+    pub fn new(class: Class) -> Self {
+        Skew {
+            class,
+            prm: params(class),
+            data: None,
+        }
+    }
+
+    fn nnz(&self) -> usize {
+        (0..self.prm.n).map(|i| row_nz(self.prm, i)).sum()
+    }
+
+    fn data(&self) -> &Data {
+        self.data.as_ref().expect("setup() not called")
+    }
+
+    /// Serial reference of the full benchmark in plain Rust.
+    fn reference_impl(&self) -> f64 {
+        let d = self.data();
+        let p = self.prm;
+        let n = p.n;
+        let nnz = self.nnz();
+        let rowstr: Vec<usize> = (0..=n).map(|i| d.rowstr.get_raw(i) as usize).collect();
+        let colidx: Vec<usize> = (0..nnz).map(|k| d.colidx.get_raw(k) as usize).collect();
+        let a: Vec<f64> = (0..nnz).map(|k| d.a.get_raw(k)).collect();
+        let w: Vec<f64> = (0..n).map(|i| d.w.get_raw(i)).collect();
+        let mut x: Vec<f64> = (0..n).map(|i| 1.0 + w[i]).collect();
+        let mut y = vec![0.0f64; n];
+        let mut zeta = 0.0;
+        for _ in 0..p.outer {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in rowstr[i]..rowstr[i + 1] {
+                    s += a[k] * x[colidx[k]];
+                }
+                y[i] = s;
+            }
+            zeta = y.iter().zip(&w).map(|(u, v)| u * v).sum();
+            for i in 0..n {
+                x[i] = 0.5 * (x[i] + y[i]);
+            }
+        }
+        zeta
+    }
+}
+
+impl Kernel for Skew {
+    fn name(&self) -> &'static str {
+        "SKEW"
+    }
+
+    fn class(&self) -> Class {
+        self.class
+    }
+
+    fn footprint(&self) -> Footprint {
+        let n = self.prm.n as u64;
+        let nnz = self.nnz() as u64;
+        Footprint {
+            instruction_bytes: 900_000,
+            data_bytes: (n + 1) * 8 + nnz * 16 + 3 * n * 8,
+        }
+    }
+
+    fn code_profile(&self) -> CodeProfile {
+        CodeProfile {
+            code_bytes: 900_000,
+            hot_bytes: 32 * 1024,
+            cold_period: 1500,
+        }
+    }
+
+    fn setup(&mut self, alloc: &mut BumpAllocator) {
+        let p = self.prm;
+        let n = p.n;
+        let mut rng = Nprng::new_default();
+        let mut acc = 0u64;
+        let rowstr: ShVec<u64> = alloc.alloc_vec_from(n + 1, |i| {
+            let here = acc;
+            if i < n {
+                acc += row_nz(p, i) as u64;
+            }
+            here
+        });
+        let nnz = acc as usize;
+        let colidx: ShVec<u64> = alloc.alloc_vec(nnz);
+        let a: ShVec<f64> = alloc.alloc_vec(nnz);
+        for i in 0..n {
+            let base = rowstr.get_raw(i) as usize;
+            let nz = row_nz(p, i);
+            // Diagonal first, then cubed-uniform offsets clustered near it:
+            // most gathers stay on the row's own pages, a short tail
+            // strides further out.
+            colidx.set_raw(base, i as u64);
+            a.set_raw(base, 1.0);
+            for k in 1..nz {
+                let u = rng.next_f64();
+                let sign = if rng.next_f64() < 0.5 { -1.0 } else { 1.0 };
+                let off = (u * u * u * (n as f64 / 8.0)) as i64 * sign as i64;
+                let col = (i as i64 + off).rem_euclid(n as i64) as u64;
+                colidx.set_raw(base + k, col);
+                a.set_raw(base + k, rng.next_f64() / nz as f64);
+            }
+        }
+        let x: ShVec<f64> = alloc.alloc_vec(n);
+        let y: ShVec<f64> = alloc.alloc_vec(n);
+        let w: ShVec<f64> = alloc.alloc_vec_from(n, |i| 1.0 / (1.0 + (i % 97) as f64));
+        self.data = Some(Data {
+            rowstr,
+            colidx,
+            a,
+            x,
+            y,
+            w,
+        });
+    }
+
+    fn run(&mut self, team: &mut Team) -> f64 {
+        let p = self.prm;
+        let n = p.n;
+        let d = self.data();
+        // Iterative phases honour the experiment's override; everything
+        // else is pinned so placement and checksums are schedule-invariant.
+        let sched = team.schedule_or(Schedule::Static);
+        // First-touch init: always Static, so page homes mirror the static
+        // partition in every schedule cell (and repeated runs are
+        // identical — x is reset here).
+        team.region("skew:init", |team| {
+            team.parallel_for(0..n, Schedule::Static, &|ctx, rr| {
+                let nlen = rr.len() as u64;
+                for i in rr {
+                    if i % LINE_ELEMS == 0 {
+                        ctx.write_streamed(d.x.va(i));
+                        ctx.write_streamed(d.y.va(i));
+                        ctx.read_streamed(d.rowstr.va(i));
+                    }
+                    d.x.set_raw(i, 1.0 + d.w.get_raw(i));
+                    d.y.set_raw(i, 0.0);
+                    // Touch this row's slice of the matrix so a/colidx
+                    // pages are homed with their rows.
+                    let start = d.rowstr.get_raw(i) as usize;
+                    let end = d.rowstr.get_raw(i + 1) as usize;
+                    for k in (start..end).step_by(LINE_ELEMS) {
+                        ctx.read_streamed(d.a.va(k));
+                        ctx.read_streamed(d.colidx.va(k));
+                    }
+                }
+                ctx.compute(nlen);
+            });
+        });
+        let mut zeta = 0.0;
+        for _ in 0..p.outer {
+            // y = A·x — the sawtooth, schedule-sensitive phase.
+            team.region("skew:matvec", |team| {
+                team.parallel_for(0..n, sched, &|ctx, rows| {
+                    let mut nz = 0u64;
+                    for i in rows {
+                        let start = d.rowstr.get_raw(i) as usize;
+                        let end = d.rowstr.get_raw(i + 1) as usize;
+                        nz += (end - start) as u64;
+                        let mut sum = 0.0;
+                        for k in start..end {
+                            if k % LINE_ELEMS == 0 {
+                                ctx.read_streamed(d.a.va(k));
+                                ctx.read_streamed(d.colidx.va(k));
+                            }
+                            let col = d.colidx.get_raw(k) as usize;
+                            let xj = d.x.get(ctx, col);
+                            sum += d.a.get_raw(k) * xj;
+                        }
+                        d.y.set_raw(i, sum);
+                        if i % LINE_ELEMS == 0 {
+                            ctx.write_streamed(d.y.va(i));
+                        }
+                    }
+                    ctx.compute(2 * nz);
+                });
+            });
+            // zeta = y·w — pinned Static so the summation order (and the
+            // checksum) is identical across schedule cells; each y[i] is
+            // exact because a row is always summed serially by one thread.
+            zeta = team.region("skew:norm", |team| {
+                team.parallel_for_reduce(0..n, Schedule::Static, Reduction::Sum, &|ctx, rr| {
+                    let mut s = 0.0;
+                    let nlen = rr.len() as u64;
+                    for i in rr {
+                        if i % LINE_ELEMS == 0 {
+                            ctx.read_streamed(d.y.va(i));
+                        }
+                        s += d.y.get_raw(i) * d.w.get_raw(i);
+                    }
+                    ctx.compute(2 * nlen);
+                    s
+                })
+            });
+            // x = (x + y)/2 — element-wise, so exact under any schedule.
+            team.region("skew:update", |team| {
+                team.parallel_for(0..n, sched, &|ctx, rr| {
+                    let nlen = rr.len() as u64;
+                    for i in rr {
+                        if i % LINE_ELEMS == 0 {
+                            ctx.read_streamed(d.y.va(i));
+                            ctx.write_streamed(d.x.va(i));
+                        }
+                        d.x.set_raw(i, 0.5 * (d.x.get_raw(i) + d.y.get_raw(i)));
+                    }
+                    ctx.compute(2 * nlen);
+                });
+            });
+        }
+        zeta
+    }
+
+    fn reference(&self) -> f64 {
+        self.reference_impl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::verify_close;
+
+    fn run_skew_native(class: Class, threads: usize) -> (f64, bool) {
+        let mut k = Skew::new(class);
+        let mut alloc = BumpAllocator::unbounded();
+        k.setup(&mut alloc);
+        let mut team = Team::native(threads);
+        let cs = k.run(&mut team);
+        let ok = verify_close(cs, k.reference());
+        (cs, ok)
+    }
+
+    #[test]
+    fn skew_native_matches_reference_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            let (cs, ok) = run_skew_native(Class::S, threads);
+            assert!(ok, "threads={threads} checksum={cs}");
+            assert!(cs.is_finite());
+        }
+    }
+
+    #[test]
+    fn skew_checksum_is_deterministic() {
+        let (a, _) = run_skew_native(Class::S, 2);
+        let (b, _) = run_skew_native(Class::S, 4);
+        assert!(verify_close(a, b));
+    }
+
+    #[test]
+    fn skew_repeated_runs_are_identical() {
+        let mut k = Skew::new(Class::S);
+        let mut alloc = BumpAllocator::unbounded();
+        k.setup(&mut alloc);
+        let mut team = Team::native(2);
+        let a = k.run(&mut team);
+        let b = k.run(&mut team);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skew_row_weights_are_a_balanced_sawtooth() {
+        let p = params(Class::W);
+        let half = p.n / 2;
+        assert_eq!(row_nz(p, 0), 1);
+        assert_eq!(row_nz(p, half - 1), p.nzmax);
+        assert_eq!(row_nz(p, half), 1);
+        assert_eq!(row_nz(p, p.n - 1), p.nzmax);
+        // Halves (node partitions on a two-node machine) carry equal
+        // totals — the imbalance must be intra-node only...
+        let q = |a: usize, b: usize| (a..b).map(|i| row_nz(p, i)).sum::<usize>();
+        assert_eq!(q(0, half), q(half, p.n));
+        // ...while within a half the second quarter (a static thread
+        // partition at 4 threads) carries well over its node-mate's load.
+        assert!(
+            q(p.n / 4, half) * 2 > q(0, p.n / 4) * 3,
+            "ramp must skew the intra-node split"
+        );
+    }
+
+    #[test]
+    fn skew_w_matches_the_cg_w_regime() {
+        // Gather vector fits L2 but dwarfs the 32-entry L1 DTLB in 4 KB
+        // pages — the same placement-sensitive regime as CG class W.
+        let p = params(Class::W);
+        let x_bytes = (p.n * 8) as u64;
+        assert!(x_bytes < 1024 * 1024);
+        assert!(x_bytes / 4096 >= 4 * 32);
+    }
+
+    #[test]
+    fn skew_native_honours_default_schedule_only() {
+        // Native teams have no override machinery: schedule_or returns the
+        // default, so this test pins the no-override path the goldens use.
+        let team = Team::native(2);
+        assert_eq!(team.schedule_or(Schedule::Static), Schedule::Static);
+    }
+}

@@ -77,11 +77,23 @@ pub enum Event {
     /// TLB entries evicted by a fill whose ASID differed from the
     /// evicted entry's — cross-tenant TLB interference.
     TlbCrossEvictions,
+    /// Hierarchical-scheduler steals from a core on the thief's own
+    /// NUMA node.
+    LocalSteals,
+    /// Hierarchical-scheduler steals that crossed to a remote node
+    /// (these take larger chunk batches to amortize the migration).
+    RemoteSteals,
+    /// Chunks re-homed to another node by the scheduler after NUMA
+    /// hint-fault samples showed their pages live elsewhere.
+    ChunkRehomes,
+    /// Chunks that started executing on the node the scheduler had
+    /// them homed to (the locality mechanism working as intended).
+    AffinityHits,
 }
 
 impl Event {
     /// Number of distinct events.
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 36;
 
     /// All events in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -117,6 +129,10 @@ impl Event {
         Event::ContextSwitches,
         Event::DeschedCycles,
         Event::TlbCrossEvictions,
+        Event::LocalSteals,
+        Event::RemoteSteals,
+        Event::ChunkRehomes,
+        Event::AffinityHits,
     ];
 
     /// Short mnemonic used in reports.
@@ -154,6 +170,10 @@ impl Event {
             Event::ContextSwitches => "ctx_switch",
             Event::DeschedCycles => "desched_cyc",
             Event::TlbCrossEvictions => "tlb_cross_evict",
+            Event::LocalSteals => "steal_local",
+            Event::RemoteSteals => "steal_remote",
+            Event::ChunkRehomes => "chunk_rehome",
+            Event::AffinityHits => "affinity_hit",
         }
     }
 }
@@ -165,9 +185,18 @@ impl fmt::Display for Event {
 }
 
 /// A fixed-size bank of event counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Counters {
     vals: [u64; Event::COUNT],
+}
+
+// Not derived: `Default` for arrays is only implemented up to 32 lanes.
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            vals: [0; Event::COUNT],
+        }
+    }
 }
 
 impl Counters {

@@ -32,6 +32,7 @@ pub use mailbox::{allreduce_sum, Mailbox, MailboxError, MAX_MSG_BYTES, SLOTS_PER
 pub use schedule::{plan, Plan, Schedule};
 pub use shared::{ShVec, Word, ELEM_BYTES};
 pub use team::{
-    Body, ReduceBody, Reduction, SimEngine, SliceGrant, SliceYield, Team, DEFAULT_QUANTUM,
+    Body, ReduceBody, Reduction, SimEngine, SliceGrant, SliceYield, StealPolicy, Team,
+    DEFAULT_QUANTUM,
 };
 pub use tenancy::{run_tenants, ScheduleStats, TenantOutcome, TenantTask};

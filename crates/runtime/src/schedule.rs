@@ -22,6 +22,17 @@ pub enum Schedule {
     /// Exponentially shrinking chunks with the given minimum
     /// (`schedule(guided, n)`).
     Guided(usize),
+    /// Topology-aware work stealing: each thread starts from the static
+    /// contiguous partition it would own under [`Schedule::Static`]
+    /// (preserving first-touch page affinity), cut into chunks of the
+    /// given size and held in a per-thread deque. Idle threads steal —
+    /// preferring victims on their own NUMA node, falling back to remote
+    /// nodes with larger batches — under a deterministic simulated-time
+    /// order (see the runtime engine).
+    Hierarchical {
+        /// Chunk granularity of the per-thread deques.
+        chunk: usize,
+    },
 }
 
 /// The precomputed chunk structure of one parallel loop.
@@ -31,13 +42,17 @@ pub enum Plan {
     Fixed(Vec<Vec<Range<usize>>>),
     /// A shared queue of chunks claimed in order (dynamic/guided).
     Queue(Vec<Range<usize>>),
+    /// `per_thread[t]` is the *initial* deque of thread `t`
+    /// (hierarchical work stealing); chunks may migrate between threads
+    /// at run time, unlike [`Plan::Fixed`].
+    Hier(Vec<Vec<Range<usize>>>),
 }
 
 impl Plan {
     /// Total iterations covered by the plan.
     pub fn total_iterations(&self) -> usize {
         match self {
-            Plan::Fixed(per) => per.iter().flatten().map(|r| r.len()).sum(),
+            Plan::Fixed(per) | Plan::Hier(per) => per.iter().flatten().map(|r| r.len()).sum(),
             Plan::Queue(q) => q.iter().map(|r| r.len()).sum(),
         }
     }
@@ -45,7 +60,7 @@ impl Plan {
     /// Every chunk in the plan, in an arbitrary order.
     pub fn chunks(&self) -> Vec<Range<usize>> {
         match self {
-            Plan::Fixed(per) => per.iter().flatten().cloned().collect(),
+            Plan::Fixed(per) | Plan::Hier(per) => per.iter().flatten().cloned().collect(),
             Plan::Queue(q) => q.clone(),
         }
     }
@@ -111,6 +126,28 @@ pub fn plan(range: Range<usize>, threads: usize, schedule: Schedule) -> Plan {
                 start += len;
             }
             Plan::Queue(q)
+        }
+        Schedule::Hierarchical { chunk } => {
+            let chunk = chunk.max(1);
+            // Same contiguous partition as Static (so first-touch homes
+            // line up with each deque's owner), then cut into chunks.
+            let base = n / threads;
+            let rem = n % threads;
+            let mut start = range.start;
+            let per = (0..threads)
+                .map(|t| {
+                    let len = base + usize::from(t < rem);
+                    let end = start + len;
+                    let mut deque = Vec::with_capacity(len / chunk + 1);
+                    while start < end {
+                        let cend = (start + chunk).min(end);
+                        deque.push(start..cend);
+                        start = cend;
+                    }
+                    deque
+                })
+                .collect();
+            Plan::Hier(per)
         }
     }
 }
@@ -188,10 +225,36 @@ mod tests {
             Schedule::StaticChunk(4),
             Schedule::Dynamic(4),
             Schedule::Guided(4),
+            Schedule::Hierarchical { chunk: 4 },
         ] {
             let p = plan(5..5, 3, s);
             assert_eq!(p.total_iterations(), 0);
         }
+    }
+
+    #[test]
+    fn hierarchical_deques_mirror_the_static_partition() {
+        let p = plan(0..10, 3, Schedule::Hierarchical { chunk: 2 });
+        covers_exactly(&p, 0..10);
+        let Plan::Hier(per) = &p else { panic!() };
+        // Thread t's deque spans exactly its Static partition…
+        assert_eq!(per[0], vec![0..2, 2..4]);
+        assert_eq!(per[1], vec![4..6, 6..7]);
+        assert_eq!(per[2], vec![7..9, 9..10]);
+        // …so concatenating deques re-creates the Static split.
+        let stat = plan(0..10, 3, Schedule::Static);
+        let Plan::Fixed(sper) = &stat else { panic!() };
+        for t in 0..3 {
+            let lo = per[t].first().unwrap().start;
+            let hi = per[t].last().unwrap().end;
+            assert_eq!(lo..hi, sper[t][0]);
+        }
+    }
+
+    #[test]
+    fn hierarchical_zero_chunk_is_clamped() {
+        let p = plan(0..4, 2, Schedule::Hierarchical { chunk: 0 });
+        covers_exactly(&p, 0..4);
     }
 
     #[test]

@@ -17,8 +17,10 @@ use crate::schedule::{plan, Plan, Schedule};
 use lpomp_machine::{CaptureState, CodeWalker, Machine, MemoryCtx, NullCtx, SimCtx};
 use lpomp_prof::{Counters, Event, Profile, ProfileSheet, ProfileSpec, RegionProfiler};
 use lpomp_vm::{
-    AddressSpace, DaemonCosts, Khugepaged, KhugepagedConfig, NumaDaemon, NumaDaemonConfig,
+    AddressSpace, DaemonCosts, HintSamples, Khugepaged, KhugepagedConfig, NumaDaemon,
+    NumaDaemonConfig, VirtAddr, MAX_CORES, MAX_NUMA_NODES,
 };
+use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -112,6 +114,53 @@ impl Reduction {
 /// Default iterations per simulated quantum (interleaving granularity).
 pub const DEFAULT_QUANTUM: usize = 64;
 
+/// Tunables of the hierarchical scheduler's work stealing and its
+/// negotiation with the NUMA balancing daemon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StealPolicy {
+    /// Chunks one cross-node steal takes at once. Remote steals pay an
+    /// interconnect round trip and drag their pages' traffic across it,
+    /// so the thief grabs a batch to amortize the migration.
+    pub remote_batch: usize,
+    /// Work-follows-pages: consume NUMA hint-fault samples at chunk
+    /// completion and re-home chunks toward the node their pages live on
+    /// (ablation flag).
+    pub work_follows_pages: bool,
+    /// Pages-follow-work: publish each chunk's page footprint to the
+    /// NUMA daemon so it prefers migrating those pages toward the node
+    /// that owns the chunk (ablation flag).
+    pub pages_follow_work: bool,
+    /// When `false`, steal victims are picked in plain thread-id order
+    /// with no own-node preference — the classic topology-blind work
+    /// stealer, kept as the experiment baseline. Chunk seeding, costs
+    /// and counters are unchanged, so cross-node steals still show up
+    /// as [`lpomp_prof::Event::RemoteSteals`].
+    pub topology_aware: bool,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        StealPolicy {
+            remote_batch: 2,
+            work_follows_pages: true,
+            pages_follow_work: true,
+            topology_aware: true,
+        }
+    }
+}
+
+/// Persistent hierarchical-scheduler state for one loop shape: chunk
+/// affinities survive across instances of the same loop, so re-homing
+/// decisions made in iteration *k* pay off in iteration *k+1*.
+struct HierState {
+    /// The loop's chunk list (also the shape fingerprint).
+    chunks: Vec<Range<usize>>,
+    /// Preferred NUMA node per chunk.
+    affinity: Vec<usize>,
+    /// Thread whose deque the chunk starts on next time.
+    owner: Vec<usize>,
+}
+
 /// The simulated execution engine: machine + process + per-thread state.
 pub struct SimEngine {
     /// The hardware model.
@@ -129,6 +178,14 @@ pub struct SimEngine {
     profiler: Option<Box<RegionProfiler>>,
     capture: Option<Box<CaptureState>>,
     slice: Option<SliceLink>,
+    sched_override: Option<Schedule>,
+    steal: StealPolicy,
+    hier: Vec<HierState>,
+    /// Hint samples the scheduler drained mid-loop, parked for the NUMA
+    /// daemon's next barrier scan.
+    hint_stash: HintSamples,
+    /// Pages-follow-work hints accumulated for the daemon.
+    work_hints: BTreeMap<u64, usize>,
 }
 
 impl SimEngine {
@@ -158,7 +215,34 @@ impl SimEngine {
             profiler: None,
             capture: None,
             slice: None,
+            sched_override: None,
+            steal: StealPolicy::default(),
+            hier: Vec::new(),
+            hint_stash: HintSamples::new(),
+            work_hints: BTreeMap::new(),
         }
+    }
+
+    /// Install (or clear) a schedule override. Kernels that consult
+    /// [`Team::schedule_or`] run their annotated loops under it; loops
+    /// with hardcoded schedules are unaffected.
+    pub fn set_schedule_override(&mut self, s: Option<Schedule>) {
+        self.sched_override = s;
+    }
+
+    /// The installed schedule override, if any.
+    pub fn schedule_override(&self) -> Option<Schedule> {
+        self.sched_override
+    }
+
+    /// Set the hierarchical scheduler's steal/negotiation policy.
+    pub fn set_steal_policy(&mut self, p: StealPolicy) {
+        self.steal = p;
+    }
+
+    /// The hierarchical scheduler's steal/negotiation policy.
+    pub fn steal_policy(&self) -> StealPolicy {
+        self.steal
     }
 
     /// Put the engine under timeslice scheduling: its `machine` becomes a
@@ -230,7 +314,8 @@ impl SimEngine {
     /// so they belong to its own balancing daemon (and are discarded when
     /// it has none, as the kernel does for an untracked process).
     fn yield_machine(&mut self, finished: bool) {
-        let batch = self.machine.drain_hint_samples();
+        let mut batch = self.machine.drain_hint_samples();
+        batch.merge(std::mem::take(&mut self.hint_stash));
         if let Some((d, _)) = &mut self.numa_daemon {
             d.absorb(batch);
         }
@@ -519,8 +604,211 @@ impl SimEngine {
                     }
                 }
             }
+            Plan::Hier(per) => self.run_hier(per, body, red, &mut partials),
         }
         partials
+    }
+
+    /// Charge one thread's clock (scheduler bookkeeping ops).
+    fn charge_one(&mut self, t: usize, cycles: u64) {
+        self.clocks[t] += cycles;
+        self.profile.thread_mut(t).add(Event::Cycles, cycles);
+    }
+
+    /// The hierarchical work-stealing loop: per-thread deques seeded from
+    /// the static partition (or the persistent re-homed assignment when
+    /// this loop shape ran before), locality-preferring stealing, and the
+    /// two-way negotiation with the NUMA daemon. Deterministic: the
+    /// lowest-clock thread always acts next, and steal victim order is a
+    /// pure function of the topology.
+    fn run_hier(
+        &mut self,
+        per: &[Vec<Range<usize>>],
+        body: ReduceBody<'_>,
+        red: Reduction,
+        partials: &mut [f64],
+    ) {
+        let pol = self.steal;
+        let negotiate = pol.work_follows_pages || pol.pages_follow_work;
+        if negotiate {
+            // Enabling sampling resets the machine's pending batch, so
+            // park whatever is there first (the daemon gets it later).
+            let pending = self.machine.drain_hint_samples();
+            self.hint_stash.merge(pending);
+            self.machine.enable_hint_sampling();
+        }
+        let threads = self.threads;
+        let my_node: Vec<usize> = (0..threads)
+            .map(|t| self.machine.config().node_of_core(self.placement[t]))
+            .collect();
+        let max_node = my_node.iter().copied().max().unwrap_or(0);
+        let mut threads_on: Vec<Vec<usize>> = vec![Vec::new(); max_node + 1];
+        for (t, &n) in my_node.iter().enumerate() {
+            threads_on[n].push(t);
+        }
+        // Victim preference per thief: own node's threads first (ascending
+        // id), then remote threads (ascending id). A topology-blind
+        // policy flattens this to plain id order.
+        let victims: Vec<Vec<usize>> = (0..threads)
+            .map(|t| {
+                if !pol.topology_aware {
+                    return (0..threads).filter(|&u| u != t).collect();
+                }
+                let mut v: Vec<usize> = (0..threads)
+                    .filter(|&u| u != t && my_node[u] == my_node[t])
+                    .collect();
+                v.extend((0..threads).filter(|&u| my_node[u] != my_node[t]));
+                v
+            })
+            .collect();
+        // Find (or seed) the persistent state for this loop shape.
+        let chunks: Vec<Range<usize>> = per.iter().flatten().cloned().collect();
+        let si = match self.hier.iter().position(|s| s.chunks == chunks) {
+            Some(i) => i,
+            None => {
+                // Chunk → plan-owner thread; affinity seeds from that
+                // owner's node — under static first-touch init that is
+                // where the chunk's pages physically live.
+                let mut owner = Vec::with_capacity(chunks.len());
+                for (t, deque) in per.iter().enumerate() {
+                    owner.extend(std::iter::repeat_n(t, deque.len()));
+                }
+                let affinity: Vec<usize> = owner.iter().map(|&t| my_node[t]).collect();
+                self.hier.push(HierState {
+                    chunks: chunks.clone(),
+                    affinity,
+                    owner,
+                });
+                self.hier.len() - 1
+            }
+        };
+        let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); threads];
+        for (c, &o) in self.hier[si].owner.iter().enumerate() {
+            deques[o].push_back(c);
+        }
+        let cm = *self.machine.cost();
+        // (chunk index, offset within chunk) being executed per thread.
+        let mut active: Vec<Option<(usize, usize)>> = vec![None; threads];
+        loop {
+            self.maybe_slice_yield();
+            let queued = deques.iter().any(|d| !d.is_empty());
+            let mut next: Option<usize> = None;
+            #[allow(clippy::needless_range_loop)] // t indexes several arrays
+            for t in 0..threads {
+                let has_work = active[t].is_some() || queued;
+                if has_work && next.is_none_or(|b| self.clocks[t] < self.clocks[b]) {
+                    next = Some(t);
+                }
+            }
+            let Some(t) = next else { break };
+            if active[t].is_none() {
+                let c = if let Some(c) = deques[t].pop_front() {
+                    self.charge_one(t, cm.queue_op);
+                    c
+                } else {
+                    // Own deque dry: steal. `queued` guarantees a victim.
+                    let v = victims[t]
+                        .iter()
+                        .copied()
+                        .find(|&u| !deques[u].is_empty())
+                        .expect("queued work must have a victim");
+                    self.prof_enter("rt:steal");
+                    if my_node[v] != my_node[t] {
+                        // Remote: take a batch off the victim's tail,
+                        // preserving chunk order.
+                        let k = pol.remote_batch.max(1).min(deques[v].len());
+                        let mut tail = Vec::with_capacity(k);
+                        for _ in 0..k {
+                            tail.push(deques[v].pop_back().expect("victim emptied"));
+                        }
+                        tail.reverse();
+                        deques[t].extend(tail);
+                        self.charge_one(t, cm.steal_remote);
+                        self.profile.thread_mut(t).bump(Event::RemoteSteals);
+                    } else {
+                        let c = deques[v].pop_back().expect("victim emptied");
+                        deques[t].push_back(c);
+                        self.charge_one(t, cm.steal_local);
+                        self.profile.thread_mut(t).bump(Event::LocalSteals);
+                    }
+                    self.prof_exit();
+                    deques[t].pop_front().expect("thief's deque stocked")
+                };
+                if my_node[t] == self.hier[si].affinity[c] {
+                    self.profile.thread_mut(t).bump(Event::AffinityHits);
+                }
+                active[t] = Some((c, 0));
+            }
+            let (c, off) = active[t].expect("selected thread has a chunk");
+            let chunk = self.hier[si].chunks[c].clone();
+            let start = chunk.start + off;
+            let end = (start + self.quantum).min(chunk.end);
+            let v = self.exec_quantum(t, start..end, body);
+            partials[t] = red.combine(partials[t], v);
+            if end == chunk.end {
+                active[t] = None;
+                if negotiate {
+                    self.negotiate_chunk(si, c, t, &threads_on);
+                }
+            } else {
+                active[t] = Some((c, off + (end - start)));
+            }
+        }
+    }
+
+    /// Chunk-completion negotiation. Drains the machine's hint samples;
+    /// pages the completing thread's *core* touched (per-core tallies, so
+    /// node-mates' concurrent chunks don't pollute the attribution)
+    /// approximate the chunk's footprint. Work-follows-pages re-homes the
+    /// chunk when a majority of that footprint lives on another
+    /// (populated) node; pages-follow-work publishes `page → chunk home`
+    /// hints the daemon weighs when judging migrations. All drained
+    /// samples are stashed for the daemon regardless.
+    fn negotiate_chunk(&mut self, si: usize, c: usize, t: usize, threads_on: &[Vec<usize>]) {
+        let batch = self.machine.drain_hint_samples();
+        let core = self.placement[t].min(MAX_CORES - 1);
+        let mut home_tally = [0u64; MAX_NUMA_NODES];
+        let mut touched: Vec<u64> = Vec::new();
+        for (page, tally) in batch.iter_cores() {
+            let weight = tally[core];
+            if weight == 0 {
+                continue;
+            }
+            let Some(tr) = self.aspace.page_table().probe(VirtAddr(page)) else {
+                continue;
+            };
+            let home = self.machine.frames.node_of(tr.pa.frame_base(tr.size));
+            home_tally[home.min(MAX_NUMA_NODES - 1)] += weight;
+            touched.push(page);
+        }
+        self.hint_stash.merge(batch);
+        if self.steal.work_follows_pages {
+            let total: u64 = home_tally.iter().sum();
+            let dominant = home_tally
+                .iter()
+                .enumerate()
+                .max_by_key(|&(n, &v)| (v, std::cmp::Reverse(n)))
+                .map(|(n, _)| n)
+                .unwrap_or(0);
+            // Majority of the footprint on one node, with enough evidence.
+            if total >= 4 && home_tally[dominant] * 2 > total {
+                let cur = self.hier[si].affinity[c];
+                let populated = threads_on.get(dominant).is_some_and(|v| !v.is_empty());
+                if dominant != cur && populated {
+                    self.hier[si].affinity[c] = dominant;
+                    // Deterministic spread over the node's threads.
+                    let slots = &threads_on[dominant];
+                    self.hier[si].owner[c] = slots[c % slots.len()];
+                    self.profile.thread_mut(t).bump(Event::ChunkRehomes);
+                }
+            }
+        }
+        if self.steal.pages_follow_work {
+            let home = self.hier[si].affinity[c];
+            for &page in &touched {
+                self.work_hints.insert(page, home);
+            }
+        }
     }
 
     /// Execute one quantum on logical thread `t`.
@@ -634,8 +922,12 @@ impl SimEngine {
             self.daemon = Some((daemon, costs));
         }
         if let Some((mut daemon, costs)) = self.numa_daemon.take() {
-            let batch = self.machine.drain_hint_samples();
+            let mut batch = self.machine.drain_hint_samples();
+            batch.merge(std::mem::take(&mut self.hint_stash));
             daemon.absorb(batch);
+            if self.steal.pages_follow_work && !self.work_hints.is_empty() {
+                daemon.set_work_hints(std::mem::take(&mut self.work_hints));
+            }
             let out = daemon
                 .scan(&mut self.aspace, &mut self.machine.frames, &costs)
                 .expect("numa balancing scan failed");
@@ -660,6 +952,11 @@ impl SimEngine {
                 self.prof_exit();
             }
             self.numa_daemon = Some((daemon, costs));
+        } else {
+            // No balancer: scheduler-drained samples and published hints
+            // have no consumer; drop them so they can't grow unbounded.
+            self.hint_stash = HintSamples::new();
+            self.work_hints.clear();
         }
     }
 
@@ -718,6 +1015,18 @@ impl Team {
         match self {
             Team::Native { threads } => *threads,
             Team::Sim(e) => e.threads,
+        }
+    }
+
+    /// The schedule a kernel's *annotated* loop should use: the engine's
+    /// override when one is installed (see
+    /// [`SimEngine::set_schedule_override`]), else `default`. Kernels
+    /// whose loops hardcode a schedule are unaffected — opting in is what
+    /// lets experiments swap policies without perturbing other kernels.
+    pub fn schedule_or(&self, default: Schedule) -> Schedule {
+        match self {
+            Team::Sim(e) => e.sched_override.unwrap_or(default),
+            Team::Native { .. } => default,
         }
     }
 
@@ -798,6 +1107,13 @@ impl Team {
             }
             Team::Native { threads } => {
                 let threads = *threads;
+                // The native engine has no simulated clock to order steals
+                // by, so hierarchical plans degrade to true self-scheduling
+                // over the same chunks (correctness-identical).
+                let p = match p {
+                    Plan::Hier(per) => Plan::Queue(per.into_iter().flatten().collect()),
+                    other => other,
+                };
                 match p {
                     Plan::Fixed(per) => {
                         let partials: Vec<f64> = std::thread::scope(|s| {
@@ -855,6 +1171,7 @@ impl Team {
                             .into_iter()
                             .fold(red.identity(), |a, b| red.combine(a, b))
                     }
+                    Plan::Hier(_) => unreachable!("flattened above"),
                 }
             }
         }
@@ -1260,6 +1577,197 @@ mod tests {
         nat.parallel_for(10..10, Schedule::Static, &|_, _| panic!("no work"));
         let (mut sim, _) = sim_team(2);
         sim.parallel_for(10..10, Schedule::Dynamic(4), &|_, _| panic!("no work"));
+        let (mut sim, _) = sim_team(2);
+        sim.parallel_for(10..10, Schedule::Hierarchical { chunk: 4 }, &|_, _| {
+            panic!("no work")
+        });
+    }
+
+    #[test]
+    fn hierarchical_covers_iterations_steals_and_conserves() {
+        let (mut team, data) = sim_team(4);
+        team.engine_mut()
+            .unwrap()
+            .enable_profiling(ProfileSpec::Regions);
+        let v: ShVec<f64> = ShVec::new(4096, data);
+        // Skewed load: late iterations are far dearer, so the static
+        // seeding leaves thread 3 overloaded and the others must steal.
+        team.parallel_for(0..4096, Schedule::Hierarchical { chunk: 64 }, &|ctx, r| {
+            for i in r {
+                v.set(ctx, i, i as f64);
+                ctx.compute((i as u64) / 4);
+            }
+        });
+        for i in 0..4096 {
+            assert_eq!(v.get_raw(i), i as f64, "iteration {i}");
+        }
+        let agg = team.aggregate_counters();
+        let steals = agg.get(Event::LocalSteals) + agg.get(Event::RemoteSteals);
+        assert!(steals > 0, "the skew must trigger steals");
+        assert!(agg.get(Event::AffinityHits) > 0, "owned chunks count hits");
+        let sheet = team.region_sheet().unwrap();
+        let steal_region = sheet.by_name("rt:steal").expect("rt:steal attributed");
+        assert!(sheet.region_total(steal_region).get(Event::Cycles) > 0);
+        assert_eq!(sheet.total(), agg, "conservation with rt:steal present");
+    }
+
+    #[test]
+    fn hierarchical_native_and_reductions_agree() {
+        let mut nat = Team::native(4);
+        let s = nat.parallel_for_reduce(
+            1..101,
+            Schedule::Hierarchical { chunk: 8 },
+            Reduction::Sum,
+            &|_, r| r.map(|i| i as f64).sum(),
+        );
+        assert_eq!(s, 5050.0);
+        let (mut sim, _) = sim_team(3);
+        let m = sim.parallel_for_reduce(
+            0..1000,
+            Schedule::Hierarchical { chunk: 16 },
+            Reduction::Max,
+            &|_, r| r.map(|i| i as f64).fold(f64::NEG_INFINITY, f64::max),
+        );
+        assert_eq!(m, 999.0);
+    }
+
+    #[test]
+    fn hierarchical_profiling_never_perturbs() {
+        let run = |spec: Option<ProfileSpec>| {
+            let (mut team, data) = sim_team(4);
+            if let Some(s) = spec {
+                team.engine_mut().unwrap().enable_profiling(s);
+            }
+            let v: ShVec<f64> = ShVec::new(5000, data);
+            team.region("work", |team| {
+                team.parallel_for(0..5000, Schedule::Hierarchical { chunk: 64 }, &|ctx, r| {
+                    for i in r {
+                        v.set(ctx, i, 1.0);
+                        ctx.compute(i as u64 / 16);
+                    }
+                });
+            });
+            (team.elapsed_cycles(), team.aggregate_counters())
+        };
+        let bare = run(None);
+        assert_eq!(bare, run(Some(ProfileSpec::Regions)));
+        assert_eq!(bare, run(Some(ProfileSpec::Trace)));
+    }
+
+    #[test]
+    fn hierarchical_runs_are_deterministic() {
+        let run = || {
+            let (mut team, data) = sim_team(4);
+            let v: ShVec<f64> = ShVec::new(8192, data);
+            for _ in 0..3 {
+                team.parallel_for(0..8192, Schedule::Hierarchical { chunk: 32 }, &|ctx, r| {
+                    for i in r {
+                        v.set(ctx, i, i as f64);
+                        ctx.compute(i as u64 / 8);
+                    }
+                });
+            }
+            (team.elapsed_cycles(), team.aggregate_counters())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn work_follows_pages_rehomes_remote_chunks() {
+        use lpomp_machine::{NumaConfig, NumaPlacement};
+        let mut cfg = opteron_2x2();
+        cfg.numa = Some(NumaConfig::opteron(NumaPlacement::MasterNode));
+        let mut machine = Machine::new(cfg);
+        let mut aspace = AddressSpace::new(&mut machine.frames).unwrap();
+        let code = aspace
+            .mmap_fixed(
+                &mut machine.frames,
+                VirtAddr(0x40_0000),
+                1 << 20,
+                PageSize::Small4K,
+                PteFlags::rx(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "code",
+            )
+            .unwrap();
+        // The whole 4 MB heap starts on node 0 (master-node placement):
+        // chunks seeded to node 1's threads find all their pages remote.
+        let data = aspace
+            .mmap(
+                &mut machine.frames,
+                4 << 20,
+                PageSize::Small4K,
+                PteFlags::rw(),
+                Backing::Anonymous,
+                Populate::Eager,
+                "data",
+            )
+            .unwrap();
+        let walker = CodeWalker::new(code, 1 << 20, 64 << 10, 1000);
+        let engine = SimEngine::new(machine, aspace, 4, walker, DEFAULT_QUANTUM);
+        let mut team = Team::simulated(engine);
+        let n = (4 << 20) / 8;
+        let v: ShVec<f64> = ShVec::new(n, data);
+        for _ in 0..4 {
+            team.parallel_for(0..n, Schedule::Hierarchical { chunk: 2048 }, &|ctx, r| {
+                for i in r {
+                    v.set(ctx, i, i as f64);
+                }
+            });
+        }
+        for i in (0..n).step_by(997) {
+            assert_eq!(v.get_raw(i), i as f64);
+        }
+        let agg = team.aggregate_counters();
+        assert!(agg.get(Event::NumaHintFaults) > 0, "sampling must be live");
+        assert!(
+            agg.get(Event::ChunkRehomes) > 0,
+            "all-remote chunks must re-home toward their pages"
+        );
+    }
+
+    #[test]
+    fn steal_policy_ablation_flags_disable_negotiation() {
+        let (mut team, data) = sim_team(4);
+        let e = team.engine_mut().unwrap();
+        e.set_steal_policy(StealPolicy {
+            work_follows_pages: false,
+            pages_follow_work: false,
+            ..StealPolicy::default()
+        });
+        assert!(!e.steal_policy().work_follows_pages);
+        let v: ShVec<f64> = ShVec::new(4096, data);
+        team.parallel_for(0..4096, Schedule::Hierarchical { chunk: 64 }, &|ctx, r| {
+            for i in r {
+                v.set(ctx, i, 1.0);
+                ctx.compute(i as u64 / 4);
+            }
+        });
+        let agg = team.aggregate_counters();
+        // No negotiation: no sampling turned on, no re-homes published.
+        assert_eq!(agg.get(Event::ChunkRehomes), 0);
+        assert_eq!(agg.get(Event::NumaHintFaults), 0);
+    }
+
+    #[test]
+    fn schedule_override_is_consulted_only_via_schedule_or() {
+        let (mut team, _) = sim_team(2);
+        assert_eq!(team.schedule_or(Schedule::Static), Schedule::Static);
+        team.engine_mut()
+            .unwrap()
+            .set_schedule_override(Some(Schedule::Hierarchical { chunk: 32 }));
+        assert_eq!(
+            team.schedule_or(Schedule::Static),
+            Schedule::Hierarchical { chunk: 32 }
+        );
+        assert_eq!(
+            team.engine().unwrap().schedule_override(),
+            Some(Schedule::Hierarchical { chunk: 32 })
+        );
+        // Native teams never override.
+        let nat = Team::native(2);
+        assert_eq!(nat.schedule_or(Schedule::Static), Schedule::Static);
     }
 
     #[test]

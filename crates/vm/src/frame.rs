@@ -327,6 +327,52 @@ impl BuddyAllocator {
         Ok(PhysAddr(base << SMALL_PAGE_SHIFT))
     }
 
+    /// Node-targeted sibling of [`alloc_block`](Self::alloc_block): carve
+    /// one naturally aligned block of any order out of `node`'s frame
+    /// range, falling back to the other nodes in ascending wrap-around
+    /// order like [`alloc_on_node`](Self::alloc_on_node). Orders up to
+    /// [`MAX_ORDER`] take the buddy path; gigantic orders need a fully
+    /// free span-aligned run *inside one node* (node boundaries are
+    /// `MAX_ORDER`-aligned, so a run found within a node's pfn range
+    /// never straddles nodes). This is what a per-node reservation of a
+    /// non-2 MB hugetlbfs pool draws from.
+    pub fn alloc_block_on_node(&mut self, node: usize, order: u8) -> VmResult<PhysAddr> {
+        if order <= MAX_ORDER {
+            return self.alloc_on_node(node, order);
+        }
+        assert!(node < self.nodes, "node {node} out of range");
+        if self.nodes == 1 {
+            return self.alloc_block(order);
+        }
+        if self.injected_failure(order) {
+            return Err(VmError::OutOfMemory { order });
+        }
+        let span = 1u64 << order;
+        let chunk = 1u64 << MAX_ORDER;
+        for i in 0..self.nodes {
+            let n = (node + i) % self.nodes;
+            let (lo, hi) = self.node_pfn_range(n);
+            let found = {
+                let top = &self.free[MAX_ORDER as usize];
+                top.range(lo..hi).copied().find(|&base| {
+                    base.is_multiple_of(span)
+                        && base + span <= hi
+                        && (1..span / chunk).all(|j| top.contains(&(base + j * chunk)))
+                })
+            };
+            let Some(base) = found else { continue };
+            for j in 0..span / chunk {
+                self.free[MAX_ORDER as usize].remove(&(base + j * chunk));
+            }
+            self.free_frames -= span;
+            self.stats.allocs += 1;
+            self.allocated.insert(base, order);
+            return Ok(PhysAddr(base << SMALL_PAGE_SHIFT));
+        }
+        self.stats.failures += 1;
+        Err(VmError::OutOfMemory { order })
+    }
+
     /// Free a block previously returned by [`alloc_block`](Self::alloc_block)
     /// with the same order. Above-`MAX_ORDER` blocks decompose back into
     /// their `MAX_ORDER` chunks (which need no further coalescing — the
@@ -763,6 +809,43 @@ mod tests {
             Err(VmError::OutOfMemory { order: o9 })
         );
         assert_eq!(a.stats().failures, 1);
+    }
+
+    #[test]
+    fn node_targeted_gigantic_blocks_stay_on_node_until_exhausted() {
+        // 4 GB over 2 nodes: each node holds two aligned 1 GB runs.
+        let g = 30u8 - 12; // order of a 1 GB block in 4 KB frames
+        let mut a = BuddyAllocator::with_nodes(4u64 << 30, 2);
+        let p = a.alloc_block_on_node(1, g).unwrap();
+        assert_eq!(a.node_of(p), 1);
+        assert_eq!(p.0 % (1u64 << 30), 0);
+        let q = a.alloc_block_on_node(1, g).unwrap();
+        assert_eq!(a.node_of(q), 1);
+        assert_eq!(a.free_bytes_on(1), 0);
+        // Node 1 exhausted: the gigantic path falls back like alloc_on_node.
+        let r = a.alloc_block_on_node(1, g).unwrap();
+        assert_eq!(a.node_of(r), 0);
+        // A pinned frame on node 0 kills its remaining aligned run.
+        let pin = a.alloc_on_node(0, 0).unwrap();
+        assert_eq!(a.node_of(pin), 0);
+        assert_eq!(
+            a.alloc_block_on_node(0, g),
+            Err(VmError::OutOfMemory { order: g })
+        );
+        a.free(pin, 0);
+        a.free_block(p, g);
+        a.free_block(q, g);
+        a.free_block(r, g);
+        assert_eq!(a.free_bytes(), 4u64 << 30);
+    }
+
+    #[test]
+    fn alloc_block_on_node_delegates_buddy_orders() {
+        let mut a = BuddyAllocator::with_nodes(mb(16), 2);
+        let p = a.alloc_block_on_node(1, 3).unwrap();
+        assert_eq!(a.node_of(p), 1);
+        a.free_block(p, 3);
+        assert_eq!(a.free_bytes(), mb(16));
     }
 
     #[test]

@@ -171,7 +171,21 @@ impl HugePool {
     /// Files are then cut from the per-node buckets with
     /// [`create_file_on`](Self::create_file_on).
     pub fn reserve_per_node(frames: &mut BuddyAllocator, per_node: &[u64]) -> VmResult<Self> {
-        let order = PageSize::Large2M.buddy_order();
+        Self::reserve_per_node_sized(frames, per_node, PageSize::Large2M)
+    }
+
+    /// [`reserve_per_node`](Self::reserve_per_node) for any rung size,
+    /// including gigantic sizes above the buddy `MAX_ORDER` — those carve
+    /// aligned runs *inside* each node's frame range (see
+    /// [`BuddyAllocator::alloc_block_on_node`]), so a per-node gigantic
+    /// reservation succeeds only while every named node still holds a
+    /// fully free aligned run.
+    pub fn reserve_per_node_sized(
+        frames: &mut BuddyAllocator,
+        per_node: &[u64],
+        size: PageSize,
+    ) -> VmResult<Self> {
+        let order = size.buddy_order();
         let mut node_free: Vec<Vec<PhysAddr>> = per_node
             .iter()
             .map(|&n| Vec::with_capacity(n as usize))
@@ -180,20 +194,20 @@ impl HugePool {
         let rollback = |frames: &mut BuddyAllocator, buckets: &mut Vec<Vec<PhysAddr>>| {
             for bucket in buckets.iter_mut() {
                 for pa in bucket.drain(..) {
-                    frames.free(pa, order);
+                    frames.free_block(pa, order);
                 }
             }
         };
         for (node, &pages) in per_node.iter().enumerate() {
             for _ in 0..pages {
-                match frames.alloc_on_node(node, order) {
+                match frames.alloc_block_on_node(node, order) {
                     Ok(pa) if frames.node_of(pa) == node => {
                         origin.insert(pa.0, node);
                         node_free[node].push(pa);
                     }
                     Ok(pa) => {
                         // Landed off-node: the node itself is full.
-                        frames.free(pa, order);
+                        frames.free_block(pa, order);
                         rollback(frames, &mut node_free);
                         return Err(VmError::OutOfMemory { order });
                     }
@@ -205,7 +219,7 @@ impl HugePool {
             }
         }
         Ok(HugePool {
-            page_size: PageSize::Large2M,
+            page_size: size,
             free: Vec::new(),
             node_free,
             origin,
@@ -624,6 +638,41 @@ mod tests {
         assert_eq!(pool.available_on(0), 2);
         assert_eq!(pool.available_on(1), 2);
         pool.shrink_to_fit(&mut f);
+        assert_eq!(f.free_bytes(), before);
+    }
+
+    #[test]
+    fn per_node_gigantic_reservation_places_and_round_trips() {
+        // 4 GB over 2 nodes: one 1 GB page reserved on each node.
+        let mut f = BuddyAllocator::with_nodes(4u64 << 30, 2);
+        let before = f.free_bytes();
+        let mut pool = HugePool::reserve_per_node_sized(&mut f, &[1, 1], PageSize::Page1G).unwrap();
+        assert_eq!(pool.page_size(), PageSize::Page1G);
+        assert_eq!(pool.available_on(0), 1);
+        assert_eq!(pool.available_on(1), 1);
+        let seg = pool
+            .create_file_on("heap", 2 * PageSize::Page1G.bytes(), |i| (i % 2) as usize)
+            .unwrap();
+        for i in 0..2 {
+            let pa = seg.frame(i).unwrap();
+            assert_eq!(f.node_of(pa), (i % 2) as usize, "page {i} misplaced");
+            assert_eq!(pa.0 % PageSize::Page1G.bytes(), 0);
+        }
+        drop(seg);
+        pool.unlink("heap").unwrap();
+        assert_eq!(pool.available_on(0), 1, "unlink re-buckets by origin");
+        pool.shrink_to_fit(&mut f);
+        assert_eq!(f.free_bytes(), before);
+    }
+
+    #[test]
+    fn per_node_gigantic_reservation_rolls_back_when_a_node_is_full() {
+        // Each node holds exactly two 1 GB runs; asking for three on node 0
+        // must fail (the fallback run would land on node 1) and leak
+        // nothing.
+        let mut f = BuddyAllocator::with_nodes(4u64 << 30, 2);
+        let before = f.free_bytes();
+        assert!(HugePool::reserve_per_node_sized(&mut f, &[3, 0], PageSize::Page1G).is_err());
         assert_eq!(f.free_bytes(), before);
     }
 

@@ -105,12 +105,21 @@ pub fn migrate_page_to_node(
     })
 }
 
+/// Ceiling on per-core sample lanes (hardware contexts, not sockets).
+pub const MAX_CORES: usize = 16;
+
 /// Per-page access tallies recorded by the machine at data-TLB-miss time —
 /// the simulator's NUMA hinting faults. Keyed by page-base virtual
-/// address; ordered so daemon iteration is deterministic.
+/// address; ordered so daemon iteration is deterministic. Tallies are
+/// kept at two granularities: per node (what the balancing daemon
+/// weighs) and per core (what the hierarchical scheduler's chunk
+/// negotiation needs — a completing thread must attribute exactly its
+/// *own* traffic, or its node-mates' concurrent chunks pollute the
+/// footprint and chunks re-home to the wrong node).
 #[derive(Clone, Debug, Default)]
 pub struct HintSamples {
     map: BTreeMap<u64, [u64; MAX_NUMA_NODES]>,
+    by_core: BTreeMap<u64, [u64; MAX_CORES]>,
 }
 
 impl HintSamples {
@@ -119,10 +128,18 @@ impl HintSamples {
         Self::default()
     }
 
-    /// Record one access to the page based at `page_base` from `node`.
+    /// Record one access to the page based at `page_base` from `node`
+    /// (no per-core attribution — daemon-only tallies).
     #[inline]
     pub fn record(&mut self, page_base: u64, node: usize) {
         self.map.entry(page_base).or_default()[node.min(MAX_NUMA_NODES - 1)] += 1;
+    }
+
+    /// Record one access from `core` on `node`, feeding both tallies.
+    #[inline]
+    pub fn record_from(&mut self, page_base: u64, node: usize, core: usize) {
+        self.record(page_base, node);
+        self.by_core.entry(page_base).or_default()[core.min(MAX_CORES - 1)] += 1;
     }
 
     /// Number of pages with at least one sample.
@@ -133,6 +150,33 @@ impl HintSamples {
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Iterate `(page_base, per-node tally)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u64; MAX_NUMA_NODES])> {
+        self.map.iter().map(|(&p, t)| (p, t))
+    }
+
+    /// Iterate `(page_base, per-core tally)` pairs in address order.
+    /// Only populated by [`HintSamples::record_from`].
+    pub fn iter_cores(&self) -> impl Iterator<Item = (u64, &[u64; MAX_CORES])> {
+        self.by_core.iter().map(|(&p, t)| (p, t))
+    }
+
+    /// Fold another sample set into this one, element-wise.
+    pub fn merge(&mut self, other: HintSamples) {
+        for (page, tally) in other.map {
+            let slot = self.map.entry(page).or_default();
+            for (s, t) in slot.iter_mut().zip(tally) {
+                *s += t;
+            }
+        }
+        for (page, tally) in other.by_core {
+            let slot = self.by_core.entry(page).or_default();
+            for (s, t) in slot.iter_mut().zip(tally) {
+                *s += t;
+            }
+        }
     }
 }
 
@@ -150,6 +194,12 @@ pub struct NumaDaemonConfig {
     /// Cycle budget per scan; migrations stop (and their samples are kept
     /// for the next scan) once the work charged reaches this.
     pub cycle_budget: u64,
+    /// Weight of one scheduler work hint (see
+    /// [`NumaDaemon::set_work_hints`]) in synthetic samples: when judging
+    /// a hinted page, this many extra samples are credited to the node
+    /// that owns the page's work. The bias is decision-only — it never
+    /// enters the persisted tally history.
+    pub work_hint_weight: u64,
 }
 
 impl Default for NumaDaemonConfig {
@@ -159,6 +209,7 @@ impl Default for NumaDaemonConfig {
             dominance_num: 3,
             dominance_den: 4,
             cycle_budget: 2_000_000,
+            work_hint_weight: 2,
         }
     }
 }
@@ -204,6 +255,7 @@ pub struct NumaDaemon {
     /// Tunables; may be adjusted between scans.
     pub cfg: NumaDaemonConfig,
     samples: BTreeMap<u64, [u64; MAX_NUMA_NODES]>,
+    work_hints: BTreeMap<u64, usize>,
     invocations: u64,
     totals: NumaScanOutcome,
 }
@@ -214,9 +266,19 @@ impl NumaDaemon {
         NumaDaemon {
             cfg,
             samples: BTreeMap::new(),
+            work_hints: BTreeMap::new(),
             invocations: 0,
             totals: NumaScanOutcome::default(),
         }
+    }
+
+    /// Install the scheduler's pages-follow-work hints: `page_base →
+    /// node that owns the work touching that page`. Replaces the previous
+    /// hint set; hints bias judgment (by
+    /// [`NumaDaemonConfig::work_hint_weight`] synthetic samples) without
+    /// polluting the sample history. An empty map disables the bias.
+    pub fn set_work_hints(&mut self, hints: BTreeMap<u64, usize>) {
+        self.work_hints = hints;
     }
 
     /// Fold a batch of hinting-fault samples into the daemon's history.
@@ -284,14 +346,23 @@ impl NumaDaemon {
                 continue;
             };
             let home = frames.node_of(t.pa.frame_base(t.size));
+            // Judge on a copy biased by the scheduler's work hint (if
+            // any); `tally` itself stays unbiased for decay/keep.
+            let mut judged = tally;
+            let mut jtotal = total;
+            if let Some(&pref) = self.work_hints.get(&page) {
+                let w = self.cfg.work_hint_weight;
+                judged[pref.min(MAX_NUMA_NODES - 1)] += w;
+                jtotal += w;
+            }
             let dominant = (0..frames.nodes().min(MAX_NUMA_NODES))
-                .max_by_key(|&n| (tally[n], std::cmp::Reverse(n)))
+                .max_by_key(|&n| (judged[n], std::cmp::Reverse(n)))
                 .unwrap_or(0);
             if dominant == home {
                 // Well placed; history has served its purpose.
                 continue;
             }
-            if tally[dominant] * self.cfg.dominance_den < total * self.cfg.dominance_num {
+            if judged[dominant] * self.cfg.dominance_den < jtotal * self.cfg.dominance_num {
                 // Remote but not persistently dominated: genuinely shared.
                 // A 2 MB page here is the paper's trade-off made visible —
                 // it can only bounce or stay, and we make it stay.
@@ -464,6 +535,76 @@ mod tests {
         }
         assert_eq!(d.totals().migrated, 1);
         assert_eq!(d.invocations(), 2);
+    }
+
+    #[test]
+    fn hint_samples_merge_and_iterate() {
+        let mut a = HintSamples::new();
+        a.record(0x1000, 0);
+        a.record(0x1000, 1);
+        let mut b = HintSamples::new();
+        b.record(0x1000, 1);
+        b.record(0x2000, 0);
+        a.merge(b);
+        let v: Vec<_> = a.iter().map(|(p, t)| (p, t[0], t[1])).collect();
+        assert_eq!(v, vec![(0x1000, 1, 2), (0x2000, 1, 0)]);
+    }
+
+    #[test]
+    fn work_hints_tip_a_borderline_page_without_polluting_history() {
+        // Remote majority 5/8 is below the 3/4 dominance bar, so without
+        // a hint the page stays…
+        let samples = |d: &mut NumaDaemon, base: VirtAddr| {
+            let mut batch = HintSamples::new();
+            for _ in 0..3 {
+                batch.record(base.0, 0);
+            }
+            for _ in 0..5 {
+                batch.record(base.0, 1);
+            }
+            d.absorb(batch);
+        };
+        let (mut frames, mut asp, base) = setup(PageSize::Small4K, 1);
+        let mut d = NumaDaemon::new(NumaDaemonConfig::default());
+        samples(&mut d, base);
+        let out = d.scan(&mut asp, &mut frames, &COSTS).unwrap();
+        assert_eq!(out.migrated, 0);
+        assert_eq!(out.stuck_shared, 1);
+
+        // …while with the scheduler vouching for node 1, four synthetic
+        // samples lift it to 9/12 = 3/4 — exactly the bar — so it moves.
+        let (mut frames, mut asp, base) = setup(PageSize::Small4K, 1);
+        let mut d = NumaDaemon::new(NumaDaemonConfig {
+            work_hint_weight: 4,
+            ..NumaDaemonConfig::default()
+        });
+        samples(&mut d, base);
+        d.set_work_hints(std::iter::once((base.0, 1usize)).collect());
+        let out = d.scan(&mut asp, &mut frames, &COSTS).unwrap();
+        assert_eq!(out.migrated, 1, "hinted page must move");
+        let t = asp.page_table().probe(base).unwrap();
+        assert_eq!(frames.node_of(t.pa), 1);
+    }
+
+    #[test]
+    fn daemon_without_hints_is_unchanged_by_the_hint_machinery() {
+        // Twin daemons, one with an irrelevant hint map installed then
+        // cleared: identical outcomes.
+        let run = |hints: bool| {
+            let (mut frames, mut asp, base) = setup(PageSize::Small4K, 2);
+            let mut d = NumaDaemon::new(NumaDaemonConfig::default());
+            if hints {
+                d.set_work_hints(std::iter::once((0xdead_0000u64, 1usize)).collect());
+                d.set_work_hints(BTreeMap::new());
+            }
+            let mut batch = HintSamples::new();
+            for _ in 0..8 {
+                batch.record(base.0, 1);
+            }
+            d.absorb(batch);
+            d.scan(&mut asp, &mut frames, &COSTS).unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

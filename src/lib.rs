@@ -35,8 +35,8 @@ pub mod prelude {
         arm64_2x2_16k, arm64_2x2_4k, modern_x86_2x2, opteron_2x2, xeon_2x2_ht, AsidMode,
         MachineConfig, NumaConfig, NumaPlacement,
     };
-    pub use lpomp_npb::{AppKind, Class, Kernel};
+    pub use lpomp_npb::{AppKind, Class, Kernel, Skew};
     pub use lpomp_prof::table::fnum;
     pub use lpomp_prof::{normalized, Counters, Event, ProfileSheet, TextTable};
-    pub use lpomp_runtime::{Schedule, Team};
+    pub use lpomp_runtime::{Schedule, StealPolicy, Team};
 }

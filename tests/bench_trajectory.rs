@@ -1,0 +1,57 @@
+//! The checked-in harness benchmark (`BENCH_sweep.json`) stays honest:
+//! it parses with the in-tree JSON parser and carries `host_seconds`
+//! measurements for both backends on every config.
+
+use lpomp::prof::{parse_json, Json};
+
+#[test]
+fn bench_sweep_json_parses_and_covers_both_backends() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_sweep.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_sweep.json is checked in");
+    let doc = parse_json(&text).expect("BENCH_sweep.json parses");
+
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("fig4_sweep"));
+    for field in [
+        "serial_total_seconds",
+        "parallel_total_seconds",
+        "analytic_capture_seconds",
+        "analytic_total_seconds",
+        "analytic_mean_config_speedup",
+    ] {
+        let v = doc.get(field).and_then(Json::as_num);
+        assert!(
+            v.is_some_and(|s| s > 0.0),
+            "{field} missing or non-positive"
+        );
+    }
+
+    let configs = doc
+        .get("configs")
+        .and_then(Json::as_arr)
+        .expect("configs array");
+    assert!(!configs.is_empty(), "trajectory is empty");
+
+    let (mut cycle, mut analytic) = (0usize, 0usize);
+    for c in configs {
+        let backend = c.get("backend").and_then(Json::as_str).expect("backend");
+        let host = c
+            .get("host_seconds")
+            .and_then(Json::as_num)
+            .expect("every config carries host_seconds");
+        assert!(host >= 0.0);
+        assert!(c.get("sim_seconds").and_then(Json::as_num).is_some());
+        match backend {
+            "cycle" => cycle += 1,
+            "analytic" => {
+                analytic += 1;
+                assert!(
+                    c.get("speedup").and_then(Json::as_num).is_some(),
+                    "analytic configs carry the per-config speedup"
+                );
+            }
+            other => panic!("unexpected backend {other:?}"),
+        }
+    }
+    assert_eq!(cycle, analytic, "paired cycle/analytic entries per config");
+    assert!(cycle > 0, "no cycle-backend entries");
+}

@@ -98,16 +98,17 @@ fn schedules_cover_exactly_once() {
         let len = rng.below(2000) as usize;
         let threads = 1 + rng.below(8) as usize;
         let chunk = 1 + rng.below(63) as usize;
-        let sched = match rng.below(4) {
+        let sched = match rng.below(5) {
             0 => Schedule::Static,
             1 => Schedule::StaticChunk(chunk),
             2 => Schedule::Dynamic(chunk),
-            _ => Schedule::Guided(chunk),
+            3 => Schedule::Guided(chunk),
+            _ => Schedule::Hierarchical { chunk },
         };
         let p = plan(start..start + len, threads, sched);
         let mut seen = vec![0u8; start + len];
         let chunks = match &p {
-            Plan::Fixed(per) => per.iter().flatten().cloned().collect::<Vec<_>>(),
+            Plan::Fixed(per) | Plan::Hier(per) => per.iter().flatten().cloned().collect::<Vec<_>>(),
             Plan::Queue(q) => q.clone(),
         };
         for c in chunks {

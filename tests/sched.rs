@@ -1,0 +1,117 @@
+//! System-level properties of the hierarchical scheduler (E8): worker
+//! invariance of whole experiment cells, and exact counter conservation
+//! through the `rt:steal` region.
+
+use lpomp::core::{par_map, PagePolicy, PopulatePolicy, ProfileSpec, System};
+use lpomp::machine::{opteron_2x2, NumaConfig, NumaPlacement};
+use lpomp::npb::{Class, Kernel, Skew};
+use lpomp::prof::{Counters, Event};
+use lpomp::runtime::{Schedule, StealPolicy};
+use lpomp::vm::NumaDaemonConfig;
+
+/// One E8-shaped cell: SKEW class S on the NUMA Opteron, first-touch,
+/// demand faulting, NUMA daemon on, with the given schedule override.
+fn run_cell(
+    policy: PagePolicy,
+    sched: Option<Schedule>,
+    steal: StealPolicy,
+    spec: ProfileSpec,
+) -> (u64, Counters, f64, Option<lpomp::prof::ProfileSheet>) {
+    let mut machine = opteron_2x2();
+    machine.numa = Some(NumaConfig::opteron(NumaPlacement::FirstTouch));
+    let mut kernel = Skew::new(Class::S);
+    let mut b = System::builder(machine)
+        .policy(policy)
+        .threads(4)
+        .populate(PopulatePolicy::OnDemand)
+        .numa_daemon(NumaDaemonConfig::default())
+        .steal_policy(steal)
+        .profile(spec);
+    if let Some(s) = sched {
+        b = b.schedule(s);
+    }
+    let mut sys = b.build(&mut kernel).expect("SKEW system builds");
+    let checksum = kernel.run(&mut sys.team);
+    assert!(kernel.verify(checksum), "SKEW checksum drifted");
+    (
+        sys.team.elapsed_cycles(),
+        sys.team.aggregate_counters(),
+        checksum,
+        sys.team.region_sheet(),
+    )
+}
+
+fn grid() -> Vec<(PagePolicy, Option<Schedule>, StealPolicy)> {
+    let hier = Some(Schedule::Hierarchical { chunk: 64 });
+    let blind = StealPolicy {
+        remote_batch: 1,
+        work_follows_pages: false,
+        pages_follow_work: false,
+        topology_aware: false,
+    };
+    vec![
+        (PagePolicy::Small4K, None, StealPolicy::default()),
+        (PagePolicy::Small4K, hier, StealPolicy::default()),
+        (PagePolicy::Small4K, hier, blind),
+        (PagePolicy::Large2M, hier, StealPolicy::default()),
+    ]
+}
+
+/// The determinism contract of the E8 grid: every cell is a pure
+/// function of its configuration, so running the grid under `par_map`
+/// at 1, 2 and 4 workers produces byte-identical records — cycles,
+/// every counter lane, and the checksum bits.
+#[test]
+fn ext_sched_cells_are_worker_invariant() {
+    let cells = grid();
+    let run_all = |workers: usize| -> Vec<(u64, Counters, u64)> {
+        par_map(&cells, workers, |_, &(policy, sched, steal)| {
+            let (cycles, counters, checksum, _) = run_cell(policy, sched, steal, ProfileSpec::Off);
+            (cycles, counters, checksum.to_bits())
+        })
+    };
+    let w1 = run_all(1);
+    assert_eq!(w1, run_all(2), "2-worker run diverged");
+    assert_eq!(w1, run_all(4), "4-worker run diverged");
+}
+
+/// Steal-loop attribution conserves: with region profiling on, the
+/// per-region counters (including the new `rt:steal` region) sum
+/// exactly to the run's aggregate counters, and the steal counters are
+/// live on an imbalanced hierarchical run.
+#[test]
+fn steal_region_counters_conserve() {
+    let (_, counters, _, sheet) = run_cell(
+        PagePolicy::Small4K,
+        Some(Schedule::Hierarchical { chunk: 64 }),
+        StealPolicy::default(),
+        ProfileSpec::Regions,
+    );
+    let sheet = sheet.expect("profiled run returns a sheet");
+    assert_eq!(sheet.total(), counters, "attribution leaked");
+    let steals = counters.get(Event::LocalSteals) + counters.get(Event::RemoteSteals);
+    assert!(steals > 0, "the sawtooth must provoke steals");
+    assert!(
+        sheet.by_name("rt:steal").is_some(),
+        "steal transfers must be attributed to rt:steal"
+    );
+    assert!(sheet.by_name("rt:barrier").is_some());
+    assert!(sheet.by_name("skew:matvec").is_some());
+}
+
+/// Profiling stays observational under the hierarchical schedule: the
+/// same cell with profiling off and on produces identical cycles,
+/// counters and checksum.
+#[test]
+fn hierarchical_profiling_is_free() {
+    let cfg = (
+        PagePolicy::Small4K,
+        Some(Schedule::Hierarchical { chunk: 64 }),
+        StealPolicy::default(),
+    );
+    let (c0, k0, s0, _) = run_cell(cfg.0, cfg.1, cfg.2, ProfileSpec::Off);
+    let (c1, k1, s1, _) = run_cell(cfg.0, cfg.1, cfg.2, ProfileSpec::Regions);
+    assert_eq!(c0, c1);
+    assert_eq!(k0, k1);
+    assert_eq!(s0.to_bits(), s1.to_bits());
+}
